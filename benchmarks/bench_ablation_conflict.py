@@ -1,0 +1,22 @@
+"""Ablation — probabilistic interval model vs explicit lock table."""
+
+from conftest import bench_scale
+from repro.experiments.figures import ablation_conflict_engine
+
+
+def test_ablation_conflict_engines_agree(run_exhibit):
+    spec = bench_scale(ablation_conflict_engine())
+    result = run_exhibit(spec)
+    curves = {label: dict(points) for label, points in
+              result.series("throughput").items()}
+    prob = curves["conflict_engine=probabilistic"]
+    expl = curves["conflict_engine=explicit"]
+    # Same qualitative shape: both convex with the same regime ordering.
+    for curve in (prob, expl):
+        assert curve[10] > curve[1] * 0.95
+        assert curve[10] > curve[5000]
+    # Quantitative agreement within a modest band at every point.
+    for ltot in prob:
+        if prob[ltot] > 0:
+            ratio = expl[ltot] / prob[ltot]
+            assert 0.6 < ratio < 1.7, (ltot, ratio)

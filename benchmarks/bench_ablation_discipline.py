@@ -1,0 +1,21 @@
+"""Ablation — sub-transaction queueing discipline (FCFS vs SJF)."""
+
+from conftest import bench_scale
+from repro.experiments.figures import ablation_discipline
+
+
+def test_ablation_discipline_marginal_effect(run_exhibit):
+    spec = bench_scale(ablation_discipline(), ltot_grid=(1, 100, 5000))
+    result = run_exhibit(spec)
+    curves = {label: dict(points) for label, points in
+              result.series("throughput").items()}
+    fcfs = curves["discipline=fcfs"]
+    sjf = curves["discipline=sjf"]
+    # Ref [3] of the paper: sub-transaction-level scheduling has only
+    # a marginal effect on the locking-granularity picture — the two
+    # disciplines' curves track each other closely and share shape.
+    for ltot in fcfs:
+        if fcfs[ltot] > 0:
+            ratio = sjf[ltot] / fcfs[ltot]
+            assert 0.7 < ratio < 1.4, (ltot, ratio)
+    assert (fcfs[100] > fcfs[5000]) == (sjf[100] > sjf[5000])

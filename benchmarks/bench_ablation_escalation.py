@@ -1,0 +1,28 @@
+"""Ablation — lock escalation over a file/block hierarchy."""
+
+from conftest import bench_scale
+from repro.experiments.figures import ablation_escalation
+
+
+def test_ablation_escalation_trims_fine_granularity_overhead(run_exhibit):
+    spec = bench_scale(ablation_escalation(), ltot_grid=(100, 1000, 5000))
+    result = run_exhibit(spec, print_fields=("throughput", "lock_overhead"))
+    curves = {label: dict(points) for label, points in
+              result.series("lock_overhead").items()}
+    plain = curves["escalation_threshold=0"]
+    escalated = curves["escalation_threshold=10"]
+    # Escalation reduces the lock-processing cost at fine granularity.
+    for ltot in (1000, 5000):
+        assert escalated[ltot] < plain[ltot], ltot
+    # And it actually fires.
+    fired = dict(
+        result.series("lock_escalations")["escalation_threshold=10"]
+    )
+    assert any(v > 0 for v in fired.values())
+    # Throughput at the finest granularity does not get worse.
+    throughput = {label: dict(points) for label, points in
+                  result.series("throughput").items()}
+    assert (
+        throughput["escalation_threshold=10"][5000]
+        >= throughput["escalation_threshold=0"][5000] * 0.95
+    )

@@ -1,0 +1,26 @@
+"""Ablation — open-system (Poisson arrival) saturation."""
+
+from conftest import bench_scale
+from repro.experiments.figures import ablation_open_system
+
+BENCH_TMAX = 300.0
+
+
+def test_ablation_open_system_saturation(run_exhibit):
+    spec = bench_scale(
+        ablation_open_system(), tmax=BENCH_TMAX, ltot_grid=(20, 5000)
+    )
+    result = run_exhibit(spec, print_fields=("throughput", "mean_blocked"))
+    throughput = {label: dict(points) for label, points in
+                  result.series("throughput").items()}
+    backlog = {label: dict(points) for label, points in
+               result.series("mean_blocked").items()}
+    good = throughput["ltot=20"]
+    fine = throughput["ltot=5000"]
+    # Below everyone's knee both track the offered load.
+    assert good[0.05] > 0.035
+    assert fine[0.05] > 0.03
+    # Past the fine-granularity knee: good keeps climbing with the
+    # offered load, fine saturates (and its backlog explodes).
+    assert good[0.15] > fine[0.15] * 1.5
+    assert backlog["ltot=5000"][0.2] > backlog["ltot=20"][0.2]

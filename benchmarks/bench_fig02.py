@@ -1,0 +1,27 @@
+"""Figure 2 — throughput & response time vs locks x processors."""
+
+from conftest import BENCH_NPROS_GRID, bench_scale
+from repro.experiments.figures import figure2
+
+
+def test_fig2_throughput_and_response(run_exhibit):
+    spec = bench_scale(
+        figure2(), replace_sweeps={"npros": BENCH_NPROS_GRID}
+    )
+    result = run_exhibit(spec)
+    curves = result.series("throughput")
+    # More processors → more throughput, at every lock count.
+    for (x2, y2), (x30, y30) in zip(curves["npros=2"], curves["npros=30"]):
+        assert x2 == x30
+        assert y30 > y2
+    # Convexity: optimum strictly between the extremes, below 200 locks.
+    for label, points in curves.items():
+        values = dict(points)
+        best_x = max(values, key=values.get)
+        assert values[best_x] >= values[1]
+        assert values[best_x] > values[5000]
+        assert best_x <= 200, "{} optimum at {}".format(label, best_x)
+    # Response time decreases with processors at the optimum region.
+    responses = result.series("response_time")
+    mid = lambda curve: dict(curve)[100]  # noqa: E731
+    assert mid(responses["npros=30"]) < mid(responses["npros=2"])

@@ -1,0 +1,26 @@
+"""Figure 3 — useful I/O and useful CPU time vs locks x processors."""
+
+from conftest import BENCH_NPROS_GRID, bench_scale
+from repro.experiments.figures import figure3
+
+
+def test_fig3_useful_times(run_exhibit):
+    spec = bench_scale(
+        figure3(), replace_sweeps={"npros": BENCH_NPROS_GRID}
+    )
+    result = run_exhibit(spec)
+    for field in ("usefulios", "usefulcpus"):
+        curves = result.series(field)
+        for label, points in curves.items():
+            values = dict(points)
+            # Convex: the optimum-region value beats both extremes
+            # (the serial regime and the lock-swamped fine regime).
+            assert values[10] >= values[1] * 0.95, (field, label)
+            assert values[10] > values[5000], (field, label)
+    # At the finest granularity, smaller systems lose a larger share
+    # of their capacity to lock work (Fig 4 commentary).
+    fine_io = {
+        label: dict(points)[5000]
+        for label, points in result.series("usefulios").items()
+    }
+    assert fine_io["npros=2"] < fine_io["npros=30"]

@@ -1,0 +1,23 @@
+"""Figure 4 — lock overhead vs locks x processors (large transactions)."""
+
+from conftest import BENCH_NPROS_GRID, bench_scale
+from repro.experiments.figures import figure4
+
+
+def test_fig4_lock_overhead_large_transactions(run_exhibit):
+    spec = bench_scale(
+        figure4(), replace_sweeps={"npros": BENCH_NPROS_GRID}
+    )
+    result = run_exhibit(spec, print_fields=("lock_overhead",))
+    for label, points in result.series("lock_overhead").items():
+        values = dict(points)
+        # Overhead rises steeply once past ~200 locks.
+        assert values[1000] > values[100], label
+        assert values[5000] > 2 * values[100], label
+    # I/O dominates the lock cost (liotime = 20x lcputime).
+    lockios = result.series("lockios")
+    lockcpus = result.series("lockcpus")
+    for label in lockios:
+        io_fine = dict(lockios[label])[5000]
+        cpu_fine = dict(lockcpus[label])[5000]
+        assert io_fine > cpu_fine, label

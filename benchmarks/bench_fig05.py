@@ -1,0 +1,33 @@
+"""Figure 5 — lock overhead vs locks x processors (small transactions)."""
+
+from conftest import BENCH_NPROS_GRID, bench_scale
+from repro.experiments.figures import figure4, figure5
+
+
+def test_fig5_lock_overhead_small_transactions(run_exhibit):
+    spec = bench_scale(
+        figure5(), replace_sweeps={"npros": BENCH_NPROS_GRID}
+    )
+    result = run_exhibit(spec, print_fields=("lock_overhead",))
+    for label, points in result.series("lock_overhead").items():
+        values = dict(points)
+        assert values[5000] > values[100], label
+
+
+def test_fig5_vs_fig4_small_transactions_more_overhead_when_coarse(run_exhibit):
+    """The paper: the initial part of the curves (1 to ~100 locks)
+    shows more overhead for small transactions, because they complete
+    faster and hence request locks more often."""
+    small = bench_scale(
+        figure5(), replace_sweeps={"npros": (10,)}, ltot_grid=(10,)
+    )
+    large = bench_scale(
+        figure4(), replace_sweeps={"npros": (10,)}, ltot_grid=(10,)
+    )
+    small_result = run_exhibit(small, print_fields=("lock_overhead",))
+    from repro.experiments.runner import run_experiment
+
+    large_result = run_experiment(large)
+    small_overhead = small_result.outcomes[0].mean("lock_overhead")
+    large_overhead = large_result.outcomes[0].mean("lock_overhead")
+    assert small_overhead > large_overhead

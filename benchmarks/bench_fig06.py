@@ -1,0 +1,32 @@
+"""Figure 6 — throughput & response time vs locks x transaction size."""
+
+from conftest import bench_scale
+from repro.experiments.figures import figure6
+
+
+def test_fig6_transaction_size_effects(run_exhibit):
+    spec = bench_scale(
+        figure6(), replace_sweeps={"maxtransize": (50, 500, 5000)}
+    )
+    result = run_exhibit(spec)
+    curves = result.series("throughput")
+    # Smaller transactions give substantially higher throughput.
+    for (x_s, y_small), (x_l, y_large) in zip(
+        curves["maxtransize=50"], curves["maxtransize=5000"]
+    ):
+        assert x_s == x_l
+        if x_s > 1:  # the serial point can degenerate
+            assert y_small > y_large
+    # Optimum below 200 locks for every size; curves steeper (larger
+    # relative range) for smaller transactions.
+    for label, points in curves.items():
+        values = dict(points)
+        best = max(values, key=values.get)
+        assert best <= 200, (label, best)
+    # Flatter response times for small transactions.
+    responses = result.series("response_time")
+    small = dict(responses["maxtransize=50"])
+    large = dict(responses["maxtransize=5000"])
+    small_spread = max(small.values()) - min(small.values())
+    large_spread = max(large.values()) - min(large.values())
+    assert small_spread < large_spread

@@ -1,0 +1,26 @@
+"""Figure 7 — throughput vs locks x lock I/O time."""
+
+import pytest
+
+from conftest import bench_scale
+from repro.experiments.figures import figure7
+
+
+def test_fig7_lock_io_time_effects(run_exhibit):
+    spec = bench_scale(figure7())
+    result = run_exhibit(spec)
+    curves = {label: dict(points) for label, points in
+              result.series("throughput").items()}
+    zero = curves["liotime=0.0"]
+    full = curves["liotime=0.2"]
+    half = curves["liotime=0.1"]
+    # With the lock table in memory, fine granularity stops hurting:
+    # flat extremum from ~100 locks to dbsize.
+    assert zero[5000] == pytest.approx(zero[100], rel=0.12)
+    # With finite lock I/O, fine granularity collapses.
+    assert full[5000] < 0.7 * full[100]
+    # Intermediate cost sits between the two at the fine end.
+    assert full[5000] <= half[5000] <= zero[5000] * 1.05
+    # ...but removing lock I/O does not lift the optimum itself much:
+    # coarse granularity remains sufficient (the paper's conclusion).
+    assert max(zero.values()) <= max(full.values()) * 1.15

@@ -1,0 +1,34 @@
+"""Figure 8 — Figure 2's sweep under random partitioning."""
+
+from conftest import BENCH_NPROS_GRID, bench_scale
+from repro.experiments.figures import figure2, figure8
+from repro.experiments.runner import run_experiment
+
+
+def test_fig8_random_partitioning(run_exhibit):
+    spec = bench_scale(
+        figure8(), replace_sweeps={"npros": BENCH_NPROS_GRID}
+    )
+    result = run_exhibit(spec)
+    curves = result.series("throughput")
+    # Processor ordering is unchanged by the partitioning method.
+    for (x2, y2), (x30, y30) in zip(curves["npros=2"], curves["npros=30"]):
+        assert x2 == x30
+        assert y30 > y2
+
+
+def test_fig8_vs_fig2_horizontal_partitioning_wins(run_exhibit):
+    random_spec = bench_scale(
+        figure8(), replace_sweeps={"npros": (10,)}, ltot_grid=(10, 100)
+    )
+    horizontal_spec = bench_scale(
+        figure2(), replace_sweeps={"npros": (10,)}, ltot_grid=(10, 100)
+    )
+    random_result = run_exhibit(random_spec)
+    horizontal_result = run_experiment(horizontal_spec)
+    random_curve = dict(random_result.series("throughput")["npros=10"])
+    horizontal_curve = dict(
+        horizontal_result.series("throughput")["npros=10"]
+    )
+    for ltot in (10, 100):
+        assert horizontal_curve[ltot] > random_curve[ltot]

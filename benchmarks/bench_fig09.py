@@ -1,0 +1,35 @@
+"""Figure 9 — granule placement strategies, large transactions."""
+
+from conftest import bench_scale
+from repro.experiments.figures import figure9
+
+#: Includes ltot = 250, the mean transaction size, where random/worst
+#: placement bottoms out.
+GRID = (1, 20, 250, 1000, 5000)
+
+
+def test_fig9_placement_large_transactions(run_exhibit):
+    spec = bench_scale(
+        figure9(), ltot_grid=GRID, replace_sweeps={"npros": (30,)}
+    )
+    result = run_exhibit(spec)
+    curves = {label: dict(points) for label, points in
+              result.series("throughput").items()}
+    best = curves["placement=best, npros=30"]
+    rand = curves["placement=random, npros=30"]
+    worst = curves["placement=worst, npros=30"]
+    # Best placement: convex with an interior optimum.
+    assert max(best.values()) > best[1]
+    assert max(best.values()) > best[5000]
+    # Random/worst: fall from ltot=1 to the mean transaction size,
+    # then recover toward ltot = dbsize.
+    for curve in (rand, worst):
+        assert curve[250] < curve[1]
+        assert curve[250] < curve[5000]
+    # Worst placement never beats random placement materially.
+    for ltot in GRID:
+        assert worst[ltot] <= rand[ltot] * 1.1, ltot
+    # All three coincide at ltot = 1 (single lock) and at the finest
+    # granularity (entity locks) they converge again.
+    assert worst[1] == best[1]
+    assert abs(worst[5000] - best[5000]) / best[5000] < 0.25

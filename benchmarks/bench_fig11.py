@@ -1,0 +1,36 @@
+"""Figure 11 — placement strategies under the 80/20 size mix."""
+
+from conftest import bench_scale
+from repro.experiments.figures import figure9, figure10, figure11
+from repro.experiments.runner import run_experiment
+
+GRID = (1, 100, 5000)
+
+
+def test_fig11_mixed_sizes_between_extremes(run_exhibit):
+    mixed_spec = bench_scale(figure11(), ltot_grid=GRID)
+    result = run_exhibit(mixed_spec)
+    mixed = {label: dict(points) for label, points in
+             result.series("throughput").items()}
+
+    small_spec = bench_scale(
+        figure10(), ltot_grid=(5000,), replace_sweeps={"npros": (30,)}
+    )
+    large_spec = bench_scale(
+        figure9(), ltot_grid=(5000,), replace_sweeps={"npros": (30,)}
+    )
+    small = run_experiment(small_spec)
+    large = run_experiment(large_spec)
+
+    def fine_point(result_, placement):
+        label = "placement={}, npros=30".format(placement)
+        return dict(result_.series("throughput")[label])[5000]
+
+    for placement in ("best", "random", "worst"):
+        y_small = fine_point(small, placement)
+        y_large = fine_point(large, placement)
+        y_mixed = mixed["placement={}".format(placement)][5000]
+        # The 80/20 mix falls between the all-small and all-large
+        # extremes, dragged well below the small-only throughput.
+        assert y_large < y_mixed < y_small, placement
+        assert y_mixed < 0.75 * y_small, placement

@@ -1,0 +1,27 @@
+"""Figure 12 — heavy load (ntrans = 200) x placement strategies."""
+
+from conftest import bench_scale, full_run
+from repro.experiments.figures import figure12
+
+GRID = (1, 100, 5000)
+#: ntrans = 200 transactions arrive one time unit apart, so the
+#: horizon must comfortably exceed 200; use a longer bench tmax.
+HEAVY_TMAX = 500.0
+
+
+def test_fig12_heavy_load_prefers_coarse(run_exhibit):
+    spec = bench_scale(figure12(), tmax=HEAVY_TMAX, ltot_grid=GRID)
+    if not full_run():
+        # Placement sweep x 3 points is already 9 heavy runs; keep the
+        # benchmark focused on best placement plus one comparison.
+        spec = spec.scaled(replace_sweeps={"placement": ("best", "random")})
+    result = run_exhibit(spec)
+    curves = {label: dict(points) for label, points in
+              result.series("throughput").items()}
+    for label, curve in curves.items():
+        # The paper's key §3.7 observation: with many transactions,
+        # entity-level locking is *worse* than coarse locking — the
+        # lock overhead grows with ntrans x ltot while most of the
+        # added requests are denied.
+        assert curve[5000] < curve[1], label
+        assert curve[5000] < curve[100], label

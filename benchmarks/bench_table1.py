@@ -1,0 +1,23 @@
+"""Table 1 — the input parameter set, exercised by one baseline run."""
+
+from conftest import bench_scale
+from repro.core.parameters import TABLE_1
+from repro.experiments.figures import table1
+
+
+def test_table1_baseline_run(run_exhibit):
+    """One run at the paper's Table 1 defaults; prints every output."""
+    spec = bench_scale(table1())
+    result = run_exhibit(spec, print_fields=("throughput", "response_time"))
+    outcome = result.outcomes[0]
+    # Table 1 parameters reached the model unchanged.
+    params = outcome.params
+    assert params.dbsize == TABLE_1.dbsize
+    assert params.ntrans == TABLE_1.ntrans
+    assert params.cputime == TABLE_1.cputime
+    assert params.iotime == TABLE_1.iotime
+    assert params.lcputime == TABLE_1.lcputime
+    assert params.liotime == TABLE_1.liotime
+    # The baseline completes work and is I/O bound (iotime = 4x cputime).
+    assert outcome.mean("totcom") > 0
+    assert outcome.mean("io_utilization") > outcome.mean("cpu_utilization")

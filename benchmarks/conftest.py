@@ -1,0 +1,61 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark file regenerates one of the paper's exhibits (Table 1,
+Figures 2–12) or an ablation, on a reduced grid so the whole suite
+stays in the minutes range.  Set ``REPRO_BENCH_FULL=1`` to run the
+paper's full grids and a longer horizon (slow — tens of minutes).
+
+Every benchmark prints the exhibit's series table (visible with
+``pytest -s`` or in pytest-benchmark's captured output) and asserts the
+paper's qualitative shape, so a green benchmark run doubles as a
+reproduction check.
+"""
+
+import os
+
+import pytest
+
+#: Reduced lock grid: the regimes that define every curve's shape.
+BENCH_LTOT_GRID = (1, 10, 100, 1000, 5000)
+#: Reduced processor grid.
+BENCH_NPROS_GRID = (2, 10, 30)
+#: Short horizon for benchmark runs.
+BENCH_TMAX = 150.0
+
+
+def full_run():
+    """True when the full paper grids were requested via env var."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def bench_scale(spec, tmax=BENCH_TMAX, ltot_grid=BENCH_LTOT_GRID, **changes):
+    """Scale *spec* for benchmarking (no-op under REPRO_BENCH_FULL)."""
+    if full_run():
+        return spec
+    return spec.scaled(tmax=tmax, ltot_grid=ltot_grid, **changes)
+
+
+@pytest.fixture
+def run_exhibit(benchmark):
+    """Benchmark an exhibit sweep once and return its result.
+
+    Usage::
+
+        def test_fig7(run_exhibit):
+            result = run_exhibit(spec)
+            ... assertions on result.series() ...
+    """
+    from repro.experiments.runner import run_experiment
+
+    def runner(spec, print_fields=None):
+        result = benchmark.pedantic(
+            lambda: run_experiment(spec), rounds=1, iterations=1
+        )
+        from repro.experiments.report import format_series_table
+
+        for field in print_fields or spec.y_fields:
+            print()
+            print(format_series_table(result, field))
+        return result
+
+    return runner

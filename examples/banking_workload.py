@@ -1,0 +1,91 @@
+"""A debit/credit banking workload on a shared-nothing cluster.
+
+The paper's introduction motivates concurrency control with the funds
+transfer (lost update) problem, and its references benchmark NonStop
+SQL on Debit-Credit.  This example models such an OLTP system:
+
+* a large accounts table horizontally partitioned over the cluster;
+* a flood of tiny debit/credit transactions (a few entities each);
+* a minority of branch-level reporting scans (large, sequential);
+* the operational question: file-level, block-level or record-level
+  locking?
+
+Usage::
+
+    python examples/banking_workload.py
+"""
+
+from repro import SimulationParameters, simulate
+
+#: Candidate lock granularities for a 5000-entity accounts table.
+CANDIDATES = {
+    "database lock": 1,
+    "file-level (10 files)": 10,
+    "block-level (200 blocks)": 200,
+    "record-level": 5000,
+}
+
+
+def run_scenario(title, params):
+    print(title)
+    print("  {:26s} {:>10s} {:>10s} {:>9s} {:>9s}".format(
+        "granularity", "throughput", "response", "denied", "lock ovh"))
+    results = {}
+    for name, ltot in CANDIDATES.items():
+        result = simulate(params.replace(ltot=ltot))
+        results[name] = result
+        print("  {:26s} {:>10.4f} {:>10.1f} {:>8.0%} {:>9.0f}".format(
+            name, result.throughput, result.response_time,
+            result.denial_rate, result.lock_overhead))
+    best = max(results, key=lambda n: results[n].throughput)
+    print("  -> best: {}".format(best))
+    print()
+    return best
+
+
+def main():
+    cluster = dict(npros=20, tmax=600.0, seed=42)
+
+    # Pure OLTP: debit/credit touches a handful of random records.
+    oltp = SimulationParameters(
+        maxtransize=8, placement="random", ntrans=40, **cluster
+    )
+    oltp_best = run_scenario(
+        "Scenario 1 — pure debit/credit (tiny random transactions):", oltp
+    )
+
+    # Mixed: 80% debit/credit plus 20% branch reports scanning ~5% of
+    # the table sequentially (best placement approximates range scans).
+    mixed = SimulationParameters(
+        workload="mixed",
+        mix_small_fraction=0.8,
+        mix_small_maxtransize=8,
+        mix_large_maxtransize=500,
+        placement="best",
+        ntrans=40,
+        maxtransize=500,
+        **cluster,
+    )
+    mixed_best = run_scenario(
+        "Scenario 2 — 80% debit/credit + 20% branch reports:", mixed
+    )
+
+    # Heavy load: ten times the terminals at end-of-day peak.
+    peak = mixed.replace(ntrans=200)
+    peak_best = run_scenario(
+        "Scenario 3 — end-of-day peak (200 concurrent terminals):", peak
+    )
+
+    print("Operational summary")
+    print("  tiny random updates      -> {}".format(oltp_best))
+    print("  mixed with report scans  -> {}".format(mixed_best))
+    print("  heavy peak load          -> {}".format(peak_best))
+    print()
+    print("This mirrors the paper's conclusions: random access to small")
+    print("parts of the database rewards fine granularity; adding large")
+    print("sequential transactions and load pushes the optimum sharply")
+    print("toward coarse (file-level) locking.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Render SVG charts from previously saved exhibit rows.
+
+Reads ``results/<exhibit>.json`` files written by
+``run_all_exhibits.py`` and emits ``results/<exhibit>_<field>.svg``
+without re-running any simulation.
+
+Usage::
+
+    python scripts/render_charts.py [--dir results] [exhibit ...]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.figures import EXHIBITS
+from repro.experiments.svg import SvgChart
+
+
+def render(key, directory):
+    path = directory / "{}.json".format(key)
+    if not path.exists():
+        print("{}: no data file, skipped".format(key))
+        return []
+    with open(path) as handle:
+        rows = json.load(handle)["rows"]
+    spec = EXHIBITS[key]()
+    written = []
+    for y_field in spec.y_fields:
+        chart = SvgChart(
+            "{}: {}".format(key, spec.title),
+            x_label=spec.x_field,
+            y_label=y_field,
+            log_x=spec.x_field == "ltot",
+        )
+        curves = {}
+        for row in rows:
+            label = ", ".join(
+                "{}={}".format(name, row[name]) for name in spec.series_fields
+            ) or "all"
+            value = row.get(y_field)
+            if value is None:
+                continue
+            curves.setdefault(label, []).append((row[spec.x_field], value))
+        for label, points in sorted(curves.items()):
+            chart.add_series(label, points)
+        out = directory / "{}_{}.svg".format(key, y_field)
+        chart.save(out)
+        written.append(out)
+    return written
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default="results")
+    parser.add_argument("exhibits", nargs="*", default=[])
+    args = parser.parse_args(argv)
+    directory = Path(args.dir)
+    keys = args.exhibits or list(EXHIBITS)
+    total = 0
+    for key in keys:
+        written = render(key, directory)
+        total += len(written)
+    print("wrote {} charts into {}".format(total, directory))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Regenerate every exhibit's data (the EXPERIMENTS.md source).
+
+Runs all exhibits at a configurable horizon and writes one CSV and one
+JSON per exhibit under ``results/``, plus a combined summary JSON.
+Figures 2–4 share one configuration grid, so their sweep is executed
+once and reused.
+
+Usage::
+
+    python scripts/run_all_exhibits.py [--tmax 600] [--out results]
+        [--npros-grid 1,10,30] [--only fig7,fig9]
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.figures import EXHIBITS
+from repro.experiments.runner import run_experiment
+from repro.experiments.storage import save_rows_csv, save_rows_json
+
+#: Exhibits whose sweep equals fig2's (same base, same grid): their
+#: data comes from the same runs, just different reported columns.
+SHARES_FIG2_GRID = ("fig3", "fig4")
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tmax", type=float, default=600.0)
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--npros-grid", default="1,10,30",
+        help="comma list replacing the npros sweep of figs 2-5 and 8",
+    )
+    parser.add_argument(
+        "--only", default="",
+        help="comma list of exhibit keys to run (default: all)",
+    )
+    parser.add_argument(
+        "--svg", action="store_true",
+        help="also write one SVG chart per exhibit y-field",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    npros_grid = tuple(int(x) for x in args.npros_grid.split(","))
+    only = {key.strip() for key in args.only.split(",") if key.strip()}
+
+    summary_path = out_dir / "summary.json"
+    if summary_path.exists():
+        with open(summary_path) as handle:
+            summary = json.load(handle)
+    else:
+        summary = {}
+    fig2_result = None
+    for key, builder in EXHIBITS.items():
+        if only and key not in only:
+            continue
+        spec = builder().scaled(tmax=args.tmax)
+        if "npros" in spec.sweeps and len(spec.sweeps["npros"]) > 3:
+            spec = spec.scaled(replace_sweeps={"npros": npros_grid})
+        started = time.time()
+        if key in SHARES_FIG2_GRID and fig2_result is not None and not only:
+            result = fig2_result
+            result = type(result)(spec, result.outcomes)
+            note = "(reused fig2 runs)"
+        else:
+            result = run_experiment(
+                spec,
+                progress=lambda done, total: print(
+                    "\r  {} {}/{}".format(key, done, total),
+                    end="", file=sys.stderr, flush=True,
+                ),
+            )
+            print(file=sys.stderr)
+            note = ""
+        if key == "fig2":
+            fig2_result = result
+        elapsed = time.time() - started
+        rows = result.rows()
+        save_rows_csv(rows, out_dir / "{}.csv".format(key))
+        save_rows_json(
+            rows,
+            out_dir / "{}.json".format(key),
+            metadata={
+                "exhibit": key,
+                "title": spec.title,
+                "tmax": args.tmax,
+                "elapsed_seconds": round(elapsed, 1),
+            },
+        )
+        series = {
+            y: {
+                label: points
+                for label, points in result.series(y).items()
+            }
+            for y in spec.y_fields
+        }
+        summary[key] = {
+            "title": spec.title,
+            "series": series,
+            "elapsed_seconds": round(elapsed, 1),
+        }
+        if args.svg:
+            from repro.experiments.svg import save_result_charts
+
+            save_result_charts(result, str(out_dir), prefix=key)
+        print("done {} in {:.0f}s {}".format(key, elapsed, note))
+    with open(summary_path, "w") as handle:
+        json.dump(summary, handle, indent=1, sort_keys=True)
+    print("wrote {}/summary.json".format(out_dir))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

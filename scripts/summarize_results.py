@@ -1,0 +1,70 @@
+"""Print per-exhibit key numbers from results/*.json (EXPERIMENTS.md helper).
+
+Usage::
+
+    python scripts/summarize_results.py [--dir results] [exhibit ...]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.figures import EXHIBITS
+
+
+def series_from_rows(rows, spec, y_field):
+    """Rebuild label -> {x: y} curves from persisted rows."""
+    curves = {}
+    for row in rows:
+        label = ", ".join(
+            "{}={}".format(name, row[name]) for name in spec.series_fields
+        ) or "all"
+        curves.setdefault(label, {})[row[spec.x_field]] = row[y_field]
+    return curves
+
+
+def describe(key, directory):
+    path = directory / "{}.json".format(key)
+    if not path.exists():
+        print("{}: no data file".format(key))
+        return
+    with open(path) as handle:
+        rows = json.load(handle)["rows"]
+    spec = EXHIBITS[key]()
+    print("== {} ==".format(key))
+    for y_field in spec.y_fields:
+        curves = series_from_rows(rows, spec, y_field)
+        for label, curve in sorted(curves.items()):
+            values = {x: y for x, y in curve.items() if y is not None}
+            if not values:
+                continue
+            best_x = max(values, key=values.get)
+            worst_x = min(values, key=values.get)
+            xs = sorted(values)
+            print(
+                "  {:12s} {:28s} first({}={:.4g}) best({}={:.4g}) "
+                "worst({}={:.4g}) last({}={:.4g})".format(
+                    y_field, label,
+                    xs[0], values[xs[0]],
+                    best_x, values[best_x],
+                    worst_x, values[worst_x],
+                    xs[-1], values[xs[-1]],
+                )
+            )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default="results")
+    parser.add_argument("exhibits", nargs="*", default=[])
+    args = parser.parse_args(argv)
+    directory = Path(args.dir)
+    keys = args.exhibits or list(EXHIBITS)
+    for key in keys:
+        describe(key, directory)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

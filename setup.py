@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+The offline environment lacks the ``wheel`` package, so PEP 517
+editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` goes through this shim instead.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Reproduction of *Locking Granularity in Multiprocessor Database
+Systems* (S. Dandamudi and S.-L. Au, ICDE 1991).
+
+A discrete-event simulation study of lock granule size in
+shared-nothing multiprocessor database systems, rebuilt as a library:
+
+* :mod:`repro.core` — the paper's closed-system simulation model
+  (parameters, placement/partitioning strategies, conflict engines,
+  the simulator, metrics and results);
+* :mod:`repro.des` — the process-oriented discrete-event kernel it
+  runs on;
+* :mod:`repro.lockmgr` — an explicit lock-manager substrate
+  (modes, lock table, preclaim/2PL, hierarchy, deadlock detection);
+* :mod:`repro.engine` — the shared-nothing machine model and
+  transaction admission policies;
+* :mod:`repro.analytic` — Yao's formula and closed-form companions;
+* :mod:`repro.experiments` — the harness reproducing Table 1 and
+  Figures 2–12, plus ablations.
+
+Quickstart
+----------
+>>> from repro import simulate
+>>> result = simulate(ltot=100, npros=10, tmax=500)
+>>> result.totcom > 0
+True
+"""
+
+from repro.core.model import (
+    LockingGranularityModel,
+    simulate,
+    simulate_replications,
+)
+from repro.core.parameters import TABLE_1, SimulationParameters
+from repro.core.results import ReplicatedResult, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LockingGranularityModel",
+    "ReplicatedResult",
+    "SimulationParameters",
+    "SimulationResult",
+    "TABLE_1",
+    "__version__",
+    "simulate",
+    "simulate_replications",
+]

@@ -1,0 +1,46 @@
+"""Closed-form companions to the simulation.
+
+:mod:`repro.analytic.yao`
+    Yao's block-access formula (CACM 1977): the expected number of
+    granules touched when entities are selected at random — the basis
+    of the paper's *random placement* strategy.
+:mod:`repro.analytic.granularity`
+    Back-of-envelope approximations for conflict probability, lock
+    overhead, and the throughput trade-off; used to sanity-check the
+    simulator and to pick promising granularities without simulating.
+:mod:`repro.analytic.queueing`
+    Operational laws (Denning–Buzen) for the closed model: service
+    demands, asymptotic throughput/response bounds that the simulator
+    provably must obey — and the tests check that it does.
+"""
+
+from repro.analytic.granularity import (
+    conflict_probability,
+    expected_lock_overhead,
+    optimal_ltot_estimate,
+    serial_throughput_bound,
+)
+from repro.analytic.queueing import (
+    balanced_system_throughput,
+    bottleneck_demand,
+    response_time_lower_bound,
+    service_demands,
+    throughput_upper_bound,
+    total_demand,
+)
+from repro.analytic.yao import expected_granules_touched, yao_locks
+
+__all__ = [
+    "balanced_system_throughput",
+    "bottleneck_demand",
+    "conflict_probability",
+    "expected_granules_touched",
+    "expected_lock_overhead",
+    "optimal_ltot_estimate",
+    "response_time_lower_bound",
+    "serial_throughput_bound",
+    "service_demands",
+    "throughput_upper_bound",
+    "total_demand",
+    "yao_locks",
+]

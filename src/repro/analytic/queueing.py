@@ -1,0 +1,106 @@
+"""Operational laws and asymptotic bounds for the closed model.
+
+Classical operational analysis (Denning & Buzen) applies directly to
+the paper's closed system: ``ntrans`` customers cycle over service
+stations (each processor's CPU and disk).  With per-visit service
+demands it yields distribution-free bounds the simulator must obey:
+
+* **Utilisation law**: busy time ≤ capacity.
+* **Throughput bounds**: ``X ≤ min(1 / D_max, N / R_min)`` where
+  ``D_max`` is the largest per-station demand per transaction and
+  ``R_min`` the no-queueing response floor.  (The textbook
+  ``N / D_total`` form does not apply here: sub-transactions fork
+  across processors and their station visits overlap, so a
+  transaction's minimal residence is the per-processor path, not the
+  sum over all stations.)
+* **Little's law**: ``X = N / R`` with zero think time, giving
+  ``R ≥ N / X``.
+
+These bounds hold regardless of locking, which only *reduces*
+achievable concurrency, so they are valid upper bounds on throughput
+and lower bounds on response time; tests assert the simulator never
+violates them.
+"""
+
+from repro.analytic.granularity import locks_required
+
+
+def service_demands(params, nu=None):
+    """Per-transaction service demand at each station type.
+
+    Returns a dict with the *total* demand a transaction places on one
+    disk and one CPU (transaction work plus its share of lock work),
+    under horizontal partitioning where the work divides evenly over
+    the ``npros`` stations of each type.
+
+    Parameters
+    ----------
+    params:
+        :class:`~repro.core.parameters.SimulationParameters`.
+    nu:
+        Transaction size (defaults to the workload mean).
+    """
+    if nu is None:
+        nu = params.mean_transaction_size
+    locks = locks_required(params.placement, params.dbsize, params.ltot, nu)
+    disk = (nu * params.iotime + locks * params.liotime) / params.npros
+    cpu = (nu * params.cputime + locks * params.lcputime) / params.npros
+    return {"disk": disk, "cpu": cpu}
+
+
+def bottleneck_demand(params, nu=None):
+    """The largest per-station demand ``D_max`` (the bottleneck)."""
+    return max(service_demands(params, nu).values())
+
+
+def total_demand(params, nu=None):
+    """Sum of demands over every station, ``D_total``.
+
+    A transaction visits one disk and one CPU *per processor* under
+    horizontal partitioning; the per-station demands above are already
+    per processor, so the total is ``npros`` times their sum.
+    """
+    demands = service_demands(params, nu)
+    return params.npros * (demands["disk"] + demands["cpu"])
+
+
+def throughput_upper_bound(params, nu=None):
+    """``X ≤ min(1 / D_max, N / R_min)`` (asymptotic bounds).
+
+    The bottleneck form: the system cannot push more than one
+    transaction's bottleneck demand through the bottleneck device per
+    unit time.  The population form: with ``N`` customers and no think
+    time, Little's law caps throughput at ``N`` divided by the
+    no-queueing response floor.
+    """
+    d_max = bottleneck_demand(params, nu)
+    r_min = response_time_lower_bound(params, nu)
+    if d_max <= 0 or r_min <= 0:
+        return float("inf")
+    return min(1.0 / d_max, params.ntrans / r_min)
+
+
+def response_time_lower_bound(params, nu=None):
+    """``R ≥ D_total`` — a transaction's own demand, with no queueing.
+
+    Under horizontal partitioning the per-transaction *elapsed* floor
+    is the sequential I/O-then-CPU path on one processor plus lock
+    processing, i.e. the per-station demands (not the total across
+    stations, which is served in parallel).
+    """
+    demands = service_demands(params, nu)
+    return demands["disk"] + demands["cpu"]
+
+
+def balanced_system_throughput(params, nu=None):
+    """The balanced-system approximation ``X(N) = N / (D + (N−1)·D_avg)``.
+
+    A quick interior estimate between the asymptotic bounds (exact for
+    balanced separable networks); useful as a sanity midpoint, not a
+    bound.
+    """
+    n = params.ntrans
+    d_total = total_demand(params, nu)
+    stations = 2 * params.npros
+    d_avg = d_total / stations
+    return n / (d_total + (n - 1) * d_avg)

@@ -1,0 +1,340 @@
+"""Command-line interface: reproduce any exhibit from a terminal.
+
+Examples
+--------
+List everything reproducible::
+
+    repro-locking list
+
+Reproduce Figure 2 quickly, with an ASCII plot and a CSV dump::
+
+    repro-locking run fig2 --quick --plot --save fig2.csv
+
+Run a single configuration::
+
+    repro-locking simulate --ltot 100 --npros 10 --tmax 2000
+"""
+
+import argparse
+import sys
+
+from repro.core.model import simulate
+from repro.core.parameters import SimulationParameters
+from repro.core.results import RESULT_FIELDS
+from repro.experiments.figures import EXHIBITS, get_exhibit
+from repro.experiments.report import ascii_plot, format_series_table, summarize_optima
+from repro.experiments.runner import run_experiment
+from repro.experiments.storage import save_rows_csv, save_rows_json
+
+#: Reduced grid used by ``--quick``.
+QUICK_LTOT_GRID = (1, 10, 100, 1000, 5000)
+QUICK_TMAX = 400.0
+
+
+def build_parser():
+    """The argparse parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-locking",
+        description="Reproduce 'Locking Granularity in Multiprocessor "
+        "Database Systems' (Dandamudi & Au, ICDE 1991).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible exhibits")
+
+    run = sub.add_parser("run", help="run one exhibit's full sweep")
+    run.add_argument("exhibit", help="table1, fig2..fig12, 2..12, or an ablation key")
+    run.add_argument("--tmax", type=float, default=None, help="override horizon")
+    run.add_argument(
+        "--replications", type=int, default=1, help="replications per point"
+    )
+    run.add_argument("--jobs", type=int, default=0, help="worker processes")
+    run.add_argument(
+        "--quick", action="store_true", help="small grid and short horizon"
+    )
+    run.add_argument("--plot", action="store_true", help="ASCII plot per y field")
+    run.add_argument("--save", default=None, help="write rows to CSV path")
+    run.add_argument("--json", default=None, help="write rows to JSON path")
+    run.add_argument(
+        "--svg", default=None, metavar="DIR",
+        help="write one SVG chart per y field into DIR",
+    )
+    run.add_argument("--seed", type=int, default=None, help="override master seed")
+
+    one = sub.add_parser("simulate", help="run a single configuration")
+    defaults = SimulationParameters()
+    for name, value in defaults.as_dict().items():
+        kind = type(value)
+        one.add_argument(
+            "--{}".format(name.replace("_", "-")),
+            dest=name,
+            type=kind if kind in (int, float) else str,
+            default=None,
+            help="default: {!r}".format(value),
+        )
+    one.add_argument(
+        "--trace", type=int, default=0, metavar="N",
+        help="print the first N transaction lifecycle events",
+    )
+
+    tune = sub.add_parser(
+        "tune", help="adaptively search for the optimal lock granularity"
+    )
+    tune.add_argument("--objective", default="throughput")
+    tune.add_argument("--minimize", action="store_true")
+    tune.add_argument("--replications", type=int, default=2)
+    tune.add_argument("--tmax", type=float, default=400.0)
+    for name, value in defaults.as_dict().items():
+        if name in ("ltot", "tmax"):
+            continue
+        kind = type(value)
+        tune.add_argument(
+            "--{}".format(name.replace("_", "-")),
+            dest=name,
+            type=kind if kind in (int, float) else str,
+            default=None,
+            help="default: {!r}".format(value),
+        )
+
+    sensitivity = sub.add_parser(
+        "sensitivity",
+        help="elasticity of an output w.r.t. each numeric parameter",
+    )
+    sensitivity.add_argument("--output", default="throughput")
+    sensitivity.add_argument("--delta", type=float, default=0.25)
+    sensitivity.add_argument("--replications", type=int, default=2)
+    sensitivity.add_argument("--tmax", type=float, default=300.0)
+    for name, value in defaults.as_dict().items():
+        if name == "tmax":
+            continue
+        kind = type(value)
+        sensitivity.add_argument(
+            "--{}".format(name.replace("_", "-")),
+            dest=name,
+            type=kind if kind in (int, float) else str,
+            default=None,
+            help="default: {!r}".format(value),
+        )
+
+    compare = sub.add_parser(
+        "compare", help="diff two result CSVs (e.g. before/after a change)"
+    )
+    compare.add_argument("baseline", help="baseline CSV path")
+    compare.add_argument("candidate", help="candidate CSV path")
+    compare.add_argument(
+        "--field", default="throughput", help="output field to compare"
+    )
+    compare.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative change flagged as a regression/improvement",
+    )
+    return parser
+
+
+def _command_list(_args):
+    print("Reproducible exhibits:")
+    for key in EXHIBITS:
+        spec = EXHIBITS[key]()
+        points = len(spec.configurations())
+        print("  {:22s} {:4d} configs  {}".format(key, points, spec.title))
+    return 0
+
+
+def _command_run(args):
+    spec = get_exhibit(args.exhibit)
+    changes = {}
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    if args.quick:
+        spec = spec.scaled(
+            tmax=args.tmax or QUICK_TMAX, ltot_grid=QUICK_LTOT_GRID, **changes
+        )
+    elif args.tmax is not None or changes:
+        spec = spec.scaled(tmax=args.tmax, **changes)
+
+    total = len(spec.configurations())
+    print(
+        "Running {} ({} configurations, tmax={}, replications={})".format(
+            spec.key, total, spec.base.tmax, args.replications
+        )
+    )
+
+    def progress(done, of):
+        sys.stderr.write("\r  {}/{} configurations".format(done, of))
+        sys.stderr.flush()
+        if done == of:
+            sys.stderr.write("\n")
+
+    result = run_experiment(
+        spec, replications=args.replications, jobs=args.jobs, progress=progress
+    )
+    for y_field in spec.y_fields:
+        print()
+        print(format_series_table(result, y_field))
+        print()
+        print(summarize_optima(result, y_field))
+        if args.plot:
+            print()
+            print(ascii_plot(result, y_field))
+    if spec.expected_shape:
+        print()
+        print("Paper's expected shape: {}".format(spec.expected_shape))
+    if args.save:
+        save_rows_csv(result.rows(), args.save)
+        print("Rows written to {}".format(args.save))
+    if args.json:
+        save_rows_json(
+            result.rows(), args.json, metadata={"exhibit": spec.key}
+        )
+        print("Rows written to {}".format(args.json))
+    if args.svg:
+        import os
+
+        from repro.experiments.svg import save_result_charts
+
+        os.makedirs(args.svg, exist_ok=True)
+        for path in save_result_charts(result, args.svg):
+            print("Chart written to {}".format(path))
+    return 0
+
+
+def _command_simulate(args):
+    overrides = {
+        name: getattr(args, name)
+        for name in SimulationParameters().as_dict()
+        if getattr(args, name) is not None
+    }
+    if args.trace:
+        from repro.core.model import LockingGranularityModel
+        from repro.des.trace import Trace
+
+        trace = Trace()
+        model = LockingGranularityModel(
+            SimulationParameters(**overrides), trace=trace
+        )
+        result = model.run()
+        print(trace.format(limit=args.trace))
+        print("({} events total)".format(len(trace)))
+    else:
+        result = simulate(**overrides)
+    print("Parameters:")
+    for key, value in sorted(result.params.as_dict().items()):
+        print("  {:24s} {}".format(key, value))
+    print("Outputs:")
+    for name in RESULT_FIELDS:
+        print("  {:24s} {}".format(name, getattr(result, name)))
+    return 0
+
+
+def _command_tune(args):
+    from repro.experiments.search import find_optimal_ltot
+
+    overrides = {
+        name: getattr(args, name)
+        for name in SimulationParameters().as_dict()
+        if hasattr(args, name) and getattr(args, name) is not None
+    }
+    overrides["tmax"] = args.tmax
+    params = SimulationParameters(**overrides)
+    outcome = find_optimal_ltot(
+        params,
+        objective=args.objective,
+        maximize=not args.minimize,
+        replications=args.replications,
+    )
+    print("Evaluated {} granularities:".format(len(outcome.evaluations)))
+    for ltot in sorted(outcome.evaluations):
+        marker = "  <-- best" if ltot == outcome.best_ltot else ""
+        print("  ltot={:>6d}  {}={:.6g}{}".format(
+            ltot, args.objective, outcome.evaluations[ltot], marker))
+    print("Optimal granularity: ltot = {} ({} = {:.6g})".format(
+        outcome.best_ltot, args.objective, outcome.best_value))
+    return 0
+
+
+def _command_sensitivity(args):
+    from repro.experiments.sensitivity import (
+        analyze_sensitivity,
+        format_sensitivities,
+    )
+
+    overrides = {
+        name: getattr(args, name)
+        for name in SimulationParameters().as_dict()
+        if hasattr(args, name) and getattr(args, name) is not None
+    }
+    overrides["tmax"] = args.tmax
+    params = SimulationParameters(**overrides)
+    results = analyze_sensitivity(
+        params,
+        output=args.output,
+        delta=args.delta,
+        replications=args.replications,
+    )
+    print(
+        "Elasticity of {} to ±{:.0%} parameter changes:".format(
+            args.output, args.delta
+        )
+    )
+    print(format_sensitivities(results))
+    return 0
+
+
+def _command_compare(args):
+    from repro.experiments.storage import load_rows_csv
+
+    def key_of(row):
+        return tuple(
+            (name, row.get(name))
+            for name in ("ltot", "npros", "placement", "maxtransize",
+                         "partitioning", "ntrans", "liotime")
+            if name in row
+        )
+
+    baseline = {key_of(row): row for row in load_rows_csv(args.baseline)}
+    candidate = {key_of(row): row for row in load_rows_csv(args.candidate)}
+    shared = [key for key in baseline if key in candidate]
+    if not shared:
+        print("No overlapping configurations between the two files.")
+        return 1
+    flagged = 0
+    print("{:>60s}  {:>10s}  {:>10s}  {:>8s}".format(
+        "configuration", "baseline", "candidate", "delta"))
+    for key in shared:
+        base_value = baseline[key].get(args.field)
+        cand_value = candidate[key].get(args.field)
+        if base_value in (None, 0) or cand_value is None:
+            continue
+        delta = (cand_value - base_value) / abs(base_value)
+        label = ", ".join("{}={}".format(k, v) for k, v in key)
+        mark = ""
+        if abs(delta) >= args.threshold:
+            flagged += 1
+            mark = "  <-- {}".format("improved" if delta > 0 else "regressed")
+        print("{:>60s}  {:>10.4g}  {:>10.4g}  {:>+7.1%}{}".format(
+            label[-60:], base_value, cand_value, delta, mark))
+    print("{} of {} shared configurations changed by >= {:.0%} in {}.".format(
+        flagged, len(shared), args.threshold, args.field))
+    return 0
+
+
+def main(argv=None):
+    """Entry point of the ``repro-locking`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list(args)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "tune":
+        return _command_tune(args)
+    if args.command == "sensitivity":
+        return _command_sensitivity(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    raise AssertionError("unreachable: {!r}".format(args.command))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""The paper's simulation model: parameters, strategies, and simulator."""
+
+from repro.core.conflict import (
+    ExplicitConflicts,
+    ProbabilisticConflicts,
+    make_conflict_engine,
+)
+from repro.core.metrics import MetricsCollector
+from repro.core.model import (
+    LockingGranularityModel,
+    simulate,
+    simulate_replications,
+)
+from repro.core.parameters import TABLE_1, SimulationParameters
+from repro.core.placement import (
+    BestPlacement,
+    RandomPlacement,
+    WorstPlacement,
+    make_placement,
+)
+from repro.core.partitioning import (
+    HorizontalPartitioning,
+    RandomPartitioning,
+    make_partitioning,
+)
+from repro.core.results import (
+    RESULT_FIELDS,
+    ReplicatedResult,
+    SimulationResult,
+    aggregate,
+)
+from repro.core.transaction import Transaction, split_entities
+from repro.core.workload import (
+    FixedSizes,
+    MixedSizes,
+    UniformSizes,
+    make_size_sampler,
+)
+
+__all__ = [
+    "BestPlacement",
+    "ExplicitConflicts",
+    "FixedSizes",
+    "HorizontalPartitioning",
+    "LockingGranularityModel",
+    "MetricsCollector",
+    "MixedSizes",
+    "ProbabilisticConflicts",
+    "RESULT_FIELDS",
+    "RandomPartitioning",
+    "RandomPlacement",
+    "ReplicatedResult",
+    "SimulationParameters",
+    "SimulationResult",
+    "TABLE_1",
+    "Transaction",
+    "UniformSizes",
+    "WorstPlacement",
+    "aggregate",
+    "make_conflict_engine",
+    "make_partitioning",
+    "make_placement",
+    "make_size_sampler",
+    "simulate",
+    "simulate_replications",
+    "split_entities",
+]

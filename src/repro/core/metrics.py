@@ -1,0 +1,141 @@
+"""Output-parameter accounting (the paper's output list, plus extras)."""
+
+import math
+
+from repro.des.monitor import Tally, TimeWeighted
+from repro.engine.machine import BusySnapshot
+
+
+def _percentiles(samples, fractions):
+    """Nearest-rank percentiles (``nan`` when no samples)."""
+    if not samples:
+        return [math.nan for _ in fractions]
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    return [ordered[min(last, int(round(f * last)))] for f in fractions]
+
+
+class MetricsCollector:
+    """Collects everything a run reports.
+
+    The paper's output parameters (``totcpus``, ``totios``,
+    ``lockcpus``, ``lockios``, ``usefulcpus``, ``usefulios``,
+    ``totcom``, ``throughput``, response time) are computed in
+    :meth:`finalize`; on top of those the collector tracks lock
+    request/denial counts, deadlock aborts, retry counts, and
+    time-weighted pending/blocked/active populations.
+
+    With a non-zero warmup the collector snapshots machine busy time at
+    the warmup instant and discards completions and response samples
+    observed before it.
+    """
+
+    def __init__(self, env, params, machine, conflicts=None):
+        self.env = env
+        self.params = params
+        self.machine = machine
+        self.conflicts = conflicts
+        self.response = Tally("response")
+        self.attempts = Tally("attempts")
+        #: Per-completion response times in completion order; feed
+        #: these to repro.stats.batch_means_ci for a single-run CI.
+        self.response_samples = []
+        self.pending = TimeWeighted(env, name="pending")
+        self.blocked = TimeWeighted(env, name="blocked")
+        self.active = TimeWeighted(env, name="active")
+        #: Locks concurrently held — the lock table's occupancy, i.e.
+        #: the storage requirement the paper's introduction motivates.
+        self.locks_held = TimeWeighted(env, name="locks_held")
+        self.completions = 0
+        self.lock_requests = 0
+        self.lock_denials = 0
+        self.deadlock_aborts = 0
+        self._warmup_busy = BusySnapshot(0.0, 0.0, 0.0, 0.0)
+        self._measuring = params.warmup == 0.0
+        if params.warmup > 0.0:
+            env.process(self._begin_measurement())
+
+    def _begin_measurement(self):
+        yield self.env.timeout(self.params.warmup)
+        self._warmup_busy = self.machine.busy_snapshot()
+        self.response = Tally("response")
+        self.attempts = Tally("attempts")
+        self.response_samples = []
+        self.completions = 0
+        self.lock_requests = 0
+        self.lock_denials = 0
+        self.deadlock_aborts = 0
+        self._measuring = True
+
+    # -- event hooks -----------------------------------------------------
+
+    def note_request(self):
+        """A lock request was issued (first attempt or retry)."""
+        if self._measuring:
+            self.lock_requests += 1
+
+    def note_denial(self):
+        """A lock request was denied."""
+        if self._measuring:
+            self.lock_denials += 1
+
+    def note_abort(self):
+        """A transaction was aborted as a deadlock victim."""
+        if self._measuring:
+            self.deadlock_aborts += 1
+
+    def note_completion(self, txn):
+        """A transaction finished and released its locks."""
+        if not self._measuring:
+            return
+        self.completions += 1
+        response = self.env.now - txn.arrival
+        self.response.observe(response)
+        self.response_samples.append(response)
+        self.attempts.observe(txn.attempts)
+
+    # -- finalisation ------------------------------------------------------
+
+    def finalize(self):
+        """Compute the :class:`~repro.core.results.SimulationResult`."""
+        from repro.core.results import SimulationResult
+
+        params = self.params
+        horizon = params.tmax - params.warmup
+        busy = self.machine.busy_snapshot().minus(self._warmup_busy)
+        percentiles = _percentiles(self.response_samples, (0.5, 0.95))
+        npros = params.npros
+        usefulcpus = (busy.totcpus - busy.lockcpus) / npros
+        usefulios = (busy.totios - busy.lockios) / npros
+        denial_rate = (
+            self.lock_denials / self.lock_requests if self.lock_requests else 0.0
+        )
+        escalations = getattr(self.conflicts, "escalations", 0)
+        return SimulationResult(
+            params=params,
+            totcpus=busy.totcpus,
+            totios=busy.totios,
+            lockcpus=busy.lockcpus,
+            lockios=busy.lockios,
+            usefulcpus=usefulcpus,
+            usefulios=usefulios,
+            totcom=self.completions,
+            throughput=self.completions / horizon,
+            response_time=self.response.mean,
+            response_p50=percentiles[0],
+            response_p95=percentiles[1],
+            cpu_utilization=busy.totcpus / (npros * horizon),
+            io_utilization=busy.totios / (npros * horizon),
+            lock_overhead=busy.lockcpus + busy.lockios,
+            lock_requests=self.lock_requests,
+            lock_denials=self.lock_denials,
+            denial_rate=denial_rate,
+            deadlock_aborts=self.deadlock_aborts,
+            lock_escalations=escalations,
+            mean_locks_held=self.locks_held.mean(),
+            max_locks_held=self.locks_held.maximum,
+            mean_attempts=self.attempts.mean,
+            mean_pending=self.pending.mean(),
+            mean_blocked=self.blocked.mean(),
+            mean_active=self.active.mean(),
+        )

@@ -1,0 +1,375 @@
+"""The closed-system locking-granularity simulator (paper §2).
+
+Transaction lifecycle, exactly as Figure 1 of the paper:
+
+1. A fixed population of ``ntrans`` transactions cycles through the
+   system; the initial population arrives one time unit apart.
+2. A transaction waits in the **pending queue** until the admission
+   policy lets it issue its lock request (the paper's policy, FCFS
+   with no limit, admits immediately in arrival order).
+3. The lock request charges ``LU·lcputime`` CPU and ``LU·liotime``
+   I/O — split evenly over all processors at preemptive priority,
+   covering the eventual release, and charged even when the request is
+   denied.  The conflict engine then grants the request or names a
+   blocking active transaction; a denied transaction waits in the
+   **blocked queue** until its blocker completes, then retries (paying
+   the request cost again).
+4. A granted transaction splits into sub-transactions per the
+   partitioning method — no two on the same processor — and each
+   queues for its node's disk, then its node's CPU.
+5. When every sub-transaction finishes, the parent releases its locks,
+   wakes the transactions blocked on it, and is replaced by a fresh
+   transaction, keeping the population constant.
+
+The optional *incremental* protocol (claim-as-needed 2PL with
+deadlock detection; footnote 1 of the paper) replaces step 3: granules
+are acquired one at a time through the explicit lock manager, waiting
+in place on conflict; waits-for cycles are broken by aborting the
+youngest transaction in the cycle, which releases everything, backs
+off briefly and retries.  The bundled request cost is charged the same
+way, once per attempt.
+"""
+
+from itertools import count
+
+from repro.core.conflict import ExplicitConflicts, make_conflict_engine
+from repro.core.metrics import MetricsCollector
+from repro.core.parameters import SimulationParameters
+from repro.core.placement import make_placement
+from repro.core.partitioning import make_partitioning
+from repro.core.results import aggregate
+from repro.core.transaction import Transaction, split_entities
+from repro.core.workload import make_size_sampler
+from repro.des import Environment, RandomStreams
+from repro.engine.machine import Machine
+from repro.engine.txn_scheduler import make_admission_policy
+from repro.lockmgr.deadlock import DeadlockDetector
+from repro.lockmgr.manager import RequestStatus
+from repro.lockmgr.modes import LockMode
+
+#: Outcome value delivered to a waiting incremental request when its
+#: owner is killed as a deadlock victim.
+_ABORTED = "aborted"
+
+
+class LockingGranularityModel:
+    """One configured instance of the simulation model.
+
+    Build it from a :class:`~repro.core.parameters.SimulationParameters`
+    and call :meth:`run`; the instance is single-use (a fresh model is
+    built per run so repeated runs never share state).
+
+    Parameters
+    ----------
+    params:
+        The run's configuration.
+    trace:
+        Optional :class:`~repro.des.trace.Trace`; when given, every
+        transaction lifecycle step is recorded into it (arrive, admit,
+        lock_request, lock_grant, lock_deny, wake, abort, exec,
+        complete).
+    size_sampler:
+        Optional replacement for the workload's size distribution —
+        any object with ``sample(rng) -> int`` (e.g.
+        :class:`~repro.core.workload.TraceSizes` for replaying a
+        recorded workload).
+    """
+
+    def __init__(self, params, trace=None, size_sampler=None):
+        params.validate()
+        self.params = params
+        self.trace = trace
+        self._size_sampler_override = size_sampler
+        self.env = Environment()
+        streams = RandomStreams(params.seed)
+        self._rng_size = streams.stream("sizes")
+        self._rng_place = streams.stream("placement")
+        self._rng_part = streams.stream("partitioning")
+        self._rng_rw = streams.stream("readwrite")
+        self._rng_backoff = streams.stream("backoff")
+        self._rng_arrivals = streams.stream("arrivals")
+        self.machine = Machine(self.env, params.npros, params.discipline)
+        self.placement = make_placement(params)
+        self.partitioning = make_partitioning(params)
+        self.sizes = (
+            size_sampler if size_sampler is not None else make_size_sampler(params)
+        )
+        self.conflicts = make_conflict_engine(params, streams.stream("conflict"))
+        self.policy = make_admission_policy(params)
+        self.metrics = MetricsCollector(
+            self.env, params, self.machine, self.conflicts
+        )
+        self._tid = count(1)
+        self._pending = []
+        self._in_flight = 0
+        self._blocked_wakes = {}
+        self._waiting_request = {}
+        self._victim_wake = {}
+        if params.protocol == "incremental":
+            self._detector = DeadlockDetector(
+                self.conflicts.manager, victim_key=lambda txn: txn.tid
+            )
+        else:
+            self._detector = None
+        self._finished = False
+
+    # -- public API ------------------------------------------------------
+
+    def run(self):
+        """Run until ``tmax`` and return the
+        :class:`~repro.core.results.SimulationResult`."""
+        if self._finished:
+            raise RuntimeError("model instances are single-use; build a new one")
+        if self.params.arrival_process == "open":
+            self.env.process(self._open_arrivals())
+        else:
+            for i in range(self.params.ntrans):
+                self.env.process(self._arrival(delay=float(i)))
+        self.env.run(until=self.params.tmax)
+        self._finished = True
+        return self.metrics.finalize()
+
+    # -- transaction factory ---------------------------------------------
+
+    def _new_transaction(self):
+        params = self.params
+        nu = self.sizes.sample(self._rng_size)
+        lock_count = self.placement.lock_count(nu)
+        if params.conflict_engine in ("explicit", "hierarchical"):
+            granules = self.placement.granules(nu, self._rng_place)
+        else:
+            granules = None
+        if params.write_fraction >= 1.0:
+            is_writer = True
+        else:
+            is_writer = self._rng_rw.random() < params.write_fraction
+        return Transaction(next(self._tid), nu, lock_count, granules, is_writer)
+
+    # -- lifecycle processes -----------------------------------------------
+
+    def _arrival(self, delay):
+        if delay > 0:
+            yield self.env.timeout(delay)
+        yield from self._lifecycle(self._new_transaction())
+
+    def _open_arrivals(self):
+        """Poisson source for the open-system extension."""
+        rate = self.params.arrival_rate
+        while True:
+            yield self.env.timeout(self._rng_arrivals.expovariate(rate))
+            self.env.process(self._lifecycle(self._new_transaction()))
+
+    def _emit(self, kind, txn, **details):
+        if self.trace is not None:
+            self.trace.emit(self.env.now, kind, txn.tid, **details)
+
+    def _lifecycle(self, txn):
+        txn.arrival = self.env.now
+        self._emit("arrive", txn, nu=txn.nu, locks=txn.lock_count)
+        yield from self._await_admission(txn)
+        self._emit("admit", txn)
+        if self.params.protocol == "preclaim":
+            yield from self._preclaim_locks(txn)
+        else:
+            yield from self._incremental_locks(txn)
+        self.metrics.active.update(self.conflicts.active_count)
+        self.metrics.locks_held.update(self.conflicts.locks_held)
+        yield from self._execute(txn)
+        self._complete(txn)
+
+    def _await_admission(self, txn):
+        admit = self.env.event()
+        self._pending.append((txn, admit))
+        self.metrics.pending.update(len(self._pending))
+        self._pump_admission()
+        yield admit
+
+    def _pump_admission(self):
+        while self._pending:
+            index = self.policy.select(
+                [txn for txn, _ in self._pending], self._in_flight
+            )
+            if index is None:
+                return
+            _, admit = self._pending.pop(index)
+            self.metrics.pending.update(len(self._pending))
+            self._in_flight += 1
+            admit.succeed()
+
+    # -- preclaim protocol -------------------------------------------------
+
+    def _preclaim_locks(self, txn):
+        params = self.params
+        # The hierarchical engine sets intention locks and may escalate,
+        # so the chargeable lock count is its planned set, not the flat
+        # placement count.
+        plan_count = getattr(self.conflicts, "planned_lock_count", None)
+        while True:
+            txn.attempts += 1
+            self.metrics.note_request()
+            locks = plan_count(txn) if plan_count is not None else txn.lock_count
+            self._emit("lock_request", txn, attempt=txn.attempts, locks=locks)
+            yield self.machine.lock_overhead(
+                locks * params.lcputime, locks * params.liotime
+            )
+            blocker = self.conflicts.request(txn)
+            if blocker is None:
+                self._emit("lock_grant", txn, attempt=txn.attempts)
+                self.policy.on_grant()
+                return
+            self._emit("lock_deny", txn, blocker=blocker.tid)
+            self.metrics.note_denial()
+            self.policy.on_deny()
+            wake = self.env.event()
+            self._blocked_wakes.setdefault(blocker.tid, []).append(wake)
+            self.metrics.blocked.increment(1)
+            yield wake
+            self._emit("wake", txn)
+            self.metrics.blocked.increment(-1)
+
+    # -- incremental (claim-as-needed) protocol ------------------------------
+
+    def _incremental_locks(self, txn):
+        params = self.params
+        manager = self.conflicts.manager
+        mode = LockMode.X if txn.is_writer else LockMode.S
+        while True:
+            txn.attempts += 1
+            self.metrics.note_request()
+            self._emit(
+                "lock_request", txn, attempt=txn.attempts,
+                locks=len(txn.granules),
+            )
+            # The bundled request/set/release cost, charged per attempt
+            # exactly as in the preclaim protocol so the two schemes
+            # differ only in conflict semantics.
+            yield self.machine.lock_overhead(
+                len(txn.granules) * params.lcputime,
+                len(txn.granules) * params.liotime,
+            )
+            aborted = False
+            for granule in txn.granules:
+                request = manager.acquire(txn, granule, mode)
+                if request.status is RequestStatus.GRANTED:
+                    continue
+                wake = self.env.event()
+                request.on_grant = lambda _req, event=wake: event.succeed("granted")
+                self._waiting_request[txn.tid] = request
+                self._victim_wake[txn.tid] = wake
+                victim = self._detector.resolve_once()
+                if victim is not None and victim is not txn:
+                    self._abort_victim(victim)
+                    victim = None
+                if victim is txn:
+                    self._abort_self(txn, request)
+                    aborted = True
+                    break
+                self.metrics.blocked.increment(1)
+                outcome = yield wake
+                self.metrics.blocked.increment(-1)
+                self._waiting_request.pop(txn.tid, None)
+                self._victim_wake.pop(txn.tid, None)
+                if outcome == _ABORTED:
+                    aborted = True
+                    break
+            if not aborted:
+                self._emit("lock_grant", txn, attempt=txn.attempts)
+                self.conflicts.mark_active(txn)
+                self.policy.on_grant()
+                return
+            self._emit("abort", txn, aborts=txn.aborts + 1)
+            self.metrics.note_denial()
+            self.metrics.note_abort()
+            txn.aborts += 1
+            self.policy.on_deny()
+            # Randomised backoff so the same cycle does not instantly
+            # re-form among retrying victims.
+            yield self.env.timeout(self._rng_backoff.uniform(0.0, 1.0))
+
+    def _abort_self(self, txn, request):
+        manager = self.conflicts.manager
+        manager.cancel(request)
+        manager.release_all(txn)
+        self._waiting_request.pop(txn.tid, None)
+        self._victim_wake.pop(txn.tid, None)
+
+    def _abort_victim(self, victim):
+        """Kill another waiting transaction to break a cycle."""
+        manager = self.conflicts.manager
+        request = self._waiting_request.pop(victim.tid, None)
+        if request is not None:
+            manager.cancel(request)
+        manager.release_all(victim)
+        wake = self._victim_wake.pop(victim.tid, None)
+        if wake is not None and not wake.triggered:
+            wake.succeed(_ABORTED)
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, txn):
+        processors = self.partitioning.processors(self._rng_part)
+        self._emit("exec", txn, pu=len(processors))
+        shares = split_entities(txn.nu, len(processors))
+        subtxns = [
+            self.env.process(self._subtransaction(proc_index, entities))
+            for proc_index, entities in zip(processors, shares)
+            if entities > 0
+        ]
+        if subtxns:
+            yield self.env.all_of(subtxns)
+
+    def _subtransaction(self, proc_index, entities):
+        params = self.params
+        node = self.machine[proc_index]
+        yield node.io(entities * params.iotime)
+        yield node.compute(entities * params.cputime)
+
+    # -- completion ----------------------------------------------------------
+
+    def _complete(self, txn):
+        self.conflicts.release(txn)
+        self._emit("complete", txn, response=self.env.now - txn.arrival)
+        self.metrics.active.update(self.conflicts.active_count)
+        self.metrics.locks_held.update(self.conflicts.locks_held)
+        self.metrics.note_completion(txn)
+        for wake in self._blocked_wakes.pop(txn.tid, ()):
+            if not wake.triggered:
+                wake.succeed()
+        self._in_flight -= 1
+        self._pump_admission()
+        if self.params.arrival_process == "closed":
+            # Closed system: the finished transaction is immediately
+            # replaced so the population stays at ntrans.
+            self.env.process(self._lifecycle(self._new_transaction()))
+
+
+def simulate(params=None, **overrides):
+    """Run one simulation and return its result.
+
+    Accepts a prebuilt :class:`SimulationParameters`, keyword
+    overrides applied to the defaults, or both::
+
+        result = simulate(ltot=100, npros=10, tmax=2000)
+    """
+    if params is None:
+        params = SimulationParameters(**overrides)
+    elif overrides:
+        params = params.replace(**overrides)
+    return LockingGranularityModel(params).run()
+
+
+def simulate_replications(params, replications=5, base_seed=None):
+    """Run independent replications and aggregate them.
+
+    Seeds are ``base_seed, base_seed + 1, ...`` (default: start at the
+    seed in *params*).  Returns a
+    :class:`~repro.core.results.ReplicatedResult`.
+    """
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    start = params.seed if base_seed is None else base_seed
+    results = []
+    for i in range(replications):
+        run_params = params.replace(seed=start + i)
+        results.append(LockingGranularityModel(run_params).run())
+    return aggregate(results)

@@ -1,0 +1,278 @@
+"""Simulation input parameters (the paper's Table 1, plus strategy knobs).
+
+The numeric parameters use the paper's names verbatim (``dbsize``,
+``ltot``, ``ntrans``, ``maxtransize``, ``cputime``, ``iotime``,
+``lcputime``, ``liotime``, ``npros``, ``tmax``).  Defaults reproduce
+Table 1 as recoverable from the text: ``dbsize = 5000``,
+``ntrans = 10``, ``maxtransize = 500``, ``cputime = 0.05``,
+``iotime = 0.2``, ``lcputime = 0.01``, ``liotime = 0.2``.  The paper's
+``tmax`` is not recoverable from the available text; the default of
+5000 time units is long enough that every configuration completes
+hundreds of transactions (see DESIGN.md).
+"""
+
+import dataclasses
+from dataclasses import dataclass
+
+#: Placement strategies: §3.5 of the paper, plus ``skewed`` (hot-spot
+#: access, an extension controlled by ``access_skew``).
+PLACEMENTS = ("best", "worst", "random", "skewed")
+#: Data partitioning methods (section 2 / 3.4).
+PARTITIONINGS = ("horizontal", "random")
+#: How lock conflicts are decided.  ``probabilistic`` is the paper's
+#: interval model; ``explicit`` is a real flat lock table;
+#: ``hierarchical`` adds file/block multi-granularity with optional
+#: lock escalation (the Gamma-style design the paper's conclusion
+#: discusses).
+CONFLICT_ENGINES = ("probabilistic", "explicit", "hierarchical")
+#: Lock acquisition protocols.
+PROTOCOLS = ("preclaim", "incremental")
+#: Transaction-size workloads (uniform per Table 1; mixed per §3.6).
+WORKLOADS = ("uniform", "mixed", "fixed")
+#: Transaction admission policies (§3.7 / refs [3,4] extension).
+TXN_POLICIES = ("fcfs", "smallest", "adaptive")
+#: Sub-transaction queueing disciplines at each CPU/disk.
+DISCIPLINES = ("fcfs", "sjf")
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Inputs of one simulation run.
+
+    Attributes
+    ----------
+    dbsize:
+        Number of accessible entities in the database.
+    ltot:
+        Number of locks (granules); ``ltot = 1`` is whole-database
+        locking, ``ltot = dbsize`` is entity-level locking.
+    ntrans:
+        Fixed number of transactions in the closed system (terminals).
+    maxtransize:
+        Maximum transaction size; sizes are U{1..maxtransize} for the
+        uniform workload, so the mean size is ``(maxtransize + 1) / 2``.
+    cputime / iotime:
+        CPU / I/O time to process one database entity.
+    lcputime / liotime:
+        CPU / I/O time to request-and-set one lock (includes the
+        eventual release; charged even when the request is denied).
+    npros:
+        Number of processors, each with a private CPU and disk.
+    tmax:
+        Simulated time horizon.
+    placement:
+        Granule placement: ``best`` (LU proportional to the database
+        fraction accessed), ``worst`` (``min(NU, ltot)``), or
+        ``random`` (Yao mean-value formula).
+    partitioning:
+        ``horizontal`` (every transaction splits over all processors)
+        or ``random`` (uniform 1..npros processors).
+    conflict_engine:
+        ``probabilistic`` (the paper's Ries–Stonebraker interval
+        model) or ``explicit`` (a real lock table with materialised
+        granule sets).
+    protocol:
+        ``preclaim`` (the paper's conservative scheme) or
+        ``incremental`` (claim-as-needed 2PL; requires the explicit
+        engine; deadlocks resolved by aborting the youngest).
+    workload:
+        ``uniform`` (Table 1), ``mixed`` (§3.6 small/large mix) or
+        ``fixed`` (every transaction exactly ``maxtransize`` entities).
+    mix_small_fraction / mix_small_maxtransize / mix_large_maxtransize:
+        Mixed-workload shape; defaults are the paper's 80% small
+        (maxtransize 50) / 20% large (maxtransize 500).
+    write_fraction:
+        Probability a transaction is an updater taking X locks (the
+        paper's model is all-X, ``1.0``).  Read-only transactions take
+        S locks in the table-backed engines and share compatible
+        overlaps in the probabilistic engine's mode extension.
+    txn_policy / mpl_limit:
+        Admission policy for starting lock requests and its
+        multiprogramming limit (``None`` = unlimited, the paper's
+        model).  ``adaptive`` adjusts the limit from the observed
+        denial rate.
+    discipline:
+        Queueing discipline of each CPU/disk server.
+    nfiles / escalation_threshold:
+        Shape of the hierarchical engine's file level and its lock
+        escalation trigger (0 disables escalation).
+    access_skew:
+        Zipf ``theta`` for the ``skewed`` placement (0 = uniform);
+        hot-spot extension, requires a table-backed engine.
+    arrival_process / arrival_rate:
+        ``closed`` is the paper's fixed-population model; ``open`` is
+        an extension with Poisson arrivals at ``arrival_rate`` per
+        time unit and no replacement on completion (``ntrans`` then
+        only sizes the initial staggered batch).
+    seed:
+        Master random seed (named substreams derive from it).
+    warmup:
+        Statistics before this time are discarded.
+    """
+
+    dbsize: int = 5000
+    ltot: int = 100
+    ntrans: int = 10
+    maxtransize: int = 500
+    cputime: float = 0.05
+    iotime: float = 0.2
+    lcputime: float = 0.01
+    liotime: float = 0.2
+    npros: int = 10
+    tmax: float = 5000.0
+    placement: str = "best"
+    partitioning: str = "horizontal"
+    conflict_engine: str = "probabilistic"
+    protocol: str = "preclaim"
+    workload: str = "uniform"
+    mix_small_fraction: float = 0.8
+    mix_small_maxtransize: int = 50
+    mix_large_maxtransize: int = 500
+    write_fraction: float = 1.0
+    txn_policy: str = "fcfs"
+    mpl_limit: int = 0  # 0 means unlimited
+    discipline: str = "fcfs"
+    nfiles: int = 20
+    escalation_threshold: int = 0  # 0 disables lock escalation
+    access_skew: float = 0.8  # Zipf theta for the "skewed" placement
+    arrival_process: str = "closed"  # closed | open
+    arrival_rate: float = 1.0  # mean arrivals per time unit (open only)
+    seed: int = 1
+    warmup: float = 0.0
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self):
+        """Raise ``ValueError`` on any inconsistent setting."""
+        if self.dbsize < 1:
+            raise ValueError("dbsize must be >= 1, got {}".format(self.dbsize))
+        if not 1 <= self.ltot <= self.dbsize:
+            raise ValueError(
+                "ltot must be in [1, dbsize={}], got {}".format(self.dbsize, self.ltot)
+            )
+        if self.ntrans < 1:
+            raise ValueError("ntrans must be >= 1, got {}".format(self.ntrans))
+        if not 1 <= self.maxtransize <= self.dbsize:
+            raise ValueError(
+                "maxtransize must be in [1, dbsize={}], got {}".format(
+                    self.dbsize, self.maxtransize
+                )
+            )
+        if self.npros < 1:
+            raise ValueError("npros must be >= 1, got {}".format(self.npros))
+        for name in ("cputime", "iotime", "lcputime", "liotime"):
+            if getattr(self, name) < 0:
+                raise ValueError("{} must be >= 0".format(name))
+        if self.tmax <= 0:
+            raise ValueError("tmax must be > 0, got {}".format(self.tmax))
+        if not 0 <= self.warmup < self.tmax:
+            raise ValueError(
+                "warmup must be in [0, tmax={}), got {}".format(self.tmax, self.warmup)
+            )
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                "placement must be one of {}, got {!r}".format(
+                    PLACEMENTS, self.placement
+                )
+            )
+        if self.partitioning not in PARTITIONINGS:
+            raise ValueError(
+                "partitioning must be one of {}, got {!r}".format(
+                    PARTITIONINGS, self.partitioning
+                )
+            )
+        if self.conflict_engine not in CONFLICT_ENGINES:
+            raise ValueError(
+                "conflict_engine must be one of {}, got {!r}".format(
+                    CONFLICT_ENGINES, self.conflict_engine
+                )
+            )
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                "protocol must be one of {}, got {!r}".format(PROTOCOLS, self.protocol)
+            )
+        if self.protocol == "incremental" and self.conflict_engine != "explicit":
+            raise ValueError("the incremental protocol requires the explicit engine")
+        if self.nfiles < 1:
+            raise ValueError("nfiles must be >= 1, got {}".format(self.nfiles))
+        if self.escalation_threshold < 0:
+            raise ValueError("escalation_threshold must be >= 0")
+        if self.access_skew < 0:
+            raise ValueError("access_skew must be >= 0")
+        if self.placement == "skewed" and self.conflict_engine == "probabilistic":
+            raise ValueError(
+                "the skewed placement needs a table-backed conflict engine "
+                "(explicit or hierarchical); the interval model cannot "
+                "represent hot spots"
+            )
+        if self.arrival_process not in ("closed", "open"):
+            raise ValueError(
+                "arrival_process must be 'closed' or 'open', got {!r}".format(
+                    self.arrival_process
+                )
+            )
+        if self.arrival_process == "open" and self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be > 0 for the open system")
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                "workload must be one of {}, got {!r}".format(WORKLOADS, self.workload)
+            )
+        if not 0.0 <= self.mix_small_fraction <= 1.0:
+            raise ValueError("mix_small_fraction must be in [0, 1]")
+        if self.workload == "mixed":
+            for name in ("mix_small_maxtransize", "mix_large_maxtransize"):
+                value = getattr(self, name)
+                if not 1 <= value <= self.dbsize:
+                    raise ValueError(
+                        "{} must be in [1, dbsize={}], got {}".format(
+                            name, self.dbsize, value
+                        )
+                    )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.txn_policy not in TXN_POLICIES:
+            raise ValueError(
+                "txn_policy must be one of {}, got {!r}".format(
+                    TXN_POLICIES, self.txn_policy
+                )
+            )
+        if self.mpl_limit < 0:
+            raise ValueError("mpl_limit must be >= 0 (0 = unlimited)")
+        if self.discipline not in DISCIPLINES:
+            raise ValueError(
+                "discipline must be one of {}, got {!r}".format(
+                    DISCIPLINES, self.discipline
+                )
+            )
+
+    def replace(self, **changes):
+        """A copy with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self):
+        """Plain-dict view (for CSV/JSON persistence)."""
+        return dataclasses.asdict(self)
+
+    @property
+    def mean_transaction_size(self):
+        """Expected NU under the configured workload."""
+        if self.workload == "fixed":
+            return float(self.maxtransize)
+        if self.workload == "mixed":
+            small = (self.mix_small_maxtransize + 1) / 2.0
+            large = (self.mix_large_maxtransize + 1) / 2.0
+            return (
+                self.mix_small_fraction * small
+                + (1.0 - self.mix_small_fraction) * large
+            )
+        return (self.maxtransize + 1) / 2.0
+
+    @property
+    def granule_size(self):
+        """Entities per granule (real-valued when not divisible)."""
+        return self.dbsize / self.ltot
+
+
+#: The defaults above, under the name the paper uses for them.
+TABLE_1 = SimulationParameters()

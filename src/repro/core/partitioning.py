@@ -1,0 +1,50 @@
+"""Data partitioning methods (paper §2 and §3.4).
+
+The partitioning method decides how many sub-transactions a granted
+transaction splits into (``PUi``) and on which processors they run.
+No two sub-transactions share a processor.
+
+* *Horizontal*: relations are round-robin partitioned over every disk,
+  so each transaction splits over **all** processors
+  (``PU = npros``).
+* *Random*: relations live on a random subset of disks; a transaction
+  splits over ``PU ~ U{1 .. npros}`` distinct random processors.
+"""
+
+
+class HorizontalPartitioning:
+    """Round-robin over all disks: ``PU = npros`` always."""
+
+    name = "horizontal"
+
+    def __init__(self, npros):
+        self.npros = npros
+
+    def processors(self, rng):
+        """Every processor, in index order."""
+        return list(range(self.npros))
+
+
+class RandomPartitioning:
+    """A uniform random subset: ``PU ~ U{1 .. npros}``."""
+
+    name = "random"
+
+    def __init__(self, npros):
+        self.npros = npros
+
+    def processors(self, rng):
+        """``PU`` distinct processors chosen uniformly."""
+        pu = rng.randint(1, self.npros)
+        if pu >= self.npros:
+            return list(range(self.npros))
+        return rng.sample(range(self.npros), pu)
+
+
+def make_partitioning(params):
+    """Build the partitioning method described by *params*."""
+    if params.partitioning == "horizontal":
+        return HorizontalPartitioning(params.npros)
+    if params.partitioning == "random":
+        return RandomPartitioning(params.npros)
+    raise ValueError("unknown partitioning {!r}".format(params.partitioning))

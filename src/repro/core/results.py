@@ -1,0 +1,184 @@
+"""Result records and replication aggregation."""
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats
+
+from repro.core.parameters import SimulationParameters
+
+#: Numeric output fields of a run, in reporting order.  The first nine
+#: are the paper's output parameters.
+RESULT_FIELDS = (
+    "totcpus",
+    "totios",
+    "lockcpus",
+    "lockios",
+    "usefulcpus",
+    "usefulios",
+    "totcom",
+    "throughput",
+    "response_time",
+    "response_p50",
+    "response_p95",
+    "cpu_utilization",
+    "io_utilization",
+    "lock_overhead",
+    "lock_requests",
+    "lock_denials",
+    "denial_rate",
+    "deadlock_aborts",
+    "lock_escalations",
+    "mean_locks_held",
+    "max_locks_held",
+    "mean_attempts",
+    "mean_pending",
+    "mean_blocked",
+    "mean_active",
+)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outputs of one simulation run (see the paper's §2 output list).
+
+    Attributes
+    ----------
+    totcpus / totios:
+        Total busy time over all CPUs / disks (transactions + locks).
+    lockcpus / lockios:
+        CPU / I/O time spent requesting, setting and releasing locks.
+    usefulcpus / usefulios:
+        ``(tot − lock) / npros`` — average per-processor time spent on
+        transaction processing.
+    totcom:
+        Transactions completed within the measured horizon.
+    throughput:
+        ``totcom / (tmax − warmup)``.
+    response_time:
+        Mean time from pending-queue entry to lock release.
+    """
+
+    params: SimulationParameters
+    totcpus: float
+    totios: float
+    lockcpus: float
+    lockios: float
+    usefulcpus: float
+    usefulios: float
+    totcom: int
+    throughput: float
+    response_time: float
+    response_p50: float
+    response_p95: float
+    cpu_utilization: float
+    io_utilization: float
+    lock_overhead: float
+    lock_requests: int
+    lock_denials: int
+    denial_rate: float
+    deadlock_aborts: int
+    lock_escalations: int
+    mean_locks_held: float
+    max_locks_held: float
+    mean_attempts: float
+    mean_pending: float
+    mean_blocked: float
+    mean_active: float
+
+    def as_dict(self, include_params=True):
+        """Flat dict of outputs (optionally prefixed parameter inputs)."""
+        row = {name: getattr(self, name) for name in RESULT_FIELDS}
+        if include_params:
+            for key, value in self.params.as_dict().items():
+                row.setdefault(key, value)
+        return row
+
+
+class ReplicatedResult:
+    """Mean and confidence intervals over independent replications.
+
+    Parameters
+    ----------
+    results:
+        Non-empty sequence of :class:`SimulationResult` from runs that
+        differ only in seed.
+    """
+
+    def __init__(self, results):
+        results = list(results)
+        if not results:
+            raise ValueError("need at least one result")
+        self.results = results
+        self.params = results[0].params
+
+    def __len__(self):
+        return len(self.results)
+
+    def samples(self, field):
+        """All replication values of *field*."""
+        return [getattr(result, field) for result in self.results]
+
+    def mean(self, field):
+        """Replication mean of *field* (nan-samples are dropped)."""
+        values = [v for v in self.samples(field) if not _is_nan(v)]
+        if not values:
+            return math.nan
+        return sum(values) / len(values)
+
+    def stdev(self, field):
+        """Replication sample standard deviation of *field*."""
+        values = [v for v in self.samples(field) if not _is_nan(v)]
+        if len(values) < 2:
+            return math.nan
+        mean = sum(values) / len(values)
+        return math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+
+    def half_width(self, field, confidence=0.95):
+        """Half-width of the Student-t confidence interval of *field*."""
+        values = [v for v in self.samples(field) if not _is_nan(v)]
+        if len(values) < 2:
+            return math.nan
+        stdev = self.stdev(field)
+        t = stats.t.ppf(0.5 + confidence / 2.0, len(values) - 1)
+        return t * stdev / math.sqrt(len(values))
+
+    def ci(self, field, confidence=0.95):
+        """(lower, upper) confidence interval of *field*."""
+        mean = self.mean(field)
+        half = self.half_width(field, confidence)
+        return (mean - half, mean + half)
+
+    def as_dict(self, include_params=True):
+        """Means of every output field, plus parameters if requested."""
+        row = {name: self.mean(name) for name in RESULT_FIELDS}
+        if include_params:
+            for key, value in self.params.as_dict().items():
+                row.setdefault(key, value)
+        return row
+
+
+def aggregate(results):
+    """Wrap replication *results* in a :class:`ReplicatedResult`."""
+    return ReplicatedResult(results)
+
+
+def result_fields():
+    """Reporting-order tuple of numeric output field names."""
+    return RESULT_FIELDS
+
+
+def _is_nan(value):
+    return isinstance(value, float) and math.isnan(value)
+
+
+def results_table(results, fields=("ltot", "throughput", "response_time")):
+    """Rows (list of dicts) for quick tabular printing of many results."""
+    rows = []
+    for result in results:
+        row = {}
+        merged = result.as_dict()
+        for field in fields:
+            row[field] = merged.get(field)
+        rows.append(row)
+    return rows

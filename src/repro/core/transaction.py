@@ -1,0 +1,86 @@
+"""Transaction and sub-transaction records."""
+
+
+class Transaction:
+    """One transaction cycling through the closed system.
+
+    Created with its random draws already made (size, lock demand,
+    granule set when the explicit engine is used); the model process
+    then walks it through the pipeline.
+
+    Attributes
+    ----------
+    tid:
+        Monotonically increasing id (also the age order used by the
+        deadlock victim policy: larger tid = younger).
+    nu:
+        Number of database entities accessed (``NUi``).
+    lock_count:
+        Locks required (``LUi``); real-valued for random placement
+        (mean-value formula).
+    granules:
+        Materialised granule ids (explicit engine only, else ``None``).
+    is_writer:
+        True when the transaction takes X locks (always, in the
+        paper's model).
+    arrival:
+        Simulation time it entered the pending queue.
+    attempts:
+        Lock requests issued so far (1 + number of retries).
+    aborts:
+        Times it was chosen as a deadlock victim (incremental
+        protocol only).
+    """
+
+    __slots__ = (
+        "tid",
+        "nu",
+        "lock_count",
+        "granules",
+        "is_writer",
+        "arrival",
+        "attempts",
+        "aborts",
+    )
+
+    def __init__(self, tid, nu, lock_count, granules=None, is_writer=True):
+        self.tid = tid
+        self.nu = nu
+        self.lock_count = lock_count
+        self.granules = granules
+        self.is_writer = is_writer
+        self.arrival = None
+        self.attempts = 0
+        self.aborts = 0
+
+    def __repr__(self):
+        return "<Transaction #{} nu={} locks={}>".format(
+            self.tid, self.nu, self.lock_count
+        )
+
+    @property
+    def lock_cpu_demand(self):
+        """Not bound to parameters here; computed by the model."""
+        raise AttributeError(
+            "use model-level helpers; demand depends on SimulationParameters"
+        )
+
+
+def split_entities(nu, parts):
+    """Split *nu* entities into *parts* balanced integer shares.
+
+    The first ``nu % parts`` shares get one extra entity, matching a
+    round-robin horizontal partitioning of the accessed tuples.  Shares
+    are never negative; when ``parts > nu`` the trailing shares are
+    zero-sized (those sub-transactions exist but carry no work — the
+    model drops them instead of scheduling empty service).
+
+    >>> split_entities(10, 4)
+    [3, 3, 2, 2]
+    >>> split_entities(2, 4)
+    [1, 1, 0, 0]
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1, got {}".format(parts))
+    base, extra = divmod(nu, parts)
+    return [base + 1 if i < extra else base for i in range(parts)]

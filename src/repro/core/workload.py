@@ -1,0 +1,133 @@
+"""Transaction-size distributions.
+
+The paper's base workload draws ``NUi`` uniformly from ``1 ..
+maxtransize`` (mean ≈ ``maxtransize / 2``).  Section 3.6 adds a mixed
+workload: 80% small transactions (``maxtransize = 50``) and 20% large
+ones (``maxtransize = 500``).  A fixed-size sampler is provided for
+controlled experiments and tests.
+"""
+
+
+class UniformSizes:
+    """``NU ~ U{1 .. maxtransize}`` (the paper's base workload)."""
+
+    def __init__(self, maxtransize):
+        if maxtransize < 1:
+            raise ValueError("maxtransize must be >= 1")
+        self.maxtransize = maxtransize
+
+    def sample(self, rng):
+        """Draw one transaction size."""
+        return rng.randint(1, self.maxtransize)
+
+    @property
+    def mean(self):
+        """Expected transaction size."""
+        return (self.maxtransize + 1) / 2.0
+
+
+class MixedSizes:
+    """A small/large mix (§3.6): each class is itself uniform.
+
+    Parameters
+    ----------
+    small_fraction:
+        Probability a transaction is small (paper: 0.8).
+    small_maxtransize / large_maxtransize:
+        Upper bounds of the two uniform classes (paper: 50 / 500).
+    """
+
+    def __init__(self, small_fraction=0.8, small_maxtransize=50, large_maxtransize=500):
+        if not 0.0 <= small_fraction <= 1.0:
+            raise ValueError("small_fraction must be in [0, 1]")
+        self.small_fraction = small_fraction
+        self.small = UniformSizes(small_maxtransize)
+        self.large = UniformSizes(large_maxtransize)
+
+    def sample(self, rng):
+        """Draw one transaction size from the mixture."""
+        if rng.random() < self.small_fraction:
+            return self.small.sample(rng)
+        return self.large.sample(rng)
+
+    @property
+    def mean(self):
+        """Expected transaction size of the mixture."""
+        return (
+            self.small_fraction * self.small.mean
+            + (1.0 - self.small_fraction) * self.large.mean
+        )
+
+
+class FixedSizes:
+    """Every transaction accesses exactly *size* entities."""
+
+    def __init__(self, size):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+
+    def sample(self, rng):
+        """Return the fixed size (rng unused, kept for interface parity)."""
+        return self.size
+
+    @property
+    def mean(self):
+        """Expected (= fixed) transaction size."""
+        return float(self.size)
+
+
+class TraceSizes:
+    """Replay transaction sizes from a recorded trace.
+
+    Sizes are consumed in order and wrap around when exhausted, so a
+    short trace drives an arbitrarily long run.  Useful for
+    bring-your-own-workload studies and regression comparisons where
+    the exact size sequence must be held fixed across configurations.
+    """
+
+    def __init__(self, sizes):
+        sizes = [int(size) for size in sizes]
+        if not sizes:
+            raise ValueError("trace must contain at least one size")
+        if any(size < 1 for size in sizes):
+            raise ValueError("trace sizes must be >= 1")
+        self.sizes = sizes
+        self._index = 0
+
+    @classmethod
+    def from_csv(cls, path, column="nu"):
+        """Load sizes from a CSV file with a *column* of integers."""
+        import csv
+
+        sizes = []
+        with open(path, newline="") as handle:
+            for row in csv.DictReader(handle):
+                sizes.append(int(row[column]))
+        return cls(sizes)
+
+    def sample(self, rng):
+        """Next size from the trace (rng unused; interface parity)."""
+        size = self.sizes[self._index % len(self.sizes)]
+        self._index += 1
+        return size
+
+    @property
+    def mean(self):
+        """Mean of the recorded sizes."""
+        return sum(self.sizes) / len(self.sizes)
+
+
+def make_size_sampler(params):
+    """Build the size sampler described by *params*."""
+    if params.workload == "uniform":
+        return UniformSizes(params.maxtransize)
+    if params.workload == "mixed":
+        return MixedSizes(
+            params.mix_small_fraction,
+            params.mix_small_maxtransize,
+            params.mix_large_maxtransize,
+        )
+    if params.workload == "fixed":
+        return FixedSizes(params.maxtransize)
+    raise ValueError("unknown workload {!r}".format(params.workload))

@@ -1,0 +1,124 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+import heapq
+from itertools import count
+
+from repro.des.errors import EmptySchedule, SimulationError, StopSimulation
+from repro.des.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.des.process import Process
+
+
+class Environment:
+    """Drives a simulation: owns the clock and the scheduled-event heap.
+
+    Events scheduled for the same instant are processed in
+    ``(priority, insertion order)``, which makes runs fully
+    deterministic for a fixed seed.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time=0.0):
+        self._now = float(initial_time)
+        self._heap = []
+        self._eid = count()
+
+    @property
+    def now(self):
+        """Current simulation time."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, event, delay=0.0, priority=NORMAL):
+        """Put *event* on the heap to be processed after *delay*."""
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def step(self):
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            when, _, _, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until=None):
+        """Run until *until* (a time or an event), or until heap empty.
+
+        * ``until`` is ``None``: run until no events remain.
+        * ``until`` is a number: run up to that time; the clock ends at
+          exactly that value.
+        * ``until`` is an :class:`Event`: run until it is processed and
+          return its value.
+        """
+        if until is None:
+            stop_at = float("inf")
+        elif isinstance(until, Event):
+            if until.processed:
+                return until.value
+            until.callbacks.append(_stop_on_event)
+            stop_at = float("inf")
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    "until ({}) is in the past (now={})".format(stop_at, self._now)
+                )
+        try:
+            while self._heap and self._heap[0][0] <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if isinstance(until, Event):
+            raise EmptySchedule("ran out of events before {!r}".format(until))
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None
+
+    # -- factories -----------------------------------------------------
+
+    def event(self):
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create a :class:`Timeout` that fires after *delay*."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator):
+        """Start *generator* as a :class:`Process` and return it."""
+        return Process(self, generator)
+
+    def all_of(self, events):
+        """Join: event that succeeds when all of *events* succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Race: event that succeeds when any of *events* succeeds."""
+        return AnyOf(self, events)
+
+
+def _stop_on_event(event):
+    raise StopSimulation(event.value)

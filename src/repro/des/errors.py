@@ -1,0 +1,39 @@
+"""Exception types used by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event.
+
+    ``Environment.run(until=event)`` attaches a callback to *event* that
+    raises this exception; the run loop catches it and returns the
+    event's value.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(SimulationError):
+    """Raised when the event heap runs dry before the run target."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process receives the interrupt at its current yield
+    point and may inspect :attr:`cause` to decide how to react (for
+    instance, a transaction aborted by deadlock resolution).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,194 @@
+"""Core event types for the simulation kernel.
+
+An :class:`Event` moves through three states:
+
+``pending``
+    Created but not yet triggered; it holds no value.
+``triggered``
+    :meth:`Event.succeed` or :meth:`Event.fail` was called; the event is
+    on the environment's heap and will be processed at its scheduled
+    time.
+``processed``
+    The environment popped the event and ran its callbacks.
+
+Processes synchronise by yielding events; the kernel resumes the
+process when the yielded event is processed.
+"""
+
+from repro.des.errors import SimulationError
+
+#: Sentinel for "no value yet"; distinguishes a pending event from one
+#: that succeeded with ``None``.
+PENDING = object()
+
+#: Default scheduling priority.  Events scheduled at the same time are
+#: processed in (priority, insertion order).  Urgent events (e.g.
+#: process initialisation) use :data:`URGENT` so they run before
+#: ordinary events at the same instant.
+NORMAL = 1
+URGENT = 0
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The :class:`~repro.des.engine.Environment` the event belongs to.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        #: Callables invoked with this event when it is processed.  Set
+        #: to ``None`` once processed; appending afterwards is an error.
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
+
+    def __repr__(self):
+        return "<{} object at {:#x}>".format(type(self).__name__, id(self))
+
+    @property
+    def triggered(self):
+        """True once the event has a value and is (or was) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self):
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self):
+        """True if the event succeeded; only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self):
+        """The success value or failure exception of the event."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value=None, priority=NORMAL):
+        """Trigger the event as successful with an optional *value*."""
+        if self.triggered:
+            raise SimulationError("event {!r} already triggered".format(self))
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=0, priority=priority)
+        return self
+
+    def fail(self, exception, priority=NORMAL):
+        """Trigger the event as failed with *exception*.
+
+        Waiting processes receive the exception at their yield point.
+        A failed event nobody waits on raises at the end of the step
+        unless :meth:`defused` is set.
+        """
+        if self.triggered:
+            raise SimulationError("event {!r} already triggered".format(self))
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception, got {!r}".format(exception))
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=0, priority=priority)
+        return self
+
+    def defuse(self):
+        """Mark a failed event as handled so it does not escalate."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that triggers *delay* time units after creation."""
+
+    def __init__(self, env, delay, value=None):
+        if delay < 0:
+            raise ValueError("negative delay {}".format(delay))
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self):
+        return "<Timeout({}) object at {:#x}>".format(self._delay, id(self))
+
+
+class Initialize(Event):
+    """Starts a newly created process at the current instant."""
+
+    def __init__(self, env, process):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, delay=0, priority=URGENT)
+
+
+class Condition(Event):
+    """Base for fork/join events over a set of child events.
+
+    The condition triggers when :meth:`_check` says the accumulated
+    outcomes satisfy it.  A failing child fails the whole condition
+    (the child's exception propagates).
+    """
+
+    def __init__(self, env, events):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        if not self._events:
+            self.succeed(self._build_value())
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._check():
+            self.succeed(self._build_value())
+
+    def _check(self):
+        raise NotImplementedError
+
+    def _build_value(self):
+        """Values of children that already *occurred*, in child order.
+
+        A Timeout is triggered (has a value) from creation, but it has
+        not happened until processed — only processed children count,
+        so an AnyOf's value contains exactly the events that fired by
+        the time the condition did.
+        """
+        return [e.value for e in self._events if e.processed and e.ok]
+
+
+class AllOf(Condition):
+    """Triggers when every child event has succeeded (a join)."""
+
+    def _check(self):
+        return self._count == len(self._events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event succeeds."""
+
+    def _check(self):
+        return self._count >= 1

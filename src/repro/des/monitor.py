@@ -1,0 +1,121 @@
+"""Statistics collectors for simulation output analysis."""
+
+import math
+
+
+class Tally:
+    """Running count/mean/variance/extremes of observed samples.
+
+    Uses Welford's online algorithm, so it is numerically stable for
+    long runs and never stores the samples.
+    """
+
+    def __init__(self, name="tally"):
+        self.name = name
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def observe(self, value):
+        """Record one sample."""
+        value = float(value)
+        self._count += 1
+        self._total += value
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self):
+        """Number of samples observed."""
+        return self._count
+
+    @property
+    def total(self):
+        """Sum of all samples."""
+        return self._total
+
+    @property
+    def mean(self):
+        """Sample mean (``nan`` before any observation)."""
+        if self._count == 0:
+            return math.nan
+        return self._mean
+
+    @property
+    def variance(self):
+        """Unbiased sample variance (``nan`` with fewer than 2 samples)."""
+        if self._count < 2:
+            return math.nan
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stdev(self):
+        """Sample standard deviation."""
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else math.nan
+
+    @property
+    def minimum(self):
+        """Smallest sample (``nan`` before any observation)."""
+        return self._min if self._count else math.nan
+
+    @property
+    def maximum(self):
+        """Largest sample (``nan`` before any observation)."""
+        return self._max if self._count else math.nan
+
+
+class TimeWeighted:
+    """Time-average of a piecewise-constant signal (e.g. queue length).
+
+    Call :meth:`update` whenever the signal changes; the area under the
+    signal is integrated between updates.
+    """
+
+    def __init__(self, env, initial=0.0, name="level"):
+        self.env = env
+        self.name = name
+        self._level = float(initial)
+        self._last_change = env.now
+        self._start = env.now
+        self._area = 0.0
+        self._max = float(initial)
+
+    def update(self, level):
+        """Set the signal to *level* as of the current simulation time."""
+        now = self.env.now
+        self._area += self._level * (now - self._last_change)
+        self._last_change = now
+        self._level = float(level)
+        if self._level > self._max:
+            self._max = self._level
+
+    def increment(self, delta=1.0):
+        """Shift the signal by *delta* (convenience for counters)."""
+        self.update(self._level + delta)
+
+    @property
+    def level(self):
+        """Current value of the signal."""
+        return self._level
+
+    @property
+    def maximum(self):
+        """Largest value the signal has taken."""
+        return self._max
+
+    def mean(self, until=None):
+        """Time-average of the signal from creation until *until* (or now)."""
+        end = self.env.now if until is None else until
+        if end <= self._start:
+            return self._level
+        area = self._area + self._level * (end - self._last_change)
+        return area / (end - self._start)

@@ -1,0 +1,102 @@
+"""Generator-based simulation processes."""
+
+from repro.des.errors import Interrupt, SimulationError
+from repro.des.events import URGENT, Event
+
+
+class Process(Event):
+    """Wraps a generator so it runs as a simulation process.
+
+    The generator yields :class:`Event` objects; the process suspends
+    until each yielded event is processed, then resumes with the event's
+    value (or the event's exception thrown in, if it failed).
+
+    A process is itself an event: it triggers with the generator's
+    return value when the generator finishes, so processes can wait on
+    one another or be joined with :class:`~repro.des.events.AllOf`.
+    """
+
+    def __init__(self, env, generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError("Process requires a generator, got {!r}".format(generator))
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process currently waits on (None if running or
+        #: not yet started).
+        self._target = None
+        from repro.des.events import Initialize
+
+        Initialize(env, self)
+
+    def __repr__(self):
+        return "<Process({}) object at {:#x}>".format(
+            getattr(self._generator, "__name__", "?"), id(self)
+        )
+
+    @property
+    def is_alive(self):
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        The interrupt is delivered as an urgent event at the current
+        instant.  Interrupting a finished process is an error; a process
+        cannot interrupt itself.
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, delay=0, priority=URGENT)
+
+    def _resume(self, event):
+        """Advance the generator with the outcome of *event*."""
+        # An interrupt may arrive while we were waiting on another
+        # event; detach from that event so its later processing does
+        # not resume us twice.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        while True:
+            try:
+                if event is None or event._ok:
+                    next_event = self._generator.send(
+                        None if event is None else event.value
+                    )
+                else:
+                    event.defuse()
+                    next_event = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self, delay=0)
+                return
+            except Interrupt:
+                # The process let an interrupt escape: treat it as an
+                # unhandled failure of the process event.
+                raise
+            except BaseException as error:
+                self._ok = False
+                self._value = error
+                self.env.schedule(self, delay=0)
+                return
+            if not isinstance(next_event, Event):
+                raise SimulationError(
+                    "process yielded a non-event: {!r}".format(next_event)
+                )
+            if next_event.processed:
+                # Already done: loop and feed its value immediately.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            return

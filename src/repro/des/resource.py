@@ -1,0 +1,91 @@
+"""A counted FCFS resource (SimPy-style ``Resource``)."""
+
+from repro.des.events import Event
+
+
+class Request(Event):
+    """A claim on one unit of a :class:`Resource`.
+
+    Usable as a context manager so the unit is always given back::
+
+        with resource.request() as req:
+            yield req
+            ... critical section ...
+    """
+
+    def __init__(self, resource):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._enqueue(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.resource.release(self)
+        return False
+
+
+class Resource:
+    """*capacity* identical units served in request order.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of concurrent holders allowed (>= 1).
+    """
+
+    def __init__(self, env, capacity=1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got {}".format(capacity))
+        self.env = env
+        self._capacity = capacity
+        self._users = set()
+        self._waiting = []
+
+    @property
+    def capacity(self):
+        """Number of units."""
+        return self._capacity
+
+    @property
+    def count(self):
+        """Number of units currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self):
+        """Number of requests waiting for a unit."""
+        return len(self._waiting)
+
+    def request(self):
+        """Ask for one unit; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request):
+        """Give back the unit held by *request*.
+
+        Releasing an ungranted (still waiting) request simply cancels
+        it.  Releasing twice is a no-op, so the context-manager form is
+        safe even if the body released explicitly.
+        """
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        elif request in self._waiting:
+            self._waiting.remove(request)
+
+    def _enqueue(self, request):
+        if len(self._users) < self._capacity:
+            self._users.add(request)
+            request.succeed(request)
+        else:
+            self._waiting.append(request)
+
+    def _grant_next(self):
+        while self._waiting and len(self._users) < self._capacity:
+            request = self._waiting.pop(0)
+            self._users.add(request)
+            request.succeed(request)

@@ -1,0 +1,56 @@
+"""Named, reproducible random-number streams.
+
+Simulation studies need independent random streams per purpose
+(transaction sizes, conflict draws, partition choices, ...) so that
+changing how one stream is consumed does not perturb the others — the
+classic common-random-numbers discipline for variance reduction across
+configurations.  :class:`RandomStreams` derives each named stream's
+seed from a master seed with SHA-256, giving stable, well-separated
+streams without any global state.
+"""
+
+import hashlib
+import random
+
+
+class RandomStreams:
+    """A factory of named, independently seeded ``random.Random`` streams.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Two factories with the same seed produce
+        identical streams for identical names.
+
+    Example
+    -------
+    >>> streams = RandomStreams(42)
+    >>> a = streams.stream("sizes")
+    >>> b = RandomStreams(42).stream("sizes")
+    >>> a.random() == b.random()
+    True
+    """
+
+    def __init__(self, seed=0):
+        self._seed = seed
+
+    @property
+    def seed(self):
+        """The master seed this factory derives streams from."""
+        return self._seed
+
+    def stream(self, *names):
+        """Return a ``random.Random`` seeded from the master seed and *names*."""
+        return random.Random(self._derive(names))
+
+    def spawn(self, *names):
+        """Return a child factory; its streams are disjoint from ours."""
+        return RandomStreams(self._derive(names))
+
+    def _derive(self, names):
+        digest = hashlib.sha256()
+        digest.update(repr(self._seed).encode("utf-8"))
+        for name in names:
+            digest.update(b"\x00")
+            digest.update(repr(name).encode("utf-8"))
+        return int.from_bytes(digest.digest()[:8], "big")

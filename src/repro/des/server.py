@@ -1,0 +1,201 @@
+"""A single service station with preemptive-resume priority service.
+
+The paper's machine model charges lock-management work to the same CPU
+and disk that serve transactions, *with preemptive power over running
+transactions*, and reports the busy time split into lock overhead and
+useful (transaction) work.  :class:`Server` provides exactly that:
+
+* one unit of service capacity;
+* jobs submitted with a numeric priority (lower number = more urgent);
+* a higher-priority arrival preempts the job in service, which later
+  resumes with its remaining demand (preemptive-resume);
+* waiting jobs are ordered FCFS within a priority level (or
+  shortest-remaining-first with the ``"sjf"`` discipline);
+* busy time is accumulated per caller-supplied *tag*, so the model can
+  separate ``"lock"`` from ``"txn"`` work on each device.
+"""
+
+import heapq
+from itertools import count
+
+from repro.des.events import Event
+
+#: Tolerance when deciding that a preempted job had actually finished.
+_EPSILON = 1e-12
+
+#: Supported queueing disciplines for waiting jobs.
+DISCIPLINES = ("fcfs", "sjf")
+
+
+class _Job:
+    __slots__ = ("demand", "remaining", "priority", "tag", "seq", "done", "arrival")
+
+    def __init__(self, demand, priority, tag, seq, done, arrival):
+        self.demand = demand
+        self.remaining = demand
+        self.priority = priority
+        self.tag = tag
+        self.seq = seq
+        self.done = done
+        self.arrival = arrival
+
+
+class Server:
+    """A preemptive-resume priority queueing station of capacity one.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    name:
+        Label used in diagnostics.
+    discipline:
+        ``"fcfs"`` (default) or ``"sjf"`` (shortest remaining demand
+        first, within a priority level).
+    """
+
+    def __init__(self, env, name="server", discipline="fcfs"):
+        if discipline not in DISCIPLINES:
+            raise ValueError(
+                "unknown discipline {!r}; expected one of {}".format(
+                    discipline, DISCIPLINES
+                )
+            )
+        self.env = env
+        self.name = name
+        self.discipline = discipline
+        self._heap = []
+        self._seq = count()
+        self._current = None
+        self._segment_start = 0.0
+        self._token = 0
+        self._busy = {}
+        self._served = {}
+        self._demand_total = {}
+
+    def __repr__(self):
+        return "<Server {!r} queue={} busy={}>".format(
+            self.name, len(self._heap), self._current is not None
+        )
+
+    # -- public API ------------------------------------------------------
+
+    def submit(self, demand, priority=0, tag="default"):
+        """Request *demand* units of service; returns the done event.
+
+        Parameters
+        ----------
+        demand:
+            Non-negative service requirement in time units.
+        priority:
+            Lower numbers are served first and preempt higher numbers.
+        tag:
+            Accounting bucket for the busy time this job consumes.
+        """
+        if demand < 0:
+            raise ValueError("negative service demand {}".format(demand))
+        done = Event(self.env)
+        job = _Job(demand, priority, tag, next(self._seq), done, self.env.now)
+        self._demand_total[tag] = self._demand_total.get(tag, 0.0) + demand
+        if self._current is None:
+            self._start(job)
+        elif job.priority < self._current.priority:
+            self._preempt()
+            self._start(job)
+        else:
+            heapq.heappush(self._heap, (self._key(job), job))
+        return done
+
+    @property
+    def busy(self):
+        """True while a job is in service."""
+        return self._current is not None
+
+    @property
+    def queue_length(self):
+        """Number of jobs waiting (not counting the one in service)."""
+        return len(self._heap)
+
+    def busy_time(self, tag=None):
+        """Accumulated busy time, for one *tag* or in total.
+
+        Includes the partially-delivered service of the job currently
+        on the server, so snapshots taken mid-run are exact.
+        """
+        if tag is None:
+            total = sum(self._busy.values())
+            if self._current is not None:
+                total += self.env.now - self._segment_start
+            return total
+        total = self._busy.get(tag, 0.0)
+        if self._current is not None and self._current.tag == tag:
+            total += self.env.now - self._segment_start
+        return total
+
+    def jobs_served(self, tag=None):
+        """Number of completed jobs, for one *tag* or in total."""
+        if tag is None:
+            return sum(self._served.values())
+        return self._served.get(tag, 0)
+
+    def demand_submitted(self, tag=None):
+        """Total service demand submitted, for one *tag* or in total."""
+        if tag is None:
+            return sum(self._demand_total.values())
+        return self._demand_total.get(tag, 0.0)
+
+    # -- internals -------------------------------------------------------
+
+    def _key(self, job):
+        if self.discipline == "sjf":
+            return (job.priority, job.remaining, job.seq)
+        return (job.priority, job.seq)
+
+    def _start(self, job):
+        self._current = job
+        self._segment_start = self.env.now
+        self._token += 1
+        token = self._token
+        completion = Event(self.env)
+        completion._ok = True
+        completion._value = None
+        completion.callbacks.append(lambda _ev, t=token: self._on_complete(t))
+        self.env.schedule(completion, delay=job.remaining)
+
+    def _preempt(self):
+        job = self._current
+        elapsed = self.env.now - self._segment_start
+        self._credit(job.tag, elapsed)
+        job.remaining -= elapsed
+        self._token += 1  # invalidate the scheduled completion
+        self._current = None
+        if job.remaining <= _EPSILON:
+            # The job had in fact finished at this very instant; its
+            # completion event lost the same-time race with the
+            # preemptor.  Finish it now rather than re-queueing it.
+            job.remaining = 0.0
+            self._finish(job)
+        else:
+            heapq.heappush(self._heap, (self._key(job), job))
+
+    def _on_complete(self, token):
+        if token != self._token or self._current is None:
+            return  # stale completion from before a preemption
+        job = self._current
+        self._credit(job.tag, self.env.now - self._segment_start)
+        self._current = None
+        self._finish(job)
+        self._dispatch_next()
+
+    def _finish(self, job):
+        self._served[job.tag] = self._served.get(job.tag, 0) + 1
+        job.done.succeed()
+
+    def _dispatch_next(self):
+        if self._current is None and self._heap:
+            _, job = heapq.heappop(self._heap)
+            self._start(job)
+
+    def _credit(self, tag, amount):
+        if amount > 0:
+            self._busy[tag] = self._busy.get(tag, 0.0) + amount

@@ -1,0 +1,75 @@
+"""A FIFO item store with blocking get (SimPy-style ``Store``)."""
+
+from collections import deque
+
+from repro.des.events import Event
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of arbitrary items.
+
+    ``put`` succeeds immediately while below capacity, otherwise the
+    put waits; ``get`` waits until an item is available.  Pending gets
+    are served in request order.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum items held at once (default unbounded).
+    """
+
+    def __init__(self, env, capacity=float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive, got {}".format(capacity))
+        self.env = env
+        self._capacity = capacity
+        self._items = deque()
+        self._getters = deque()
+        self._putters = deque()
+
+    @property
+    def capacity(self):
+        """Maximum number of stored items."""
+        return self._capacity
+
+    @property
+    def items(self):
+        """Snapshot (list) of currently buffered items."""
+        return list(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Offer *item*; the returned event fires once it is accepted."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self):
+        """Take the oldest item; the event's value is the item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self):
+        # Accept puts while there is room, then satisfy gets while
+        # items remain; one pass of each suffices because accepting a
+        # put can only enable gets, which can only enable more puts,
+        # so we loop until neither side makes progress.
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self._items) < self._capacity:
+                event, item = self._putters.popleft()
+                self._items.append(item)
+                event.succeed()
+                progress = True
+            while self._getters and self._items:
+                event = self._getters.popleft()
+                event.succeed(self._items.popleft())
+                progress = True

@@ -1,0 +1,86 @@
+"""The multiprocessor: processor array plus lock-work fan-out."""
+
+from repro.engine.processor import LOCK_TAG, TXN_TAG, Processor
+
+
+class BusySnapshot:
+    """Busy-time totals of the whole machine at one instant.
+
+    Fields follow the paper's output-parameter names: ``totcpus`` /
+    ``totios`` are total busy time summed over all CPUs / disks;
+    ``lockcpus`` / ``lockios`` are the lock-management shares.
+    """
+
+    __slots__ = ("totcpus", "totios", "lockcpus", "lockios")
+
+    def __init__(self, totcpus, totios, lockcpus, lockios):
+        self.totcpus = totcpus
+        self.totios = totios
+        self.lockcpus = lockcpus
+        self.lockios = lockios
+
+    def minus(self, other):
+        """Componentwise difference (for warmup-window accounting)."""
+        return BusySnapshot(
+            self.totcpus - other.totcpus,
+            self.totios - other.totios,
+            self.lockcpus - other.lockcpus,
+            self.lockios - other.lockios,
+        )
+
+
+class Machine:
+    """``npros`` shared-nothing processor nodes.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    npros:
+        Number of processor nodes.
+    discipline:
+        Queueing discipline for every CPU/disk server.
+    """
+
+    def __init__(self, env, npros, discipline="fcfs"):
+        if npros < 1:
+            raise ValueError("npros must be >= 1, got {}".format(npros))
+        self.env = env
+        self.npros = npros
+        self.processors = [Processor(env, i, discipline) for i in range(npros)]
+
+    def __len__(self):
+        return self.npros
+
+    def __getitem__(self, index):
+        return self.processors[index]
+
+    def lock_overhead(self, cpu_total, io_total):
+        """Charge one lock request's total processing to the machine.
+
+        The work is divided evenly across every node ("processors share
+        the work for [the] locking mechanism") at preemptive priority;
+        the returned event fires when the slowest share completes.
+        """
+        if cpu_total <= 0 and io_total <= 0:
+            return self.env.timeout(0)
+        cpu_share = cpu_total / self.npros
+        io_share = io_total / self.npros
+        events = [p.lock_work(cpu_share, io_share) for p in self.processors]
+        if len(events) == 1:
+            return events[0]
+        return self.env.all_of(events)
+
+    def busy_snapshot(self):
+        """Current :class:`BusySnapshot` over all nodes."""
+        totcpus = sum(p.cpu.busy_time() for p in self.processors)
+        totios = sum(p.disk.busy_time() for p in self.processors)
+        lockcpus = sum(p.cpu.busy_time(LOCK_TAG) for p in self.processors)
+        lockios = sum(p.disk.busy_time(LOCK_TAG) for p in self.processors)
+        return BusySnapshot(totcpus, totios, lockcpus, lockios)
+
+    def txn_busy_totals(self):
+        """(cpu, io) busy time spent on transaction work, all nodes."""
+        cpu = sum(p.cpu.busy_time(TXN_TAG) for p in self.processors)
+        io = sum(p.disk.busy_time(TXN_TAG) for p in self.processors)
+        return cpu, io

@@ -1,0 +1,71 @@
+"""One shared-nothing processor node: a private CPU and a private disk."""
+
+from repro.des.server import Server
+
+#: Lock-management work preempts transaction work (paper §2).
+LOCK_PRIORITY = 0
+#: Ordinary transaction service priority.
+TXN_PRIORITY = 1
+
+#: Busy-time accounting tags.
+LOCK_TAG = "lock"
+TXN_TAG = "txn"
+
+
+class Processor:
+    """A node with a CPU server and a disk (I/O) server.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    index:
+        Node number (0-based), used in server names.
+    discipline:
+        Queueing discipline for both servers (``fcfs`` or ``sjf``).
+    """
+
+    def __init__(self, env, index, discipline="fcfs"):
+        self.env = env
+        self.index = index
+        self.cpu = Server(env, "cpu{}".format(index), discipline)
+        self.disk = Server(env, "disk{}".format(index), discipline)
+
+    def __repr__(self):
+        return "<Processor {}>".format(self.index)
+
+    def lock_work(self, cpu_demand, io_demand):
+        """Submit this node's share of a lock request's processing.
+
+        Both device demands are posted at preemptive priority and run
+        concurrently; the returned event fires when both complete.
+        Zero-demand shares complete immediately.
+        """
+        events = []
+        if io_demand > 0:
+            events.append(self.disk.submit(io_demand, LOCK_PRIORITY, LOCK_TAG))
+        if cpu_demand > 0:
+            events.append(self.cpu.submit(cpu_demand, LOCK_PRIORITY, LOCK_TAG))
+        if not events:
+            return self.env.timeout(0)
+        if len(events) == 1:
+            return events[0]
+        return self.env.all_of(events)
+
+    def io(self, demand):
+        """Queue transaction I/O on this node's disk."""
+        return self.disk.submit(demand, TXN_PRIORITY, TXN_TAG)
+
+    def compute(self, demand):
+        """Queue transaction CPU work on this node's processor."""
+        return self.cpu.submit(demand, TXN_PRIORITY, TXN_TAG)
+
+    # -- accounting ------------------------------------------------------
+
+    def cpu_busy(self, tag=None):
+        """CPU busy time (total or for one tag)."""
+        return self.cpu.busy_time(tag)
+
+    def io_busy(self, tag=None):
+        """Disk busy time (total or for one tag)."""
+        return self.disk.busy_time(tag)

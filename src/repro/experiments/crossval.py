@@ -1,0 +1,105 @@
+"""Cross-validation of the conflict engines.
+
+The paper's results rest on the Ries–Stonebraker probabilistic
+shortcut.  :func:`cross_validate_engines` runs matched configurations
+through the probabilistic and explicit engines and reports per-point
+relative divergence, giving a quantitative answer to "was the
+shortcut sound?" (EXPERIMENTS.md summarises the answer: yes, within
+a modest band, slightly optimistic at fine granularity).
+"""
+
+from dataclasses import dataclass
+
+from repro.core.model import simulate_replications
+
+
+@dataclass(frozen=True)
+class DivergencePoint:
+    """One configuration's engine disagreement."""
+
+    ltot: int
+    probabilistic: float
+    explicit: float
+
+    @property
+    def relative_gap(self):
+        """``(explicit − probabilistic) / probabilistic`` (0 when both 0)."""
+        if self.probabilistic == 0:
+            return 0.0 if self.explicit == 0 else float("inf")
+        return (self.explicit - self.probabilistic) / self.probabilistic
+
+
+class CrossValidation:
+    """Outcome of an engine cross-validation sweep."""
+
+    def __init__(self, points, field):
+        self.points = list(points)
+        self.field = field
+
+    def __len__(self):
+        return len(self.points)
+
+    @property
+    def max_absolute_gap(self):
+        """Largest |relative gap| across the sweep (inf-free points)."""
+        gaps = [
+            abs(p.relative_gap)
+            for p in self.points
+            if p.relative_gap != float("inf")
+        ]
+        return max(gaps) if gaps else 0.0
+
+    def agree_within(self, tolerance):
+        """True when every point's |relative gap| is <= *tolerance*."""
+        return all(
+            abs(p.relative_gap) <= tolerance
+            for p in self.points
+            if p.relative_gap != float("inf")
+        )
+
+    def format(self):
+        """A small text table of the divergences."""
+        lines = [
+            "{:>6s} {:>14s} {:>10s} {:>8s}".format(
+                "ltot", "probabilistic", "explicit", "gap"
+            )
+        ]
+        for p in self.points:
+            lines.append(
+                "{:>6d} {:>14.4f} {:>10.4f} {:>+7.1%}".format(
+                    p.ltot, p.probabilistic, p.explicit, p.relative_gap
+                )
+            )
+        return "\n".join(lines)
+
+
+def cross_validate_engines(
+    params, ltot_grid=(1, 10, 100, 1000, 5000), field="throughput",
+    replications=2,
+):
+    """Run both engines across *ltot_grid* and collect divergences.
+
+    Parameters
+    ----------
+    params:
+        Base configuration; its ``conflict_engine`` is overridden.
+    ltot_grid:
+        Lock counts to compare at.
+    field:
+        Output field compared.
+    replications:
+        Replications per point (same seeds in both engines: common
+        random numbers).
+    """
+    points = []
+    for ltot in ltot_grid:
+        prob = simulate_replications(
+            params.replace(ltot=ltot, conflict_engine="probabilistic"),
+            replications=replications,
+        ).mean(field)
+        expl = simulate_replications(
+            params.replace(ltot=ltot, conflict_engine="explicit"),
+            replications=replications,
+        ).mean(field)
+        points.append(DivergencePoint(ltot, prob, expl))
+    return CrossValidation(points, field)

@@ -1,0 +1,432 @@
+"""One experiment spec per paper exhibit (Table 1, Figures 2–12).
+
+Every builder returns an :class:`~repro.experiments.config.ExperimentSpec`
+whose defaults match the paper's setup (Table 1 parameters, horizontal
+partitioning, best placement, probabilistic conflicts) with only the
+deviations that exhibit studies.  Ablation specs beyond the paper's
+exhibits live at the bottom.
+"""
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.config import (
+    DEFAULT_TMAX,
+    LTOT_GRID,
+    NPROS_GRID,
+    ExperimentSpec,
+)
+
+#: maxtransize values of §3.2 (Figure 6).
+SIZE_GRID = (50, 100, 500, 2500, 5000)
+#: Lock I/O times of §3.3 (Figure 7).
+LIOTIME_GRID = (0.2, 0.1, 0.0)
+#: Placement strategies of §3.5 (Figures 9–12).
+PLACEMENT_GRID = ("best", "random", "worst")
+
+
+def _base(**changes):
+    return SimulationParameters(tmax=DEFAULT_TMAX).replace(**changes)
+
+
+def table1():
+    """Table 1 — the input parameter set (a single run at defaults)."""
+    return ExperimentSpec(
+        key="table1",
+        title="Input parameters used in the simulation experiments",
+        base=_base(),
+        sweeps={},
+        series_fields=(),
+        y_fields=("throughput", "response_time"),
+        expected_shape="Prints the Table 1 defaults and one run's outputs.",
+    )
+
+
+def figure2():
+    """Fig 2 — throughput & response time vs locks × processors."""
+    return ExperimentSpec(
+        key="fig2",
+        title="Effects of number of locks and number of processors on "
+        "throughput and response time",
+        base=_base(),
+        sweeps={"npros": NPROS_GRID, "ltot": LTOT_GRID},
+        series_fields=("npros",),
+        y_fields=("throughput", "response_time"),
+        expected_shape=(
+            "Convex throughput in ltot with the optimum below ~200 locks; "
+            "higher and steeper curves for larger npros; response time "
+            "convex, flattening as npros grows."
+        ),
+    )
+
+
+def figure3():
+    """Fig 3 — useful I/O and useful CPU time vs locks × processors."""
+    return ExperimentSpec(
+        key="fig3",
+        title="Effects of number of locks and number of processors on "
+        "useful I/O time and useful CPU time",
+        base=_base(),
+        sweeps={"npros": NPROS_GRID, "ltot": LTOT_GRID},
+        series_fields=("npros",),
+        y_fields=("usefulios", "usefulcpus"),
+        expected_shape=(
+            "Useful times convex in ltot, decreasing with npros; the "
+            "spread across npros narrows beyond the optimum (10-100 locks)."
+        ),
+    )
+
+
+def figure4():
+    """Fig 4 — lock overhead vs locks × processors, large transactions."""
+    return ExperimentSpec(
+        key="fig4",
+        title="Effect of number of processors and number of locks on lock "
+        "overhead with large transactions (maxtransize = 500)",
+        base=_base(maxtransize=500),
+        sweeps={"npros": NPROS_GRID, "ltot": LTOT_GRID},
+        series_fields=("npros",),
+        y_fields=("lock_overhead", "lockios", "lockcpus"),
+        expected_shape=(
+            "Lock overhead concave in ltot, rising steeply past ~200 "
+            "locks; concavity more pronounced for small npros."
+        ),
+    )
+
+
+def figure5():
+    """Fig 5 — lock overhead vs locks × processors, small transactions."""
+    return ExperimentSpec(
+        key="fig5",
+        title="Effect of number of processors and number of locks on lock "
+        "overhead with small transactions (maxtransize = 50)",
+        base=_base(maxtransize=50),
+        sweeps={"npros": NPROS_GRID, "ltot": LTOT_GRID},
+        series_fields=("npros",),
+        y_fields=("lock_overhead", "lockios", "lockcpus"),
+        expected_shape=(
+            "Same concave shape as Fig 4 but with more overhead at low "
+            "lock counts (small transactions complete faster, raising the "
+            "lock request rate)."
+        ),
+    )
+
+
+def figure6():
+    """Fig 6 — throughput & response time vs locks × transaction size."""
+    return ExperimentSpec(
+        key="fig6",
+        title="Effects of number of locks and transaction size on "
+        "throughput and response time (npros = 10)",
+        base=_base(npros=10),
+        sweeps={"maxtransize": SIZE_GRID, "ltot": LTOT_GRID},
+        series_fields=("maxtransize",),
+        y_fields=("throughput", "response_time"),
+        expected_shape=(
+            "Smaller transactions give much higher throughput and steeper "
+            "curves; the optimum shifts right with smaller sizes but stays "
+            "below ~200 locks; response time flattens for small sizes."
+        ),
+    )
+
+
+def figure7():
+    """Fig 7 — throughput vs locks × lock I/O time."""
+    return ExperimentSpec(
+        key="fig7",
+        title="Effects of number of locks and lock I/O time on throughput "
+        "(npros = 10)",
+        base=_base(npros=10),
+        sweeps={"liotime": LIOTIME_GRID, "ltot": LTOT_GRID},
+        series_fields=("liotime",),
+        y_fields=("throughput",),
+        expected_shape=(
+            "Lower lock I/O time tolerates more locks; with liotime = 0 "
+            "the curve has a flat extremum from ~100 locks up to 5000 — "
+            "fine granularity stops hurting but does not help."
+        ),
+    )
+
+
+def figure8():
+    """Fig 8 — Fig 2's sweep under random partitioning."""
+    return ExperimentSpec(
+        key="fig8",
+        title="Effects of number of locks and number of processors on "
+        "throughput (random partitioning)",
+        base=_base(partitioning="random"),
+        sweeps={"npros": NPROS_GRID, "ltot": LTOT_GRID},
+        series_fields=("npros",),
+        y_fields=("throughput",),
+        expected_shape=(
+            "Same ordering and convexity as Fig 2 but uniformly lower "
+            "throughput than horizontal partitioning at equal npros."
+        ),
+    )
+
+
+def figure9():
+    """Fig 9 — placement strategies, large transactions."""
+    return ExperimentSpec(
+        key="fig9",
+        title="Effects of number of locks and granule placement on "
+        "throughput with large transactions (maxtransize = 500)",
+        base=_base(maxtransize=500),
+        sweeps={
+            "placement": PLACEMENT_GRID,
+            "npros": (1, 30),
+            "ltot": LTOT_GRID,
+        },
+        series_fields=("placement", "npros"),
+        y_fields=("throughput",),
+        expected_shape=(
+            "Random/worst placement: throughput falls from ltot = 1 to "
+            "ltot ≈ mean size (250), then recovers toward ltot = dbsize; "
+            "best placement keeps the convex Fig 2 shape."
+        ),
+    )
+
+
+def figure10():
+    """Fig 10 — placement strategies, small transactions."""
+    return ExperimentSpec(
+        key="fig10",
+        title="Effects of number of locks and granule placement on "
+        "throughput with small transactions (maxtransize = 50)",
+        base=_base(maxtransize=50),
+        sweeps={
+            "placement": PLACEMENT_GRID,
+            "npros": (1, 30),
+            "ltot": LTOT_GRID,
+        },
+        series_fields=("placement", "npros"),
+        y_fields=("throughput",),
+        expected_shape=(
+            "Same pattern as Fig 9 with the trough near the smaller mean "
+            "size (25); throughput rises from there to ltot = dbsize, "
+            "where fine granularity wins for random access."
+        ),
+    )
+
+
+def figure11():
+    """Fig 11 — placement strategies under the 80/20 size mix."""
+    return ExperimentSpec(
+        key="fig11",
+        title="Effects of number of locks and granule placement on "
+        "throughput with mixed transactions: 80% small and 20% large "
+        "(npros = 30)",
+        base=_base(npros=30, workload="mixed"),
+        sweeps={"placement": PLACEMENT_GRID, "ltot": LTOT_GRID},
+        series_fields=("placement",),
+        y_fields=("throughput",),
+        expected_shape=(
+            "Curves fall between the all-small (Fig 10) and all-large "
+            "(Fig 9) extremes, pulled substantially down by the 20% large "
+            "transactions."
+        ),
+    )
+
+
+def figure12():
+    """Fig 12 — heavy load (ntrans = 200) × placement strategies."""
+    return ExperimentSpec(
+        key="fig12",
+        title="Effects of number of locks and granule placement on "
+        "throughput with large number of transactions (ntrans = 200, "
+        "npros = 20, maxtransize = 500)",
+        base=_base(ntrans=200, npros=20, maxtransize=500),
+        sweeps={"placement": PLACEMENT_GRID, "ltot": LTOT_GRID},
+        series_fields=("placement",),
+        y_fields=("throughput",),
+        expected_shape=(
+            "Under heavy load the finest granularity (ltot = dbsize) "
+            "yields lower throughput than coarse granularity: lock "
+            "overhead scales with ntrans × ltot while most extra requests "
+            "are denied."
+        ),
+    )
+
+
+# -- ablations beyond the paper's exhibits --------------------------------
+
+
+def ablation_conflict_engine():
+    """Probabilistic vs explicit lock-table conflicts on the Fig 2 grid."""
+    return ExperimentSpec(
+        key="ablation_conflict",
+        title="Ablation: probabilistic interval model vs explicit lock "
+        "table (npros = 10)",
+        base=_base(npros=10),
+        sweeps={
+            "conflict_engine": ("probabilistic", "explicit"),
+            "ltot": LTOT_GRID,
+        },
+        series_fields=("conflict_engine",),
+        y_fields=("throughput", "denial_rate"),
+        expected_shape=(
+            "The two engines agree on curve shape and optimum location; "
+            "the interval model slightly overstates conflicts at very "
+            "coarse granularity."
+        ),
+    )
+
+
+def ablation_protocol():
+    """Preclaim vs incremental (claim-as-needed) 2PL — footnote 1."""
+    return ExperimentSpec(
+        key="ablation_protocol",
+        title="Ablation: conservative preclaim vs claim-as-needed 2PL "
+        "(explicit engine, npros = 10)",
+        base=_base(npros=10, conflict_engine="explicit"),
+        sweeps={"protocol": ("preclaim", "incremental"), "ltot": LTOT_GRID},
+        series_fields=("protocol",),
+        y_fields=("throughput", "deadlock_aborts"),
+        expected_shape=(
+            "Claim-as-needed does not change the granularity conclusions "
+            "(the paper's footnote 1); deadlock aborts stay rare."
+        ),
+    )
+
+
+def ablation_txn_scheduling():
+    """Admission policies under heavy load (the §3.7 remedy)."""
+    return ExperimentSpec(
+        key="ablation_scheduling",
+        title="Ablation: transaction admission policies under heavy load "
+        "(ntrans = 200, npros = 20)",
+        base=_base(ntrans=200, npros=20, maxtransize=500),
+        sweeps={
+            "txn_policy": ("fcfs", "smallest", "adaptive"),
+            "ltot": (1, 10, 100, 1000, 5000),
+        },
+        series_fields=("txn_policy",),
+        y_fields=("throughput", "denial_rate"),
+        expected_shape=(
+            "Adaptive admission recovers most of the fine-granularity "
+            "throughput loss that FCFS suffers at ntrans = 200 by capping "
+            "the lock request rate."
+        ),
+    )
+
+
+def ablation_discipline():
+    """Sub-transaction scheduling discipline (refs [3]): FCFS vs SJF."""
+    return ExperimentSpec(
+        key="ablation_discipline",
+        title="Ablation: sub-transaction queueing discipline at each "
+        "CPU/disk (npros = 10)",
+        base=_base(npros=10),
+        sweeps={"discipline": ("fcfs", "sjf"), "ltot": (1, 10, 100, 1000, 5000)},
+        series_fields=("discipline",),
+        y_fields=("throughput", "response_time"),
+        expected_shape=(
+            "Only a marginal effect on locking-granularity conclusions, "
+            "as the paper reports of sub-transaction level scheduling."
+        ),
+    )
+
+
+def ablation_escalation():
+    """Lock escalation (file/block hierarchy) vs flat granularity."""
+    return ExperimentSpec(
+        key="ablation_escalation",
+        title="Ablation: lock escalation over a file/block hierarchy vs "
+        "flat block locking (npros = 10, 10 files)",
+        base=_base(
+            npros=10, conflict_engine="hierarchical", nfiles=10
+        ),
+        sweeps={
+            "escalation_threshold": (0, 10),
+            "ltot": (100, 500, 1000, 5000),
+        },
+        series_fields=("escalation_threshold",),
+        y_fields=("throughput", "lock_overhead", "lock_escalations"),
+        expected_shape=(
+            "Escalation trims the fine-granularity lock overhead (large "
+            "sequential transactions collapse to file locks) and softens "
+            "the throughput falloff past the optimum, approximating the "
+            "Gamma-style block+file design the paper's conclusion "
+            "recommends."
+        ),
+    )
+
+
+def ablation_read_mix():
+    """Read/write mix: shared locks soften the granularity trade-off."""
+    return ExperimentSpec(
+        key="ablation_readmix",
+        title="Ablation: fraction of update transactions (S/X sharing) "
+        "vs lock granularity (npros = 10)",
+        base=_base(npros=10),
+        sweeps={
+            "write_fraction": (1.0, 0.5, 0.1),
+            "ltot": (1, 10, 100, 1000, 5000),
+        },
+        series_fields=("write_fraction",),
+        y_fields=("throughput", "denial_rate"),
+        expected_shape=(
+            "Lower write fractions raise throughput and cut denials at "
+            "every granularity (readers share); the convex shape and the "
+            "sub-200 optimum persist because lock overhead is mode-"
+            "independent."
+        ),
+    )
+
+
+def ablation_open_system():
+    """Open Poisson arrivals: saturation knee vs lock granularity."""
+    return ExperimentSpec(
+        key="ablation_open",
+        title="Ablation: open-system saturation vs lock granularity "
+        "(npros = 10, Poisson arrivals)",
+        base=_base(npros=10, arrival_process="open"),
+        sweeps={
+            "ltot": (20, 5000),
+            "arrival_rate": (0.05, 0.1, 0.15, 0.2),
+        },
+        x_field="arrival_rate",
+        series_fields=("ltot",),
+        y_fields=("throughput", "response_time", "mean_blocked"),
+        expected_shape=(
+            "With a good granularity the system tracks the offered load "
+            "up to its capacity (~0.19/unit); record-level locking "
+            "saturates near 0.05/unit and collapses beyond it as lock "
+            "work floods the disks."
+        ),
+    )
+
+
+#: Registry of every exhibit and ablation, by key.
+EXHIBITS = {
+    "table1": table1,
+    "fig2": figure2,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "ablation_conflict": ablation_conflict_engine,
+    "ablation_protocol": ablation_protocol,
+    "ablation_scheduling": ablation_txn_scheduling,
+    "ablation_discipline": ablation_discipline,
+    "ablation_escalation": ablation_escalation,
+    "ablation_readmix": ablation_read_mix,
+    "ablation_open": ablation_open_system,
+}
+
+
+def get_exhibit(key):
+    """Build the spec for *key* (accepts ``2``, ``"2"``, or ``"fig2"``)."""
+    name = str(key)
+    if name.isdigit():
+        name = "fig{}".format(name)
+    try:
+        return EXHIBITS[name]()
+    except KeyError:
+        raise KeyError(
+            "unknown exhibit {!r}; known: {}".format(key, ", ".join(sorted(EXHIBITS)))
+        ) from None

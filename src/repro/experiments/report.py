@@ -1,0 +1,125 @@
+"""Reporting: paper-style series tables and quick ASCII plots."""
+
+import math
+
+
+def _format_value(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return "{:.0f}".format(value)
+        if magnitude >= 1:
+            return "{:.3f}".format(value)
+        return "{:.4f}".format(value)
+    return str(value)
+
+
+def format_series_table(result, y_field=None, title=None):
+    """A text table: one row per x value, one column per series.
+
+    Mirrors how the paper's figures read — for example Fig 2 becomes a
+    table of throughput with a column per ``npros`` and a row per
+    ``ltot``.
+    """
+    spec = result.spec
+    y_field = y_field or spec.y_fields[0]
+    curves = result.series(y_field)
+    labels = list(curves)
+    xs = sorted({x for points in curves.values() for x, _ in points})
+    lookup = {
+        label: {x: y for x, y in points} for label, points in curves.items()
+    }
+    header = [spec.x_field] + labels
+    rows = [header]
+    for x in xs:
+        row = [_format_value(x)]
+        for label in labels:
+            row.append(_format_value(lookup[label].get(x)))
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    if title is None:
+        title = "{} — {} [{}]".format(spec.key, spec.title, y_field)
+    lines.append(title)
+    lines.append("-" * min(len(title), 78))
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+        if index == 0:
+            lines.append(
+                "  ".join("-" * widths[i] for i in range(len(header)))
+            )
+    return "\n".join(lines)
+
+
+def ascii_plot(result, y_field=None, width=64, height=16):
+    """A rough log-x character plot of every series (for the CLI)."""
+    spec = result.spec
+    y_field = y_field or spec.y_fields[0]
+    curves = result.series(y_field)
+    points = [
+        (x, y)
+        for series in curves.values()
+        for x, y in series
+        if y == y and x > 0  # drop NaNs; log axis needs x > 0
+    ]
+    if not points:
+        return "(no data)"
+    x_lo = math.log10(min(x for x, _ in points))
+    x_hi = math.log10(max(x for x, _ in points))
+    y_lo = min(y for _, y in points)
+    y_hi = max(y for _, y in points)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for index, (label, series) in enumerate(curves.items()):
+        marker = markers[index % len(markers)]
+        for x, y in series:
+            if y != y or x <= 0:
+                continue
+            col = int((math.log10(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = ["{} vs {} (log x)".format(y_field, spec.x_field)]
+    lines.append("{:.4g} ┤".format(y_hi))
+    for row in grid:
+        lines.append("       │" + "".join(row))
+    lines.append("{:.4g} └".format(y_lo) + "─" * width)
+    lines.append(
+        "        x: {:.4g} … {:.4g}".format(10 ** x_lo, 10 ** x_hi)
+    )
+    for index, label in enumerate(curves):
+        lines.append(
+            "        {} {}".format(markers[index % len(markers)], label)
+        )
+    return "\n".join(lines)
+
+
+def summarize_optima(result, y_field=None, maximize=True):
+    """Per-series optimum line ("npros=30: best at ltot=20, y=0.57")."""
+    spec = result.spec
+    y_field = y_field or spec.y_fields[0]
+    lines = []
+    for label in result.series(y_field):
+        x, y = result.optimum(label, y_field, maximize)
+        lines.append(
+            "{}: {} at {}={}, {}={}".format(
+                label,
+                "max" if maximize else "min",
+                spec.x_field,
+                x,
+                y_field,
+                _format_value(y),
+            )
+        )
+    return "\n".join(lines)

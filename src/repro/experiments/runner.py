@@ -1,0 +1,111 @@
+"""Experiment execution: replications, parallelism, result shaping."""
+
+import concurrent.futures
+import os
+
+from repro.core.model import LockingGranularityModel
+from repro.core.results import aggregate
+
+
+def _run_single(params):
+    """Module-level worker so process pools can pickle it."""
+    return LockingGranularityModel(params).run()
+
+
+def _run_replicated(params, replications):
+    results = []
+    for i in range(replications):
+        results.append(_run_single(params.replace(seed=params.seed + i)))
+    return aggregate(results)
+
+
+class ExperimentResult:
+    """All rows of one executed spec.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`~repro.experiments.config.ExperimentSpec` run.
+    outcomes:
+        One :class:`~repro.core.results.ReplicatedResult` per
+        configuration, in sweep order.
+    """
+
+    def __init__(self, spec, outcomes):
+        self.spec = spec
+        self.outcomes = list(outcomes)
+
+    def __len__(self):
+        return len(self.outcomes)
+
+    def rows(self):
+        """Flat dicts (parameters + mean outputs) for persistence."""
+        return [outcome.as_dict() for outcome in self.outcomes]
+
+    def series(self, y_field=None):
+        """Curves: mapping series label → list of (x, y) sorted by x.
+
+        *y_field* defaults to the spec's first y field.
+        """
+        y_field = y_field or self.spec.y_fields[0]
+        curves = {}
+        for outcome in self.outcomes:
+            label = self.spec.series_label(outcome.params)
+            x = getattr(outcome.params, self.spec.x_field)
+            curves.setdefault(label, []).append((x, outcome.mean(y_field)))
+        for points in curves.values():
+            points.sort()
+        return curves
+
+    def optimum(self, series_label=None, y_field=None, maximize=True):
+        """(x, y) at the best y for one curve (or the first curve)."""
+        curves = self.series(y_field)
+        if series_label is None:
+            series_label = next(iter(curves))
+        points = curves[series_label]
+        chooser = max if maximize else min
+        return chooser(points, key=lambda point: point[1])
+
+
+def run_experiment(spec, replications=1, jobs=None, progress=None):
+    """Execute every configuration of *spec*.
+
+    Parameters
+    ----------
+    spec:
+        The experiment definition.
+    replications:
+        Independent replications per configuration (seeds increment).
+    jobs:
+        Worker processes; ``None``/0/1 runs inline, otherwise a
+        process pool fans configurations out (each configuration's
+        replications stay together so common-random-number pairing is
+        preserved).
+    progress:
+        Optional callable ``progress(done, total)`` invoked after each
+        configuration finishes.
+    """
+    configs = spec.configurations()
+    total = len(configs)
+    outcomes = [None] * total
+    if jobs is None:
+        jobs = 0
+    if jobs in (0, 1):
+        for i, params in enumerate(configs):
+            outcomes[i] = _run_replicated(params, replications)
+            if progress is not None:
+                progress(i + 1, total)
+        return ExperimentResult(spec, outcomes)
+    max_workers = min(jobs, os.cpu_count() or 1, total) or 1
+    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            pool.submit(_run_replicated, params, replications): i
+            for i, params in enumerate(configs)
+        }
+        done = 0
+        for future in concurrent.futures.as_completed(futures):
+            outcomes[futures[future]] = future.result()
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    return ExperimentResult(spec, outcomes)

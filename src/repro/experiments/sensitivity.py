@@ -1,0 +1,143 @@
+"""Parameter sensitivity analysis.
+
+Quantifies how strongly each input parameter drives an output: run a
+baseline, then re-run with each parameter perturbed by ±``delta``
+(relative), and report the *elasticity* — the ratio of relative output
+change to relative input change.  Elasticities near 0 mean the model
+barely cares; |elasticity| ≈ 1 means proportional response.
+
+This answers referee-style questions about the study ("how sensitive
+are the conclusions to the lock I/O cost?") with one call, and the
+test suite uses it to pin the model's qualitative derivative structure
+(e.g. throughput falls when ``iotime`` rises; rises with ``npros``).
+"""
+
+from dataclasses import dataclass
+
+from repro.core.model import simulate_replications
+
+#: Parameters that can be perturbed multiplicatively.
+NUMERIC_PARAMETERS = (
+    "ltot",
+    "ntrans",
+    "maxtransize",
+    "cputime",
+    "iotime",
+    "lcputime",
+    "liotime",
+    "npros",
+)
+
+#: Integer-valued parameters (perturbations are rounded, min 1).
+_INTEGER_PARAMETERS = {"ltot", "ntrans", "maxtransize", "npros"}
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """One parameter's measured effect.
+
+    Attributes
+    ----------
+    parameter:
+        The perturbed input.
+    low_value / high_value:
+        The perturbed input settings actually used.
+    low_output / high_output:
+        The output at each perturbed setting.
+    baseline_output:
+        The unperturbed output.
+    elasticity:
+        Central-difference elasticity
+        ``((high_out − low_out)/baseline_out) / ((high_in − low_in)/baseline_in)``.
+    """
+
+    parameter: str
+    low_value: float
+    high_value: float
+    low_output: float
+    high_output: float
+    baseline_output: float
+    elasticity: float
+
+
+def _perturb(params, name, factor):
+    value = getattr(params, name)
+    perturbed = value * factor
+    if name in _INTEGER_PARAMETERS:
+        perturbed = max(1, round(perturbed))
+        if name == "ltot":
+            perturbed = min(perturbed, params.dbsize)
+        if name == "maxtransize":
+            perturbed = min(perturbed, params.dbsize)
+    if perturbed == value:
+        return None
+    return params.replace(**{name: perturbed})
+
+
+def analyze_sensitivity(
+    params,
+    parameters=NUMERIC_PARAMETERS,
+    output="throughput",
+    delta=0.25,
+    replications=2,
+):
+    """Measure elasticities of *output* w.r.t. each of *parameters*.
+
+    Returns a dict parameter → :class:`Sensitivity` (parameters whose
+    perturbation collapses to the original value are skipped).
+    """
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    baseline = simulate_replications(params, replications=replications).mean(
+        output
+    )
+    results = {}
+    for name in parameters:
+        low_params = _perturb(params, name, 1.0 - delta)
+        high_params = _perturb(params, name, 1.0 + delta)
+        if low_params is None or high_params is None:
+            continue
+        low_out = simulate_replications(
+            low_params, replications=replications
+        ).mean(output)
+        high_out = simulate_replications(
+            high_params, replications=replications
+        ).mean(output)
+        low_in = getattr(low_params, name)
+        high_in = getattr(high_params, name)
+        base_in = getattr(params, name)
+        input_change = (high_in - low_in) / base_in
+        if baseline == 0 or input_change == 0:
+            elasticity = 0.0
+        else:
+            elasticity = ((high_out - low_out) / baseline) / input_change
+        results[name] = Sensitivity(
+            parameter=name,
+            low_value=low_in,
+            high_value=high_in,
+            low_output=low_out,
+            high_output=high_out,
+            baseline_output=baseline,
+            elasticity=elasticity,
+        )
+    return results
+
+
+def format_sensitivities(results):
+    """A text table of elasticities, strongest first."""
+    lines = [
+        "{:>12s} {:>10s} {:>10s} {:>12s}".format(
+            "parameter", "low out", "high out", "elasticity"
+        )
+    ]
+    ordered = sorted(
+        results.values(), key=lambda s: abs(s.elasticity), reverse=True
+    )
+    for item in ordered:
+        lines.append(
+            "{:>12s} {:>10.4g} {:>10.4g} {:>+12.2f}".format(
+                item.parameter, item.low_output, item.high_output,
+                item.elasticity,
+            )
+        )
+    return "\n".join(lines)

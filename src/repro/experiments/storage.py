@@ -1,0 +1,54 @@
+"""Result persistence: CSV and JSON row storage."""
+
+import csv
+import json
+
+
+def save_rows_csv(rows, path):
+    """Write dict *rows* to *path* as CSV (union of keys, sorted)."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to save")
+    fieldnames = sorted({key for row in rows for key in row})
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def load_rows_csv(path):
+    """Read rows written by :func:`save_rows_csv` (values as strings
+    unless they parse as numbers)."""
+    rows = []
+    with open(path, newline="") as handle:
+        for raw in csv.DictReader(handle):
+            rows.append({key: _parse(value) for key, value in raw.items()})
+    return rows
+
+
+def save_rows_json(rows, path, metadata=None):
+    """Write rows (and optional metadata) to *path* as JSON."""
+    document = {"rows": list(rows)}
+    if metadata:
+        document["metadata"] = dict(metadata)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def load_rows_json(path):
+    """Read a document written by :func:`save_rows_json`."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _parse(text):
+    if text is None or text == "":
+        return None
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text

@@ -1,0 +1,230 @@
+"""Pure-Python SVG line charts for exhibit results.
+
+No plotting library is available offline, so this module renders the
+paper-style figures (log-x lock-count axis, one line per series)
+directly as SVG.  The output opens in any browser and diffs cleanly in
+version control.
+"""
+
+import math
+from xml.sax.saxutils import escape
+
+#: Default canvas geometry (pixels).
+WIDTH = 640
+HEIGHT = 420
+MARGIN_LEFT = 70
+MARGIN_RIGHT = 170
+MARGIN_TOP = 48
+MARGIN_BOTTOM = 56
+
+#: Line colours cycled across series.
+PALETTE = (
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+    "#8c564b", "#17becf", "#7f7f7f",
+)
+
+#: Point markers cycled across series (SVG path fragments are overkill;
+#: circles with distinct fills suffice at these sizes).
+MARKER_RADIUS = 3.0
+
+
+class SvgChart:
+    """A log-x / linear-y multi-series line chart.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    x_label / y_label:
+        Axis captions.
+    log_x:
+        Plot x on a log10 scale (the paper's lock-count axes are log).
+    """
+
+    def __init__(self, title, x_label="ltot", y_label="", log_x=True):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.log_x = log_x
+        self._series = []
+
+    def add_series(self, label, points):
+        """Add one curve: *points* is a list of (x, y) pairs."""
+        cleaned = [
+            (x, y)
+            for x, y in points
+            if y == y and (not self.log_x or x > 0)
+        ]
+        if cleaned:
+            self._series.append((label, sorted(cleaned)))
+
+    def _x_transform(self, x):
+        return math.log10(x) if self.log_x else x
+
+    def render(self):
+        """The complete SVG document as a string."""
+        if not self._series:
+            return self._empty_document()
+        xs = [
+            self._x_transform(x)
+            for _, points in self._series
+            for x, _ in points
+        ]
+        ys = [y for _, points in self._series for _, y in points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        y_lo = min(y_lo, 0.0) if y_lo > 0 and y_lo < 0.2 * y_hi else y_lo
+        plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+        plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+
+        def px(x):
+            return MARGIN_LEFT + (self._x_transform(x) - x_lo) / (x_hi - x_lo) * plot_w
+
+        def py(y):
+            return MARGIN_TOP + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+        parts = [
+            '<svg xmlns="http://www.w3.org/2000/svg" width="{w}" '
+            'height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" '
+            'font-size="11">'.format(w=WIDTH, h=HEIGHT),
+            '<rect width="{}" height="{}" fill="white"/>'.format(WIDTH, HEIGHT),
+            '<text x="{}" y="20" font-size="13" font-weight="bold">{}</text>'.format(
+                MARGIN_LEFT, escape(self.title)
+            ),
+        ]
+        parts.extend(self._axes(x_lo, x_hi, y_lo, y_hi, px, py))
+        for index, (label, points) in enumerate(self._series):
+            colour = PALETTE[index % len(PALETTE)]
+            path = " ".join(
+                "{}{:.1f},{:.1f}".format("M" if i == 0 else "L", px(x), py(y))
+                for i, (x, y) in enumerate(points)
+            )
+            parts.append(
+                '<path d="{}" fill="none" stroke="{}" '
+                'stroke-width="1.6"/>'.format(path, colour)
+            )
+            for x, y in points:
+                parts.append(
+                    '<circle cx="{:.1f}" cy="{:.1f}" r="{}" '
+                    'fill="{}"/>'.format(px(x), py(y), MARKER_RADIUS, colour)
+                )
+            legend_y = MARGIN_TOP + 14 + index * 16
+            legend_x = WIDTH - MARGIN_RIGHT + 12
+            parts.append(
+                '<circle cx="{}" cy="{}" r="{}" fill="{}"/>'.format(
+                    legend_x, legend_y - 4, MARKER_RADIUS, colour
+                )
+            )
+            parts.append(
+                '<text x="{}" y="{}">{}</text>'.format(
+                    legend_x + 8, legend_y, escape(str(label))
+                )
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def _axes(self, x_lo, x_hi, y_lo, y_hi, px, py):
+        parts = []
+        x0, y0 = MARGIN_LEFT, HEIGHT - MARGIN_BOTTOM
+        x1, y1 = WIDTH - MARGIN_RIGHT, MARGIN_TOP
+        parts.append(
+            '<line x1="{0}" y1="{1}" x2="{2}" y2="{1}" '
+            'stroke="black"/>'.format(x0, y0, x1)
+        )
+        parts.append(
+            '<line x1="{0}" y1="{1}" x2="{0}" y2="{2}" '
+            'stroke="black"/>'.format(x0, y0, y1)
+        )
+        # X ticks: decades when log, else 5 even ticks.
+        if self.log_x:
+            ticks = [
+                10 ** d
+                for d in range(int(math.floor(x_lo)), int(math.ceil(x_hi)) + 1)
+                if x_lo - 1e-9 <= d <= x_hi + 1e-9
+            ]
+        else:
+            ticks = [x_lo + i * (x_hi - x_lo) / 4 for i in range(5)]
+        for tick in ticks:
+            x = px(tick)
+            parts.append(
+                '<line x1="{0:.1f}" y1="{1}" x2="{0:.1f}" y2="{2}" '
+                'stroke="black"/>'.format(x, y0, y0 + 4)
+            )
+            parts.append(
+                '<text x="{:.1f}" y="{}" text-anchor="middle">{:g}</text>'.format(
+                    x, y0 + 18, tick
+                )
+            )
+        for i in range(5):
+            value = y_lo + i * (y_hi - y_lo) / 4
+            y = py(value)
+            parts.append(
+                '<line x1="{0}" y1="{1:.1f}" x2="{2}" y2="{1:.1f}" '
+                'stroke="#dddddd"/>'.format(x0, y, x1)
+            )
+            parts.append(
+                '<text x="{}" y="{:.1f}" text-anchor="end">{:.4g}</text>'.format(
+                    x0 - 6, y + 4, value
+                )
+            )
+        parts.append(
+            '<text x="{}" y="{}" text-anchor="middle">{}</text>'.format(
+                (x0 + x1) / 2, HEIGHT - 14, escape(self.x_label)
+            )
+        )
+        parts.append(
+            '<text x="16" y="{}" transform="rotate(-90 16 {})" '
+            'text-anchor="middle">{}</text>'.format(
+                (y0 + y1) / 2, (y0 + y1) / 2, escape(self.y_label)
+            )
+        )
+        return parts
+
+    def _empty_document(self):
+        return (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}">'
+            '<text x="20" y="40">no data</text></svg>'.format(w=WIDTH, h=HEIGHT)
+        )
+
+    def save(self, path):
+        """Write the SVG document to *path*."""
+        with open(path, "w") as handle:
+            handle.write(self.render())
+        return path
+
+
+def chart_from_result(result, y_field=None, title=None):
+    """Build an :class:`SvgChart` from an
+    :class:`~repro.experiments.runner.ExperimentResult`."""
+    spec = result.spec
+    y_field = y_field or spec.y_fields[0]
+    chart = SvgChart(
+        title or "{}: {}".format(spec.key, spec.title),
+        x_label=spec.x_field,
+        y_label=y_field,
+        log_x=spec.x_field == "ltot",
+    )
+    for label, points in result.series(y_field).items():
+        chart.add_series(label, points)
+    return chart
+
+
+def save_result_charts(result, directory, prefix=None):
+    """Write one SVG per y-field of *result* into *directory*.
+
+    Returns the list of written paths.
+    """
+    import os
+
+    prefix = prefix or result.spec.key
+    paths = []
+    for y_field in result.spec.y_fields:
+        chart = chart_from_result(result, y_field)
+        path = os.path.join(directory, "{}_{}.svg".format(prefix, y_field))
+        chart.save(path)
+        paths.append(path)
+    return paths

@@ -1,0 +1,65 @@
+"""Waits-for-graph deadlock detection for the incremental protocol.
+
+The paper's conservative (preclaim) scheme makes deadlock impossible;
+the "claim as needed" variant it cites (Ries & Stonebraker 1979,
+footnote 1) does not.  This module provides detection over a
+:class:`~repro.lockmgr.manager.LockManager`'s waits-for edges using
+networkx cycle search, plus a pluggable victim-selection policy.
+"""
+
+import networkx as nx
+
+
+class DeadlockDetector:
+    """Finds waits-for cycles and picks victims to break them.
+
+    Parameters
+    ----------
+    manager:
+        The :class:`~repro.lockmgr.manager.LockManager` to inspect.
+    victim_key:
+        Function mapping an owner to a sortable cost; the owner with
+        the **largest** key in a cycle is chosen as victim (default:
+        the owner itself, so the "youngest" — largest id — dies, a
+        common policy when ids are assigned in start order).
+    """
+
+    def __init__(self, manager, victim_key=None):
+        self._manager = manager
+        self._victim_key = victim_key if victim_key is not None else lambda o: o
+
+    def graph(self):
+        """Build the current waits-for digraph (waiter → holder)."""
+        digraph = nx.DiGraph()
+        digraph.add_edges_from(self._manager.waits_for_edges())
+        return digraph
+
+    def find_cycle(self):
+        """One deadlock cycle as a list of owners, or ``None``."""
+        digraph = self.graph()
+        try:
+            edges = nx.find_cycle(digraph)
+        except nx.NetworkXNoCycle:
+            return None
+        return [edge[0] for edge in edges]
+
+    def find_all_cycles(self):
+        """Every simple waits-for cycle (lists of owners)."""
+        return list(nx.simple_cycles(self.graph()))
+
+    def choose_victim(self, cycle):
+        """The owner in *cycle* with the largest victim key."""
+        return max(cycle, key=self._victim_key)
+
+    def resolve_once(self):
+        """Detect one cycle and pick its victim.
+
+        Returns the victim owner, or ``None`` when no deadlock exists.
+        The caller is responsible for actually aborting the victim
+        (cancelling its waiting requests and releasing its locks);
+        the detector never mutates the lock table.
+        """
+        cycle = self.find_cycle()
+        if cycle is None:
+            return None
+        return self.choose_victim(cycle)

@@ -1,0 +1,133 @@
+"""Multi-granularity (hierarchical) locking over a granule tree.
+
+The paper's conclusion points at Gamma-style systems offering locks "at
+the block level and at the file level".  This module implements the
+standard mechanism behind such mixed granularities: a tree of lockable
+nodes (database → areas/files → granules) where locking a node requires
+intention locks (IS/IX) on all its ancestors, per Gray's protocol.
+
+The simulation itself locks at a single level; the hierarchy is an
+extension substrate exercised by tests and the granule-hierarchy
+example.
+"""
+
+from repro.lockmgr.manager import LockManager, RequestStatus
+from repro.lockmgr.modes import LockMode
+
+
+class GranuleTree:
+    """A rooted tree of lockable node ids.
+
+    Nodes are arbitrary hashable ids; the tree is built by declaring
+    each node with its parent.  The root is created at construction.
+    """
+
+    def __init__(self, root="database"):
+        self.root = root
+        self._parent = {root: None}
+        self._children = {root: []}
+
+    def add(self, node, parent):
+        """Declare *node* as a child of *parent*."""
+        if node in self._parent:
+            raise ValueError("node {!r} already exists".format(node))
+        if parent not in self._parent:
+            raise KeyError("unknown parent {!r}".format(parent))
+        self._parent[node] = parent
+        self._children[node] = []
+        self._children[parent].append(node)
+        return node
+
+    def add_levels(self, fanouts):
+        """Build a uniform tree: ``fanouts=[4, 25]`` → 4 files × 25 blocks.
+
+        Returns the list of leaf node ids (tuples encoding the path).
+        """
+        level = [self.root]
+        for depth, fanout in enumerate(fanouts):
+            next_level = []
+            for node in level:
+                for i in range(fanout):
+                    child = (depth, node, i)
+                    self.add(child, node)
+                    next_level.append(child)
+            level = next_level
+        return level
+
+    def __contains__(self, node):
+        return node in self._parent
+
+    def parent(self, node):
+        """The parent id of *node* (``None`` for the root)."""
+        return self._parent[node]
+
+    def children(self, node):
+        """The child ids of *node*."""
+        return list(self._children[node])
+
+    def path_to_root(self, node):
+        """Ancestors from the root down to *node*'s parent (root first)."""
+        path = []
+        current = self._parent[node]
+        while current is not None:
+            path.append(current)
+            current = self._parent[current]
+        path.reverse()
+        return path
+
+
+#: Intention mode required on ancestors for each leaf-level mode.
+_INTENTION_FOR = {
+    LockMode.S: LockMode.IS,
+    LockMode.IS: LockMode.IS,
+    LockMode.X: LockMode.IX,
+    LockMode.IX: LockMode.IX,
+    LockMode.SIX: LockMode.IX,
+}
+
+
+class HierarchicalLockManager:
+    """Gray's multi-granularity protocol over a :class:`GranuleTree`.
+
+    ``lock(owner, node, S|X)`` takes IS/IX on every ancestor, then the
+    requested mode on the node, atomically (all-or-nothing try-lock).
+    """
+
+    def __init__(self, tree):
+        self.tree = tree
+        self.manager = LockManager()
+
+    def try_lock(self, owner, node, mode):
+        """Attempt to lock *node* in *mode* with proper intentions.
+
+        Returns ``None`` on success or the first conflicting owner.
+        Nothing is acquired on failure.
+        """
+        if node not in self.tree:
+            raise KeyError("unknown node {!r}".format(node))
+        intention = _INTENTION_FOR[mode]
+        requests = [(ancestor, intention) for ancestor in self.tree.path_to_root(node)]
+        requests.append((node, mode))
+        return self.manager.try_acquire_all(owner, requests)
+
+    def lock_queued(self, owner, node, mode, on_grant=None):
+        """Incremental variant: queue on conflict (may deadlock).
+
+        Acquires intention locks root-down, queueing at each level.
+        Returns the list of :class:`LockRequest` issued; the last one
+        is the target-node request.
+        """
+        intention = _INTENTION_FOR[mode]
+        requests = []
+        for ancestor in self.tree.path_to_root(node):
+            requests.append(self.manager.acquire(owner, ancestor, intention))
+        requests.append(self.manager.acquire(owner, node, mode, on_grant))
+        return requests
+
+    def unlock_all(self, owner):
+        """Release everything *owner* holds, leaf-to-root order implied."""
+        return self.manager.release_all(owner)
+
+    def is_fully_granted(self, requests):
+        """True when every request in *requests* has been granted."""
+        return all(r.status is RequestStatus.GRANTED for r in requests)

@@ -1,0 +1,200 @@
+"""The lock manager: preclaim and incremental protocols over the table.
+
+Two acquisition protocols are provided, matching the two concurrency
+control schemes discussed in the paper:
+
+*Preclaim* (:meth:`LockManager.try_acquire_all`)
+    The paper's conservative scheme: a transaction asks for **all** its
+    locks at once, before using any resource.  The request either
+    grants atomically or fails, naming a blocking transaction; nothing
+    is queued in the table, because the simulation model keeps its own
+    blocked queue and retries when the blocker finishes.  Deadlock is
+    impossible.
+
+*Incremental* (:meth:`LockManager.acquire`)
+    Classic two-phase "claim as needed" locking: each granule is
+    requested when first touched; incompatible requests queue FIFO and
+    are granted on release.  Deadlock becomes possible and is handled
+    by :class:`~repro.lockmgr.deadlock.DeadlockDetector` plus
+    :meth:`LockManager.cancel`.
+
+The manager is independent of the simulation kernel: grants are
+delivered through per-request callbacks, which the simulation layer
+wires to events.
+"""
+
+import enum
+from collections import deque
+
+from repro.lockmgr.modes import LockMode, compatible
+from repro.lockmgr.table import LockTable
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of an incremental lock request."""
+
+    GRANTED = "granted"
+    WAITING = "waiting"
+    CANCELLED = "cancelled"
+
+
+class LockRequest:
+    """One incremental request for (*owner*, *granule*, *mode*)."""
+
+    __slots__ = ("owner", "granule", "mode", "status", "on_grant")
+
+    def __init__(self, owner, granule, mode, on_grant=None):
+        self.owner = owner
+        self.granule = granule
+        self.mode = mode
+        self.status = RequestStatus.WAITING
+        self.on_grant = on_grant
+
+    def __repr__(self):
+        return "<LockRequest {} {} on {!r} [{}]>".format(
+            self.owner, self.mode, self.granule, self.status.value
+        )
+
+
+class LockManager:
+    """Grants, queues, and releases locks over a :class:`LockTable`."""
+
+    def __init__(self):
+        self.table = LockTable()
+        self._held = {}
+
+    # -- preclaim protocol ---------------------------------------------
+
+    def try_acquire_all(self, owner, requests):
+        """Atomically acquire every (granule, mode) in *requests*.
+
+        Returns ``None`` on success.  On conflict nothing is acquired
+        and the first conflicting holder (in request order, then holder
+        insertion order) is returned, mirroring the paper's model where
+        a denied transaction blocks on one identified blocker.
+        """
+        requests = list(requests)
+        for granule, mode in requests:
+            state = self.table.peek(granule)
+            if state is None:
+                continue
+            for holder, held in state.holders.items():
+                if holder != owner and not compatible(held, mode):
+                    return holder
+        for granule, mode in requests:
+            self._grant(owner, granule, mode)
+        return None
+
+    # -- incremental protocol --------------------------------------------
+
+    def acquire(self, owner, granule, mode, on_grant=None):
+        """Request one lock; grant immediately or queue FIFO.
+
+        The returned :class:`LockRequest` has status ``GRANTED`` or
+        ``WAITING``.  Waiting requests are granted (and their
+        ``on_grant`` callback invoked) by a later :meth:`release` /
+        :meth:`release_all`.  FIFO fairness: a request also waits when
+        anyone is already queued on the granule, even if it would be
+        compatible with the current holders, so writers cannot starve.
+        """
+        request = LockRequest(owner, granule, mode, on_grant)
+        state = self.table.state(granule)
+        already_held = state.holders.get(owner)
+        if already_held is not None and compatible(already_held, mode):
+            # Upgrade path: only other holders can conflict.
+            if state.grantable(owner, mode):
+                self._grant(owner, granule, mode)
+                request.status = RequestStatus.GRANTED
+                return request
+        elif not state.waiters and state.grantable(owner, mode):
+            self._grant(owner, granule, mode)
+            request.status = RequestStatus.GRANTED
+            return request
+        state.waiters.append(request)
+        return request
+
+    def cancel(self, request):
+        """Withdraw a waiting request (deadlock-victim path)."""
+        if request.status is not RequestStatus.WAITING:
+            return
+        state = self.table.peek(request.granule)
+        if state is not None and request in state.waiters:
+            state.waiters.remove(request)
+            request.status = RequestStatus.CANCELLED
+            self._promote(request.granule)
+
+    # -- release -----------------------------------------------------------
+
+    def release(self, owner, granule):
+        """Release *owner*'s lock on one granule, waking eligible waiters."""
+        held = self._held.get(owner)
+        if held is not None:
+            held.discard(granule)
+            if not held:
+                del self._held[owner]
+        self.table.revoke(granule, owner)
+        return self._promote(granule)
+
+    def release_all(self, owner):
+        """Release every lock *owner* holds; returns granted requests."""
+        granted = []
+        for granule in list(self._held.get(owner, ())):
+            granted.extend(self.release(owner, granule))
+        return granted
+
+    # -- introspection -------------------------------------------------
+
+    def held_by(self, owner):
+        """Snapshot of granule ids *owner* currently holds."""
+        return set(self._held.get(owner, ()))
+
+    def lock_count(self, owner):
+        """Number of granules *owner* currently holds."""
+        return len(self._held.get(owner, ()))
+
+    def waits_for_edges(self):
+        """Yield (waiter, holder) pairs for the waits-for graph.
+
+        A waiter waits on each current holder its mode conflicts with.
+        """
+        for granule in self.table.locked_granules():
+            state = self.table.peek(granule)
+            if state is None:
+                continue
+            for request in state.waiters:
+                for holder, held in state.holders.items():
+                    if holder != request.owner and not compatible(
+                        held, request.mode
+                    ):
+                        yield (request.owner, holder)
+
+    # -- internals -------------------------------------------------------
+
+    def _grant(self, owner, granule, mode):
+        self.table.grant(granule, owner, mode)
+        self._held.setdefault(owner, set()).add(granule)
+
+    def _promote(self, granule):
+        """Grant queued waiters in FIFO order while compatible."""
+        state = self.table.peek(granule)
+        if state is None:
+            return []
+        granted = []
+        while state.waiters:
+            request = state.waiters[0]
+            if not state.grantable(request.owner, request.mode):
+                break
+            state.waiters.popleft()
+            self._grant(request.owner, granule, request.mode)
+            request.status = RequestStatus.GRANTED
+            granted.append(request)
+        self.table.prune(granule)
+        for request in granted:
+            if request.on_grant is not None:
+                request.on_grant(request)
+        return granted
+
+
+def exclusive_requests(granules):
+    """Convenience: (granule, X) pairs for an iterable of granule ids."""
+    return [(granule, LockMode.X) for granule in granules]

@@ -1,0 +1,33 @@
+"""Simulation output analysis.
+
+Single-run confidence intervals are tricky because consecutive
+response-time observations in a closed queueing model are strongly
+autocorrelated; the classical remedy is the *batch means* method.
+This package provides:
+
+:func:`batch_means_ci`
+    A confidence interval for the steady-state mean from one long run.
+:func:`lag1_autocorrelation`
+    A quick dependence diagnostic (near zero for good batch sizes).
+:func:`recommended_batches`
+    The usual 10–30 batch heuristic for a sample count.
+
+Cross-replication intervals live on
+:class:`repro.core.results.ReplicatedResult`; this module covers the
+within-run case (see ``examples/`` and the model's
+``metrics.response_samples``).
+"""
+
+from repro.stats.batchmeans import (
+    BatchMeansResult,
+    batch_means_ci,
+    lag1_autocorrelation,
+    recommended_batches,
+)
+
+__all__ = [
+    "BatchMeansResult",
+    "batch_means_ci",
+    "lag1_autocorrelation",
+    "recommended_batches",
+]

@@ -1,0 +1,101 @@
+"""Unit tests for the closed-form granularity approximations."""
+
+import pytest
+
+from repro.analytic.granularity import (
+    conflict_probability,
+    expected_lock_overhead,
+    locks_required,
+    optimal_ltot_estimate,
+    serial_throughput_bound,
+)
+from repro.core import SimulationParameters, simulate
+
+
+class TestLocksRequired:
+    def test_best(self):
+        assert locks_required("best", 5000, 100, 500) == 10
+
+    def test_worst(self):
+        assert locks_required("worst", 5000, 100, 500) == 100
+
+    def test_random_between(self):
+        value = locks_required("random", 5000, 100, 50)
+        assert locks_required("best", 5000, 100, 50) <= value
+        assert value <= locks_required("worst", 5000, 100, 50)
+
+    def test_unknown_placement(self):
+        with pytest.raises(ValueError):
+            locks_required("magic", 5000, 100, 50)
+
+
+class TestConflictProbability:
+    def test_zero_actives(self):
+        assert conflict_probability("best", 5000, 100, 250, active=0) == 0.0
+
+    def test_capped_at_one(self):
+        assert conflict_probability("worst", 5000, 10, 5000, active=50) == 1.0
+
+    def test_best_placement_roughly_ltot_invariant(self):
+        # With best placement, LU scales with ltot, so the conflict
+        # probability barely moves across moderate-to-fine ltot.
+        values = [
+            conflict_probability("best", 5000, ltot, 250, active=9)
+            for ltot in (100, 500, 1000, 5000)
+        ]
+        assert max(values) - min(values) < 0.15
+
+    def test_matches_simulation_denial_rate_roughly(self):
+        params = SimulationParameters(tmax=400.0, ltot=100, npros=10, seed=3)
+        result = simulate(params)
+        predicted = conflict_probability(
+            "best",
+            params.dbsize,
+            params.ltot,
+            params.mean_transaction_size,
+            active=result.mean_active,
+        )
+        assert result.denial_rate == pytest.approx(predicted, abs=0.15)
+
+
+class TestOverheadAndBounds:
+    def test_expected_lock_overhead_scales_with_ltot(self):
+        params = SimulationParameters()
+        coarse = expected_lock_overhead("best", params.replace(ltot=10))
+        fine = expected_lock_overhead("best", params.replace(ltot=5000))
+        assert fine > coarse
+
+    def test_serial_bound_positive_and_finite(self):
+        bound = serial_throughput_bound(SimulationParameters())
+        assert 0 < bound < float("inf")
+
+    def test_serial_bound_anchors_ltot1_simulation(self):
+        # The ltot=1 simulated throughput cannot exceed the serial
+        # bound by more than synchronisation noise.
+        params = SimulationParameters(tmax=400.0, ltot=1, npros=10, seed=3)
+        result = simulate(params)
+        bound = serial_throughput_bound(params)
+        assert result.throughput <= bound * 1.2
+
+
+class TestOptimalEstimate:
+    def test_best_placement_optimum_below_200(self):
+        # The paper's headline conclusion for Table 1 settings.
+        params = SimulationParameters(npros=30)
+        assert optimal_ltot_estimate(params) <= 200
+
+    def test_estimate_in_candidate_set(self):
+        params = SimulationParameters()
+        candidates = [1, 10, 100]
+        assert optimal_ltot_estimate(params, candidates) in candidates
+
+    def test_estimate_matches_simulated_optimum_region(self):
+        params = SimulationParameters(tmax=400.0, npros=10, seed=3)
+        estimate = optimal_ltot_estimate(params)
+        sims = {
+            ltot: simulate(params.replace(ltot=ltot)).throughput
+            for ltot in (1, 10, 100, 1000, 5000)
+        }
+        best_sim = max(sims, key=sims.get)
+        # Same order of magnitude (both well under 200 locks).
+        assert estimate <= 200 and best_sim <= 200

@@ -1,0 +1,114 @@
+"""Tests for operational laws, including cross-validation vs the simulator."""
+
+import pytest
+
+from repro.analytic.queueing import (
+    balanced_system_throughput,
+    bottleneck_demand,
+    response_time_lower_bound,
+    service_demands,
+    throughput_upper_bound,
+    total_demand,
+)
+from repro.core import SimulationParameters, simulate
+
+
+class TestDemands:
+    def test_disk_dominates_with_table1_costs(self):
+        # iotime = 4 x cputime and liotime = 20 x lcputime: the disk
+        # is always the bottleneck.
+        params = SimulationParameters()
+        demands = service_demands(params)
+        assert demands["disk"] > demands["cpu"]
+        assert bottleneck_demand(params) == demands["disk"]
+
+    def test_demands_scale_inversely_with_processors(self):
+        small = service_demands(SimulationParameters(npros=2))
+        large = service_demands(SimulationParameters(npros=20))
+        assert small["disk"] == pytest.approx(10 * large["disk"])
+
+    def test_lock_demand_grows_with_ltot(self):
+        coarse = service_demands(SimulationParameters(ltot=10))
+        fine = service_demands(SimulationParameters(ltot=5000))
+        assert fine["disk"] > coarse["disk"]
+        assert fine["cpu"] > coarse["cpu"]
+
+    def test_total_demand_accounts_for_all_stations(self):
+        params = SimulationParameters(npros=4)
+        demands = service_demands(params)
+        assert total_demand(params) == pytest.approx(
+            4 * (demands["disk"] + demands["cpu"])
+        )
+
+    def test_explicit_nu_overrides_mean(self):
+        params = SimulationParameters()
+        small = service_demands(params, nu=10)
+        large = service_demands(params, nu=1000)
+        assert large["disk"] > small["disk"]
+
+
+class TestBounds:
+    def test_upper_bound_positive_finite(self):
+        bound = throughput_upper_bound(SimulationParameters())
+        assert 0 < bound < float("inf")
+
+    def test_population_bound_active_for_single_customer(self):
+        # With one customer there is no queueing: X <= 1 / R_min binds
+        # below the bottleneck bound.
+        params = SimulationParameters(ntrans=1, npros=10)
+        assert throughput_upper_bound(params) == pytest.approx(
+            1.0 / response_time_lower_bound(params)
+        )
+        assert throughput_upper_bound(params) < 1.0 / bottleneck_demand(params)
+
+    def test_balanced_estimate_below_upper_bound(self):
+        params = SimulationParameters()
+        assert balanced_system_throughput(params) <= throughput_upper_bound(
+            params
+        ) * (1 + 1e-9)
+
+
+class TestSimulatorObeysBounds:
+    """The simulator can never beat the operational-law bounds."""
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {},
+            {"ltot": 1},
+            {"ltot": 5000},
+            {"npros": 1},
+            {"npros": 30},
+            {"maxtransize": 50},
+            {"ntrans": 50},
+            {"placement": "worst", "ltot": 100},
+            {"placement": "random", "ltot": 100},
+        ],
+    )
+    def test_throughput_never_exceeds_upper_bound(self, changes):
+        params = SimulationParameters(tmax=300.0, seed=9, **changes)
+        result = simulate(params)
+        bound = throughput_upper_bound(params)
+        # 10% slack for finite-horizon edge effects (transactions in
+        # flight at tmax) and the stochastic size distribution.
+        assert result.throughput <= bound * 1.10, (changes, bound)
+
+    @pytest.mark.parametrize(
+        "changes",
+        [{}, {"ltot": 1}, {"npros": 30}, {"maxtransize": 50}],
+    )
+    def test_response_time_never_beats_lower_bound(self, changes):
+        params = SimulationParameters(tmax=300.0, seed=9, **changes)
+        result = simulate(params)
+        # The per-transaction service floor uses the smallest possible
+        # transaction (nu = 1) to stay a true lower bound.
+        floor = response_time_lower_bound(params, nu=1)
+        assert result.response_time >= floor * 0.99, changes
+
+    def test_bound_is_reasonably_tight_at_saturation(self):
+        # In the I/O-saturated regime the simulator should achieve a
+        # large fraction of the bottleneck bound.
+        params = SimulationParameters(tmax=400.0, ltot=20, npros=10, seed=9)
+        result = simulate(params)
+        bound = throughput_upper_bound(params)
+        assert result.throughput >= 0.5 * bound

@@ -1,0 +1,96 @@
+"""Unit tests for Yao's block-access formula."""
+
+import math
+from itertools import combinations
+
+import pytest
+
+from repro.analytic.yao import expected_granules_touched, yao_locks
+
+
+def brute_force_expectation(dbsize, ltot, nu):
+    """Exact expectation by enumerating all entity subsets (tiny cases)."""
+    small = dbsize // ltot
+    n_large = dbsize - small * ltot
+    boundary = n_large * (small + 1)
+
+    def granule_of(entity):
+        if entity < boundary:
+            return entity // (small + 1)
+        return n_large + (entity - boundary) // small
+
+    total = 0
+    count = 0
+    for subset in combinations(range(dbsize), nu):
+        total += len({granule_of(e) for e in subset})
+        count += 1
+    return total / count
+
+
+class TestFormula:
+    def test_single_entity(self):
+        assert expected_granules_touched(100, 10, 1) == pytest.approx(1.0)
+
+    def test_zero_entities(self):
+        assert expected_granules_touched(100, 10, 0) == 0.0
+
+    def test_full_scan_touches_everything(self):
+        assert expected_granules_touched(100, 10, 100) == pytest.approx(10.0)
+
+    def test_one_granule_database(self):
+        assert expected_granules_touched(100, 1, 37) == pytest.approx(1.0)
+
+    def test_entity_granules_equal_nu(self):
+        assert expected_granules_touched(100, 100, 37) == pytest.approx(37.0)
+
+    @pytest.mark.parametrize(
+        "dbsize,ltot,nu",
+        [(6, 3, 2), (6, 2, 3), (8, 4, 3), (9, 3, 4), (10, 5, 2)],
+    )
+    def test_matches_brute_force_divisible(self, dbsize, ltot, nu):
+        exact = brute_force_expectation(dbsize, ltot, nu)
+        assert expected_granules_touched(dbsize, ltot, nu) == pytest.approx(exact)
+
+    @pytest.mark.parametrize(
+        "dbsize,ltot,nu",
+        [(7, 3, 2), (7, 2, 3), (9, 4, 3), (11, 3, 5)],
+    )
+    def test_matches_brute_force_non_divisible(self, dbsize, ltot, nu):
+        exact = brute_force_expectation(dbsize, ltot, nu)
+        assert expected_granules_touched(dbsize, ltot, nu) == pytest.approx(exact)
+
+    def test_monotone_in_nu(self):
+        values = [expected_granules_touched(5000, 100, nu) for nu in
+                  (1, 10, 50, 100, 500, 2500, 5000)]
+        assert values == sorted(values)
+
+    def test_bounds(self):
+        for nu in (1, 10, 100, 1000):
+            value = expected_granules_touched(5000, 50, nu)
+            assert math.ceil(nu * 50 / 5000) <= value <= min(nu, 50)
+
+    def test_large_arguments_stable(self):
+        # No overflow or NaN on big inputs (lgamma path).
+        value = expected_granules_touched(10**7, 10**4, 10**5)
+        assert 0 < value <= 10**4
+        assert not math.isnan(value)
+
+    def test_paper_regime_nearly_whole_database(self):
+        # 250 random entities with 50-entity granules leave almost no
+        # granule untouched — the reason random placement throughput
+        # collapses at mid ltot in Figs 9-10.
+        value = expected_granules_touched(5000, 100, 250)
+        assert value > 90
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_granules_touched(100, 0, 5)
+        with pytest.raises(ValueError):
+            expected_granules_touched(100, 101, 5)
+        with pytest.raises(ValueError):
+            expected_granules_touched(100, 10, 101)
+        with pytest.raises(ValueError):
+            expected_granules_touched(100, 10, -1)
+
+    def test_alias(self):
+        assert yao_locks(100, 10, 5) == expected_granules_touched(100, 10, 5)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.des import Environment
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def fast_params():
+    """Parameters for quick end-to-end runs (seconds-scale suite)."""
+    return SimulationParameters(
+        dbsize=500,
+        ltot=20,
+        ntrans=5,
+        maxtransize=50,
+        npros=4,
+        tmax=200.0,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def table1_params():
+    """The paper's Table 1 defaults with a short horizon."""
+    return SimulationParameters(tmax=300.0, seed=11)

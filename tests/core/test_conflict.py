@@ -1,0 +1,159 @@
+"""Unit tests for the conflict engines."""
+
+import random
+
+import pytest
+
+from repro.core.conflict import (
+    ExplicitConflicts,
+    ProbabilisticConflicts,
+    make_conflict_engine,
+)
+from repro.core.parameters import SimulationParameters
+from repro.core.transaction import Transaction
+
+
+def txn(tid, lock_count, granules=None, is_writer=True):
+    return Transaction(tid, nu=lock_count, lock_count=lock_count,
+                       granules=granules, is_writer=is_writer)
+
+
+class TestProbabilistic:
+    def test_first_request_always_granted(self):
+        engine = ProbabilisticConflicts(ltot=100, rng=random.Random(1))
+        assert engine.request(txn(1, 10)) is None
+        assert engine.active_count == 1
+        assert engine.locks_held == 10
+
+    def test_whole_database_lock_serialises(self):
+        engine = ProbabilisticConflicts(ltot=1, rng=random.Random(1))
+        first = txn(1, 1)
+        assert engine.request(first) is None
+        # Any second request must be blocked by the holder.
+        for tid in range(2, 20):
+            assert engine.request(txn(tid, 1)) is first
+
+    def test_release_enables_progress(self):
+        engine = ProbabilisticConflicts(ltot=1, rng=random.Random(1))
+        first = txn(1, 1)
+        engine.request(first)
+        engine.release(first)
+        assert engine.active_count == 0
+        assert engine.request(txn(2, 1)) is None
+
+    def test_blocker_identity_matches_interval(self):
+        # With two actives holding 30 and 70 of 100 locks, a blocked
+        # request lands on T1 with probability 0.3 and T2 with 0.7.
+        rng = random.Random(7)
+        engine = ProbabilisticConflicts(ltot=100, rng=rng)
+        t1, t2 = txn(1, 30), txn(2, 70)
+        engine.request(t1)
+        engine.request(t2)
+        blockers = {1: 0, 2: 0}
+        for tid in range(3, 3003):
+            blocker = engine.request(txn(tid, 1))
+            assert blocker is not None  # total held = ltot
+            blockers[blocker.tid] += 1
+        share_t1 = blockers[1] / (blockers[1] + blockers[2])
+        assert share_t1 == pytest.approx(0.3, abs=0.03)
+
+    def test_denial_probability_matches_held_fraction(self):
+        rng = random.Random(11)
+        engine = ProbabilisticConflicts(ltot=1000, rng=rng)
+        holder = txn(1, 400)
+        engine.request(holder)
+        denied = 0
+        trials = 4000
+        for tid in range(2, trials + 2):
+            t = txn(tid, 1)
+            if engine.request(t) is not None:
+                denied += 1
+            else:
+                engine.release(t)
+        assert denied / trials == pytest.approx(0.4, abs=0.03)
+
+    def test_fractional_lock_counts_supported(self):
+        # Random placement produces real-valued mean lock counts.
+        engine = ProbabilisticConflicts(ltot=10, rng=random.Random(3))
+        assert engine.request(txn(1, 2.5)) is None
+        assert engine.locks_held == pytest.approx(2.5)
+
+    def test_double_request_rejected(self):
+        engine = ProbabilisticConflicts(ltot=10, rng=random.Random(3))
+        t = txn(1, 1)
+        engine.request(t)
+        with pytest.raises(ValueError):
+            engine.request(t)
+
+    def test_release_unknown_is_noop(self):
+        engine = ProbabilisticConflicts(ltot=10, rng=random.Random(3))
+        engine.release(txn(9, 1))
+
+    def test_invalid_ltot_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticConflicts(ltot=0, rng=random.Random(1))
+
+
+class TestExplicit:
+    def test_disjoint_sets_coexist(self):
+        engine = ExplicitConflicts()
+        assert engine.request(txn(1, 2, granules=[1, 2])) is None
+        assert engine.request(txn(2, 2, granules=[3, 4])) is None
+        assert engine.active_count == 2
+
+    def test_overlap_blocks_and_names_holder(self):
+        engine = ExplicitConflicts()
+        first = txn(1, 2, granules=[1, 2])
+        engine.request(first)
+        blocker = engine.request(txn(2, 2, granules=[2, 3]))
+        assert blocker is first
+
+    def test_readers_share_granules(self):
+        engine = ExplicitConflicts()
+        assert engine.request(txn(1, 1, granules=[5], is_writer=False)) is None
+        assert engine.request(txn(2, 1, granules=[5], is_writer=False)) is None
+        writer = txn(3, 1, granules=[5], is_writer=True)
+        assert engine.request(writer) is not None
+
+    def test_release_unblocks(self):
+        engine = ExplicitConflicts()
+        first = txn(1, 1, granules=[1])
+        second = txn(2, 1, granules=[1])
+        engine.request(first)
+        assert engine.request(second) is first
+        engine.release(first)
+        assert engine.request(second) is None
+
+    def test_requires_materialised_granules(self):
+        engine = ExplicitConflicts()
+        with pytest.raises(ValueError):
+            engine.request(txn(1, 3, granules=None))
+
+    def test_locks_held_counts_granules(self):
+        engine = ExplicitConflicts()
+        engine.request(txn(1, 3, granules=[1, 2, 3]))
+        assert engine.locks_held == 3
+
+    def test_mark_active_registers_incremental_txn(self):
+        engine = ExplicitConflicts()
+        t = txn(1, 1, granules=[1])
+        engine.mark_active(t)
+        assert engine.active_count == 1
+        engine.release(t)
+        assert engine.active_count == 0
+
+
+class TestFactory:
+    def test_probabilistic(self):
+        engine = make_conflict_engine(
+            SimulationParameters(conflict_engine="probabilistic"),
+            random.Random(0),
+        )
+        assert isinstance(engine, ProbabilisticConflicts)
+        assert engine.ltot == 100
+
+    def test_explicit(self):
+        engine = make_conflict_engine(
+            SimulationParameters(conflict_engine="explicit"), random.Random(0)
+        )
+        assert isinstance(engine, ExplicitConflicts)

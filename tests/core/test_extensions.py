@@ -1,0 +1,161 @@
+"""Tests for the model extensions: R/W sharing, skew, open arrivals."""
+
+import random
+
+import pytest
+
+from repro.core import SimulationParameters, simulate
+from repro.core.conflict import ProbabilisticConflicts
+from repro.core.placement import SkewedPlacement
+from repro.core.transaction import Transaction
+
+
+def txn(tid, locks, is_writer=True):
+    return Transaction(tid, nu=locks, lock_count=locks, is_writer=is_writer)
+
+
+class TestProbabilisticReadWrite:
+    def test_readers_share_overlaps(self):
+        engine = ProbabilisticConflicts(ltot=1, rng=random.Random(1))
+        assert engine.request(txn(1, 1, is_writer=False)) is None
+        # ltot=1: every draw overlaps the reader — but reader-reader
+        # overlaps never block.
+        for tid in range(2, 12):
+            assert engine.request(txn(tid, 1, is_writer=False)) is None
+        assert engine.active_count == 11
+
+    def test_writer_blocks_readers(self):
+        engine = ProbabilisticConflicts(ltot=1, rng=random.Random(1))
+        writer = txn(1, 1, is_writer=True)
+        assert engine.request(writer) is None
+        assert engine.request(txn(2, 1, is_writer=False)) is writer
+
+    def test_reader_blocks_writer(self):
+        engine = ProbabilisticConflicts(ltot=1, rng=random.Random(1))
+        reader = txn(1, 1, is_writer=False)
+        assert engine.request(reader) is None
+        assert engine.request(txn(2, 1, is_writer=True)) is reader
+
+    def test_read_only_workload_raises_throughput(self):
+        params = SimulationParameters(
+            dbsize=500, ltot=5, ntrans=8, maxtransize=50, npros=4,
+            tmax=250.0, seed=11,
+        )
+        writers = simulate(params)
+        readers = simulate(params.replace(write_fraction=0.0))
+        assert readers.denial_rate < writers.denial_rate
+        assert readers.throughput > writers.throughput
+
+    def test_probabilistic_tracks_explicit_under_rw_mix(self):
+        params = SimulationParameters(
+            dbsize=500, ltot=25, ntrans=8, maxtransize=50, npros=4,
+            tmax=300.0, seed=11, write_fraction=0.3,
+        )
+        prob = simulate(params)
+        expl = simulate(params.replace(conflict_engine="explicit"))
+        assert prob.throughput == pytest.approx(expl.throughput, rel=0.3)
+
+
+class TestSkewedPlacement:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkewedPlacement(100, 10, theta=-1)
+
+    def test_zero_theta_is_roughly_uniform(self):
+        placement = SkewedPlacement(1000, 10, theta=0.0)
+        rng = random.Random(3)
+        counts = [0] * 10
+        for _ in range(4000):
+            for granule in placement.granules(1, rng):
+                counts[granule] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_high_theta_concentrates_on_hot_granules(self):
+        placement = SkewedPlacement(1000, 100, theta=1.2)
+        rng = random.Random(3)
+        hot = 0
+        total = 0
+        for _ in range(1000):
+            for granule in placement.granules(2, rng):
+                total += 1
+                if granule < 10:
+                    hot += 1
+        # The hottest 10% of granules get the majority of accesses.
+        assert hot / total > 0.5
+
+    def test_granules_distinct_and_bounded(self):
+        placement = SkewedPlacement(1000, 50, theta=2.0)
+        rng = random.Random(9)
+        for nu in (1, 10, 50, 200):
+            granules = placement.granules(nu, rng)
+            assert len(granules) == len(set(granules))
+            assert len(granules) == min(nu, 50)
+            assert all(0 <= g < 50 for g in granules)
+
+    def test_skew_requires_table_backed_engine(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(placement="skewed")
+        SimulationParameters(placement="skewed", conflict_engine="explicit")
+
+    def test_skew_increases_conflicts_in_simulation(self):
+        base = SimulationParameters(
+            dbsize=500, ltot=50, ntrans=8, maxtransize=20, npros=4,
+            tmax=250.0, seed=13, conflict_engine="explicit",
+        )
+        uniform = simulate(base.replace(placement="random"))
+        skewed = simulate(
+            base.replace(placement="skewed", access_skew=1.2)
+        )
+        assert skewed.denial_rate > uniform.denial_rate
+        assert skewed.throughput <= uniform.throughput * 1.05
+
+
+class TestOpenSystem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(arrival_process="batch")
+        with pytest.raises(ValueError):
+            SimulationParameters(arrival_process="open", arrival_rate=0)
+
+    def test_underloaded_open_system_keeps_up(self):
+        # Capacity at ltot=20, npros=10 is ~0.19 txn/unit; offer 0.05.
+        params = SimulationParameters(
+            npros=10, ltot=20, tmax=400.0, seed=5,
+            arrival_process="open", arrival_rate=0.05,
+        )
+        result = simulate(params)
+        # Completions track offered load (λ·tmax = 20).
+        assert result.totcom == pytest.approx(
+            params.arrival_rate * params.tmax, rel=0.3
+        )
+        assert result.mean_pending < 1.0
+
+    def test_overloaded_open_system_saturates(self):
+        params = SimulationParameters(
+            npros=10, ltot=20, tmax=300.0, seed=5,
+            arrival_process="open", arrival_rate=2.0,
+        )
+        result = simulate(params)
+        # Throughput caps at the closed system's capacity (~0.19) even
+        # though 2.0/unit arrive; the excess piles up in the blocked
+        # queue (admission is unlimited, so pending stays empty).
+        assert result.throughput < 0.3
+        assert result.mean_blocked + result.mean_pending > 10
+
+    def test_population_not_replenished(self):
+        # With a tiny horizon and rate, nothing beyond the Poisson
+        # stream enters; no closed-loop replacement happens.
+        params = SimulationParameters(
+            npros=2, ltot=5, dbsize=100, maxtransize=10, tmax=50.0,
+            seed=5, arrival_process="open", arrival_rate=0.1,
+        )
+        result = simulate(params)
+        assert result.totcom <= 15
+
+    def test_open_system_response_grows_with_load(self):
+        base = SimulationParameters(
+            npros=10, ltot=20, tmax=400.0, seed=5, arrival_process="open"
+        )
+        light = simulate(base.replace(arrival_rate=0.05))
+        heavy = simulate(base.replace(arrival_rate=0.18))
+        assert heavy.response_time > light.response_time

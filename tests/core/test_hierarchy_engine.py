@@ -1,0 +1,171 @@
+"""Unit and integration tests for the hierarchical conflict engine."""
+
+import pytest
+
+from repro.core import SimulationParameters, simulate
+from repro.core.hierarchy_engine import ROOT, HierarchicalConflicts
+from repro.core.transaction import Transaction
+from repro.lockmgr.modes import LockMode
+
+
+def txn(tid, granules, is_writer=True):
+    return Transaction(
+        tid, nu=len(granules), lock_count=len(granules),
+        granules=granules, is_writer=is_writer,
+    )
+
+
+class TestStructure:
+    def test_file_mapping_is_balanced(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4)
+        sizes = {}
+        for block in range(100):
+            sizes.setdefault(engine.file_of(block), 0)
+            sizes[engine.file_of(block)] += 1
+        assert set(sizes) == {0, 1, 2, 3}
+        assert all(size == 25 for size in sizes.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalConflicts(ltot=0, nfiles=1)
+        with pytest.raises(ValueError):
+            HierarchicalConflicts(ltot=10, nfiles=11)
+        with pytest.raises(ValueError):
+            HierarchicalConflicts(ltot=10, nfiles=2, escalation_threshold=-1)
+
+
+class TestPlanning:
+    def test_no_escalation_plan_counts_intentions(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4)
+        # Three blocks in one file: root IX + file IX + 3 block X = 5.
+        t = txn(1, [0, 1, 2])
+        assert engine.planned_lock_count(t) == 5
+
+    def test_escalation_collapses_block_locks(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4, escalation_threshold=3)
+        # Three blocks in one file at threshold 3: root IX + file X = 2.
+        t = txn(1, [0, 1, 2])
+        assert engine.planned_lock_count(t) == 2
+
+    def test_mixed_plan_escalates_only_dense_files(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4, escalation_threshold=3)
+        # File 0 gets 3 blocks (escalates); file 1 gets 1 block (stays).
+        t = txn(1, [0, 1, 2, 30])
+        # root IX + file0 X + file1 IX + block30 X = 4
+        assert engine.planned_lock_count(t) == 4
+
+    def test_plan_requires_granules(self):
+        engine = HierarchicalConflicts(ltot=10, nfiles=2)
+        with pytest.raises(ValueError):
+            engine.planned_lock_count(Transaction(1, nu=1, lock_count=1))
+
+    def test_plan_memoised_until_release(self):
+        engine = HierarchicalConflicts(ltot=10, nfiles=2, escalation_threshold=1)
+        t = txn(1, [0])
+        first = engine.planned_lock_count(t)
+        assert engine.planned_lock_count(t) == first
+        engine.request(t)
+        engine.release(t)
+        assert engine.planned_lock_count(t) == first
+
+
+class TestConflicts:
+    def test_disjoint_blocks_coexist(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4)
+        assert engine.request(txn(1, [0, 1])) is None
+        assert engine.request(txn(2, [2, 3])) is None
+        assert engine.active_count == 2
+
+    def test_same_block_conflicts(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4)
+        first = txn(1, [5])
+        engine.request(first)
+        assert engine.request(txn(2, [5])) is first
+
+    def test_escalated_file_lock_blocks_other_blocks_of_that_file(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4, escalation_threshold=2)
+        big = txn(1, [0, 1, 2])  # escalates to file 0 (blocks 0..24)
+        engine.request(big)
+        # A different block of file 0 now conflicts (X file vs IX).
+        assert engine.request(txn(2, [20])) is big
+        # Blocks of file 1 are unaffected.
+        assert engine.request(txn(3, [30])) is None
+
+    def test_readers_share_even_when_escalated(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4, escalation_threshold=2)
+        assert engine.request(txn(1, [0, 1, 2], is_writer=False)) is None
+        assert engine.request(txn(2, [3, 4, 5], is_writer=False)) is None
+        # S on file coexists with S on file.
+        assert engine.active_count == 2
+
+    def test_release_frees_everything(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4, escalation_threshold=2)
+        big = txn(1, [0, 1, 2])
+        engine.request(big)
+        engine.release(big)
+        assert engine.request(txn(2, [20])) is None
+        assert len(engine.manager.table) > 0  # the new txn's locks
+
+    def test_escalation_counter(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4, escalation_threshold=2)
+        engine.request(txn(1, [0, 1]))
+        assert engine.escalations == 1
+
+    def test_root_intention_shared_by_all(self):
+        engine = HierarchicalConflicts(ltot=100, nfiles=4)
+        engine.request(txn(1, [0]))
+        engine.request(txn(2, [30]))
+        holders = engine.manager.table.holders(ROOT)
+        assert len(holders) == 2
+        assert all(mode is LockMode.IX for mode in holders.values())
+
+
+class TestModelIntegration:
+    @pytest.fixture
+    def base(self):
+        return SimulationParameters(
+            dbsize=500, ltot=100, ntrans=6, maxtransize=50, npros=4,
+            tmax=250.0, seed=13, conflict_engine="hierarchical",
+        )
+
+    def test_runs_and_completes(self, base):
+        result = simulate(base)
+        assert result.totcom > 0
+        assert result.lock_escalations == 0  # threshold 0: disabled
+
+    def test_escalation_cuts_lock_overhead(self, base):
+        plain = simulate(base)
+        escalated = simulate(base.replace(escalation_threshold=4))
+        assert escalated.lock_escalations > 0
+        assert escalated.lock_overhead < plain.lock_overhead
+
+    def test_matches_flat_explicit_engine_without_escalation(self, base):
+        hierarchical = simulate(base)
+        flat = simulate(base.replace(conflict_engine="explicit"))
+        assert hierarchical.throughput == pytest.approx(
+            flat.throughput, rel=0.3
+        )
+
+    def test_nfiles_clamped_to_ltot(self):
+        # ltot=1 with the default nfiles=20 must not crash.
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=1, ntrans=3, maxtransize=20, npros=2,
+                tmax=100.0, conflict_engine="hierarchical",
+            )
+        )
+        assert result.totcom > 0
+
+    def test_escalation_helps_sequential_large_transactions(self):
+        # Best placement packs a large transaction's blocks into one
+        # or two files — exactly the case escalation is built for.
+        params = SimulationParameters(
+            dbsize=5000, ltot=500, ntrans=10, maxtransize=500, npros=10,
+            tmax=250.0, seed=7, conflict_engine="hierarchical",
+            placement="best", nfiles=10,
+        )
+        plain = simulate(params)
+        escalated = simulate(params.replace(escalation_threshold=10))
+        assert escalated.lock_escalations > 0
+        assert escalated.lock_overhead < plain.lock_overhead
+        assert escalated.throughput >= plain.throughput * 0.9

@@ -1,0 +1,115 @@
+"""Unit tests for the metrics collector."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import MetricsCollector
+from repro.core.parameters import SimulationParameters
+from repro.core.transaction import Transaction
+from repro.des import Environment
+from repro.engine.machine import Machine
+
+
+@pytest.fixture
+def setup():
+    params = SimulationParameters(
+        dbsize=200, ltot=10, ntrans=2, maxtransize=20, npros=2, tmax=100.0
+    )
+    env = Environment()
+    machine = Machine(env, params.npros)
+    collector = MetricsCollector(env, params, machine)
+    return env, params, machine, collector
+
+
+class TestCounting:
+    def test_requests_and_denials(self, setup):
+        _, _, _, collector = setup
+        collector.note_request()
+        collector.note_request()
+        collector.note_denial()
+        assert collector.lock_requests == 2
+        assert collector.lock_denials == 1
+
+    def test_completion_records_response(self, setup):
+        env, _, _, collector = setup
+        txn = Transaction(1, nu=5, lock_count=1)
+        txn.arrival = 0.0
+        txn.attempts = 2
+
+        def advance(env):
+            yield env.timeout(7)
+            collector.note_completion(txn)
+
+        env.process(advance(env))
+        env.run()
+        assert collector.completions == 1
+        assert collector.response.mean == pytest.approx(7.0)
+        assert collector.attempts.mean == pytest.approx(2.0)
+
+    def test_abort_counting(self, setup):
+        _, _, _, collector = setup
+        collector.note_abort()
+        assert collector.deadlock_aborts == 1
+
+
+class TestFinalize:
+    def test_result_fields_consistent(self, setup):
+        env, params, machine, collector = setup
+        machine[0].io(10.0)
+        machine[1].compute(4.0)
+
+        def locker(env):
+            yield machine.lock_overhead(2.0, 2.0)
+
+        env.process(locker(env))
+        env.run(until=params.tmax)
+        result = collector.finalize()
+        assert result.totios == pytest.approx(10.0 + 2.0)
+        assert result.totcpus == pytest.approx(4.0 + 2.0)
+        assert result.lockios == pytest.approx(2.0)
+        assert result.lockcpus == pytest.approx(2.0)
+        assert result.usefulios == pytest.approx(10.0 / 2)
+        assert result.usefulcpus == pytest.approx(4.0 / 2)
+        assert result.throughput == 0.0
+        assert math.isnan(result.response_time)
+
+    def test_denial_rate_zero_without_requests(self, setup):
+        env, params, _, collector = setup
+        env.run(until=params.tmax)
+        assert collector.finalize().denial_rate == 0.0
+
+
+class TestWarmup:
+    def test_pre_warmup_activity_discarded(self):
+        params = SimulationParameters(
+            dbsize=200, ltot=10, ntrans=2, maxtransize=20, npros=2,
+            tmax=100.0, warmup=50.0,
+        )
+        env = Environment()
+        machine = Machine(env, params.npros)
+        collector = MetricsCollector(env, params, machine)
+
+        def early_and_late(env):
+            machine[0].io(10.0)  # entirely before warmup
+            txn = Transaction(1, nu=5, lock_count=1)
+            txn.arrival = 0.0
+            collector.note_request()
+            yield env.timeout(20)
+            collector.note_completion(txn)
+            yield env.timeout(40)  # now at t=60, inside the window
+            machine[0].io(5.0)
+            late = Transaction(2, nu=5, lock_count=1)
+            late.arrival = 60.0
+            collector.note_request()
+            yield env.timeout(10)
+            collector.note_completion(late)
+
+        env.process(early_and_late(env))
+        env.run(until=params.tmax)
+        result = collector.finalize()
+        assert result.totcom == 1  # only the post-warmup completion
+        assert result.lock_requests == 1
+        assert result.totios == pytest.approx(5.0)
+        assert result.throughput == pytest.approx(1 / 50.0)
+        assert result.response_time == pytest.approx(10.0)

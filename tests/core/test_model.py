@@ -1,0 +1,196 @@
+"""Integration tests of the full simulation model."""
+
+import pytest
+
+from repro.core import (
+    LockingGranularityModel,
+    SimulationParameters,
+    simulate,
+    simulate_replications,
+)
+
+
+class TestBasicRuns:
+    def test_completes_transactions(self, fast_params):
+        result = simulate(fast_params)
+        assert result.totcom > 0
+        assert result.throughput == pytest.approx(
+            result.totcom / fast_params.tmax
+        )
+
+    def test_deterministic_for_fixed_seed(self, fast_params):
+        a = simulate(fast_params)
+        b = simulate(fast_params)
+        assert a.totcom == b.totcom
+        assert a.throughput == b.throughput
+        assert a.response_time == b.response_time
+        assert a.lockios == b.lockios
+
+    def test_different_seeds_differ(self, fast_params):
+        a = simulate(fast_params)
+        b = simulate(fast_params.replace(seed=fast_params.seed + 1))
+        assert (a.totcom, a.response_time) != (b.totcom, b.response_time)
+
+    def test_model_is_single_use(self, fast_params):
+        model = LockingGranularityModel(fast_params)
+        model.run()
+        with pytest.raises(RuntimeError):
+            model.run()
+
+    def test_simulate_kwargs_shortcut(self):
+        result = simulate(ltot=10, npros=2, tmax=100, dbsize=500,
+                          maxtransize=50, ntrans=3)
+        assert result.params.ltot == 10
+        assert result.totcom > 0
+
+    def test_simulate_params_plus_overrides(self, fast_params):
+        result = simulate(fast_params, ltot=5)
+        assert result.params.ltot == 5
+
+
+class TestOutputIdentities:
+    def test_useful_times_identity(self, fast_params):
+        result = simulate(fast_params)
+        npros = fast_params.npros
+        assert result.usefulcpus == pytest.approx(
+            (result.totcpus - result.lockcpus) / npros
+        )
+        assert result.usefulios == pytest.approx(
+            (result.totios - result.lockios) / npros
+        )
+
+    def test_busy_time_bounded_by_capacity(self, fast_params):
+        result = simulate(fast_params)
+        capacity = fast_params.npros * fast_params.tmax
+        assert 0 <= result.totcpus <= capacity + 1e-6
+        assert 0 <= result.totios <= capacity + 1e-6
+        assert 0 <= result.lockcpus <= result.totcpus + 1e-9
+        assert 0 <= result.lockios <= result.totios + 1e-9
+
+    def test_utilizations_in_unit_range(self, fast_params):
+        result = simulate(fast_params)
+        assert 0 <= result.cpu_utilization <= 1 + 1e-9
+        assert 0 <= result.io_utilization <= 1 + 1e-9
+
+    def test_denials_do_not_exceed_requests(self, fast_params):
+        result = simulate(fast_params)
+        assert 0 <= result.lock_denials <= result.lock_requests
+        assert result.lock_requests >= result.totcom
+
+    def test_mean_active_bounded_by_population(self, fast_params):
+        result = simulate(fast_params)
+        assert 0 <= result.mean_active <= fast_params.ntrans
+
+    def test_response_time_positive(self, fast_params):
+        result = simulate(fast_params)
+        assert result.response_time > 0
+
+    def test_lock_table_occupancy_bounds(self, fast_params):
+        result = simulate(fast_params)
+        # Occupancy can never exceed every transaction holding its
+        # maximal lock set.
+        cap = fast_params.ntrans * fast_params.ltot
+        assert 0 < result.mean_locks_held <= result.max_locks_held <= cap
+
+    def test_occupancy_scales_with_granularity(self):
+        # Finer granularity -> each transaction holds more locks ->
+        # the lock table must be bigger (the paper's storage argument).
+        base = SimulationParameters(
+            dbsize=500, ntrans=5, maxtransize=50, npros=4, tmax=200.0,
+            seed=7,
+        )
+        coarse = simulate(base.replace(ltot=5))
+        fine = simulate(base.replace(ltot=500))
+        assert fine.mean_locks_held > coarse.mean_locks_held
+        assert fine.max_locks_held > coarse.max_locks_held
+
+    def test_lock_work_accounting_matches_demand(self):
+        # With the probabilistic engine and best placement, total lock
+        # busy time must equal requests x LU x unit costs (all lock
+        # work submitted is eventually served or still queued; with a
+        # long drain margin the served share dominates).
+        params = SimulationParameters(
+            dbsize=500, ltot=1, ntrans=2, maxtransize=10, npros=2,
+            tmax=500.0, seed=3,
+        )
+        result = simulate(params)
+        # Every request asks exactly 1 lock (ltot=1, best placement).
+        expected_io = result.lock_requests * 1 * params.liotime
+        assert result.lockios <= expected_io + 1e-6
+        assert result.lockios == pytest.approx(expected_io, rel=0.05)
+
+
+class TestSerialRegime:
+    def test_whole_database_lock_serialises(self):
+        params = SimulationParameters(
+            dbsize=500, ltot=1, ntrans=8, maxtransize=50, npros=4,
+            tmax=300.0, seed=5,
+        )
+        result = simulate(params)
+        # At most one transaction active at any instant.
+        assert result.mean_active <= 1.0 + 1e-9
+        assert result.denial_rate > 0.3  # most requests denied
+
+    def test_fine_granularity_allows_concurrency(self):
+        params = SimulationParameters(
+            dbsize=500, ltot=500, ntrans=8, maxtransize=10, npros=4,
+            tmax=300.0, seed=5,
+        )
+        result = simulate(params)
+        assert result.mean_active > 1.5
+
+
+class TestWarmup:
+    def test_warmup_discards_early_stats(self, fast_params):
+        with_warmup = simulate(fast_params.replace(warmup=50.0))
+        without = simulate(fast_params)
+        assert with_warmup.totcom < without.totcom
+        # Throughput normalised by the measured window stays similar.
+        assert with_warmup.throughput == pytest.approx(
+            without.throughput, rel=0.35
+        )
+
+    def test_warmup_busy_times_within_window(self, fast_params):
+        params = fast_params.replace(warmup=100.0)
+        result = simulate(params)
+        window = params.tmax - params.warmup
+        assert result.totcpus <= params.npros * window + 1e-6
+        assert result.totios <= params.npros * window + 1e-6
+
+
+class TestReplications:
+    def test_replication_count_and_params(self, fast_params):
+        replicated = simulate_replications(fast_params, replications=3)
+        assert len(replicated) == 3
+        assert replicated.params == fast_params
+
+    def test_replications_use_distinct_seeds(self, fast_params):
+        replicated = simulate_replications(fast_params, replications=3)
+        values = replicated.samples("totcom")
+        assert len(set(values)) > 1
+
+    def test_confidence_interval_brackets_mean(self, fast_params):
+        replicated = simulate_replications(fast_params, replications=4)
+        low, high = replicated.ci("throughput")
+        assert low <= replicated.mean("throughput") <= high
+
+    def test_invalid_replication_count(self, fast_params):
+        with pytest.raises(ValueError):
+            simulate_replications(fast_params, replications=0)
+
+
+class TestPopulationInvariant:
+    def test_population_is_constant(self):
+        """pending + blocked-or-requesting + active == ntrans, sampled
+        via mean populations: mean_active can never exceed ntrans and
+        completions keep flowing (the closed loop never leaks)."""
+        params = SimulationParameters(
+            dbsize=500, ltot=20, ntrans=6, maxtransize=50, npros=3,
+            tmax=400.0, seed=9,
+        )
+        model = LockingGranularityModel(params)
+        result = model.run()
+        assert result.totcom > 10
+        assert result.mean_active <= params.ntrans
+        assert result.mean_pending <= params.ntrans
+        assert result.mean_blocked <= params.ntrans

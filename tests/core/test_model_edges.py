@@ -1,0 +1,195 @@
+"""Boundary-condition tests of the simulation model."""
+
+import math
+
+import pytest
+
+from repro.core import SimulationParameters, simulate
+
+
+class TestDegenerateConfigurations:
+    def test_single_transaction_never_conflicts(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=50, ntrans=1, maxtransize=50, npros=4,
+                tmax=200.0,
+            )
+        )
+        assert result.lock_denials == 0
+        assert result.denial_rate == 0.0
+        assert result.mean_active <= 1.0
+
+    def test_uniprocessor_is_the_ries_stonebraker_model(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=50, ntrans=5, maxtransize=50, npros=1,
+                tmax=200.0,
+            )
+        )
+        assert result.totcom > 0
+        # All work lands on the single node.
+        assert result.totios <= 200.0 + 1e-9
+
+    def test_single_entity_transactions(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=500, ntrans=5, maxtransize=1, npros=4,
+                tmax=100.0,
+            )
+        )
+        assert result.totcom > 0
+        # One-entity transactions need exactly one lock.
+        assert result.mean_locks_held <= 5.0
+
+    def test_database_of_one_entity(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=1, ltot=1, ntrans=3, maxtransize=1, npros=2,
+                tmax=100.0,
+            )
+        )
+        assert result.totcom > 0
+        assert result.mean_active <= 1.0  # perfectly serial
+
+    def test_zero_lock_costs(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=500, ntrans=5, maxtransize=50, npros=4,
+                tmax=100.0, lcputime=0.0, liotime=0.0,
+            )
+        )
+        assert result.lockios == 0.0
+        assert result.lockcpus == 0.0
+        assert result.lock_overhead == 0.0
+        assert result.totcom > 0
+
+    def test_zero_cpu_time_pure_io(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=50, ntrans=5, maxtransize=50, npros=4,
+                tmax=100.0, cputime=0.0, lcputime=0.0,
+            )
+        )
+        assert result.totcpus == 0.0
+        assert result.totcom > 0
+
+    def test_zero_io_time_pure_cpu(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=50, ntrans=5, maxtransize=50, npros=4,
+                tmax=100.0, iotime=0.0, liotime=0.0,
+            )
+        )
+        assert result.totios == 0.0
+        assert result.totcom > 0
+
+    def test_more_processors_than_entities_per_transaction(self):
+        # NU < npros: trailing zero shares must be dropped cleanly.
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=50, ntrans=4, maxtransize=3, npros=16,
+                tmax=100.0,
+            )
+        )
+        assert result.totcom > 0
+
+    def test_entity_level_locking_equals_dbsize(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=200, ltot=200, ntrans=4, maxtransize=20, npros=2,
+                tmax=100.0,
+            )
+        )
+        assert result.totcom > 0
+
+    def test_horizon_shorter_than_arrival_ramp(self):
+        # ntrans = 50 arrive one unit apart but tmax = 10: only part
+        # of the population ever enters; nothing breaks.
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=50, ntrans=50, maxtransize=10, npros=2,
+                tmax=10.0,
+            )
+        )
+        assert result.totcom >= 0
+        assert result.mean_pending <= 50
+
+
+class TestWarmupEdges:
+    def test_warmup_nearly_at_horizon(self):
+        params = SimulationParameters(
+            dbsize=500, ltot=50, ntrans=5, maxtransize=50, npros=4,
+            tmax=100.0, warmup=99.0,
+        )
+        result = simulate(params)
+        # A one-unit window may contain zero completions; the result
+        # must still be well-formed.
+        assert result.totcom >= 0
+        assert result.totios <= 4 * 1.0 + 1e-6
+        if result.totcom == 0:
+            assert math.isnan(result.response_time)
+
+    def test_zero_warmup_matches_default(self):
+        params = SimulationParameters(
+            dbsize=500, ltot=50, ntrans=5, maxtransize=50, npros=4,
+            tmax=100.0,
+        )
+        a = simulate(params)
+        b = simulate(params.replace(warmup=0.0))
+        assert a.totcom == b.totcom
+
+
+class TestCostExtremes:
+    def test_lock_io_dominates_when_huge(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=500, ntrans=5, maxtransize=50, npros=2,
+                tmax=100.0, liotime=2.0,
+            )
+        )
+        # Lock work swamps the disks.
+        assert result.lockios > result.totios * 0.8
+
+    def test_tiny_horizon(self):
+        result = simulate(
+            SimulationParameters(
+                dbsize=100, ltot=10, ntrans=2, maxtransize=5, npros=2,
+                tmax=1.0,
+            )
+        )
+        assert result.totcom >= 0
+
+    def test_throughput_zero_when_nothing_completes(self):
+        # Enormous transactions on a tiny horizon.
+        result = simulate(
+            SimulationParameters(
+                dbsize=5000, ltot=1, ntrans=2, maxtransize=5000,
+                npros=1, tmax=5.0, workload="fixed",
+            )
+        )
+        assert result.totcom == 0
+        assert result.throughput == 0.0
+        assert math.isnan(result.response_time)
+
+
+class TestEngineEdgeAgreement:
+    @pytest.mark.parametrize("engine", ["probabilistic", "explicit"])
+    def test_ltot_one_serialises_in_both_engines(self, engine):
+        result = simulate(
+            SimulationParameters(
+                dbsize=500, ltot=1, ntrans=6, maxtransize=20, npros=2,
+                tmax=150.0, conflict_engine=engine,
+            )
+        )
+        assert result.mean_active <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("engine", ["probabilistic", "explicit"])
+    def test_single_txn_full_scan_locks_everything(self, engine):
+        result = simulate(
+            SimulationParameters(
+                dbsize=100, ltot=100, ntrans=1, maxtransize=100,
+                npros=2, tmax=100.0, workload="fixed",
+                conflict_engine=engine,
+            )
+        )
+        assert result.max_locks_held == pytest.approx(100)

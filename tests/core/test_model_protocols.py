@@ -1,0 +1,164 @@
+"""Integration tests of engine/protocol/policy variants."""
+
+import pytest
+
+from repro.core import SimulationParameters, simulate
+
+
+@pytest.fixture
+def base():
+    return SimulationParameters(
+        dbsize=500, ltot=25, ntrans=6, maxtransize=50, npros=4,
+        tmax=300.0, seed=13,
+    )
+
+
+class TestExplicitEngine:
+    def test_runs_and_completes(self, base):
+        result = simulate(base.replace(conflict_engine="explicit"))
+        assert result.totcom > 0
+
+    def test_agrees_with_probabilistic_on_throughput(self, base):
+        explicit = simulate(base.replace(conflict_engine="explicit"))
+        probabilistic = simulate(base)
+        assert explicit.throughput == pytest.approx(
+            probabilistic.throughput, rel=0.25
+        )
+
+    def test_no_deadlocks_under_preclaim(self, base):
+        result = simulate(base.replace(conflict_engine="explicit"))
+        assert result.deadlock_aborts == 0
+
+    def test_read_only_transactions_raise_concurrency(self, base):
+        # With every transaction reading (S locks), the explicit
+        # engine should almost never deny.
+        writers = simulate(base.replace(conflict_engine="explicit"))
+        readers = simulate(
+            base.replace(conflict_engine="explicit", write_fraction=0.0)
+        )
+        assert readers.denial_rate <= writers.denial_rate
+        assert readers.throughput >= writers.throughput * 0.95
+
+
+class TestIncrementalProtocol:
+    def test_runs_and_completes(self, base):
+        result = simulate(
+            base.replace(conflict_engine="explicit", protocol="incremental")
+        )
+        assert result.totcom > 0
+
+    def test_deadlocks_detected_and_survived_under_worst_placement(self, base):
+        result = simulate(
+            base.replace(
+                conflict_engine="explicit",
+                protocol="incremental",
+                placement="worst",
+                ltot=10,
+            )
+        )
+        # Worst placement with scattered acquisition order must
+        # produce (and survive) deadlocks.
+        assert result.totcom > 0
+        assert result.deadlock_aborts > 0
+
+    def test_footnote1_claim_same_conclusions(self, base):
+        """Footnote 1: claim-as-needed did not affect the study's
+        conclusions — the protocols' throughputs stay comparable."""
+        preclaim = simulate(base.replace(conflict_engine="explicit"))
+        incremental = simulate(
+            base.replace(conflict_engine="explicit", protocol="incremental")
+        )
+        assert incremental.throughput == pytest.approx(
+            preclaim.throughput, rel=0.35
+        )
+
+
+class TestAdmissionPolicies:
+    def test_smallest_first_admits_small_transactions(self, base):
+        result = simulate(base.replace(txn_policy="smallest"))
+        assert result.totcom > 0
+
+    def test_mpl_limit_caps_active_population(self, base):
+        result = simulate(base.replace(mpl_limit=2))
+        assert result.mean_active <= 2.0 + 1e-9
+        assert result.totcom > 0
+
+    def test_adaptive_policy_completes_work(self, base):
+        result = simulate(base.replace(txn_policy="adaptive"))
+        assert result.totcom > 0
+
+    def test_adaptive_beats_fcfs_under_heavy_fine_grained_load(self):
+        params = SimulationParameters(
+            dbsize=500, ltot=500, ntrans=60, maxtransize=50, npros=4,
+            tmax=400.0, seed=21,
+        )
+        fcfs = simulate(params)
+        adaptive = simulate(params.replace(txn_policy="adaptive"))
+        assert adaptive.throughput >= fcfs.throughput
+
+    def test_mpl_one_serialises(self, base):
+        result = simulate(base.replace(mpl_limit=1))
+        assert result.mean_active <= 1.0 + 1e-9
+        assert result.denial_rate == 0.0  # nobody to conflict with
+
+
+class TestDisciplines:
+    def test_sjf_runs(self, base):
+        result = simulate(base.replace(discipline="sjf"))
+        assert result.totcom > 0
+
+    def test_sjf_close_to_fcfs_in_throughput(self, base):
+        # Ref [3] of the paper: sub-transaction scheduling has only a
+        # marginal effect.
+        fcfs = simulate(base)
+        sjf = simulate(base.replace(discipline="sjf"))
+        assert sjf.throughput == pytest.approx(fcfs.throughput, rel=0.3)
+
+
+class TestPartitioningVariants:
+    def test_random_partitioning_runs(self, base):
+        result = simulate(base.replace(partitioning="random"))
+        assert result.totcom > 0
+
+    def test_horizontal_beats_random_partitioning(self):
+        # §3.4: horizontal partitioning gives better performance.
+        params = SimulationParameters(
+            dbsize=1000, ltot=50, ntrans=8, maxtransize=100, npros=8,
+            tmax=400.0, seed=29,
+        )
+        horizontal = simulate(params)
+        randomised = simulate(params.replace(partitioning="random"))
+        assert horizontal.throughput > randomised.throughput
+
+
+class TestWorkloadVariants:
+    def test_mixed_workload_runs(self, base):
+        result = simulate(
+            base.replace(
+                workload="mixed",
+                mix_small_maxtransize=10,
+                mix_large_maxtransize=100,
+            )
+        )
+        assert result.totcom > 0
+
+    def test_mixed_throughput_between_extremes(self):
+        common = dict(
+            dbsize=1000, ltot=50, ntrans=8, npros=8, tmax=400.0, seed=31
+        )
+        small = simulate(SimulationParameters(maxtransize=20, **common))
+        large = simulate(SimulationParameters(maxtransize=200, **common))
+        mixed = simulate(
+            SimulationParameters(
+                maxtransize=200,
+                workload="mixed",
+                mix_small_maxtransize=20,
+                mix_large_maxtransize=200,
+                **common,
+            )
+        )
+        assert large.throughput <= mixed.throughput <= small.throughput
+
+    def test_fixed_workload_constant_sizes(self, base):
+        result = simulate(base.replace(workload="fixed", maxtransize=10))
+        assert result.totcom > 0

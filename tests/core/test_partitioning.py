@@ -1,0 +1,94 @@
+"""Unit tests for data partitioning methods."""
+
+import random
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.core.partitioning import (
+    HorizontalPartitioning,
+    RandomPartitioning,
+    make_partitioning,
+)
+from repro.core.transaction import split_entities
+
+
+@pytest.fixture
+def rng():
+    return random.Random(17)
+
+
+class TestHorizontal:
+    def test_always_all_processors(self, rng):
+        partitioning = HorizontalPartitioning(8)
+        for _ in range(10):
+            assert partitioning.processors(rng) == list(range(8))
+
+    def test_single_processor(self, rng):
+        assert HorizontalPartitioning(1).processors(rng) == [0]
+
+
+class TestRandom:
+    def test_subset_sizes_in_range(self, rng):
+        partitioning = RandomPartitioning(8)
+        for _ in range(200):
+            processors = partitioning.processors(rng)
+            assert 1 <= len(processors) <= 8
+            assert len(set(processors)) == len(processors)
+            assert all(0 <= p < 8 for p in processors)
+
+    def test_uniform_subset_size(self, rng):
+        partitioning = RandomPartitioning(10)
+        sizes = [len(partitioning.processors(rng)) for _ in range(5000)]
+        assert sum(sizes) / len(sizes) == pytest.approx(5.5, rel=0.05)
+
+    def test_single_processor_machine(self, rng):
+        assert RandomPartitioning(1).processors(rng) == [0]
+
+    def test_full_subset_includes_everyone(self, rng):
+        partitioning = RandomPartitioning(3)
+        seen_full = False
+        for _ in range(100):
+            processors = partitioning.processors(rng)
+            if len(processors) == 3:
+                assert processors == [0, 1, 2]
+                seen_full = True
+        assert seen_full
+
+
+class TestSplitEntities:
+    def test_even_split(self):
+        assert split_entities(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_spread_to_leading_shares(self):
+        assert split_entities(10, 4) == [3, 3, 2, 2]
+
+    def test_more_parts_than_entities(self):
+        assert split_entities(2, 5) == [1, 1, 0, 0, 0]
+
+    def test_single_part(self):
+        assert split_entities(7, 1) == [7]
+
+    def test_total_preserved(self):
+        for nu in range(0, 50):
+            for parts in range(1, 8):
+                assert sum(split_entities(nu, parts)) == nu
+
+    def test_invalid_parts_rejected(self):
+        with pytest.raises(ValueError):
+            split_entities(5, 0)
+
+
+class TestFactory:
+    def test_horizontal(self):
+        partitioning = make_partitioning(
+            SimulationParameters(partitioning="horizontal", npros=6)
+        )
+        assert isinstance(partitioning, HorizontalPartitioning)
+        assert partitioning.npros == 6
+
+    def test_random(self):
+        partitioning = make_partitioning(
+            SimulationParameters(partitioning="random", npros=6)
+        )
+        assert isinstance(partitioning, RandomPartitioning)

@@ -1,0 +1,122 @@
+"""Property-based tests of the core model (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimulationParameters, simulate
+from repro.core.placement import BestPlacement, RandomPlacement, WorstPlacement
+from repro.core.transaction import split_entities
+
+
+@st.composite
+def small_configs(draw):
+    """Random, cheap-to-run simulation parameter sets."""
+    dbsize = draw(st.integers(min_value=20, max_value=400))
+    ltot = draw(st.integers(min_value=1, max_value=dbsize))
+    maxtransize = draw(st.integers(min_value=1, max_value=min(dbsize, 40)))
+    return SimulationParameters(
+        dbsize=dbsize,
+        ltot=ltot,
+        ntrans=draw(st.integers(min_value=1, max_value=6)),
+        maxtransize=maxtransize,
+        npros=draw(st.integers(min_value=1, max_value=5)),
+        tmax=draw(st.sampled_from([60.0, 100.0])),
+        placement=draw(st.sampled_from(["best", "worst", "random"])),
+        partitioning=draw(st.sampled_from(["horizontal", "random"])),
+        conflict_engine=draw(st.sampled_from(["probabilistic", "explicit"])),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+
+
+class TestModelInvariants:
+    @given(small_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_output_identities_hold_for_any_config(self, params):
+        result = simulate(params)
+        npros = params.npros
+        horizon = params.tmax
+        # The paper's defining identities.
+        assert result.usefulcpus * npros == (
+            result.totcpus - result.lockcpus
+        ) or math.isclose(
+            result.usefulcpus * npros,
+            result.totcpus - result.lockcpus,
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+        assert math.isclose(
+            result.throughput, result.totcom / horizon, rel_tol=1e-12
+        )
+        # Physical bounds.
+        assert 0 <= result.lockcpus <= result.totcpus + 1e-9
+        assert 0 <= result.lockios <= result.totios + 1e-9
+        assert result.totcpus <= npros * horizon + 1e-6
+        assert result.totios <= npros * horizon + 1e-6
+        assert 0 <= result.lock_denials <= result.lock_requests
+        assert 0 <= result.mean_active <= params.ntrans + 1e-9
+        assert result.deadlock_aborts == 0  # preclaim never deadlocks
+
+    @given(small_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_determinism_across_runs(self, params):
+        a = simulate(params)
+        b = simulate(params)
+        assert a.totcom == b.totcom
+        assert a.totcpus == b.totcpus
+        assert a.lockios == b.lockios
+
+
+class TestPlacementProperties:
+    @given(
+        dbsize=st.integers(min_value=1, max_value=5000),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lock_count_bounds(self, dbsize, data):
+        ltot = data.draw(st.integers(min_value=1, max_value=dbsize))
+        nu = data.draw(st.integers(min_value=1, max_value=dbsize))
+        best = BestPlacement(dbsize, ltot).lock_count(nu)
+        worst = WorstPlacement(dbsize, ltot).lock_count(nu)
+        rand = RandomPlacement(dbsize, ltot).lock_count(nu)
+        assert 1 <= best <= ltot
+        assert 1 <= worst <= ltot
+        assert best <= rand <= worst
+        assert rand <= min(nu, ltot)
+
+    @given(
+        dbsize=st.integers(min_value=2, max_value=500),
+        seed=st.integers(min_value=0, max_value=1000),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_materialised_granules_valid(self, dbsize, seed, data):
+        import random
+
+        ltot = data.draw(st.integers(min_value=1, max_value=dbsize))
+        nu = data.draw(st.integers(min_value=1, max_value=dbsize))
+        rng = random.Random(seed)
+        for strategy in (
+            BestPlacement(dbsize, ltot),
+            WorstPlacement(dbsize, ltot),
+            RandomPlacement(dbsize, ltot),
+        ):
+            granules = strategy.granules(nu, rng)
+            assert len(granules) == len(set(granules))
+            assert all(0 <= g < ltot for g in granules)
+            assert 1 <= len(granules) <= min(nu, ltot)
+
+
+class TestSplitProperties:
+    @given(
+        nu=st.integers(min_value=0, max_value=10000),
+        parts=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_split_conserves_and_balances(self, nu, parts):
+        shares = split_entities(nu, parts)
+        assert sum(shares) == nu
+        assert len(shares) == parts
+        assert max(shares) - min(shares) <= 1
+        assert all(share >= 0 for share in shares)

@@ -1,0 +1,102 @@
+"""Unit tests for result records and aggregation."""
+
+import math
+
+import pytest
+
+from repro.core import SimulationParameters, simulate
+from repro.core.results import (
+    RESULT_FIELDS,
+    ReplicatedResult,
+    aggregate,
+    results_table,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    params = SimulationParameters(
+        dbsize=200, ltot=10, ntrans=3, maxtransize=20, npros=2,
+        tmax=120.0,
+    )
+    return [simulate(params.replace(seed=s)) for s in (1, 2, 3, 4)]
+
+
+class TestSimulationResult:
+    def test_as_dict_contains_outputs_and_params(self, results):
+        row = results[0].as_dict()
+        for field in RESULT_FIELDS:
+            assert field in row
+        assert row["dbsize"] == 200
+        assert row["ltot"] == 10
+
+    def test_as_dict_without_params(self, results):
+        row = results[0].as_dict(include_params=False)
+        assert "dbsize" not in row
+        assert "throughput" in row
+
+    def test_frozen(self, results):
+        with pytest.raises(Exception):
+            results[0].totcom = 99
+
+
+class TestReplicatedResult:
+    def test_requires_results(self):
+        with pytest.raises(ValueError):
+            ReplicatedResult([])
+
+    def test_len_and_samples(self, results):
+        replicated = aggregate(results)
+        assert len(replicated) == 4
+        assert len(replicated.samples("totcom")) == 4
+
+    def test_mean_matches_manual(self, results):
+        replicated = aggregate(results)
+        manual = sum(r.throughput for r in results) / len(results)
+        assert replicated.mean("throughput") == pytest.approx(manual)
+
+    def test_stdev_matches_manual(self, results):
+        replicated = aggregate(results)
+        values = [r.throughput for r in results]
+        mean = sum(values) / len(values)
+        manual = math.sqrt(
+            sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        )
+        assert replicated.stdev("throughput") == pytest.approx(manual)
+
+    def test_ci_contains_mean_and_widens_with_confidence(self, results):
+        replicated = aggregate(results)
+        low95, high95 = replicated.ci("throughput", 0.95)
+        low99, high99 = replicated.ci("throughput", 0.99)
+        mean = replicated.mean("throughput")
+        assert low95 <= mean <= high95
+        assert (high99 - low99) >= (high95 - low95)
+
+    def test_half_width_single_sample_is_nan(self, results):
+        replicated = aggregate(results[:1])
+        assert math.isnan(replicated.half_width("throughput"))
+
+    def test_nan_samples_dropped_from_mean(self, results):
+        replicated = aggregate(results)
+        # response_time could legitimately be NaN if nothing completed;
+        # construct that case explicitly.
+        import dataclasses
+
+        with_nan = [
+            dataclasses.replace(results[0], response_time=float("nan"))
+        ] + results[1:]
+        mean = aggregate(with_nan).mean("response_time")
+        manual = sum(r.response_time for r in results[1:]) / 3
+        assert mean == pytest.approx(manual)
+
+    def test_as_dict_merges_params(self, results):
+        row = aggregate(results).as_dict()
+        assert row["ltot"] == 10
+        assert "throughput" in row
+
+
+class TestResultsTable:
+    def test_rows_have_requested_fields(self, results):
+        rows = results_table(results, fields=("ltot", "throughput"))
+        assert len(rows) == 4
+        assert set(rows[0]) == {"ltot", "throughput"}

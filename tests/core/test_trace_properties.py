@@ -1,0 +1,86 @@
+"""Property-based lifecycle invariants via tracing (hypothesis).
+
+Runs small random configurations with tracing enabled and asserts the
+MODEL.md §4/I8 invariants on every completed transaction — across
+engines, protocols, placements, and arrival processes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimulationParameters
+from repro.core.model import LockingGranularityModel
+from repro.des.trace import Trace
+
+
+@st.composite
+def traced_configs(draw):
+    engine = draw(
+        st.sampled_from(["probabilistic", "explicit", "hierarchical"])
+    )
+    protocol = "preclaim"
+    if engine == "explicit" and draw(st.booleans()):
+        protocol = "incremental"
+    return SimulationParameters(
+        dbsize=draw(st.sampled_from([50, 200])),
+        ltot=draw(st.sampled_from([1, 5, 25, 50])),
+        ntrans=draw(st.integers(min_value=1, max_value=5)),
+        maxtransize=draw(st.sampled_from([1, 5, 20])),
+        npros=draw(st.integers(min_value=1, max_value=4)),
+        tmax=60.0,
+        conflict_engine=engine,
+        protocol=protocol,
+        placement=draw(st.sampled_from(["best", "worst", "random"])),
+        partitioning=draw(st.sampled_from(["horizontal", "random"])),
+        arrival_process=draw(st.sampled_from(["closed", "open"])),
+        arrival_rate=0.5,
+        write_fraction=draw(st.sampled_from([1.0, 0.5])),
+        seed=draw(st.integers(min_value=0, max_value=999)),
+    )
+
+
+class TestLifecycleInvariants:
+    @given(traced_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_completed_transactions_follow_the_state_machine(self, params):
+        trace = Trace()
+        model = LockingGranularityModel(params, trace=trace)
+        result = model.run()
+        completed = {r.subject for r in trace.records(kind="complete")}
+        assert len(completed) == result.totcom
+        for tid in completed:
+            kinds = [kind for kind, _ in trace.timeline(tid)]
+            times = [time for _, time in trace.timeline(tid)]
+            assert times == sorted(times)
+            assert kinds[0] == "arrive"
+            assert kinds[1] == "admit"
+            assert kinds[-1] == "complete"
+            assert kinds.count("lock_grant") == 1
+            assert kinds.count("exec") == 1
+            grant_at = kinds.index("lock_grant")
+            assert kinds.index("exec") == len(kinds) - 2
+            assert grant_at < kinds.index("exec")
+            requests = kinds.count("lock_request")
+            denials = kinds.count("lock_deny")
+            aborts = kinds.count("abort")
+            if params.protocol == "preclaim":
+                assert requests == denials + 1
+                assert aborts == 0
+            else:
+                # Incremental: each attempt is a request; denials are
+                # abort events.
+                assert requests == aborts + 1
+
+    @given(traced_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_aggregate_counters_match_trace(self, params):
+        trace = Trace()
+        model = LockingGranularityModel(params, trace=trace)
+        result = model.run()
+        counts = trace.counts()
+        assert counts.get("lock_request", 0) == result.lock_requests
+        assert counts.get("complete", 0) == result.totcom
+        if params.protocol == "preclaim":
+            assert counts.get("lock_deny", 0) == result.lock_denials
+        else:
+            assert counts.get("abort", 0) == result.deadlock_aborts

@@ -1,0 +1,42 @@
+"""Unit tests for transaction records."""
+
+import pytest
+
+from repro.core.transaction import Transaction
+
+
+class TestTransaction:
+    def test_construction_defaults(self):
+        txn = Transaction(1, nu=10, lock_count=2)
+        assert txn.tid == 1
+        assert txn.nu == 10
+        assert txn.lock_count == 2
+        assert txn.granules is None
+        assert txn.is_writer
+        assert txn.arrival is None
+        assert txn.attempts == 0
+        assert txn.aborts == 0
+
+    def test_repr_contains_identity(self):
+        txn = Transaction(7, nu=3, lock_count=1)
+        assert "#7" in repr(txn)
+
+    def test_granule_carrying(self):
+        txn = Transaction(1, nu=3, lock_count=3, granules=[4, 5, 6])
+        assert txn.granules == [4, 5, 6]
+
+    def test_reader_flag(self):
+        txn = Transaction(1, nu=3, lock_count=3, is_writer=False)
+        assert not txn.is_writer
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        txn = Transaction(1, nu=1, lock_count=1)
+        with pytest.raises(AttributeError):
+            txn.something_else = 1
+
+    def test_usable_as_lock_owner(self):
+        # Transactions are identity-hashable (used as lock owners).
+        a = Transaction(1, nu=1, lock_count=1)
+        b = Transaction(1, nu=1, lock_count=1)
+        assert a != b or a is b
+        assert len({a, b}) == 2

@@ -1,0 +1,143 @@
+"""Property-based tests of the DES kernel (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, Server, Tally
+
+
+@st.composite
+def job_batches(draw):
+    """Random (demand, priority, arrival-gap) job lists."""
+    n = draw(st.integers(min_value=1, max_value=30))
+    jobs = []
+    for _ in range(n):
+        demand = draw(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+        )
+        priority = draw(st.integers(min_value=0, max_value=3))
+        gap = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        jobs.append((demand, priority, gap))
+    return jobs
+
+
+class TestServerProperties:
+    @given(job_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_work_conservation(self, jobs):
+        """A single server with no idling between queued jobs serves
+        exactly the submitted demand; completion time >= total demand."""
+        env = Environment()
+        server = Server(env)
+        total_demand = 0.0
+
+        def feeder(env):
+            for demand, priority, gap in jobs:
+                if gap:
+                    yield env.timeout(gap)
+                server.submit(demand, priority=priority, tag="p{}".format(priority))
+
+        env.process(feeder(env))
+        env.run()
+        total_demand = sum(demand for demand, _, _ in jobs)
+        assert server.busy_time() <= env.now + 1e-6
+        assert math.isclose(
+            server.busy_time(), total_demand, rel_tol=1e-9, abs_tol=1e-9
+        )
+        assert server.jobs_served() == len(jobs)
+
+    @given(job_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_per_tag_busy_equals_demand(self, jobs):
+        env = Environment()
+        server = Server(env)
+        per_priority = {}
+
+        def feeder(env):
+            for demand, priority, gap in jobs:
+                if gap:
+                    yield env.timeout(gap)
+                tag = "p{}".format(priority)
+                per_priority[tag] = per_priority.get(tag, 0.0) + demand
+                server.submit(demand, priority=priority, tag=tag)
+
+        env.process(feeder(env))
+        env.run()
+        for tag, demand in per_priority.items():
+            assert math.isclose(
+                server.busy_time(tag), demand, rel_tol=1e-9, abs_tol=1e-9
+            )
+
+    @given(job_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_determinism(self, jobs):
+        """The same job list produces the identical completion trace."""
+
+        def trace():
+            env = Environment()
+            server = Server(env)
+            completions = []
+
+            def feeder(env):
+                for index, (demand, priority, gap) in enumerate(jobs):
+                    if gap:
+                        yield env.timeout(gap)
+                    done = server.submit(demand, priority=priority)
+                    done.callbacks.append(
+                        lambda _e, i=index: completions.append((i, env.now))
+                    )
+
+            env.process(feeder(env))
+            env.run()
+            return completions
+
+        assert trace() == trace()
+
+
+class TestTimeMonotonicity:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_clock_never_goes_backwards(self, delays):
+        env = Environment()
+        observed = []
+
+        def proc(env, delay):
+            yield env.timeout(delay)
+            observed.append(env.now)
+
+        for delay in delays:
+            env.process(proc(env, delay))
+        env.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+
+class TestTallyProperties:
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+            ),
+            min_size=2,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_welford_matches_two_pass(self, samples):
+        tally = Tally()
+        for sample in samples:
+            tally.observe(sample)
+        mean = sum(samples) / len(samples)
+        variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        assert math.isclose(tally.mean, mean, rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(tally.variance, variance, rel_tol=1e-6, abs_tol=1e-6)
+        assert tally.minimum == min(samples)
+        assert tally.maximum == max(samples)

@@ -1,0 +1,120 @@
+"""Unit tests for the environment / run loop."""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.errors import EmptySchedule, SimulationError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=10).now == 10.0
+
+    def test_run_until_time_advances_clock_exactly(self, env):
+        env.timeout(3)
+        env.run(until=7)
+        assert env.now == 7
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(5)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.run(until=1)
+
+    def test_peek_reports_next_event_time(self, env):
+        env.timeout(4)
+        env.timeout(2)
+        assert env.peek() == 2
+
+    def test_peek_empty_is_infinite(self, env):
+        assert env.peek() == float("inf")
+
+    def test_step_on_empty_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+
+class TestRun:
+    def test_run_until_none_drains_heap(self, env):
+        env.timeout(1)
+        env.timeout(9)
+        env.run()
+        assert env.now == 9
+
+    def test_run_until_event_returns_value(self, env):
+        timeout = env.timeout(2, value="done")
+        assert env.run(until=timeout) == "done"
+        assert env.now == 2
+
+    def test_run_until_processed_event_returns_immediately(self, env):
+        timeout = env.timeout(1, value="x")
+        env.run()
+        assert env.run(until=timeout) == "x"
+
+    def test_run_until_unreachable_event_raises(self, env):
+        never = env.event()
+        env.timeout(1)
+        with pytest.raises(EmptySchedule):
+            env.run(until=never)
+
+    def test_same_time_events_fifo_within_priority(self, env):
+        order = []
+        for name in "abc":
+            event = env.event()
+            event.callbacks.append(lambda _e, n=name: order.append(n))
+            event.succeed()
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_urgent_priority_processed_first(self, env):
+        order = []
+        normal = env.event()
+        normal.callbacks.append(lambda _e: order.append("normal"))
+        normal.succeed()  # NORMAL priority
+        urgent = env.event()
+        urgent.callbacks.append(lambda _e: order.append("urgent"))
+        urgent.succeed(priority=0)  # URGENT
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_events_scheduled_during_run_are_processed(self, env):
+        seen = []
+
+        def chain(env):
+            yield env.timeout(1)
+            seen.append(env.now)
+            yield env.timeout(1)
+            seen.append(env.now)
+
+        env.process(chain(env))
+        env.run(until=5)
+        assert seen == [1, 2]
+
+    def test_run_until_boundary_includes_events_at_that_time(self, env):
+        fired = []
+        event = env.timeout(5)
+        event.callbacks.append(lambda _e: fired.append(env.now))
+        env.run(until=5)
+        assert fired == [5]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def trace():
+            env = Environment()
+            log = []
+
+            def proc(env, name):
+                for _ in range(3):
+                    yield env.timeout(1.5)
+                    log.append((name, env.now))
+
+            env.process(proc(env, "a"))
+            env.process(proc(env, "b"))
+            env.run()
+            return log
+
+        assert trace() == trace()

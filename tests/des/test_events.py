@@ -1,0 +1,142 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Environment, Event, Timeout
+from repro.des.errors import SimulationError
+
+
+class TestEvent:
+    def test_fresh_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_default_value_is_none(self, env):
+        event = env.event()
+        event.succeed()
+        assert event.value is None
+
+    def test_double_succeed_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_succeed_after_fail_raises(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        event.defuse()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_fail_propagates_from_run(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+    def test_defused_failure_does_not_propagate(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        event.defuse()
+        env.run()  # must not raise
+
+    def test_callbacks_run_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        env.run()
+        assert seen == ["payload"]
+        assert event.processed
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        timeout = env.timeout(5)
+        env.run()
+        assert env.now == 5
+        assert timeout.processed
+
+    def test_carries_value(self, env):
+        timeout = env.timeout(1, value="tick")
+        env.run(until=timeout)
+        assert timeout.value == "tick"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_fires_now(self, env):
+        env.timeout(0)
+        env.run()
+        assert env.now == 0
+
+    def test_repr_mentions_delay(self, env):
+        assert "3" in repr(Timeout(env, 3))
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, env):
+        t1, t2, t3 = env.timeout(1), env.timeout(3), env.timeout(2)
+        join = AllOf(env, [t1, t2, t3])
+        env.run(until=join)
+        assert env.now == 3
+
+    def test_all_of_collects_values(self, env):
+        events = [env.timeout(i, value=i) for i in (1, 2)]
+        join = env.all_of(events)
+        values = env.run(until=join)
+        assert sorted(values) == [1, 2]
+
+    def test_all_of_empty_succeeds_immediately(self, env):
+        join = env.all_of([])
+        assert join.triggered
+
+    def test_any_of_fires_at_first(self, env):
+        slow, fast = env.timeout(10), env.timeout(2, value="fast")
+        race = env.any_of([slow, fast])
+        env.run(until=race)
+        assert env.now == 2
+        assert "fast" in race.value
+
+    def test_all_of_fails_if_child_fails(self, env):
+        good = env.timeout(1)
+        bad = env.event()
+        join = env.all_of([good, bad])
+        bad.fail(ValueError("child"))
+        join.defuse()
+        env.run()
+        assert join.triggered
+        assert not join.ok
+
+    def test_condition_accepts_already_processed_children(self, env):
+        done = env.timeout(0)
+        env.run()
+        join = env.all_of([done])
+        assert join.triggered
+
+    def test_cross_environment_events_rejected(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            AnyOf(env, [Event(other)])

@@ -1,0 +1,103 @@
+"""Unit tests for statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.des import Tally, TimeWeighted
+
+
+class TestTally:
+    def test_empty_statistics_are_nan(self):
+        tally = Tally()
+        assert math.isnan(tally.mean)
+        assert math.isnan(tally.variance)
+        assert math.isnan(tally.minimum)
+        assert math.isnan(tally.maximum)
+        assert tally.count == 0
+
+    def test_single_sample(self):
+        tally = Tally()
+        tally.observe(4.0)
+        assert tally.mean == 4.0
+        assert tally.count == 1
+        assert math.isnan(tally.variance)
+        assert tally.minimum == tally.maximum == 4.0
+
+    def test_mean_and_variance_match_reference(self):
+        samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        tally = Tally()
+        for sample in samples:
+            tally.observe(sample)
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        assert tally.mean == pytest.approx(mean)
+        assert tally.variance == pytest.approx(var)
+        assert tally.stdev == pytest.approx(math.sqrt(var))
+        assert tally.total == pytest.approx(sum(samples))
+
+    def test_extremes(self):
+        tally = Tally()
+        for sample in (3, -1, 10, 2):
+            tally.observe(sample)
+        assert tally.minimum == -1
+        assert tally.maximum == 10
+
+    def test_numerical_stability_with_large_offsets(self):
+        tally = Tally()
+        offset = 1e9
+        for sample in (offset + 1, offset + 2, offset + 3):
+            tally.observe(sample)
+        assert tally.variance == pytest.approx(1.0)
+
+
+class TestTimeWeighted:
+    def test_constant_signal_mean_is_the_constant(self, env):
+        level = TimeWeighted(env, initial=3.0)
+        env.timeout(10)
+        env.run()
+        assert level.mean() == pytest.approx(3.0)
+
+    def test_step_signal_time_average(self, env):
+        level = TimeWeighted(env, initial=0.0)
+
+        def stepper(env):
+            yield env.timeout(4)
+            level.update(2.0)
+            yield env.timeout(6)
+            level.update(0.0)
+
+        env.process(stepper(env))
+        env.run()
+        env.timeout(0)
+        # 4 units at 0, 6 units at 2 => mean over 10 = 1.2
+        assert level.mean(until=10) == pytest.approx(1.2)
+
+    def test_increment_decrement(self, env):
+        level = TimeWeighted(env)
+        level.increment(1)
+        level.increment(1)
+        level.increment(-1)
+        assert level.level == 1.0
+
+    def test_maximum_tracked(self, env):
+        level = TimeWeighted(env)
+        level.update(5)
+        level.update(2)
+        assert level.maximum == 5
+
+    def test_mean_before_any_time_passes(self, env):
+        level = TimeWeighted(env, initial=7.0)
+        assert level.mean() == pytest.approx(7.0)
+
+    def test_mean_with_explicit_until(self, env):
+        level = TimeWeighted(env, initial=1.0)
+
+        def stepper(env):
+            yield env.timeout(5)
+            level.update(3.0)
+
+        env.process(stepper(env))
+        env.run()
+        # 5 at level 1, then 5 more at level 3 => mean over 10 = 2
+        assert level.mean(until=10) == pytest.approx(2.0)

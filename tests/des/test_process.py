@@ -1,0 +1,211 @@
+"""Unit tests for generator processes."""
+
+import pytest
+
+from repro.des import Environment, Process
+from repro.des.errors import Interrupt, SimulationError
+
+
+class TestBasics:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            Process(env, lambda: None)
+
+    def test_runs_at_creation_instant(self, env):
+        seen = []
+
+        def proc(env):
+            seen.append(env.now)
+            yield env.timeout(1)
+
+        env.process(proc(env))
+        env.run()
+        assert seen == [0]
+
+    def test_return_value_becomes_event_value(self, env):
+        def proc(env):
+            yield env.timeout(2)
+            return "result"
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "result"
+
+    def test_is_alive_lifecycle(self, env):
+        def proc(env):
+            yield env.timeout(1)
+
+        process = env.process(proc(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_processes_can_wait_on_processes(self, env):
+        def inner(env):
+            yield env.timeout(3)
+            return "inner-done"
+
+        def outer(env):
+            value = yield env.process(inner(env))
+            return (value, env.now)
+
+        outer_proc = env.process(outer(env))
+        assert env.run(until=outer_proc) == ("inner-done", 3)
+
+    def test_yielding_non_event_raises(self, env):
+        def proc(env):
+            yield 42
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_in_process_propagates(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise ValueError("inside")
+
+        env.process(proc(env))
+        with pytest.raises(ValueError, match="inside"):
+            env.run()
+
+    def test_waiting_on_already_processed_event(self, env):
+        done = env.timeout(0, value="early")
+        env.run()
+
+        def proc(env):
+            value = yield done
+            return value
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "early"
+
+    def test_failed_event_raises_at_yield(self, env):
+        trigger = env.event()
+
+        def proc(env):
+            try:
+                yield trigger
+            except RuntimeError as error:
+                return "caught: {}".format(error)
+
+        process = env.process(proc(env))
+        trigger.fail(RuntimeError("bad"))
+        assert env.run(until=process) == "caught: bad"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, env.now)
+
+        process = env.process(victim(env))
+
+        def killer(env):
+            yield env.timeout(5)
+            process.interrupt(cause="deadlock")
+
+        env.process(killer(env))
+        assert env.run(until=process) == ("interrupted", "deadlock", 5)
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(1)
+            return env.now
+
+        process = env.process(victim(env))
+
+        def killer(env):
+            yield env.timeout(2)
+            process.interrupt()
+
+        env.process(killer(env))
+        assert env.run(until=process) == 3
+
+    def test_interrupt_finished_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(0)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_interrupt_detaches_from_old_target(self, env):
+        # After an interrupt, the original timeout must not resume the
+        # process a second time.
+        resumed = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10)
+                resumed.append("timeout")
+            except Interrupt:
+                resumed.append("interrupt")
+            yield env.timeout(20)
+            resumed.append("second-wait")
+
+        process = env.process(victim(env))
+
+        def killer(env):
+            yield env.timeout(1)
+            process.interrupt()
+
+        env.process(killer(env))
+        env.run()
+        assert resumed == ["interrupt", "second-wait"]
+
+
+class TestForkJoin:
+    def test_all_of_over_processes(self, env):
+        def worker(env, duration):
+            yield env.timeout(duration)
+            return duration
+
+        def parent(env):
+            children = [env.process(worker(env, d)) for d in (5, 1, 3)]
+            values = yield env.all_of(children)
+            return (env.now, sorted(values))
+
+        parent_proc = env.process(parent(env))
+        assert env.run(until=parent_proc) == (5, [1, 3, 5])
+
+    def test_any_of_over_processes(self, env):
+        def worker(env, duration):
+            yield env.timeout(duration)
+            return duration
+
+        def parent(env):
+            children = [env.process(worker(env, d)) for d in (5, 2)]
+            yield env.any_of(children)
+            return env.now
+
+        parent_proc = env.process(parent(env))
+        assert env.run(until=parent_proc) == 2
+
+    def test_deterministic_fork_join_ordering(self):
+        def build():
+            env = Environment()
+            order = []
+
+            def worker(env, name):
+                yield env.timeout(1)
+                order.append(name)
+
+            def parent(env):
+                yield env.all_of(
+                    [env.process(worker(env, n)) for n in "abcd"]
+                )
+
+            env.process(parent(env))
+            env.run()
+            return order
+
+        assert build() == list("abcd")
+        assert build() == build()

@@ -1,0 +1,84 @@
+"""Unit tests for the counted FCFS resource."""
+
+import pytest
+
+from repro.des import Resource
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        r1, r2, r3 = resource.request(), resource.request(), resource.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert resource.count == 2
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_in_fifo_order(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        resource.release(first)
+        assert second.triggered and not third.triggered
+        resource.release(second)
+        assert third.triggered
+
+    def test_release_waiting_request_cancels_it(self, env):
+        resource = Resource(env, capacity=1)
+        holder = resource.request()
+        waiter = resource.request()
+        resource.release(waiter)
+        assert resource.queue_length == 0
+        resource.release(holder)
+        assert not waiter.triggered
+
+    def test_double_release_is_noop(self, env):
+        resource = Resource(env, capacity=1)
+        request = resource.request()
+        resource.release(request)
+        resource.release(request)
+        assert resource.count == 0
+
+    def test_context_manager_releases(self, env):
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def user(env, name):
+            with resource.request() as request:
+                yield request
+                log.append((name, "in", env.now))
+                yield env.timeout(2)
+            log.append((name, "out", env.now))
+
+        env.process(user(env, "a"))
+        env.process(user(env, "b"))
+        env.run()
+        assert log == [
+            ("a", "in", 0),
+            ("a", "out", 2),
+            ("b", "in", 2),
+            ("b", "out", 4),
+        ]
+
+    def test_mutual_exclusion_invariant(self, env):
+        resource = Resource(env, capacity=1)
+        inside = []
+        max_inside = []
+
+        def user(env, hold):
+            with resource.request() as request:
+                yield request
+                inside.append(1)
+                max_inside.append(len(inside))
+                yield env.timeout(hold)
+                inside.pop()
+
+        for hold in (1, 2, 3, 1, 2):
+            env.process(user(env, hold))
+        env.run()
+        assert max(max_inside) == 1

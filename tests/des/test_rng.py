@@ -1,0 +1,46 @@
+"""Unit tests for named random streams."""
+
+from repro.des import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).stream("x")
+        b = RandomStreams(42).stream("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(42)
+        a = streams.stream("sizes")
+        b = streams.stream("conflict")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x")
+        b = RandomStreams(2).stream("x")
+        assert a.random() != b.random()
+
+    def test_multi_part_names(self):
+        streams = RandomStreams(0)
+        a = streams.stream("rep", 1)
+        b = streams.stream("rep", 2)
+        assert a.random() != b.random()
+
+    def test_spawn_is_disjoint_from_parent(self):
+        parent = RandomStreams(7)
+        child = parent.spawn("child")
+        assert parent.stream("x").random() != child.stream("x").random()
+
+    def test_spawn_deterministic(self):
+        a = RandomStreams(7).spawn("c").stream("x").random()
+        b = RandomStreams(7).spawn("c").stream("x").random()
+        assert a == b
+
+    def test_seed_property(self):
+        assert RandomStreams(9).seed == 9
+
+    def test_name_order_matters(self):
+        streams = RandomStreams(3)
+        assert (
+            streams.stream("a", "b").random() != streams.stream("b", "a").random()
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for the FIFO store."""
+
+import pytest
+
+from repro.des import Store
+
+
+class TestStore:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_put_then_get_fifo(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        first = store.get()
+        second = store.get()
+        assert first.triggered and first.value == "a"
+        assert second.triggered and second.value == "b"
+
+    def test_get_waits_for_put(self, env):
+        store = Store(env)
+        get = store.get()
+        assert not get.triggered
+        store.put("late")
+        assert get.triggered and get.value == "late"
+
+    def test_bounded_put_waits_for_room(self, env):
+        store = Store(env, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        assert first.triggered and not second.triggered
+        got = store.get()
+        assert got.value == "a"
+        assert second.triggered
+        assert store.items == ["b"]
+
+    def test_len_tracks_buffered_items(self, env):
+        store = Store(env)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        store.get()
+        assert len(store) == 1
+
+    def test_producer_consumer_processes(self, env):
+        store = Store(env, capacity=2)
+        consumed = []
+
+        def producer(env):
+            for i in range(5):
+                yield store.put(i)
+                yield env.timeout(1)
+
+        def consumer(env):
+            for _ in range(5):
+                item = yield store.get()
+                consumed.append((item, env.now))
+                yield env.timeout(2)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert [item for item, _ in consumed] == [0, 1, 2, 3, 4]
+
+    def test_multiple_getters_served_in_order(self, env):
+        store = Store(env)
+        gets = [store.get() for _ in range(3)]
+        for item in ("x", "y", "z"):
+            store.put(item)
+        assert [g.value for g in gets] == ["x", "y", "z"]

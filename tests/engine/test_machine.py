@@ -1,0 +1,82 @@
+"""Unit tests for the multiprocessor machine."""
+
+import pytest
+
+from repro.engine.machine import BusySnapshot, Machine
+
+
+class TestMachine:
+    def test_validates_npros(self, env):
+        with pytest.raises(ValueError):
+            Machine(env, 0)
+
+    def test_len_and_indexing(self, env):
+        machine = Machine(env, 4)
+        assert len(machine) == 4
+        assert machine[2].index == 2
+
+    def test_lock_overhead_splits_evenly(self, env):
+        machine = Machine(env, 4)
+
+        def requester(env):
+            yield machine.lock_overhead(cpu_total=4.0, io_total=8.0)
+            return env.now
+
+        process = env.process(requester(env))
+        # Each node gets cpu 1.0 and io 2.0 concurrently: done at 2.0.
+        assert env.run(until=process) == 2.0
+        for node in machine.processors:
+            assert node.cpu_busy("lock") == pytest.approx(1.0)
+            assert node.io_busy("lock") == pytest.approx(2.0)
+
+    def test_lock_overhead_zero_total(self, env):
+        machine = Machine(env, 2)
+
+        def requester(env):
+            yield machine.lock_overhead(0.0, 0.0)
+            return env.now
+
+        process = env.process(requester(env))
+        assert env.run(until=process) == 0.0
+
+    def test_single_processor_machine(self, env):
+        machine = Machine(env, 1)
+
+        def requester(env):
+            yield machine.lock_overhead(1.0, 1.0)
+            return env.now
+
+        process = env.process(requester(env))
+        assert env.run(until=process) == 1.0
+
+    def test_busy_snapshot_totals(self, env):
+        machine = Machine(env, 2)
+        machine[0].io(3.0)
+        machine[1].io(5.0)
+        machine[0].compute(1.0)
+        env.run()
+        snapshot = machine.busy_snapshot()
+        assert snapshot.totios == pytest.approx(8.0)
+        assert snapshot.totcpus == pytest.approx(1.0)
+        assert snapshot.lockios == 0.0
+        assert snapshot.lockcpus == 0.0
+
+    def test_txn_busy_totals(self, env):
+        machine = Machine(env, 2)
+        machine[0].io(3.0)
+        machine[1].compute(2.0)
+        env.run()
+        cpu, io = machine.txn_busy_totals()
+        assert cpu == pytest.approx(2.0)
+        assert io == pytest.approx(3.0)
+
+
+class TestBusySnapshot:
+    def test_minus(self):
+        after = BusySnapshot(10.0, 20.0, 2.0, 4.0)
+        before = BusySnapshot(4.0, 8.0, 1.0, 2.0)
+        window = after.minus(before)
+        assert window.totcpus == 6.0
+        assert window.totios == 12.0
+        assert window.lockcpus == 1.0
+        assert window.lockios == 2.0

@@ -1,0 +1,170 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig2"])
+        assert args.exhibit == "fig2"
+        assert args.replications == 1
+        assert not args.quick
+
+    def test_run_command_options(self):
+        args = build_parser().parse_args(
+            ["run", "7", "--quick", "--tmax", "50", "--replications", "2"]
+        )
+        assert args.exhibit == "7"
+        assert args.quick
+        assert args.tmax == 50.0
+        assert args.replications == 2
+
+    def test_simulate_command_overrides(self):
+        args = build_parser().parse_args(
+            ["simulate", "--ltot", "7", "--npros", "3"]
+        )
+        assert args.ltot == 7
+        assert args.npros == 3
+        assert args.dbsize is None
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_prints_exhibits(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "table1" in out and "ablation_conflict" in out
+
+    def test_simulate_prints_outputs(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dbsize", "200", "--ltot", "10", "--ntrans", "3",
+                "--maxtransize", "20", "--npros", "2", "--tmax", "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "totcom" in out
+
+    def test_run_quick_table1(self, capsys):
+        code = main(["run", "table1", "--tmax", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_run_quick_saves_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        code = main(
+            [
+                "run", "fig7", "--quick", "--tmax", "40",
+                "--save", str(csv_path), "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert json_path.exists()
+        out = capsys.readouterr().out
+        assert "liotime=0.2" in out
+        assert "expected shape" in out.lower()
+
+    def test_run_with_plot(self, capsys):
+        code = main(["run", "table1", "--tmax", "60", "--plot"])
+        assert code == 0
+        assert "log x" in capsys.readouterr().out
+
+    def test_run_unknown_exhibit_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_run_with_seed_override(self, capsys):
+        code = main(["run", "table1", "--tmax", "60", "--seed", "123"])
+        assert code == 0
+
+    def test_run_writes_svg_charts(self, capsys, tmp_path):
+        svg_dir = tmp_path / "charts"
+        code = main(
+            ["run", "table1", "--tmax", "40", "--svg", str(svg_dir)]
+        )
+        assert code == 0
+        written = list(svg_dir.glob("*.svg"))
+        assert len(written) == 2  # throughput + response_time
+
+    def test_simulate_with_trace(self, capsys):
+        code = main(
+            [
+                "simulate", "--dbsize", "200", "--ltot", "10",
+                "--ntrans", "2", "--maxtransize", "10", "--npros", "2",
+                "--tmax", "30", "--trace", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arrive" in out
+        assert "events total" in out
+
+    def test_tune_reports_optimum(self, capsys):
+        code = main(
+            [
+                "tune", "--dbsize", "300", "--ntrans", "3",
+                "--maxtransize", "30", "--npros", "2", "--tmax", "60",
+                "--replications", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Optimal granularity" in out
+
+    def test_compare_flags_changes(self, capsys, tmp_path):
+        from repro.experiments.storage import save_rows_csv
+
+        baseline = [
+            {"ltot": 1, "npros": 2, "throughput": 0.10},
+            {"ltot": 10, "npros": 2, "throughput": 0.20},
+        ]
+        candidate = [
+            {"ltot": 1, "npros": 2, "throughput": 0.10},
+            {"ltot": 10, "npros": 2, "throughput": 0.30},
+        ]
+        base_path = tmp_path / "base.csv"
+        cand_path = tmp_path / "cand.csv"
+        save_rows_csv(baseline, base_path)
+        save_rows_csv(candidate, cand_path)
+        code = main(["compare", str(base_path), str(cand_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improved" in out
+        assert "1 of 2" in out
+
+    def test_sensitivity_reports_elasticities(self, capsys):
+        code = main(
+            [
+                "sensitivity", "--dbsize", "300", "--ntrans", "3",
+                "--maxtransize", "30", "--npros", "2", "--tmax", "60",
+                "--replications", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Elasticity" in out
+        assert "iotime" in out
+
+    def test_compare_disjoint_files_fail(self, capsys, tmp_path):
+        from repro.experiments.storage import save_rows_csv
+
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        save_rows_csv([{"ltot": 1, "throughput": 0.1}], a)
+        save_rows_csv([{"ltot": 99, "throughput": 0.1}], b)
+        assert main(["compare", str(a), str(b)]) == 1

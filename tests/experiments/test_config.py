@@ -1,0 +1,87 @@
+"""Unit tests for experiment specifications."""
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.config import LTOT_GRID, NPROS_GRID, ExperimentSpec
+
+
+def make_spec(**kwargs):
+    defaults = dict(
+        key="toy",
+        title="toy spec",
+        base=SimulationParameters(tmax=100.0),
+        sweeps={"npros": (1, 2), "ltot": (1, 10, 100)},
+        series_fields=("npros",),
+        y_fields=("throughput",),
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+class TestConfigurations:
+    def test_cartesian_product_size(self):
+        spec = make_spec()
+        assert len(spec.configurations()) == 6
+
+    def test_product_order_is_declaration_order(self):
+        spec = make_spec()
+        configs = spec.configurations()
+        assert [(c.npros, c.ltot) for c in configs] == [
+            (1, 1), (1, 10), (1, 100), (2, 1), (2, 10), (2, 100),
+        ]
+
+    def test_no_sweeps_returns_base(self):
+        spec = make_spec(sweeps={})
+        configs = spec.configurations()
+        assert configs == [spec.base]
+
+    def test_base_fields_preserved(self):
+        spec = make_spec()
+        for config in spec.configurations():
+            assert config.tmax == 100.0
+
+    def test_grids_match_paper(self):
+        assert LTOT_GRID[0] == 1
+        assert LTOT_GRID[-1] == 5000
+        assert NPROS_GRID == (1, 2, 5, 10, 20, 30)
+
+
+class TestSeries:
+    def test_series_key_and_label(self):
+        spec = make_spec()
+        config = spec.base.replace(npros=2)
+        assert spec.series_key(config) == (2,)
+        assert spec.series_label(config) == "npros=2"
+
+    def test_multi_field_series_label(self):
+        spec = make_spec(series_fields=("placement", "npros"))
+        config = spec.base.replace(placement="worst", npros=2)
+        assert spec.series_label(config) == "placement=worst, npros=2"
+
+    def test_empty_series_label(self):
+        spec = make_spec(series_fields=())
+        assert spec.series_label(spec.base) == "all"
+
+
+class TestScaled:
+    def test_scaled_tmax(self):
+        scaled = make_spec().scaled(tmax=10.0)
+        assert scaled.base.tmax == 10.0
+        assert all(c.tmax == 10.0 for c in scaled.configurations())
+
+    def test_scaled_ltot_grid(self):
+        scaled = make_spec().scaled(ltot_grid=(1, 5000))
+        assert scaled.sweeps["ltot"] == (1, 5000)
+        assert len(scaled.configurations()) == 4
+
+    def test_scaled_base_changes(self):
+        scaled = make_spec().scaled(seed=42)
+        assert scaled.base.seed == 42
+
+    def test_scaled_replace_sweeps(self):
+        scaled = make_spec().scaled(replace_sweeps={"npros": (5,)})
+        assert len(scaled.configurations()) == 3
+
+    def test_scaled_preserves_original(self):
+        spec = make_spec()
+        spec.scaled(tmax=1.0)
+        assert spec.base.tmax == 100.0

@@ -1,0 +1,63 @@
+"""Tests for the engine cross-validation utility."""
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.crossval import (
+    CrossValidation,
+    DivergencePoint,
+    cross_validate_engines,
+)
+
+
+@pytest.fixture(scope="module")
+def validation():
+    params = SimulationParameters(
+        dbsize=500, ntrans=6, maxtransize=50, npros=4, tmax=200.0, seed=3
+    )
+    return cross_validate_engines(
+        params, ltot_grid=(1, 20, 500), replications=1
+    )
+
+
+class TestDivergencePoint:
+    def test_relative_gap(self):
+        point = DivergencePoint(10, probabilistic=0.2, explicit=0.25)
+        assert point.relative_gap == pytest.approx(0.25)
+
+    def test_zero_baseline(self):
+        assert DivergencePoint(1, 0.0, 0.0).relative_gap == 0.0
+        assert DivergencePoint(1, 0.0, 0.1).relative_gap == float("inf")
+
+
+class TestCrossValidation:
+    def test_covers_grid(self, validation):
+        assert len(validation) == 3
+        assert [p.ltot for p in validation.points] == [1, 20, 500]
+
+    def test_engines_agree_within_band(self, validation):
+        # The headline claim of EXPERIMENTS.md's ablation table.
+        assert validation.agree_within(0.5)
+        assert validation.max_absolute_gap < 0.5
+
+    def test_both_engines_produce_work(self, validation):
+        for point in validation.points:
+            assert point.probabilistic > 0
+            assert point.explicit > 0
+
+    def test_format_is_tabular(self, validation):
+        text = validation.format()
+        assert "ltot" in text
+        assert len(text.splitlines()) == 4
+
+    def test_agree_within_rejects_tight_tolerance(self):
+        points = [DivergencePoint(1, 0.1, 0.2)]
+        assert not CrossValidation(points, "throughput").agree_within(0.5)
+
+    def test_max_gap_ignores_infinite_points(self):
+        points = [
+            DivergencePoint(1, 0.0, 0.1),
+            DivergencePoint(2, 0.1, 0.11),
+        ]
+        cv = CrossValidation(points, "throughput")
+        assert cv.max_absolute_gap == pytest.approx(0.1)

@@ -1,0 +1,93 @@
+"""Unit tests for the exhibit registry (no simulation runs here)."""
+
+import pytest
+
+from repro.experiments.config import LTOT_GRID, NPROS_GRID
+from repro.experiments.figures import EXHIBITS, get_exhibit
+
+
+class TestRegistry:
+    def test_every_paper_exhibit_present(self):
+        for key in ["table1"] + ["fig{}".format(i) for i in range(2, 13)]:
+            assert key in EXHIBITS
+
+    def test_ablations_present(self):
+        for key in (
+            "ablation_conflict",
+            "ablation_protocol",
+            "ablation_scheduling",
+            "ablation_discipline",
+        ):
+            assert key in EXHIBITS
+
+    def test_get_exhibit_accepts_number(self):
+        assert get_exhibit(2).key == "fig2"
+        assert get_exhibit("7").key == "fig7"
+
+    def test_get_exhibit_accepts_name(self):
+        assert get_exhibit("fig9").key == "fig9"
+        assert get_exhibit("table1").key == "table1"
+
+    def test_unknown_exhibit_raises(self):
+        with pytest.raises(KeyError):
+            get_exhibit("fig99")
+
+    def test_every_spec_has_expected_shape_text(self):
+        for key, builder in EXHIBITS.items():
+            spec = builder()
+            assert spec.expected_shape, "missing acceptance text: {}".format(key)
+
+    def test_every_spec_validates_all_configurations(self):
+        for builder in EXHIBITS.values():
+            for config in builder().configurations():
+                config.validate()
+
+
+class TestSpecShapes:
+    def test_fig2_grid(self):
+        spec = get_exhibit(2)
+        assert spec.sweeps["npros"] == NPROS_GRID
+        assert spec.sweeps["ltot"] == LTOT_GRID
+        assert spec.y_fields == ("throughput", "response_time")
+        assert len(spec.configurations()) == 72
+
+    def test_fig4_and_fig5_differ_in_size(self):
+        assert get_exhibit(4).base.maxtransize == 500
+        assert get_exhibit(5).base.maxtransize == 50
+
+    def test_fig6_sweeps_transaction_size(self):
+        spec = get_exhibit(6)
+        assert spec.base.npros == 10
+        assert spec.sweeps["maxtransize"] == (50, 100, 500, 2500, 5000)
+
+    def test_fig7_sweeps_lock_io_time(self):
+        spec = get_exhibit(7)
+        assert spec.sweeps["liotime"] == (0.2, 0.1, 0.0)
+
+    def test_fig8_uses_random_partitioning(self):
+        assert get_exhibit(8).base.partitioning == "random"
+
+    def test_fig9_fig10_sweep_placement_and_npros(self):
+        for number in (9, 10):
+            spec = get_exhibit(number)
+            assert spec.sweeps["placement"] == ("best", "random", "worst")
+            assert spec.sweeps["npros"] == (1, 30)
+
+    def test_fig11_mixed_workload(self):
+        spec = get_exhibit(11)
+        assert spec.base.workload == "mixed"
+        assert spec.base.npros == 30
+
+    def test_fig12_heavy_load(self):
+        spec = get_exhibit(12)
+        assert spec.base.ntrans == 200
+        assert spec.base.npros == 20
+
+    def test_table1_is_single_run(self):
+        assert len(get_exhibit("table1").configurations()) == 1
+
+    def test_ablation_protocol_uses_explicit_engine(self):
+        spec = get_exhibit("ablation_protocol")
+        assert spec.base.conflict_engine == "explicit"
+        for config in spec.configurations():
+            config.validate()

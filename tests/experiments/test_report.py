@@ -1,0 +1,74 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.report import (
+    ascii_plot,
+    format_series_table,
+    summarize_optima,
+)
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = ExperimentSpec(
+        key="tiny",
+        title="tiny sweep",
+        base=SimulationParameters(
+            dbsize=200, ntrans=3, maxtransize=20, npros=2, tmax=80.0, seed=1
+        ),
+        sweeps={"npros": (1, 2), "ltot": (1, 20, 200)},
+        series_fields=("npros",),
+        y_fields=("throughput", "response_time"),
+    )
+    return run_experiment(spec)
+
+
+class TestSeriesTable:
+    def test_contains_header_and_all_x_values(self, result):
+        table = format_series_table(result)
+        assert "npros=1" in table and "npros=2" in table
+        for x in ("1", "20", "200"):
+            assert x in table
+
+    def test_custom_y_field(self, result):
+        table = format_series_table(result, "response_time")
+        assert "response_time" in table
+
+    def test_custom_title(self, result):
+        table = format_series_table(result, title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_row_count(self, result):
+        table = format_series_table(result)
+        # title + rule + header + header rule + 3 x-rows
+        assert len(table.splitlines()) == 7
+
+
+class TestAsciiPlot:
+    def test_plot_contains_markers_and_legend(self, result):
+        plot = ascii_plot(result)
+        assert "o npros=1" in plot
+        assert "x npros=2" in plot
+        assert "log x" in plot
+
+    def test_plot_handles_empty(self, result):
+        from repro.experiments.runner import ExperimentResult
+
+        empty = ExperimentResult(result.spec, [])
+        assert ascii_plot(empty) == "(no data)"
+
+
+class TestOptima:
+    def test_one_line_per_series(self, result):
+        text = summarize_optima(result)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert all("max at ltot=" in line for line in lines)
+
+    def test_minimize_mode(self, result):
+        text = summarize_optima(result, "response_time", maximize=False)
+        assert "min at ltot=" in text

@@ -1,0 +1,38 @@
+"""Edge-case tests for report formatting internals."""
+
+import math
+
+from repro.experiments.report import _format_value
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert _format_value(None) == "-"
+
+    def test_nan(self):
+        assert _format_value(float("nan")) == "nan"
+
+    def test_zero(self):
+        assert _format_value(0.0) == "0"
+
+    def test_large_values_no_decimals(self):
+        assert _format_value(12345.6) == "12346"
+
+    def test_unit_range_three_decimals(self):
+        assert _format_value(1.23456) == "1.235"
+
+    def test_small_values_four_decimals(self):
+        assert _format_value(0.123456) == "0.1235"
+
+    def test_negative_values(self):
+        assert _format_value(-0.5) == "-0.5000"
+
+    def test_integers_pass_through(self):
+        assert _format_value(42) == "42"
+
+    def test_strings_pass_through(self):
+        assert _format_value("best") == "best"
+
+    def test_infinity_handled(self):
+        text = _format_value(math.inf)
+        assert "inf" in text

@@ -1,0 +1,88 @@
+"""Integration tests for the experiment runner."""
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+
+@pytest.fixture
+def tiny_spec():
+    return ExperimentSpec(
+        key="tiny",
+        title="tiny sweep",
+        base=SimulationParameters(
+            dbsize=200, ntrans=3, maxtransize=20, npros=2, tmax=80.0, seed=1
+        ),
+        sweeps={"npros": (1, 2), "ltot": (1, 20)},
+        series_fields=("npros",),
+        y_fields=("throughput",),
+    )
+
+
+class TestRunExperiment:
+    def test_runs_every_configuration(self, tiny_spec):
+        result = run_experiment(tiny_spec)
+        assert len(result) == 4
+        assert all(outcome is not None for outcome in result.outcomes)
+
+    def test_outcomes_keep_sweep_order(self, tiny_spec):
+        result = run_experiment(tiny_spec)
+        keys = [(o.params.npros, o.params.ltot) for o in result.outcomes]
+        assert keys == [(1, 1), (1, 20), (2, 1), (2, 20)]
+
+    def test_replications_aggregate(self, tiny_spec):
+        result = run_experiment(tiny_spec, replications=2)
+        assert all(len(outcome) == 2 for outcome in result.outcomes)
+
+    def test_progress_callback(self, tiny_spec):
+        seen = []
+        run_experiment(tiny_spec, progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_parallel_matches_serial(self, tiny_spec):
+        serial = run_experiment(tiny_spec)
+        parallel = run_experiment(tiny_spec, jobs=2)
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            assert a.mean("throughput") == b.mean("throughput")
+            assert a.mean("totcom") == b.mean("totcom")
+
+
+class TestExperimentResult:
+    def test_rows_merge_params_and_outputs(self, tiny_spec):
+        result = run_experiment(tiny_spec)
+        rows = result.rows()
+        assert len(rows) == 4
+        assert {"ltot", "npros", "throughput"} <= set(rows[0])
+
+    def test_series_grouping(self, tiny_spec):
+        result = run_experiment(tiny_spec)
+        curves = result.series("throughput")
+        assert set(curves) == {"npros=1", "npros=2"}
+        for points in curves.values():
+            assert [x for x, _ in points] == [1, 20]
+
+    def test_series_sorted_by_x(self, tiny_spec):
+        result = run_experiment(tiny_spec)
+        for points in result.series().values():
+            xs = [x for x, _ in points]
+            assert xs == sorted(xs)
+
+    def test_optimum_picks_max(self, tiny_spec):
+        result = run_experiment(tiny_spec)
+        x, y = result.optimum("npros=2", "throughput")
+        curve = dict(result.series("throughput")["npros=2"])
+        assert y == max(curve.values())
+        assert curve[x] == y
+
+    def test_optimum_minimize(self, tiny_spec):
+        result = run_experiment(tiny_spec)
+        _, y = result.optimum("npros=2", "throughput", maximize=False)
+        curve = dict(result.series("throughput")["npros=2"])
+        assert y == min(curve.values())
+
+    def test_empty_result_wrapping(self, tiny_spec):
+        result = ExperimentResult(tiny_spec, [])
+        assert len(result) == 0
+        assert result.series() == {}

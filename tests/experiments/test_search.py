@@ -1,0 +1,83 @@
+"""Tests for the adaptive granularity search."""
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.search import SearchOutcome, _log_spaced, find_optimal_ltot
+
+
+@pytest.fixture
+def params():
+    return SimulationParameters(
+        dbsize=500, ntrans=5, maxtransize=50, npros=4, tmax=150.0, seed=3
+    )
+
+
+class TestLogSpacing:
+    def test_endpoints_included(self):
+        points = _log_spaced(1, 500, 5)
+        assert points[0] == 1
+        assert points[-1] == 500
+
+    def test_monotone_unique(self):
+        points = _log_spaced(1, 5000, 7)
+        assert points == sorted(set(points))
+
+    def test_degenerate_bracket(self):
+        assert _log_spaced(7, 7, 5) == [7]
+
+    def test_tight_bracket_deduplicates(self):
+        points = _log_spaced(4, 6, 5)
+        assert points == sorted(set(points))
+        assert all(4 <= p <= 6 for p in points)
+
+
+class TestSearch:
+    def test_finds_interior_optimum(self, params):
+        outcome = find_optimal_ltot(params, replications=1, rounds=2)
+        # Convex curve: the optimum is strictly inside the bracket and
+        # far below entity-level locking.
+        assert 1 <= outcome.best_ltot <= 200
+        assert outcome.best_value > 0
+
+    def test_beats_or_matches_grid_extremes(self, params):
+        outcome = find_optimal_ltot(params, replications=1, rounds=2)
+        evaluated = outcome.evaluations
+        assert outcome.best_value >= evaluated[1]
+        assert outcome.best_value >= evaluated[params.dbsize]
+
+    def test_fewer_evaluations_than_exhaustive(self, params):
+        outcome = find_optimal_ltot(params, replications=1, rounds=3)
+        assert len(outcome.evaluations) <= 15
+
+    def test_minimize_mode(self, params):
+        outcome = find_optimal_ltot(
+            params, objective="response_time", maximize=False,
+            replications=1, rounds=2,
+        )
+        worst = max(outcome.evaluations.values())
+        assert outcome.best_value < worst
+
+    def test_custom_bracket_respected(self, params):
+        outcome = find_optimal_ltot(
+            params, lo=10, hi=100, replications=1, rounds=1
+        )
+        assert all(10 <= ltot <= 100 for ltot in outcome.evaluations)
+
+    def test_invalid_bracket_rejected(self, params):
+        with pytest.raises(ValueError):
+            find_optimal_ltot(params, lo=0)
+        with pytest.raises(ValueError):
+            find_optimal_ltot(params, lo=100, hi=10)
+        with pytest.raises(ValueError):
+            find_optimal_ltot(params, hi=params.dbsize + 1)
+
+    def test_outcome_repr(self, params):
+        outcome = SearchOutcome(10, 0.5, {10: 0.5})
+        assert "ltot=10" in repr(outcome)
+
+    def test_deterministic(self, params):
+        a = find_optimal_ltot(params, replications=1, rounds=2)
+        b = find_optimal_ltot(params, replications=1, rounds=2)
+        assert a.best_ltot == b.best_ltot
+        assert a.evaluations == b.evaluations

@@ -1,0 +1,81 @@
+"""Tests for the parameter sensitivity analysis."""
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.sensitivity import (
+    Sensitivity,
+    analyze_sensitivity,
+    format_sensitivities,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    params = SimulationParameters(
+        dbsize=500, ltot=20, ntrans=6, maxtransize=50, npros=4,
+        tmax=200.0, seed=3,
+    )
+    return analyze_sensitivity(params, replications=1)
+
+
+class TestAnalysis:
+    def test_covers_requested_parameters(self, results):
+        for name in ("iotime", "npros", "ltot", "liotime"):
+            assert name in results
+
+    def test_io_time_hurts_throughput(self, results):
+        # The system is I/O bound: more per-entity I/O time means
+        # proportionally less throughput (elasticity near -1).
+        assert results["iotime"].elasticity < -0.5
+
+    def test_processors_help_throughput(self, results):
+        assert results["npros"].elasticity > 0.3
+
+    def test_transaction_size_hurts_throughput(self, results):
+        assert results["maxtransize"].elasticity < -0.5
+
+    def test_cpu_time_barely_matters(self, results):
+        # CPU is far from the bottleneck in Table 1 settings.
+        assert abs(results["cputime"].elasticity) < abs(
+            results["iotime"].elasticity
+        )
+
+    def test_lock_cpu_cost_is_minor_at_good_granularity(self, results):
+        assert abs(results["lcputime"].elasticity) < 0.3
+
+    def test_record_shape(self, results):
+        item = results["iotime"]
+        assert isinstance(item, Sensitivity)
+        assert item.low_value < item.high_value
+        assert item.baseline_output > 0
+
+    def test_delta_validation(self):
+        params = SimulationParameters(tmax=50.0)
+        with pytest.raises(ValueError):
+            analyze_sensitivity(params, delta=0.0)
+        with pytest.raises(ValueError):
+            analyze_sensitivity(params, delta=1.0)
+
+    def test_custom_output_field(self):
+        params = SimulationParameters(
+            dbsize=300, ltot=10, ntrans=4, maxtransize=30, npros=2,
+            tmax=100.0, seed=3,
+        )
+        results = analyze_sensitivity(
+            params, parameters=("iotime",), output="response_time",
+            replications=1,
+        )
+        # More I/O time per entity → longer responses.
+        assert results["iotime"].elasticity > 0.3
+
+
+class TestFormatting:
+    def test_table_sorted_by_magnitude(self, results):
+        text = format_sensitivities(results)
+        lines = text.splitlines()
+        assert "parameter" in lines[0]
+        magnitudes = []
+        for line in lines[1:]:
+            magnitudes.append(abs(float(line.split()[-1])))
+        assert magnitudes == sorted(magnitudes, reverse=True)

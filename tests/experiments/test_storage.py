@@ -1,0 +1,66 @@
+"""Unit tests for result persistence."""
+
+import pytest
+
+from repro.experiments.storage import (
+    load_rows_csv,
+    load_rows_json,
+    save_rows_csv,
+    save_rows_json,
+)
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"ltot": 1, "throughput": 0.5, "placement": "best"},
+        {"ltot": 100, "throughput": 0.75, "placement": "best"},
+    ]
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, rows):
+        path = tmp_path / "rows.csv"
+        save_rows_csv(rows, path)
+        loaded = load_rows_csv(path)
+        assert loaded == rows
+
+    def test_numbers_parsed_back(self, tmp_path, rows):
+        path = tmp_path / "rows.csv"
+        save_rows_csv(rows, path)
+        loaded = load_rows_csv(path)
+        assert isinstance(loaded[0]["ltot"], int)
+        assert isinstance(loaded[0]["throughput"], float)
+        assert isinstance(loaded[0]["placement"], str)
+
+    def test_union_of_keys(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        save_rows_csv([{"a": 1}, {"b": 2}], path)
+        loaded = load_rows_csv(path)
+        assert loaded[0]["a"] == 1 and loaded[0]["b"] is None
+        assert loaded[1]["b"] == 2 and loaded[1]["a"] is None
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_rows_csv([], tmp_path / "rows.csv")
+
+
+class TestJSON:
+    def test_round_trip_with_metadata(self, tmp_path, rows):
+        path = tmp_path / "rows.json"
+        save_rows_json(rows, path, metadata={"exhibit": "fig2"})
+        document = load_rows_json(path)
+        assert document["rows"] == rows
+        assert document["metadata"] == {"exhibit": "fig2"}
+
+    def test_no_metadata(self, tmp_path, rows):
+        path = tmp_path / "rows.json"
+        save_rows_json(rows, path)
+        document = load_rows_json(path)
+        assert "metadata" not in document
+
+    def test_non_json_values_stringified(self, tmp_path):
+        path = tmp_path / "rows.json"
+        save_rows_json([{"value": complex(1, 2)}], path)
+        document = load_rows_json(path)
+        assert isinstance(document["rows"][0]["value"], str)

@@ -1,0 +1,116 @@
+"""Unit tests for the SVG chart writer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import run_experiment
+from repro.experiments.svg import SvgChart, chart_from_result, save_result_charts
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestSvgChart:
+    def test_renders_valid_xml(self):
+        chart = SvgChart("demo", y_label="throughput")
+        chart.add_series("a", [(1, 0.1), (10, 0.2), (100, 0.15)])
+        root = parse(chart.render())
+        assert root.tag.endswith("svg")
+
+    def test_title_and_labels_present(self):
+        chart = SvgChart("My Title", x_label="locks", y_label="tps")
+        chart.add_series("a", [(1, 1.0), (10, 2.0)])
+        text = chart.render()
+        assert "My Title" in text
+        assert "locks" in text
+        assert "tps" in text
+
+    def test_one_path_per_series(self):
+        chart = SvgChart("demo")
+        chart.add_series("a", [(1, 1.0), (10, 2.0)])
+        chart.add_series("b", [(1, 2.0), (10, 1.0)])
+        root = parse(chart.render())
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        assert len(paths) == 2
+
+    def test_legend_contains_series_labels(self):
+        chart = SvgChart("demo")
+        chart.add_series("npros=30", [(1, 1.0), (10, 2.0)])
+        assert "npros=30" in chart.render()
+
+    def test_log_ticks_are_decades(self):
+        chart = SvgChart("demo", log_x=True)
+        chart.add_series("a", [(1, 1.0), (5000, 2.0)])
+        text = chart.render()
+        for decade in ("1", "10", "100", "1000"):
+            assert ">{}</text>".format(decade) in text
+
+    def test_nan_and_nonpositive_x_dropped(self):
+        chart = SvgChart("demo", log_x=True)
+        chart.add_series("a", [(0, 1.0), (1, float("nan")), (10, 2.0), (100, 3.0)])
+        root = parse(chart.render())
+        circles = [
+            e for e in root.iter()
+            if e.tag.endswith("circle") and float(e.get("cx", 0)) > 0
+        ]
+        # 2 data markers + 1 legend marker.
+        assert len([c for c in circles]) == 3
+
+    def test_empty_chart_renders_placeholder(self):
+        chart = SvgChart("demo")
+        assert "no data" in chart.render()
+
+    def test_all_points_within_canvas(self):
+        chart = SvgChart("demo")
+        chart.add_series("a", [(1, -5.0), (10, 50.0), (5000, 10.0)])
+        root = parse(chart.render())
+        for circle in (e for e in root.iter() if e.tag.endswith("circle")):
+            assert 0 <= float(circle.get("cx")) <= 640
+            assert 0 <= float(circle.get("cy")) <= 420
+
+    def test_escapes_markup_in_labels(self):
+        chart = SvgChart("a <b> & c")
+        chart.add_series("x<y", [(1, 1.0), (2, 2.0)])
+        root = parse(chart.render())  # would raise on bad escaping
+        assert root is not None
+
+    def test_save_writes_file(self, tmp_path):
+        chart = SvgChart("demo")
+        chart.add_series("a", [(1, 1.0), (10, 2.0)])
+        path = chart.save(tmp_path / "chart.svg")
+        assert (tmp_path / "chart.svg").exists()
+        assert str(path).endswith("chart.svg")
+
+
+class TestResultCharts:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = ExperimentSpec(
+            key="tiny",
+            title="tiny sweep",
+            base=SimulationParameters(
+                dbsize=200, ntrans=3, maxtransize=20, npros=2, tmax=60.0
+            ),
+            sweeps={"npros": (1, 2), "ltot": (1, 20)},
+            series_fields=("npros",),
+            y_fields=("throughput", "response_time"),
+        )
+        return run_experiment(spec)
+
+    def test_chart_from_result(self, result):
+        chart = chart_from_result(result)
+        text = chart.render()
+        assert "npros=1" in text and "npros=2" in text
+        assert "throughput" in text
+
+    def test_save_result_charts_one_per_y_field(self, result, tmp_path):
+        paths = save_result_charts(result, tmp_path)
+        assert len(paths) == 2
+        names = {p.split("/")[-1] for p in paths}
+        assert names == {"tiny_throughput.svg", "tiny_response_time.svg"}
+        for path in paths:
+            parse(open(path).read())

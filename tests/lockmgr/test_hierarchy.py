@@ -1,0 +1,114 @@
+"""Unit tests for multi-granularity (hierarchical) locking."""
+
+import pytest
+
+from repro.lockmgr import GranuleTree, HierarchicalLockManager, LockMode
+
+
+@pytest.fixture
+def tree():
+    """database → 2 files → 3 blocks each."""
+    tree = GranuleTree(root="db")
+    leaves = tree.add_levels([2, 3])
+    return tree, leaves
+
+
+class TestGranuleTree:
+    def test_root_exists(self):
+        tree = GranuleTree("db")
+        assert "db" in tree
+        assert tree.parent("db") is None
+
+    def test_add_and_navigate(self):
+        tree = GranuleTree("db")
+        tree.add("f1", "db")
+        tree.add("b1", "f1")
+        assert tree.parent("b1") == "f1"
+        assert tree.children("db") == ["f1"]
+        assert tree.path_to_root("b1") == ["db", "f1"]
+
+    def test_duplicate_node_rejected(self):
+        tree = GranuleTree("db")
+        tree.add("f1", "db")
+        with pytest.raises(ValueError):
+            tree.add("f1", "db")
+
+    def test_unknown_parent_rejected(self):
+        tree = GranuleTree("db")
+        with pytest.raises(KeyError):
+            tree.add("x", "nope")
+
+    def test_add_levels_builds_uniform_tree(self, tree):
+        built, leaves = tree
+        assert len(leaves) == 6
+        files = built.children("db")
+        assert len(files) == 2
+        for file_node in files:
+            assert len(built.children(file_node)) == 3
+
+
+class TestHierarchicalLocking:
+    def test_leaf_locks_under_different_files_coexist(self, tree):
+        built, leaves = tree
+        hlm = HierarchicalLockManager(built)
+        assert hlm.try_lock("T1", leaves[0], LockMode.X) is None
+        assert hlm.try_lock("T2", leaves[3], LockMode.X) is None
+
+    def test_leaf_locks_under_same_file_coexist(self, tree):
+        built, leaves = tree
+        hlm = HierarchicalLockManager(built)
+        assert hlm.try_lock("T1", leaves[0], LockMode.X) is None
+        assert hlm.try_lock("T2", leaves[1], LockMode.X) is None
+
+    def test_same_leaf_conflicts(self, tree):
+        built, leaves = tree
+        hlm = HierarchicalLockManager(built)
+        assert hlm.try_lock("T1", leaves[0], LockMode.X) is None
+        assert hlm.try_lock("T2", leaves[0], LockMode.S) == "T1"
+
+    def test_file_s_lock_blocks_leaf_writer_below(self, tree):
+        built, leaves = tree
+        hlm = HierarchicalLockManager(built)
+        file0 = built.parent(leaves[0])
+        assert hlm.try_lock("T1", file0, LockMode.S) is None
+        assert hlm.try_lock("T2", leaves[0], LockMode.X) == "T1"
+        # A reader below the S-locked file is fine (IS vs S).
+        assert hlm.try_lock("T3", leaves[1], LockMode.S) is None
+
+    def test_whole_database_x_blocks_everything(self, tree):
+        built, leaves = tree
+        hlm = HierarchicalLockManager(built)
+        assert hlm.try_lock("T1", "db", LockMode.X) is None
+        assert hlm.try_lock("T2", leaves[5], LockMode.S) == "T1"
+
+    def test_leaf_writer_blocks_whole_database_s(self, tree):
+        built, leaves = tree
+        hlm = HierarchicalLockManager(built)
+        assert hlm.try_lock("T1", leaves[0], LockMode.X) is None
+        assert hlm.try_lock("T2", "db", LockMode.S) == "T1"
+
+    def test_unlock_all_releases_intentions(self, tree):
+        built, leaves = tree
+        hlm = HierarchicalLockManager(built)
+        hlm.try_lock("T1", leaves[0], LockMode.X)
+        hlm.unlock_all("T1")
+        assert hlm.try_lock("T2", "db", LockMode.X) is None
+
+    def test_unknown_node_raises(self, tree):
+        built, _ = tree
+        hlm = HierarchicalLockManager(built)
+        with pytest.raises(KeyError):
+            hlm.try_lock("T1", "ghost", LockMode.X)
+
+    def test_queued_variant_waits_and_wakes(self, tree):
+        built, leaves = tree
+        hlm = HierarchicalLockManager(built)
+        hlm.try_lock("T1", leaves[0], LockMode.X)
+        woken = []
+        requests = hlm.lock_queued(
+            "T2", leaves[0], LockMode.X, on_grant=lambda r: woken.append(r.owner)
+        )
+        assert not hlm.is_fully_granted(requests)
+        hlm.unlock_all("T1")
+        assert woken == ["T2"]
+        assert hlm.is_fully_granted(requests)

@@ -1,0 +1,125 @@
+"""Property-based tests of multi-granularity locking (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lockmgr import GranuleTree, HierarchicalLockManager, LockMode
+
+OWNERS = ["T{}".format(i) for i in range(4)]
+
+
+def build_tree():
+    tree = GranuleTree(root="db")
+    leaves = tree.add_levels([3, 4])  # 3 files x 4 blocks
+    return tree, leaves
+
+
+@st.composite
+def lock_scripts(draw):
+    """Random sequences of try-lock / unlock-all actions."""
+    tree, leaves = build_tree()
+    nodes = [tree.root] + tree.children(tree.root) + leaves
+    n = draw(st.integers(min_value=1, max_value=40))
+    script = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            script.append(
+                (
+                    "lock",
+                    draw(st.sampled_from(OWNERS)),
+                    draw(st.integers(min_value=0, max_value=len(nodes) - 1)),
+                    draw(st.sampled_from([LockMode.S, LockMode.X])),
+                )
+            )
+        else:
+            script.append(("unlock", draw(st.sampled_from(OWNERS))))
+    return script
+
+
+class TestHierarchyProperties:
+    @given(lock_scripts())
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_after_every_action(self, script):
+        tree, leaves = build_tree()
+        nodes = [tree.root] + tree.children(tree.root) + leaves
+        hlm = HierarchicalLockManager(tree)
+        granted = {}
+        for action in script:
+            if action[0] == "lock":
+                _, owner, node_index, mode = action
+                node = nodes[node_index]
+                blocker = hlm.try_lock(owner, node, mode)
+                if blocker is None:
+                    granted.setdefault(owner, []).append((node, mode))
+            else:
+                hlm.unlock_all(action[1])
+                granted.pop(action[1], None)
+            hlm.manager.table.check_invariants()
+            self._check_intention_protocol(tree, hlm, granted)
+
+    @staticmethod
+    def _check_intention_protocol(tree, hlm, granted):
+        """Every holder of a non-root lock holds *some* lock on every
+        ancestor (Gray's protocol)."""
+        table = hlm.manager.table
+        for owner, locks in granted.items():
+            for node, _mode in locks:
+                for ancestor in tree.path_to_root(node):
+                    assert table.mode_of(ancestor, owner) is not None, (
+                        owner,
+                        node,
+                        ancestor,
+                    )
+
+    @given(lock_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_no_writer_under_reader_conflict(self, script):
+        """If someone holds S on a subtree root, nobody else may hold
+        X on any node inside that subtree."""
+        tree, leaves = build_tree()
+        nodes = [tree.root] + tree.children(tree.root) + leaves
+        hlm = HierarchicalLockManager(tree)
+        for action in script:
+            if action[0] == "lock":
+                _, owner, node_index, mode = action
+                hlm.try_lock(owner, nodes[node_index], mode)
+            else:
+                hlm.unlock_all(action[1])
+        table = hlm.manager.table
+        for node in nodes:
+            for holder, mode in table.holders(node).items():
+                if mode is not LockMode.S:
+                    continue
+                for descendant in _descendants(tree, node):
+                    for other, other_mode in table.holders(descendant).items():
+                        if other != holder:
+                            assert other_mode is not LockMode.X, (
+                                node,
+                                descendant,
+                            )
+
+    @given(lock_scripts())
+    @settings(max_examples=40, deadline=None)
+    def test_unlock_everyone_empties_table(self, script):
+        tree, leaves = build_tree()
+        nodes = [tree.root] + tree.children(tree.root) + leaves
+        hlm = HierarchicalLockManager(tree)
+        for action in script:
+            if action[0] == "lock":
+                _, owner, node_index, mode = action
+                hlm.try_lock(owner, nodes[node_index], mode)
+            else:
+                hlm.unlock_all(action[1])
+        for owner in OWNERS:
+            hlm.unlock_all(owner)
+        assert len(hlm.manager.table) == 0
+
+
+def _descendants(tree, node):
+    out = []
+    stack = list(tree.children(node))
+    while stack:
+        current = stack.pop()
+        out.append(current)
+        stack.extend(tree.children(current))
+    return out

@@ -1,0 +1,130 @@
+"""Property-based tests of the lock manager (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lockmgr import DeadlockDetector, LockManager, LockMode, RequestStatus
+
+OWNERS = ["T{}".format(i) for i in range(5)]
+GRANULES = list(range(6))
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("acquire"),
+            st.sampled_from(OWNERS),
+            st.sampled_from(GRANULES),
+            st.sampled_from([LockMode.S, LockMode.X]),
+        ),
+        st.tuples(st.just("release"), st.sampled_from(OWNERS)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestManagerProperties:
+    @given(operations)
+    @settings(max_examples=80, deadline=None)
+    def test_table_invariants_always_hold(self, ops):
+        """No matter the interleaving, no two incompatible holders
+        coexist and no empty state object lingers."""
+        manager = LockManager()
+        for op in ops:
+            if op[0] == "acquire":
+                _, owner, granule, mode = op
+                manager.acquire(owner, granule, mode)
+            else:
+                manager.release_all(op[1])
+            manager.table.check_invariants()
+
+    @given(operations)
+    @settings(max_examples=80, deadline=None)
+    def test_releasing_everyone_empties_the_table(self, ops):
+        manager = LockManager()
+        waiting = []
+        for op in ops:
+            if op[0] == "acquire":
+                _, owner, granule, mode = op
+                request = manager.acquire(owner, granule, mode)
+                if request.status is RequestStatus.WAITING:
+                    waiting.append(request)
+            else:
+                manager.release_all(op[1])
+        for request in waiting:
+            manager.cancel(request)
+        for owner in OWNERS:
+            manager.release_all(owner)
+        assert len(manager.table) == 0
+
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_granted_requests_hold_their_granule(self, ops):
+        manager = LockManager()
+        for op in ops:
+            if op[0] == "acquire":
+                _, owner, granule, mode = op
+                request = manager.acquire(owner, granule, mode)
+                if request.status is RequestStatus.GRANTED:
+                    held = manager.table.mode_of(granule, owner)
+                    assert held is not None
+            else:
+                manager.release_all(op[1])
+
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_deadlock_resolution_terminates(self, ops):
+        """Repeatedly aborting detected victims always reaches a
+        cycle-free state (no infinite deadlock chains)."""
+        manager = LockManager()
+        requests = {}
+        for op in ops:
+            if op[0] == "acquire":
+                _, owner, granule, mode = op
+                request = manager.acquire(owner, granule, mode)
+                if request.status is RequestStatus.WAITING:
+                    requests.setdefault(owner, []).append(request)
+            else:
+                manager.release_all(op[1])
+        detector = DeadlockDetector(manager)
+        for _ in range(len(OWNERS) + 1):
+            victim = detector.resolve_once()
+            if victim is None:
+                break
+            for request in requests.pop(victim, []):
+                manager.cancel(request)
+            manager.release_all(victim)
+        assert detector.find_cycle() is None
+
+
+class TestPreclaimProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(OWNERS),
+                st.sets(st.sampled_from(GRANULES), min_size=1, max_size=4),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_preclaim_is_all_or_nothing(self, attempts):
+        manager = LockManager()
+        active = set()
+        for owner, granules in attempts:
+            if owner in active:
+                manager.release_all(owner)
+                active.discard(owner)
+            before = manager.lock_count(owner)
+            assert before == 0
+            blocker = manager.try_acquire_all(
+                owner, [(g, LockMode.X) for g in granules]
+            )
+            if blocker is None:
+                active.add(owner)
+                assert manager.held_by(owner) == granules
+            else:
+                assert manager.lock_count(owner) == 0
+                assert blocker in active
+            manager.table.check_invariants()

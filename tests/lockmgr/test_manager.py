@@ -1,0 +1,184 @@
+"""Unit tests for the lock manager's two protocols."""
+
+import pytest
+
+from repro.lockmgr import LockManager, LockMode, RequestStatus
+from repro.lockmgr.manager import exclusive_requests
+
+
+class TestPreclaim:
+    def test_grants_on_free_table(self):
+        manager = LockManager()
+        assert manager.try_acquire_all("T1", exclusive_requests([1, 2, 3])) is None
+        assert manager.held_by("T1") == {1, 2, 3}
+
+    def test_conflict_returns_first_blocker_and_acquires_nothing(self):
+        manager = LockManager()
+        manager.try_acquire_all("T1", exclusive_requests([2]))
+        blocker = manager.try_acquire_all("T2", exclusive_requests([1, 2, 3]))
+        assert blocker == "T1"
+        assert manager.lock_count("T2") == 0
+        # Granule 1 must not have been acquired despite preceding the
+        # conflicting granule in the request order.
+        assert manager.table.mode_of(1, "T2") is None
+
+    def test_disjoint_transactions_coexist(self):
+        manager = LockManager()
+        assert manager.try_acquire_all("T1", exclusive_requests([1, 2])) is None
+        assert manager.try_acquire_all("T2", exclusive_requests([3, 4])) is None
+        assert manager.lock_count("T1") == manager.lock_count("T2") == 2
+
+    def test_shared_requests_coexist_on_same_granule(self):
+        manager = LockManager()
+        assert manager.try_acquire_all("T1", [(1, LockMode.S)]) is None
+        assert manager.try_acquire_all("T2", [(1, LockMode.S)]) is None
+        blocker = manager.try_acquire_all("T3", [(1, LockMode.X)])
+        assert blocker in ("T1", "T2")
+
+    def test_release_all_clears_everything(self):
+        manager = LockManager()
+        manager.try_acquire_all("T1", exclusive_requests(range(10)))
+        manager.release_all("T1")
+        assert manager.lock_count("T1") == 0
+        assert len(manager.table) == 0
+
+    def test_retry_after_release_succeeds(self):
+        manager = LockManager()
+        manager.try_acquire_all("T1", exclusive_requests([1]))
+        assert manager.try_acquire_all("T2", exclusive_requests([1])) == "T1"
+        manager.release_all("T1")
+        assert manager.try_acquire_all("T2", exclusive_requests([1])) is None
+
+    def test_empty_request_always_granted(self):
+        manager = LockManager()
+        assert manager.try_acquire_all("T1", []) is None
+
+    def test_own_locks_never_conflict(self):
+        manager = LockManager()
+        manager.try_acquire_all("T1", exclusive_requests([1]))
+        assert manager.try_acquire_all("T1", exclusive_requests([1, 2])) is None
+
+
+class TestIncremental:
+    def test_immediate_grant_on_free_granule(self):
+        manager = LockManager()
+        request = manager.acquire("T1", "g", LockMode.X)
+        assert request.status is RequestStatus.GRANTED
+
+    def test_conflicting_request_waits(self):
+        manager = LockManager()
+        manager.acquire("T1", "g", LockMode.X)
+        request = manager.acquire("T2", "g", LockMode.X)
+        assert request.status is RequestStatus.WAITING
+
+    def test_release_grants_fifo(self):
+        manager = LockManager()
+        manager.acquire("T1", "g", LockMode.X)
+        r2 = manager.acquire("T2", "g", LockMode.X)
+        r3 = manager.acquire("T3", "g", LockMode.X)
+        granted = manager.release_all("T1")
+        assert granted == [r2]
+        assert r2.status is RequestStatus.GRANTED
+        assert r3.status is RequestStatus.WAITING
+
+    def test_release_grants_multiple_compatible_waiters(self):
+        manager = LockManager()
+        manager.acquire("T1", "g", LockMode.X)
+        r2 = manager.acquire("T2", "g", LockMode.S)
+        r3 = manager.acquire("T3", "g", LockMode.S)
+        granted = manager.release_all("T1")
+        assert set(granted) == {r2, r3}
+
+    def test_on_grant_callback_invoked(self):
+        manager = LockManager()
+        manager.acquire("T1", "g", LockMode.X)
+        seen = []
+        manager.acquire("T2", "g", LockMode.X, on_grant=lambda r: seen.append(r.owner))
+        assert seen == []
+        manager.release_all("T1")
+        assert seen == ["T2"]
+
+    def test_fifo_fairness_blocks_compatible_overtakers(self):
+        # S behind a waiting X must wait, or the writer starves.
+        manager = LockManager()
+        manager.acquire("T1", "g", LockMode.S)
+        writer = manager.acquire("T2", "g", LockMode.X)
+        reader = manager.acquire("T3", "g", LockMode.S)
+        assert writer.status is RequestStatus.WAITING
+        assert reader.status is RequestStatus.WAITING
+        manager.release_all("T1")
+        assert writer.status is RequestStatus.GRANTED
+        assert reader.status is RequestStatus.WAITING
+
+    def test_upgrade_while_sole_holder(self):
+        manager = LockManager()
+        manager.acquire("T1", "g", LockMode.S)
+        request = manager.acquire("T1", "g", LockMode.X)
+        assert request.status is RequestStatus.GRANTED
+        assert manager.table.mode_of("g", "T1") is LockMode.X
+
+    def test_upgrade_blocked_by_other_reader(self):
+        manager = LockManager()
+        manager.acquire("T1", "g", LockMode.S)
+        manager.acquire("T2", "g", LockMode.S)
+        request = manager.acquire("T1", "g", LockMode.X)
+        assert request.status is RequestStatus.WAITING
+
+    def test_cancel_removes_waiter_and_promotes(self):
+        manager = LockManager()
+        manager.acquire("T1", "g", LockMode.X)
+        r2 = manager.acquire("T2", "g", LockMode.X)
+        r3 = manager.acquire("T3", "g", LockMode.S)
+        manager.cancel(r2)
+        assert r2.status is RequestStatus.CANCELLED
+        assert r3.status is RequestStatus.WAITING  # T1 still holds X
+        manager.release_all("T1")
+        assert r3.status is RequestStatus.GRANTED
+
+    def test_cancel_granted_request_is_noop(self):
+        manager = LockManager()
+        request = manager.acquire("T1", "g", LockMode.X)
+        manager.cancel(request)
+        assert request.status is RequestStatus.GRANTED
+
+    def test_waits_for_edges(self):
+        manager = LockManager()
+        manager.acquire("A", "g1", LockMode.X)
+        manager.acquire("B", "g2", LockMode.X)
+        manager.acquire("A", "g2", LockMode.X)
+        manager.acquire("B", "g1", LockMode.X)
+        edges = set(manager.waits_for_edges())
+        assert ("A", "B") in edges
+        assert ("B", "A") in edges
+
+    def test_table_invariants_hold_through_random_workload(self):
+        import random
+
+        rng = random.Random(5)
+        manager = LockManager()
+        owners = ["T{}".format(i) for i in range(6)]
+        for _ in range(300):
+            owner = rng.choice(owners)
+            if rng.random() < 0.3:
+                manager.release_all(owner)
+            else:
+                granule = rng.randrange(8)
+                mode = rng.choice([LockMode.S, LockMode.X])
+                manager.acquire(owner, granule, mode)
+            manager.table.check_invariants()
+
+
+class TestHelpers:
+    def test_exclusive_requests_builder(self):
+        pairs = exclusive_requests([1, 2])
+        assert pairs == [(1, LockMode.X), (2, LockMode.X)]
+
+    def test_request_repr(self):
+        manager = LockManager()
+        request = manager.acquire("T1", "g", LockMode.X)
+        text = repr(request)
+        assert "T1" in text and "granted" in text
+
+    def test_release_unheld_granule_is_noop(self):
+        manager = LockManager()
+        assert manager.release("T1", "g") == []

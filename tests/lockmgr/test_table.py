@@ -1,0 +1,100 @@
+"""Unit tests for the lock table."""
+
+import pytest
+
+from repro.lockmgr import LockMode, LockTable
+
+
+class TestLockTable:
+    def test_states_created_lazily(self):
+        table = LockTable()
+        assert len(table) == 0
+        assert "g" not in table
+        table.state("g")
+        assert "g" in table
+
+    def test_grant_and_mode_of(self):
+        table = LockTable()
+        table.grant("g", "T1", LockMode.S)
+        assert table.mode_of("g", "T1") is LockMode.S
+        assert table.mode_of("g", "T2") is None
+        assert table.mode_of("other", "T1") is None
+
+    def test_upgrade_merges_to_supremum(self):
+        table = LockTable()
+        table.grant("g", "T1", LockMode.S)
+        table.grant("g", "T1", LockMode.IX)
+        assert table.mode_of("g", "T1") is LockMode.SIX
+
+    def test_revoke_removes_holder(self):
+        table = LockTable()
+        table.grant("g", "T1", LockMode.X)
+        table.revoke("g", "T1")
+        assert table.mode_of("g", "T1") is None
+
+    def test_revoke_discards_empty_state(self):
+        table = LockTable()
+        table.grant("g", "T1", LockMode.X)
+        table.revoke("g", "T1")
+        assert len(table) == 0
+
+    def test_revoke_unknown_is_noop(self):
+        table = LockTable()
+        table.revoke("nope", "T1")
+        assert len(table) == 0
+
+    def test_holders_snapshot_is_a_copy(self):
+        table = LockTable()
+        table.grant("g", "T1", LockMode.S)
+        snapshot = table.holders("g")
+        snapshot["T2"] = LockMode.X
+        assert "T2" not in table.holders("g")
+
+    def test_locked_granules_filtering(self):
+        table = LockTable()
+        table.grant("a", "T1", LockMode.S)
+        table.grant("b", "T1", LockMode.S)
+        table.grant("b", "T2", LockMode.S)
+        assert sorted(table.locked_granules()) == ["a", "b"]
+        assert sorted(table.locked_granules("T2")) == ["b"]
+
+    def test_memory_scales_with_locked_not_total(self):
+        # The paper's motivation: entity-level tables are huge.  Ours
+        # only materialises entries for granules actually locked.
+        table = LockTable()
+        for granule in range(10):
+            table.grant(granule, "T1", LockMode.X)
+        assert len(table) == 10
+        for granule in range(10):
+            table.revoke(granule, "T1")
+        assert len(table) == 0
+
+    def test_grantable_ignores_own_lock(self):
+        table = LockTable()
+        table.grant("g", "T1", LockMode.S)
+        state = table.state("g")
+        assert state.grantable("T1", LockMode.X)
+        assert not state.grantable("T2", LockMode.X)
+
+    def test_check_invariants_passes_on_compatible_holders(self):
+        table = LockTable()
+        table.grant("g", "T1", LockMode.S)
+        table.grant("g", "T2", LockMode.S)
+        table.check_invariants()
+
+    def test_check_invariants_detects_incompatible_holders(self):
+        table = LockTable()
+        # Bypass the manager and force an illegal state directly.
+        table.grant("g", "T1", LockMode.X)
+        table.state("g").holders["T2"] = LockMode.X
+        with pytest.raises(AssertionError):
+            table.check_invariants()
+
+    def test_prune_keeps_states_with_waiters(self):
+        from repro.lockmgr.manager import LockRequest
+
+        table = LockTable()
+        state = table.state("g")
+        state.waiters.append(LockRequest("T1", "g", LockMode.X))
+        table.prune("g")
+        assert "g" in table

@@ -1,0 +1,131 @@
+"""Unit and property tests for the batch means method."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    batch_means_ci,
+    lag1_autocorrelation,
+    recommended_batches,
+)
+
+
+class TestBatchMeans:
+    def test_constant_sequence_zero_width(self):
+        result = batch_means_ci([5.0] * 100, batches=10)
+        assert result.mean == 5.0
+        assert result.half_width == 0.0
+        assert result.interval == (5.0, 5.0)
+
+    def test_batches_and_sizes(self):
+        result = batch_means_ci(list(range(100)), batches=10)
+        assert result.batches == 10
+        assert result.batch_size == 10
+        assert len(result.batch_means) == 10
+
+    def test_remainder_dropped(self):
+        # 103 samples in 10 batches -> 10 per batch, 3 dropped.
+        result = batch_means_ci(list(range(103)), batches=10)
+        assert result.batch_size == 10
+        assert result.mean == pytest.approx(sum(range(100)) / 100)
+
+    def test_iid_coverage_close_to_nominal(self):
+        # For iid samples, the 95% interval should cover the true mean
+        # roughly 95% of the time.
+        rng = random.Random(3)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            samples = [rng.gauss(10.0, 2.0) for _ in range(200)]
+            result = batch_means_ci(samples, batches=20)
+            low, high = result.interval
+            if low <= 10.0 <= high:
+                covered += 1
+        assert covered / trials == pytest.approx(0.95, abs=0.05)
+
+    def test_autocorrelated_sequence_wider_than_naive(self):
+        # AR(1) sequence: the naive iid interval underestimates; batch
+        # means must widen it.
+        rng = random.Random(5)
+        x = 0.0
+        samples = []
+        for _ in range(2000):
+            x = 0.9 * x + rng.gauss(0, 1)
+            samples.append(x)
+        batched = batch_means_ci(samples, batches=20)
+        n = len(samples)
+        mean = sum(samples) / n
+        sd = math.sqrt(sum((s - mean) ** 2 for s in samples) / (n - 1))
+        naive_half = 1.96 * sd / math.sqrt(n)
+        assert batched.half_width > naive_half
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0] * 10, batches=1)
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0] * 10, batches=11)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=8,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_brackets_mean_of_used_samples(self, samples):
+        result = batch_means_ci(samples)
+        used = result.batches * result.batch_size
+        grand = sum(samples[:used]) / used
+        assert result.mean == pytest.approx(grand)
+        low, high = result.interval
+        assert low <= result.mean <= high
+
+
+class TestRecommendedBatches:
+    def test_small_counts(self):
+        assert recommended_batches(4) == 2
+        assert recommended_batches(19) >= 2
+
+    def test_mid_counts(self):
+        assert recommended_batches(100) == 10
+        assert recommended_batches(200) == 20
+
+    def test_capped_at_30(self):
+        assert recommended_batches(10_000) == 30
+
+
+class TestAutocorrelation:
+    def test_constant_is_zero(self):
+        assert lag1_autocorrelation([3.0] * 10) == 0.0
+
+    def test_alternating_is_negative(self):
+        assert lag1_autocorrelation([1.0, -1.0] * 20) < -0.5
+
+    def test_trend_is_positive(self):
+        assert lag1_autocorrelation(list(range(50))) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lag1_autocorrelation([1.0, 2.0])
+
+
+class TestModelIntegration:
+    def test_response_samples_feed_batch_means(self, fast_params):
+        from repro.core import LockingGranularityModel
+
+        model = LockingGranularityModel(fast_params.replace(tmax=300.0))
+        result = model.run()
+        samples = model.metrics.response_samples
+        assert len(samples) == result.totcom
+        analysis = batch_means_ci(samples)
+        low, high = analysis.interval
+        assert low <= result.response_time <= high or math.isclose(
+            analysis.mean, result.response_time, rel_tol=0.05
+        )

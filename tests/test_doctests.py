@@ -1,0 +1,30 @@
+"""Run the doctests embedded in module and function docstrings.
+
+Keeps the documented examples (package docstrings, README-style
+snippets in code) honest: if an API changes, these fail.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.transaction
+import repro.des
+import repro.des.rng
+
+MODULES_WITH_DOCTESTS = [
+    repro,
+    repro.des,
+    repro.des.rng,
+    repro.core.transaction,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, "{} has no doctests".format(module.__name__)
+    assert results.failed == 0

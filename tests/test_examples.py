@@ -1,0 +1,51 @@
+"""Smoke tests for the examples directory."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_EXAMPLES = {
+    "quickstart.py",
+    "granularity_tuning.py",
+    "banking_workload.py",
+    "lock_manager_demo.py",
+    "capacity_planning.py",
+    "output_analysis.py",
+    "open_system.py",
+}
+
+
+def test_expected_examples_exist():
+    present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert EXPECTED_EXAMPLES <= present
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_EXAMPLES))
+def test_examples_compile(name):
+    py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_EXAMPLES))
+def test_examples_have_docstrings_and_main(name):
+    source = (EXAMPLES_DIR / name).read_text()
+    assert source.lstrip().startswith('"""'), name
+    assert '__name__ == "__main__"' in source, name
+    assert "def main(" in source, name
+
+
+def test_lock_manager_demo_runs_clean():
+    # The one example with no long simulation inside.
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "lock_manager_demo.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "cycle detected" in completed.stdout
+    assert "Multi-granularity" in completed.stdout

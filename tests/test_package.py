@@ -1,0 +1,126 @@
+"""Package-level quality gates: API surface and documentation."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro",
+    "repro.analytic",
+    "repro.analytic.granularity",
+    "repro.analytic.queueing",
+    "repro.analytic.yao",
+    "repro.cli",
+    "repro.core",
+    "repro.core.conflict",
+    "repro.core.hierarchy_engine",
+    "repro.core.metrics",
+    "repro.core.model",
+    "repro.core.parameters",
+    "repro.core.partitioning",
+    "repro.core.placement",
+    "repro.core.results",
+    "repro.core.transaction",
+    "repro.core.workload",
+    "repro.des",
+    "repro.des.engine",
+    "repro.des.errors",
+    "repro.des.events",
+    "repro.des.monitor",
+    "repro.des.process",
+    "repro.des.resource",
+    "repro.des.rng",
+    "repro.des.server",
+    "repro.des.store",
+    "repro.des.trace",
+    "repro.engine",
+    "repro.engine.machine",
+    "repro.engine.processor",
+    "repro.engine.txn_scheduler",
+    "repro.experiments",
+    "repro.experiments.config",
+    "repro.experiments.crossval",
+    "repro.experiments.figures",
+    "repro.experiments.report",
+    "repro.experiments.runner",
+    "repro.experiments.search",
+    "repro.experiments.sensitivity",
+    "repro.experiments.storage",
+    "repro.experiments.svg",
+    "repro.lockmgr",
+    "repro.lockmgr.deadlock",
+    "repro.lockmgr.hierarchy",
+    "repro.lockmgr.manager",
+    "repro.lockmgr.modes",
+    "repro.lockmgr.table",
+    "repro.stats",
+    "repro.stats.batchmeans",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, "{} lacks a module docstring".format(name)
+
+
+def test_module_list_is_complete():
+    """Every module under repro/ must be listed (and hence checked)."""
+    found = {"repro"}
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        found.add(info.name)
+    assert found == set(MODULES)
+
+
+def iter_public_callables(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_public_callables_have_docstrings(name):
+    module = importlib.import_module(name)
+    undocumented = []
+    for obj_name, obj in iter_public_callables(module):
+        if not inspect.getdoc(obj):
+            undocumented.append(obj_name)
+        if inspect.isclass(obj):
+            for member_name, member in vars(obj).items():
+                if member_name.startswith("_"):
+                    continue
+                if inspect.isfunction(member) and not inspect.getdoc(member):
+                    undocumented.append(
+                        "{}.{}".format(obj_name, member_name)
+                    )
+    assert not undocumented, "undocumented in {}: {}".format(
+        name, undocumented
+    )
+
+
+class TestPublicAPI:
+    def test_top_level_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_headline_entry_points(self):
+        from repro import SimulationParameters, simulate
+
+        result = simulate(
+            SimulationParameters(
+                dbsize=100, ltot=5, ntrans=2, maxtransize=10, npros=2,
+                tmax=50.0,
+            )
+        )
+        assert result.totcom >= 0

@@ -1,0 +1,237 @@
+"""Integration tests: the paper's qualitative findings must reproduce.
+
+Each test encodes one claim from the paper's prose as an assertion on
+short-horizon simulations.  Horizons are kept small (completions in
+the hundreds) so the whole module stays in the tens of seconds; the
+benchmark harness regenerates the full figures.
+"""
+
+import pytest
+
+from repro.core import SimulationParameters, simulate
+
+
+def sweep(params, ltots):
+    return {ltot: simulate(params.replace(ltot=ltot)).throughput for ltot in ltots}
+
+
+@pytest.fixture(scope="module")
+def base():
+    return SimulationParameters(tmax=400.0, seed=17)
+
+
+class TestFigure2Claims:
+    def test_throughput_increases_with_processors(self, base):
+        by_npros = {
+            npros: simulate(base.replace(npros=npros, ltot=50)).throughput
+            for npros in (1, 5, 30)
+        }
+        assert by_npros[1] < by_npros[5] < by_npros[30]
+
+    def test_convexity_optimum_between_extremes(self, base):
+        curve = sweep(base.replace(npros=10), (1, 20, 5000))
+        assert curve[20] > curve[1]
+        assert curve[20] > curve[5000]
+
+    def test_optimum_below_200_locks(self, base):
+        curve = sweep(base.replace(npros=30), (1, 10, 50, 200, 1000, 5000))
+        best = max(curve, key=curve.get)
+        assert best <= 200
+
+    def test_penalty_for_too_fine_grows_with_processors(self, base):
+        # Relative throughput loss from optimum to ltot=5000 grows
+        # with the processor count (absolute penalty certainly does).
+        losses = {}
+        for npros in (2, 30):
+            curve = sweep(base.replace(npros=npros), (20, 5000))
+            losses[npros] = curve[20] - curve[5000]
+        assert losses[30] > losses[2]
+
+    def test_response_time_decreases_with_processors(self, base):
+        responses = {
+            npros: simulate(base.replace(npros=npros, ltot=50)).response_time
+            for npros in (1, 10, 30)
+        }
+        assert responses[1] > responses[10] > responses[30]
+
+
+class TestFigure3Claims:
+    def test_useful_io_convex_in_ltot(self, base):
+        # Rises from the serial regime to the optimum, then collapses
+        # as lock work steals the devices.
+        params = base.replace(npros=10)
+        useful = {
+            ltot: simulate(params.replace(ltot=ltot)).usefulios
+            for ltot in (1, 50, 5000)
+        }
+        assert useful[50] > useful[1]
+        assert useful[50] > useful[5000]
+
+    def test_small_systems_lose_more_useful_time_to_locks(self, base):
+        # The paper's Fig 4 commentary: "systems with smaller number of
+        # processors tend to spend more time on lock operations" — at
+        # fine granularity the uniprocessor's useful time collapses.
+        fine = {
+            npros: simulate(base.replace(npros=npros, ltot=5000))
+            for npros in (1, 30)
+        }
+        ratio_1 = fine[1].usefulios / base.tmax
+        ratio_30 = fine[30].usefulios / base.tmax
+        assert ratio_1 < ratio_30
+
+    def test_useful_io_decreases_with_processors_at_coarse_granularity(
+        self, base
+    ):
+        coarse = {
+            npros: simulate(base.replace(npros=npros, ltot=1)).usefulios
+            for npros in (1, 30)
+        }
+        assert coarse[30] < coarse[1]
+
+
+class TestFigures4And5Claims:
+    def test_lock_overhead_rises_steeply_past_200(self, base):
+        params = base.replace(npros=10)
+        coarse = simulate(params.replace(ltot=200)).lock_overhead
+        fine = simulate(params.replace(ltot=5000)).lock_overhead
+        assert fine > 3 * coarse
+
+    def test_small_transactions_more_overhead_at_coarse_granularity(self, base):
+        params = base.replace(npros=10, ltot=10)
+        small = simulate(params.replace(maxtransize=50)).lock_overhead
+        large = simulate(params.replace(maxtransize=500)).lock_overhead
+        # Small transactions complete faster -> more requests -> more
+        # lock overhead at low lock counts.
+        assert small > large
+
+
+class TestFigure6Claims:
+    def test_smaller_transactions_much_higher_throughput(self, base):
+        params = base.replace(npros=10, ltot=100)
+        small = simulate(params.replace(maxtransize=50)).throughput
+        large = simulate(params.replace(maxtransize=5000)).throughput
+        assert small > 5 * large
+
+    def test_optimum_shifts_right_for_smaller_transactions(self, base):
+        params = base.replace(npros=10)
+        grid = (1, 5, 20, 100, 500, 5000)
+        small_curve = sweep(params.replace(maxtransize=50), grid)
+        large_curve = sweep(params.replace(maxtransize=2500), grid)
+        small_best = max(small_curve, key=small_curve.get)
+        large_best = max(large_curve, key=large_curve.get)
+        assert small_best >= large_best
+        assert small_best <= 200
+
+
+class TestFigure7Claims:
+    def test_zero_lock_io_keeps_fine_granularity_harmless(self, base):
+        params = base.replace(npros=10, liotime=0.0)
+        curve = sweep(params, (100, 5000))
+        # Flat extremum: within a few percent of each other.
+        assert curve[5000] == pytest.approx(curve[100], rel=0.10)
+
+    def test_finite_lock_io_punishes_fine_granularity(self, base):
+        params = base.replace(npros=10, liotime=0.2)
+        curve = sweep(params, (100, 5000))
+        assert curve[5000] < 0.7 * curve[100]
+
+    def test_memory_resident_lock_table_does_not_beat_optimum(self, base):
+        # §3.3: even liotime=0 cannot push the maximum much above the
+        # finite-cost optimum.
+        with_io = sweep(base.replace(npros=10, liotime=0.2), (10, 100))
+        without_io = sweep(base.replace(npros=10, liotime=0.0), (10, 100, 5000))
+        assert max(without_io.values()) <= max(with_io.values()) * 1.15
+
+
+class TestFigure8Claims:
+    def test_horizontal_beats_random_partitioning(self, base):
+        params = base.replace(npros=20, ltot=50)
+        horizontal = simulate(params).throughput
+        randomised = simulate(params.replace(partitioning="random")).throughput
+        assert horizontal > randomised
+
+    def test_processor_ordering_unchanged_by_partitioning(self, base):
+        by_npros = {
+            npros: simulate(
+                base.replace(npros=npros, ltot=50, partitioning="random")
+            ).throughput
+            for npros in (2, 10, 30)
+        }
+        assert by_npros[2] < by_npros[10] < by_npros[30]
+
+
+class TestFigures9And10Claims:
+    def test_random_placement_trough_near_mean_size(self, base):
+        params = base.replace(npros=30, maxtransize=500, placement="random")
+        curve = sweep(params, (1, 250, 5000))
+        assert curve[250] < curve[1]
+        assert curve[250] < curve[5000]
+
+    def test_worst_placement_below_random(self, base):
+        params = base.replace(npros=30, maxtransize=500, ltot=250)
+        worst = simulate(params.replace(placement="worst")).throughput
+        randomised = simulate(params.replace(placement="random")).throughput
+        assert worst <= randomised * 1.05
+
+    def test_placements_agree_at_extremes(self, base):
+        # At ltot=1 every placement needs the single lock; at
+        # ltot=dbsize random degenerates to entity locks.
+        params = base.replace(npros=30, maxtransize=50)
+        for ltot in (1,):
+            best = simulate(params.replace(placement="best", ltot=ltot))
+            worst = simulate(params.replace(placement="worst", ltot=ltot))
+            assert best.throughput == pytest.approx(worst.throughput, rel=0.05)
+
+    def test_small_random_access_wants_fine_granularity(self, base):
+        # §4: fine granularity desired for small random transactions —
+        # within random placement, entity locks beat mid granularity.
+        params = base.replace(npros=30, maxtransize=50, placement="random")
+        curve = sweep(params, (50, 5000))
+        assert curve[5000] > 1.5 * curve[50]
+
+
+class TestFigure11Claims:
+    def test_mixed_workload_between_extremes_and_dragged_down(self, base):
+        params = base.replace(npros=30, ltot=5000)
+        small = simulate(params.replace(maxtransize=50)).throughput
+        large = simulate(params.replace(maxtransize=500)).throughput
+        mixed = simulate(params.replace(workload="mixed")).throughput
+        assert large < mixed < small
+        # "even the presence of 20% large transactions substantially
+        # affects system throughput": well below the small-only rate.
+        assert mixed < 0.6 * small
+
+
+class TestFigure12Claims:
+    def test_heavy_load_prefers_coarse_granularity(self):
+        params = SimulationParameters(
+            ntrans=200, npros=20, maxtransize=500, tmax=400.0, seed=23
+        )
+        coarse = simulate(params.replace(ltot=1)).throughput
+        fine = simulate(params.replace(ltot=5000)).throughput
+        assert coarse > fine
+
+    def test_lock_overhead_scales_with_population(self):
+        light = simulate(
+            SimulationParameters(ntrans=10, npros=20, ltot=5000, tmax=300.0, seed=3)
+        )
+        heavy = simulate(
+            SimulationParameters(ntrans=200, npros=20, ltot=5000, tmax=300.0, seed=3)
+        )
+        assert heavy.lock_overhead > light.lock_overhead
+
+
+class TestEngineAgreement:
+    def test_probabilistic_and_explicit_agree_on_shape(self, base):
+        grid = (1, 20, 5000)
+        params = base.replace(npros=10, tmax=300.0)
+        prob = sweep(params, grid)
+        expl = {
+            ltot: simulate(
+                params.replace(conflict_engine="explicit", ltot=ltot)
+            ).throughput
+            for ltot in grid
+        }
+        # Same ordering of the three regimes.
+        assert (prob[20] > prob[1]) == (expl[20] > expl[1])
+        assert (prob[20] > prob[5000]) == (expl[20] > expl[5000])

@@ -1,0 +1,73 @@
+"""Golden regression tests: fixed-seed runs must not drift.
+
+These pin exact outputs of small fixed-seed runs.  They exist to catch
+*unintended* behavioural changes in the model or kernel; an intended
+model change should update the goldens (and the change note) here.
+"""
+
+import pytest
+
+from repro.core import SimulationParameters, simulate
+
+GOLDEN_PARAMS = SimulationParameters(
+    dbsize=500,
+    ltot=20,
+    ntrans=5,
+    maxtransize=50,
+    npros=4,
+    tmax=200.0,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return simulate(GOLDEN_PARAMS)
+
+
+class TestGoldenRun:
+    def test_completions(self, golden):
+        assert golden.totcom == 129
+
+    def test_lock_requests_and_denials(self, golden):
+        assert golden.lock_requests == 180
+        assert golden.lock_denials == 47
+
+    def test_busy_times(self, golden):
+        assert golden.totios == pytest.approx(764.55, abs=0.1)
+        assert golden.lockios == pytest.approx(55.4, abs=0.1)
+        assert golden.totcpus == pytest.approx(178.27, abs=0.1)
+
+    def test_response_time(self, golden):
+        assert golden.response_time == pytest.approx(7.5318, abs=0.01)
+
+    def test_full_determinism_across_processes(self, golden):
+        # Same numbers when run in a fresh model instance.
+        again = simulate(GOLDEN_PARAMS)
+        assert again.as_dict(include_params=False) == golden.as_dict(
+            include_params=False
+        )
+
+
+class TestGoldenVariants:
+    """One pinned number per engine/protocol/strategy variant."""
+
+    @pytest.mark.parametrize(
+        "changes,expected_totcom",
+        [
+            ({"conflict_engine": "explicit"}, 128),
+            (
+                {"conflict_engine": "explicit", "protocol": "incremental"},
+                132,
+            ),
+            ({"conflict_engine": "hierarchical"}, 115),
+            ({"placement": "worst"}, 39),
+            ({"placement": "random"}, 48),
+            ({"partitioning": "random"}, 97),
+            ({"workload": "fixed"}, 72),
+            ({"discipline": "sjf"}, 130),
+        ],
+    )
+    def test_variant_completions(self, changes, expected_totcom):
+        result = simulate(GOLDEN_PARAMS.replace(**changes))
+        assert result.totcom == expected_totcom
