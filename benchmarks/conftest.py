@@ -9,6 +9,17 @@ Every benchmark prints the exhibit's series table (visible with
 ``pytest -s`` or in pytest-benchmark's captured output) and asserts the
 paper's qualitative shape, so a green benchmark run doubles as a
 reproduction check.
+
+Set ``REPRO_SMOKE=1`` for a CI-grade smoke pass: every sweep shrinks
+to one cheap configuration on a short horizon, the sweep still runs
+end-to-end (imports, spec builders, runner, caching), and the shape
+assertions — meaningless on a one-point grid — are skipped.  Combine
+with ``--benchmark-disable`` so pytest-benchmark adds no timing
+rounds.
+
+Sweeps go through :func:`repro.experiments.runner.run_experiment`, so
+they use the content-addressed result cache under ``results/.cache``;
+export ``REPRO_CACHE=0`` to time cold runs.
 """
 
 import os
@@ -21,6 +32,8 @@ BENCH_LTOT_GRID = (1, 10, 100, 1000, 5000)
 BENCH_NPROS_GRID = (2, 10, 30)
 #: Short horizon for benchmark runs.
 BENCH_TMAX = 150.0
+#: Horizon of the REPRO_SMOKE=1 single-config pass.
+SMOKE_TMAX = 60.0
 
 
 def full_run():
@@ -28,11 +41,29 @@ def full_run():
     return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
 
 
+def smoke_run():
+    """True when ``REPRO_SMOKE=1`` asks for the one-config CI pass."""
+    return os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
 def bench_scale(spec, tmax=BENCH_TMAX, ltot_grid=BENCH_LTOT_GRID, **changes):
-    """Scale *spec* for benchmarking (no-op under REPRO_BENCH_FULL)."""
+    """Scale *spec* for benchmarking (no-op under REPRO_BENCH_FULL).
+
+    Under ``REPRO_SMOKE=1`` the spec further collapses to the first
+    value of every sweep — one cheap configuration that still drives
+    the whole entry point.
+    """
     if full_run():
         return spec
-    return spec.scaled(tmax=tmax, ltot_grid=ltot_grid, **changes)
+    spec = spec.scaled(tmax=tmax, ltot_grid=ltot_grid, **changes)
+    if smoke_run():
+        spec = spec.scaled(
+            tmax=SMOKE_TMAX,
+            replace_sweeps={
+                name: values[:1] for name, values in spec.sweeps.items()
+            },
+        )
+    return spec
 
 
 @pytest.fixture
@@ -44,6 +75,10 @@ def run_exhibit(benchmark):
         def test_fig7(run_exhibit):
             result = run_exhibit(spec)
             ... assertions on result.series() ...
+
+    Under ``REPRO_SMOKE=1`` the sweep still executes, but the fixture
+    then skips the test before the caller's shape assertions run —
+    those need the full benchmark grid.
     """
     from repro.experiments.runner import run_experiment
 
@@ -56,6 +91,11 @@ def run_exhibit(benchmark):
         for field in print_fields or spec.y_fields:
             print()
             print(format_series_table(result, field))
+        if smoke_run():
+            pytest.skip(
+                "REPRO_SMOKE=1: sweep entry point exercised; shape "
+                "assertions need the full benchmark grid"
+            )
         return result
 
     return runner

@@ -42,6 +42,18 @@ def parse_args(argv):
         "--svg", action="store_true",
         help="also write one SVG chart per exhibit y-field",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes per sweep (0 = inline)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache entirely",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="ignore cached results, re-simulate and overwrite them",
+    )
     return parser.parse_args(argv)
 
 
@@ -73,13 +85,16 @@ def main(argv=None):
         else:
             result = run_experiment(
                 spec,
+                jobs=args.jobs,
+                cache=False if args.no_cache else None,
+                refresh=args.refresh,
                 progress=lambda done, total: print(
                     "\r  {} {}/{}".format(key, done, total),
                     end="", file=sys.stderr, flush=True,
                 ),
             )
             print(file=sys.stderr)
-            note = ""
+            note = "({})".format(result.stats.summary())
         if key == "fig2":
             fig2_result = result
         elapsed = time.time() - started
@@ -93,6 +108,8 @@ def main(argv=None):
                 "title": spec.title,
                 "tmax": args.tmax,
                 "elapsed_seconds": round(elapsed, 1),
+                "cache_hits": result.stats.cache_hits if result.stats else None,
+                "simulated_runs": result.stats.runs if result.stats else None,
             },
         )
         series = {

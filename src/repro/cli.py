@@ -60,6 +60,19 @@ def build_parser():
         help="write one SVG chart per y field into DIR",
     )
     run.add_argument("--seed", type=int, default=None, help="override master seed")
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache entirely (no reads, no writes)",
+    )
+    run.add_argument(
+        "--refresh", action="store_true",
+        help="ignore cached results, re-simulate and overwrite them",
+    )
+    run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache location (default results/.cache, or "
+        "$REPRO_CACHE_DIR)",
+    )
 
     one = sub.add_parser("simulate", help="run a single configuration")
     defaults = SimulationParameters()
@@ -165,9 +178,23 @@ def _command_run(args):
         if done == of:
             sys.stderr.write("\n")
 
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir:
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = None  # default on-disk cache (REPRO_CACHE=0 disables)
     result = run_experiment(
-        spec, replications=args.replications, jobs=args.jobs, progress=progress
+        spec,
+        replications=args.replications,
+        jobs=args.jobs,
+        progress=progress,
+        cache=cache,
+        refresh=args.refresh,
     )
+    print(result.stats.summary())
     for y_field in spec.y_fields:
         print()
         print(format_series_table(result, y_field))

@@ -32,7 +32,7 @@ way, once per attempt.
 
 from itertools import count
 
-from repro.core.conflict import ExplicitConflicts, make_conflict_engine
+from repro.core.conflict import make_conflict_engine
 from repro.core.metrics import MetricsCollector
 from repro.core.parameters import SimulationParameters
 from repro.core.placement import make_placement
@@ -50,6 +50,13 @@ from repro.lockmgr.modes import LockMode
 #: Outcome value delivered to a waiting incremental request when its
 #: owner is killed as a deadlock victim.
 _ABORTED = "aborted"
+
+#: Version of the simulation semantics.  Bump this whenever a change
+#: alters the outputs produced for a given ``(parameters, seed)`` pair
+#: — it is part of the content-address used by
+#: :mod:`repro.experiments.cache`, so bumping it invalidates every
+#: previously cached result.
+MODEL_VERSION = 1
 
 
 class LockingGranularityModel:

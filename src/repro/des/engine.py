@@ -1,6 +1,6 @@
 """The simulation environment: clock, event heap, and run loop."""
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 
 from repro.des.errors import EmptySchedule, SimulationError, StopSimulation
@@ -21,6 +21,8 @@ class Environment:
         Starting value of the simulation clock (default ``0.0``).
     """
 
+    __slots__ = ("_now", "_heap", "_eid")
+
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
         self._heap = []
@@ -35,7 +37,7 @@ class Environment:
 
     def schedule(self, event, delay=0.0, priority=NORMAL):
         """Put *event* on the heap to be processed after *delay*."""
-        heapq.heappush(
+        heappush(
             self._heap, (self._now + delay, priority, next(self._eid), event)
         )
 
@@ -54,7 +56,7 @@ class Environment:
             If no events remain.
         """
         try:
-            when, _, _, event = heapq.heappop(self._heap)
+            when, _, _, event = heappop(self._heap)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
         self._now = when
@@ -86,9 +88,14 @@ class Environment:
                 raise SimulationError(
                     "until ({}) is in the past (now={})".format(stop_at, self._now)
                 )
+        # Hot loop: bind the heap and the step method once instead of
+        # resolving both attributes on every iteration — the loop body
+        # runs once per processed event.
+        heap = self._heap
+        step = self.step
         try:
-            while self._heap and self._heap[0][0] <= stop_at:
-                self.step()
+            while heap and heap[0][0] <= stop_at:
+                step()
         except StopSimulation as stop:
             return stop.value
         if isinstance(until, Event):

@@ -38,6 +38,11 @@ class Event:
         The :class:`~repro.des.engine.Environment` the event belongs to.
     """
 
+    # Events are allocated by the million on the simulation hot path;
+    # __slots__ drops the per-instance dict (smaller, faster attribute
+    # access).  Subclasses must declare their own __slots__ too.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env):
         self.env = env
         #: Callables invoked with this event when it is processed.  Set
@@ -107,6 +112,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers *delay* time units after creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env, delay, value=None):
         if delay < 0:
             raise ValueError("negative delay {}".format(delay))
@@ -123,6 +130,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Starts a newly created process at the current instant."""
 
+    __slots__ = ()
+
     def __init__(self, env, process):
         super().__init__(env)
         self.callbacks.append(process._resume)
@@ -138,6 +147,8 @@ class Condition(Event):
     outcomes satisfy it.  A failing child fails the whole condition
     (the child's exception propagates).
     """
+
+    __slots__ = ("_events", "_count")
 
     def __init__(self, env, events):
         super().__init__(env)
@@ -183,12 +194,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when every child event has succeeded (a join)."""
 
+    __slots__ = ()
+
     def _check(self):
         return self._count == len(self._events)
 
 
 class AnyOf(Condition):
     """Triggers as soon as any child event succeeds."""
+
+    __slots__ = ()
 
     def _check(self):
         return self._count >= 1

@@ -16,6 +16,8 @@ class Process(Event):
     one another or be joined with :class:`~repro.des.events.AllOf`.
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env, generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError("Process requires a generator, got {!r}".format(generator))

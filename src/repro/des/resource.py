@@ -13,6 +13,8 @@ class Request(Event):
             ... critical section ...
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource):
         super().__init__(resource.env)
         self.resource = resource

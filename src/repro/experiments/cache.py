@@ -1,0 +1,180 @@
+"""Content-addressed cache of single simulation runs.
+
+Every completed simulation is a pure function of its
+:class:`~repro.core.parameters.SimulationParameters` (the master seed
+is one of them) and of the simulator's semantics, versioned by
+:data:`repro.core.model.MODEL_VERSION`.  That makes results safe to
+memoise on disk: an entry's address is a SHA-256 over the canonical
+JSON of ``(schema, model-version, parameters)``, so any change to a
+parameter, to the seed, or to the model version lands on a different
+address and old entries are simply never read again.
+
+Entries are stored one JSON file per run under
+``results/.cache/<aa>/<hash>.json`` (``aa`` is the first hash byte,
+keeping directories small).  The environment variables
+``REPRO_CACHE_DIR`` (relocate the cache) and ``REPRO_CACHE=0``
+(disable the default cache entirely) are honoured by
+:func:`default_cache_dir` / :func:`cache_enabled`, which
+:func:`repro.experiments.runner.run_experiment` consults.
+
+The cache is deliberately forgiving: a missing, corrupted, truncated
+or version-mismatched file is treated as a miss (and overwritten on
+the next store), and I/O errors while writing are swallowed — caching
+must never be able to fail a sweep.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.core.model import MODEL_VERSION
+from repro.core.results import RESULT_FIELDS, SimulationResult
+
+#: On-disk layout version; bump when the entry format itself changes.
+CACHE_SCHEMA = 1
+
+#: Default location, relative to the working directory.
+DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+
+def default_cache_dir():
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``results/.cache``."""
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+def cache_enabled():
+    """False when caching is globally disabled via ``REPRO_CACHE=0``."""
+    return os.environ.get("REPRO_CACHE", "") not in ("0", "no", "off")
+
+
+def cache_key(params, model_version=MODEL_VERSION):
+    """Stable content address of one run: hex SHA-256 digest.
+
+    The address covers the full parameter set (seed included), the
+    model version and the cache schema, canonicalised as
+    sorted-key/compact JSON so it is independent of dict ordering,
+    Python version and process.
+    """
+    document = {
+        "schema": CACHE_SCHEMA,
+        "model_version": model_version,
+        "params": params.as_dict(),
+    }
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Persistent map ``SimulationParameters -> SimulationResult``.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the entries (created lazily on first store);
+        defaults to :func:`default_cache_dir`.
+    model_version:
+        Simulator version baked into every address; defaults to
+        :data:`repro.core.model.MODEL_VERSION`.  Entries written under
+        a different version are invisible.
+    """
+
+    def __init__(self, root=None, model_version=MODEL_VERSION):
+        self.root = str(root) if root is not None else default_cache_dir()
+        self.model_version = model_version
+
+    def __repr__(self):
+        return "<ResultCache root={!r} model_version={}>".format(
+            self.root, self.model_version
+        )
+
+    def path_for(self, params):
+        """Entry file path for *params* (whether or not it exists)."""
+        key = cache_key(params, self.model_version)
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, params):
+        """The cached :class:`SimulationResult`, or ``None`` on a miss.
+
+        Any unreadable, unparsable or inconsistent entry counts as a
+        miss — the caller just re-simulates and overwrites it.
+        """
+        try:
+            with open(self.path_for(params)) as handle:
+                document = json.load(handle)
+            if document.get("schema") != CACHE_SCHEMA:
+                return None
+            if document.get("model_version") != self.model_version:
+                return None
+            if document.get("params") != params.as_dict():
+                return None  # hash collision or hand-edited entry
+            outputs = document["result"]
+            return SimulationResult(
+                params=params,
+                **{name: outputs[name] for name in RESULT_FIELDS}
+            )
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+    def put(self, params, result):
+        """Store *result* for *params*; best-effort (errors swallowed).
+
+        The entry is written to a temporary file and atomically
+        renamed, so concurrent readers and writers never observe a
+        half-written entry.
+        """
+        path = self.path_for(params)
+        document = {
+            "schema": CACHE_SCHEMA,
+            "model_version": self.model_version,
+            "params": params.as_dict(),
+            "result": {
+                name: getattr(result, name) for name in RESULT_FIELDS
+            },
+        }
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(document, handle, sort_keys=True)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+            return path
+        except OSError:
+            return None
+
+    def delete(self, params):
+        """Drop the entry for *params*; True if one existed."""
+        try:
+            os.unlink(self.path_for(params))
+            return True
+        except OSError:
+            return False
+
+    def clear(self):
+        """Remove every entry under the root; returns the count."""
+        removed = 0
+        for directory, _subdirs, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(directory, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def __len__(self):
+        """Number of entries currently on disk (any model version)."""
+        total = 0
+        for _directory, _subdirs, files in os.walk(self.root):
+            total += sum(1 for name in files if name.endswith(".json"))
+        return total

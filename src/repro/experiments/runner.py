@@ -1,10 +1,28 @@
-"""Experiment execution: replications, parallelism, result shaping."""
+"""Experiment execution: replications, parallelism, caching, stats.
+
+A sweep is a grid of ``(configuration, replication)`` cells; each cell
+is one independent simulation run.  :func:`run_experiment` resolves as
+many cells as it can from the content-addressed result cache
+(:mod:`repro.experiments.cache`), fans the remaining cells out over a
+process pool at *replication* granularity (not just configuration
+granularity, so a single expensive configuration still parallelises),
+and aggregates each configuration's replications in seed order —
+which makes ``jobs=N`` bit-identical to an inline run.
+
+Execution accounting (per-configuration wall time, cache hit/miss
+counts, total elapsed) is reported through :class:`SweepStats`,
+available as ``result.stats`` on the returned
+:class:`ExperimentResult`.
+"""
 
 import concurrent.futures
 import os
+from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.model import LockingGranularityModel
 from repro.core.results import aggregate
+from repro.experiments.cache import ResultCache, cache_enabled
 
 
 def _run_single(params):
@@ -12,11 +30,79 @@ def _run_single(params):
     return LockingGranularityModel(params).run()
 
 
-def _run_replicated(params, replications):
-    results = []
-    for i in range(replications):
-        results.append(_run_single(params.replace(seed=params.seed + i)))
-    return aggregate(results)
+def _run_single_timed(params):
+    """Worker returning ``(result, compute_seconds)`` for stats."""
+    started = perf_counter()
+    result = LockingGranularityModel(params).run()
+    return result, perf_counter() - started
+
+
+@dataclass
+class ConfigStats:
+    """Execution accounting for one configuration of a sweep."""
+
+    index: int
+    label: str
+    runs: int = 0
+    cache_hits: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class SweepStats:
+    """Execution accounting for one :func:`run_experiment` call.
+
+    Attributes
+    ----------
+    configs / replications:
+        Shape of the sweep: ``configs * replications`` total cells.
+    runs:
+        Cells actually simulated (= cache misses that completed).
+    cache_hits / cache_misses:
+        Cache lookup outcomes; the two always partition the cells
+        (with caching disabled every cell counts as a miss), and
+        ``cache_misses == runs`` after a successful sweep.
+    elapsed_seconds:
+        Wall time of the whole call, queueing and aggregation
+        included.
+    per_config:
+        One :class:`ConfigStats` per configuration, in sweep order;
+        ``seconds`` there is summed simulation compute time (across
+        workers), not wall time.
+    """
+
+    configs: int = 0
+    replications: int = 1
+    runs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+    per_config: list = field(default_factory=list)
+
+    @property
+    def cells(self):
+        """Total (configuration, replication) cells in the sweep."""
+        return self.configs * self.replications
+
+    @property
+    def hit_rate(self):
+        """Fraction of cells answered from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self):
+        """One-line human summary for CLI/script output."""
+        return (
+            "{} configs x {} replications: {} simulated, "
+            "{} cache hits ({:.0%} hit rate) in {:.2f}s".format(
+                self.configs,
+                self.replications,
+                self.runs,
+                self.cache_hits,
+                self.hit_rate,
+                self.elapsed_seconds,
+            )
+        )
 
 
 class ExperimentResult:
@@ -29,11 +115,15 @@ class ExperimentResult:
     outcomes:
         One :class:`~repro.core.results.ReplicatedResult` per
         configuration, in sweep order.
+    stats:
+        The :class:`SweepStats` of the run that produced the outcomes
+        (``None`` for results assembled by hand).
     """
 
-    def __init__(self, spec, outcomes):
+    def __init__(self, spec, outcomes, stats=None):
         self.spec = spec
         self.outcomes = list(outcomes)
+        self.stats = stats
 
     def __len__(self):
         return len(self.outcomes)
@@ -67,7 +157,27 @@ class ExperimentResult:
         return chooser(points, key=lambda point: point[1])
 
 
-def run_experiment(spec, replications=1, jobs=None, progress=None):
+def _resolve_cache(cache):
+    """Normalise the *cache* argument of :func:`run_experiment`."""
+    if cache is None:
+        return ResultCache() if cache_enabled() else None
+    if cache is False:
+        return None
+    return cache
+
+
+def _config_label(spec, params):
+    """Short human label of one configuration for stats output."""
+    parts = ["{}={}".format(spec.x_field, getattr(params, spec.x_field))]
+    series = spec.series_label(params)
+    if series != "all":
+        parts.append(series)
+    return ", ".join(parts)
+
+
+def run_experiment(
+    spec, replications=1, jobs=None, progress=None, cache=None, refresh=False
+):
     """Execute every configuration of *spec*.
 
     Parameters
@@ -78,34 +188,116 @@ def run_experiment(spec, replications=1, jobs=None, progress=None):
         Independent replications per configuration (seeds increment).
     jobs:
         Worker processes; ``None``/0/1 runs inline, otherwise a
-        process pool fans configurations out (each configuration's
-        replications stay together so common-random-number pairing is
-        preserved).
+        process pool fans individual replication runs out.  Results
+        are aggregated in seed order either way, so ``jobs=N`` is
+        bit-identical to an inline run.
     progress:
-        Optional callable ``progress(done, total)`` invoked after each
-        configuration finishes.
+        Optional callable ``progress(done, total)`` invoked whenever a
+        configuration (all its replications) finishes.
+    cache:
+        ``None`` uses the default on-disk cache (``results/.cache``;
+        honour ``REPRO_CACHE_DIR``, disable globally with
+        ``REPRO_CACHE=0``); ``False`` bypasses caching entirely; a
+        :class:`~repro.experiments.cache.ResultCache` instance is used
+        as given.
+    refresh:
+        Ignore existing cache entries, re-simulate everything and
+        overwrite them (the ``--refresh`` escape hatch).
+
+    Raises
+    ------
+    Exception
+        The first worker exception is re-raised in the caller after
+        outstanding pool work is cancelled; ``outcomes`` are never
+        returned with ``None`` holes.
     """
+    if replications < 1:
+        raise ValueError(
+            "replications must be >= 1, got {}".format(replications)
+        )
+    started = perf_counter()
     configs = spec.configurations()
     total = len(configs)
+    cache = _resolve_cache(cache)
+    stats = SweepStats(configs=total, replications=replications)
     outcomes = [None] * total
+
+    # Grid of single-run results, one row per configuration, one
+    # column per replication; filled from the cache first, then from
+    # execution.
+    grid = [[None] * replications for _ in range(total)]
+    pending = []  # (config_index, replication_index, run_params)
+    for i, params in enumerate(configs):
+        config_stats = ConfigStats(index=i, label=_config_label(spec, params))
+        stats.per_config.append(config_stats)
+        for r in range(replications):
+            run_params = params.replace(seed=params.seed + r)
+            hit = None
+            if cache is not None and not refresh:
+                hit = cache.get(run_params)
+            if hit is not None:
+                grid[i][r] = hit
+                config_stats.cache_hits += 1
+                stats.cache_hits += 1
+            else:
+                pending.append((i, r, run_params))
+                stats.cache_misses += 1
+
+    remaining = [row.count(None) for row in grid]
+    done_configs = 0
+
+    def finish_config(i):
+        nonlocal done_configs
+        outcomes[i] = aggregate(grid[i])
+        done_configs += 1
+        if progress is not None:
+            progress(done_configs, total)
+
+    def record(i, r, run_params, result, seconds):
+        grid[i][r] = result
+        config_stats = stats.per_config[i]
+        config_stats.runs += 1
+        config_stats.seconds += seconds
+        stats.runs += 1
+        if cache is not None:
+            cache.put(run_params, result)
+        remaining[i] -= 1
+        if remaining[i] == 0:
+            finish_config(i)
+
+    # Configurations fully answered by the cache complete immediately,
+    # in sweep order.
+    for i in range(total):
+        if remaining[i] == 0:
+            finish_config(i)
+
     if jobs is None:
         jobs = 0
-    if jobs in (0, 1):
-        for i, params in enumerate(configs):
-            outcomes[i] = _run_replicated(params, replications)
-            if progress is not None:
-                progress(i + 1, total)
-        return ExperimentResult(spec, outcomes)
-    max_workers = min(jobs, os.cpu_count() or 1, total) or 1
-    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {
-            pool.submit(_run_replicated, params, replications): i
-            for i, params in enumerate(configs)
-        }
-        done = 0
-        for future in concurrent.futures.as_completed(futures):
-            outcomes[futures[future]] = future.result()
-            done += 1
-            if progress is not None:
-                progress(done, total)
-    return ExperimentResult(spec, outcomes)
+    if pending and jobs <= 1:
+        for i, r, run_params in pending:
+            result, seconds = _run_single_timed(run_params)
+            record(i, r, run_params, result, seconds)
+    elif pending:
+        max_workers = min(jobs, os.cpu_count() or 1, len(pending)) or 1
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            futures = {
+                pool.submit(_run_single_timed, run_params): (i, r, run_params)
+                for i, r, run_params in pending
+            }
+            try:
+                for future in concurrent.futures.as_completed(futures):
+                    i, r, run_params = futures[future]
+                    result, seconds = future.result()
+                    record(i, r, run_params, result, seconds)
+            except BaseException:
+                # One worker failed: drop everything still queued so
+                # the pool winds down promptly, then surface the
+                # original exception instead of returning outcomes
+                # with None holes.
+                for future in futures:
+                    future.cancel()
+                raise
+    stats.elapsed_seconds = perf_counter() - started
+    return ExperimentResult(spec, outcomes, stats=stats)

@@ -24,7 +24,6 @@ wires to events.
 """
 
 import enum
-from collections import deque
 
 from repro.lockmgr.modes import LockMode, compatible
 from repro.lockmgr.table import LockTable

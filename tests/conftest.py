@@ -6,6 +6,16 @@ from repro.core.parameters import SimulationParameters
 from repro.des import Environment
 
 
+@pytest.fixture(autouse=True)
+def _no_default_result_cache(monkeypatch):
+    """Keep unit tests hermetic: never touch the shared on-disk cache.
+
+    Tests that exercise caching pass an explicit
+    :class:`~repro.experiments.cache.ResultCache` rooted in a tmp dir.
+    """
+    monkeypatch.setenv("REPRO_CACHE", "0")
+
+
 @pytest.fixture
 def env():
     """A fresh simulation environment."""

@@ -1,6 +1,5 @@
 """Unit tests for granule placement strategies."""
 
-import math
 import random
 
 import pytest

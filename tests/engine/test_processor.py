@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.des import Environment
 from repro.engine.processor import LOCK_TAG, TXN_TAG, Processor
 
 

@@ -37,6 +37,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_run_cache_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig2", "--no-cache", "--refresh",
+             "--cache-dir", "/tmp/c", "--jobs", "3"]
+        )
+        assert args.no_cache
+        assert args.refresh
+        assert args.cache_dir == "/tmp/c"
+        assert args.jobs == 3
+
+    def test_run_cache_flags_default_off(self):
+        args = build_parser().parse_args(["run", "fig2"])
+        assert not args.no_cache
+        assert not args.refresh
+        assert args.cache_dir is None
+
 
 class TestExecution:
     def test_list_prints_exhibits(self, capsys):
@@ -87,6 +103,22 @@ class TestExecution:
     def test_run_unknown_exhibit_raises(self):
         with pytest.raises(KeyError):
             main(["run", "fig99"])
+
+    def test_run_warm_cache_skips_simulation(self, capsys, tmp_path):
+        argv = ["run", "table1", "--quick", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out
+        assert "100% hit rate" in out
+
+    def test_run_no_cache_writes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert main(["run", "table1", "--quick", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "c").exists()
 
     def test_run_with_seed_override(self, capsys):
         code = main(["run", "table1", "--tmax", "60", "--seed", "123"])

@@ -2,9 +2,22 @@
 
 import pytest
 
+import repro.experiments.runner as runner_module
 from repro.core.parameters import SimulationParameters
 from repro.experiments.config import ExperimentSpec
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import (
+    ExperimentResult,
+    SweepStats,
+    _run_single_timed,
+    run_experiment,
+)
+
+
+def _failing_worker(params):
+    """Module-level replacement worker (process pools must pickle it)."""
+    if params.ltot == 20:
+        raise RuntimeError("injected failure ltot=20")
+    return _run_single_timed(params)
 
 
 @pytest.fixture
@@ -47,6 +60,73 @@ class TestRunExperiment:
         for a, b in zip(serial.outcomes, parallel.outcomes):
             assert a.mean("throughput") == b.mean("throughput")
             assert a.mean("totcom") == b.mean("totcom")
+
+    def test_pool_is_bit_identical_to_inline(self, tiny_spec):
+        """jobs=N must reproduce the inline run exactly, field by field,
+        replication by replication (the pool parallelises replication
+        runs, but aggregation stays in seed order)."""
+        inline = run_experiment(tiny_spec, replications=2, cache=False)
+        pooled = run_experiment(tiny_spec, replications=2, jobs=2, cache=False)
+        for a, b in zip(inline.outcomes, pooled.outcomes):
+            assert len(a) == len(b) == 2
+            for ra, rb in zip(a.results, b.results):
+                assert ra.params == rb.params
+                assert ra.as_dict() == rb.as_dict()
+
+    def test_replications_zero_rejected(self, tiny_spec):
+        with pytest.raises(ValueError):
+            run_experiment(tiny_spec, replications=0)
+
+    def test_worker_exception_surfaces_inline(self, tiny_spec, monkeypatch):
+        monkeypatch.setattr(
+            runner_module, "_run_single_timed", _failing_worker
+        )
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_experiment(tiny_spec, cache=False)
+
+    def test_worker_exception_cancels_pool(self, tiny_spec, monkeypatch):
+        """A failing worker must abort the sweep with the original
+        exception instead of returning outcomes with None holes."""
+        monkeypatch.setattr(
+            runner_module, "_run_single_timed", _failing_worker
+        )
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_experiment(tiny_spec, jobs=2, cache=False)
+
+
+class TestSweepStats:
+    def test_uncached_run_counts_every_cell(self, tiny_spec):
+        result = run_experiment(tiny_spec, replications=2, cache=False)
+        stats = result.stats
+        assert stats.configs == 4
+        assert stats.replications == 2
+        assert stats.cells == 8
+        assert stats.runs == 8
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 8
+        assert stats.hit_rate == 0.0
+        assert stats.elapsed_seconds > 0
+
+    def test_per_config_accounting(self, tiny_spec):
+        result = run_experiment(tiny_spec, replications=2, cache=False)
+        per_config = result.stats.per_config
+        assert [c.index for c in per_config] == [0, 1, 2, 3]
+        assert all(c.runs == 2 for c in per_config)
+        assert all(c.seconds > 0 for c in per_config)
+        assert per_config[0].label == "ltot=1, npros=1"
+
+    def test_summary_is_one_line(self, tiny_spec):
+        result = run_experiment(tiny_spec, cache=False)
+        summary = result.stats.summary()
+        assert "\n" not in summary
+        assert "4 configs" in summary
+
+    def test_hit_rate_empty_stats(self):
+        assert SweepStats().hit_rate == 0.0
+
+    def test_handmade_result_has_no_stats(self, tiny_spec):
+        result = ExperimentResult(tiny_spec, [])
+        assert result.stats is None
 
 
 class TestExperimentResult:

@@ -1,6 +1,5 @@
 """Unit tests for the lock manager's two protocols."""
 
-import pytest
 
 from repro.lockmgr import LockManager, LockMode, RequestStatus
 from repro.lockmgr.manager import exclusive_requests

@@ -42,6 +42,7 @@ MODULES = [
     "repro.engine.processor",
     "repro.engine.txn_scheduler",
     "repro.experiments",
+    "repro.experiments.cache",
     "repro.experiments.config",
     "repro.experiments.crossval",
     "repro.experiments.figures",
