@@ -88,8 +88,13 @@ def main(argv=None):
                 jobs=args.jobs,
                 cache=False if args.no_cache else None,
                 refresh=args.refresh,
-                progress=lambda done, total: print(
-                    "\r  {} {}/{}".format(key, done, total),
+                # Live per-replication progress: every resolved cell
+                # (cache hit or finished run) updates the line, so
+                # parallel sweeps are never silent between configs.
+                cell_progress=lambda done, total, info, key=key: print(
+                    "\r  {} {}/{} cells [{}: {}]   ".format(
+                        key, done, total, info["source"], info["label"]
+                    ),
                     end="", file=sys.stderr, flush=True,
                 ),
             )

@@ -17,6 +17,7 @@ Run a single configuration::
 
 import argparse
 import sys
+import time
 
 from repro.core.model import simulate
 from repro.core.parameters import SimulationParameters
@@ -129,6 +130,45 @@ def build_parser():
             help="default: {!r}".format(value),
         )
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one configuration with full telemetry exported to JSONL",
+    )
+    trace.add_argument(
+        "--out", default="telemetry.jsonl", metavar="PATH",
+        help="telemetry JSONL output path (default: telemetry.jsonl)",
+    )
+    trace.add_argument(
+        "--sample-interval", type=float, default=5.0, metavar="DT",
+        help="simulated time between time-series samples (0 disables)",
+    )
+    trace.add_argument(
+        "--print", type=int, default=0, metavar="N", dest="print_events",
+        help="also print the first N lifecycle events",
+    )
+    for name, value in defaults.as_dict().items():
+        kind = type(value)
+        trace.add_argument(
+            "--{}".format(name.replace("_", "-")),
+            dest=name,
+            type=kind if kind in (int, float) else str,
+            default=None,
+            help="default: {!r}".format(value),
+        )
+
+    report = sub.add_parser(
+        "report", help="summarise a telemetry JSONL file"
+    )
+    report.add_argument("telemetry", help="telemetry JSONL path (from 'trace')")
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the top-blockers / hot-granules tables",
+    )
+    report.add_argument(
+        "--svg", default=None, metavar="PATH",
+        help="also write the utilisation timeline as an SVG chart",
+    )
+
     compare = sub.add_parser(
         "compare", help="diff two result CSVs (e.g. before/after a change)"
     )
@@ -172,8 +212,18 @@ def _command_run(args):
         )
     )
 
-    def progress(done, of):
-        sys.stderr.write("\r  {}/{} configurations".format(done, of))
+    started = time.perf_counter()
+
+    def cell_progress(done, of, info):
+        sys.stderr.write(
+            "\r  {}/{} cells  [{}: {}{}]  {:.1f}s elapsed   ".format(
+                done, of, info["source"], info["label"],
+                ""
+                if info["seconds"] is None
+                else " in {:.2f}s".format(info["seconds"]),
+                time.perf_counter() - started,
+            )
+        )
         sys.stderr.flush()
         if done == of:
             sys.stderr.write("\n")
@@ -190,7 +240,7 @@ def _command_run(args):
         spec,
         replications=args.replications,
         jobs=args.jobs,
-        progress=progress,
+        cell_progress=cell_progress,
         cache=cache,
         refresh=args.refresh,
     )
@@ -307,6 +357,66 @@ def _command_sensitivity(args):
     return 0
 
 
+def _command_trace(args):
+    from repro.core.model import MODEL_VERSION, LockingGranularityModel
+    from repro.obs import JsonlTraceSink, Telemetry, build_manifest, write_manifest
+
+    overrides = {
+        name: getattr(args, name)
+        for name in SimulationParameters().as_dict()
+        if getattr(args, name) is not None
+    }
+    params = SimulationParameters(**overrides)
+    sink = JsonlTraceSink(
+        args.out,
+        params=params.as_dict(),
+        model_version=MODEL_VERSION,
+        seed=params.seed,
+    )
+    telemetry = Telemetry(sink=sink, sample_interval=args.sample_interval)
+    started = time.perf_counter()
+    result = LockingGranularityModel(params, telemetry=telemetry).run()
+    wall = time.perf_counter() - started
+    telemetry.finish(
+        totcom=result.totcom,
+        throughput=result.throughput,
+        wall_seconds=round(wall, 4),
+    )
+    manifest_path = args.out + ".manifest"
+    write_manifest(
+        manifest_path,
+        build_manifest(params, cache_hit=False, wall_seconds=wall),
+    )
+    if args.print_events:
+        from repro.obs import load_trace
+
+        print(load_trace(args.out).to_trace().format(limit=args.print_events))
+    print(
+        "Telemetry written to {} ({} events, {} samples) "
+        "+ manifest {}".format(
+            args.out, sink.events, sink.samples, manifest_path
+        )
+    )
+    print(
+        "Run: totcom={} throughput={:.4g} in {:.2f}s".format(
+            result.totcom, result.throughput, wall
+        )
+    )
+    return 0
+
+
+def _command_report(args):
+    from repro.obs import format_report, load_trace, save_report_chart
+
+    tracefile = load_trace(args.telemetry)
+    print(format_report(tracefile, top=args.top))
+    if args.svg:
+        path = save_report_chart(tracefile, args.svg)
+        print()
+        print("Timeline chart written to {}".format(path))
+    return 0
+
+
 def _command_compare(args):
     from repro.experiments.storage import load_rows_csv
 
@@ -358,6 +468,10 @@ def main(argv=None):
         return _command_tune(args)
     if args.command == "sensitivity":
         return _command_sensitivity(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    if args.command == "report":
+        return _command_report(args)
     if args.command == "compare":
         return _command_compare(args)
     raise AssertionError("unreachable: {!r}".format(args.command))

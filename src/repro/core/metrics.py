@@ -7,12 +7,23 @@ from repro.engine.machine import BusySnapshot
 
 
 def _percentiles(samples, fractions):
-    """Nearest-rank percentiles (``nan`` when no samples)."""
+    """Nearest-rank percentiles (``nan`` when no samples).
+
+    Uses the explicit nearest-rank formula ``rank = ceil(f * n)``
+    (1-based, clamped to ``[1, n]``).  The obvious-looking
+    ``int(round(f * last))`` is *not* equivalent: Python's ``round``
+    is round-half-even (banker's rounding), which picks an
+    off-by-one sample whenever ``f * last`` lands on ``.5`` — e.g. the
+    median of four samples came out as ``ordered[2]`` instead of
+    ``ordered[1]``.
+    """
     if not samples:
         return [math.nan for _ in fractions]
     ordered = sorted(samples)
-    last = len(ordered) - 1
-    return [ordered[min(last, int(round(f * last)))] for f in fractions]
+    n = len(ordered)
+    return [
+        ordered[min(n, max(1, math.ceil(f * n))) - 1] for f in fractions
+    ]
 
 
 class MetricsCollector:

@@ -56,7 +56,11 @@ _ABORTED = "aborted"
 #: — it is part of the content-address used by
 #: :mod:`repro.experiments.cache`, so bumping it invalidates every
 #: previously cached result.
-MODEL_VERSION = 1
+#:
+#: 2: response percentiles switched to the explicit nearest-rank
+#:    formula (the previous ``round``-based pick was off by one on
+#:    even sample counts); simulation dynamics are unchanged.
+MODEL_VERSION = 2
 
 
 class LockingGranularityModel:
@@ -71,21 +75,43 @@ class LockingGranularityModel:
     params:
         The run's configuration.
     trace:
-        Optional :class:`~repro.des.trace.Trace`; when given, every
-        transaction lifecycle step is recorded into it (arrive, admit,
-        lock_request, lock_grant, lock_deny, wake, abort, exec,
-        complete).
+        Optional trace sink — anything with
+        ``emit(time, kind, subject, **details)``, e.g. the in-memory
+        :class:`~repro.des.trace.Trace` ring buffer or a
+        :class:`~repro.obs.sinks.JsonlTraceSink`.  When given, every
+        transaction lifecycle transition is recorded: arrive, admit,
+        lock_request, lock_grant, lock_deny, block, wake, abort,
+        exec, fork, io_start/io_end, cpu_start/cpu_end, join, commit,
+        complete, plus lock-manager contention events
+        (lock_promote, lock_cancel) and scheduler transitions
+        (mpl_change, subject 0).
     size_sampler:
         Optional replacement for the workload's size distribution —
         any object with ``sample(rng) -> int`` (e.g.
         :class:`~repro.core.workload.TraceSizes` for replaying a
         recorded workload).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` bundle; its
+        sink (if any) receives the same events as *trace*, and its
+        time-series recorder (if configured) is installed when the
+        run starts.  Telemetry never touches a random stream, so
+        results are identical with or without it.
     """
 
-    def __init__(self, params, trace=None, size_sampler=None):
+    def __init__(self, params, trace=None, size_sampler=None, telemetry=None):
         params.validate()
         self.params = params
-        self.trace = trace
+        self.telemetry = telemetry
+        sinks = [trace]
+        if telemetry is not None and telemetry.sink is not None:
+            sinks.append(telemetry.sink)
+        sinks = [sink for sink in sinks if sink is not None]
+        if len(sinks) > 1:
+            from repro.obs.sinks import MultiSink
+
+            self.trace = MultiSink(sinks)
+        else:
+            self.trace = sinks[0] if sinks else None
         self._size_sampler_override = size_sampler
         self.env = Environment()
         streams = RandomStreams(params.seed)
@@ -118,6 +144,15 @@ class LockingGranularityModel:
             )
         else:
             self._detector = None
+        if self.trace is not None:
+            # Thread the sink through the layers below the model: the
+            # lock manager reports contention transitions and the
+            # admission policy reports scheduling decisions.  Both are
+            # clock-less, so the hooks stamp the current time here.
+            manager = getattr(self.conflicts, "manager", None)
+            if manager is not None:
+                manager.observer = self._lock_observer
+            self.policy.notify = self._policy_observer
         self._finished = False
 
     # -- public API ------------------------------------------------------
@@ -127,6 +162,8 @@ class LockingGranularityModel:
         :class:`~repro.core.results.SimulationResult`."""
         if self._finished:
             raise RuntimeError("model instances are single-use; build a new one")
+        if self.telemetry is not None:
+            self.telemetry.install(self)
         if self.params.arrival_process == "open":
             self.env.process(self._open_arrivals())
         else:
@@ -169,6 +206,23 @@ class LockingGranularityModel:
     def _emit(self, kind, txn, **details):
         if self.trace is not None:
             self.trace.emit(self.env.now, kind, txn.tid, **details)
+
+    def _lock_observer(self, kind, owner, **details):
+        """Lock-manager contention events, stamped with the clock.
+
+        ``lock_queue`` is reported as the lifecycle kind ``block`` —
+        it is the incremental protocol's blocked-queue entry, the
+        counterpart of the preclaim protocol's post-denial block.
+        """
+        if kind == "lock_queue":
+            kind = "block"
+        self.trace.emit(
+            self.env.now, kind, getattr(owner, "tid", owner), **details
+        )
+
+    def _policy_observer(self, kind, **details):
+        """Admission-policy transitions (system events, subject 0)."""
+        self.trace.emit(self.env.now, kind, 0, **details)
 
     def _lifecycle(self, txn):
         txn.arrival = self.env.now
@@ -229,6 +283,7 @@ class LockingGranularityModel:
             self.policy.on_deny()
             wake = self.env.event()
             self._blocked_wakes.setdefault(blocker.tid, []).append(wake)
+            self._emit("block", txn, blocker=blocker.tid)
             self.metrics.blocked.increment(1)
             yield wake
             self._emit("wake", txn)
@@ -317,23 +372,34 @@ class LockingGranularityModel:
         processors = self.partitioning.processors(self._rng_part)
         self._emit("exec", txn, pu=len(processors))
         shares = split_entities(txn.nu, len(processors))
-        subtxns = [
-            self.env.process(self._subtransaction(proc_index, entities))
-            for proc_index, entities in zip(processors, shares)
-            if entities > 0
-        ]
+        subtxns = []
+        for sub, (proc_index, entities) in enumerate(zip(processors, shares)):
+            if entities <= 0:
+                continue
+            self._emit("fork", txn, sub=sub, node=proc_index, entities=entities)
+            subtxns.append(
+                self.env.process(
+                    self._subtransaction(txn, sub, proc_index, entities)
+                )
+            )
         if subtxns:
             yield self.env.all_of(subtxns)
+        self._emit("join", txn, subs=len(subtxns))
 
-    def _subtransaction(self, proc_index, entities):
+    def _subtransaction(self, txn, sub, proc_index, entities):
         params = self.params
         node = self.machine[proc_index]
+        self._emit("io_start", txn, sub=sub, node=proc_index)
         yield node.io(entities * params.iotime)
+        self._emit("io_end", txn, sub=sub, node=proc_index)
+        self._emit("cpu_start", txn, sub=sub, node=proc_index)
         yield node.compute(entities * params.cputime)
+        self._emit("cpu_end", txn, sub=sub, node=proc_index)
 
     # -- completion ----------------------------------------------------------
 
     def _complete(self, txn):
+        self._emit("commit", txn, attempts=txn.attempts)
         self.conflicts.release(txn)
         self._emit("complete", txn, response=self.env.now - txn.arrival)
         self.metrics.active.update(self.conflicts.active_count)

@@ -1,11 +1,46 @@
 """The simulation environment: clock, event heap, and run loop."""
 
+from collections import Counter
+from dataclasses import dataclass
 from heapq import heappop, heappush
 from itertools import count
+from time import perf_counter
 
 from repro.des.errors import EmptySchedule, SimulationError, StopSimulation
 from repro.des.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
+
+
+@dataclass
+class KernelStats:
+    """Self-profiling snapshot of one environment's run loop.
+
+    ``heap_peak``, ``run_seconds``, ``events_per_second`` and
+    ``event_type_counts`` are only populated by
+    :class:`ProfiledEnvironment`; the base environment keeps the hot
+    path free of that bookkeeping and reports ``None`` for them.
+    """
+
+    events_dispatched: int
+    heap_length: int
+    heap_peak: int = None
+    run_seconds: float = None
+    events_per_second: float = None
+    event_type_counts: dict = None
+
+    def as_dict(self):
+        """Plain dict with the unpopulated fields omitted."""
+        row = {
+            "events_dispatched": self.events_dispatched,
+            "heap_length": self.heap_length,
+        }
+        for name in ("heap_peak", "run_seconds", "events_per_second"):
+            value = getattr(self, name)
+            if value is not None:
+                row[name] = value
+        if self.event_type_counts is not None:
+            row["event_type_counts"] = dict(self.event_type_counts)
+        return row
 
 
 class Environment:
@@ -21,17 +56,30 @@ class Environment:
         Starting value of the simulation clock (default ``0.0``).
     """
 
-    __slots__ = ("_now", "_heap", "_eid")
+    __slots__ = ("_now", "_heap", "_eid", "_dispatched")
 
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
         self._heap = []
         self._eid = count()
+        self._dispatched = 0
 
     @property
     def now(self):
         """Current simulation time."""
         return self._now
+
+    @property
+    def events_dispatched(self):
+        """Events processed by :meth:`run` over this environment's life."""
+        return self._dispatched
+
+    def kernel_stats(self):
+        """Current :class:`KernelStats` snapshot (cheap counters only)."""
+        return KernelStats(
+            events_dispatched=self._dispatched,
+            heap_length=len(self._heap),
+        )
 
     # -- scheduling ----------------------------------------------------
 
@@ -90,14 +138,20 @@ class Environment:
                 )
         # Hot loop: bind the heap and the step method once instead of
         # resolving both attributes on every iteration — the loop body
-        # runs once per processed event.
+        # runs once per processed event.  The dispatch count lives in a
+        # local and is folded into the instance counter once on exit,
+        # keeping per-event overhead to one local increment.
         heap = self._heap
         step = self.step
+        dispatched = 0
         try:
             while heap and heap[0][0] <= stop_at:
                 step()
+                dispatched += 1
         except StopSimulation as stop:
             return stop.value
+        finally:
+            self._dispatched += dispatched
         if isinstance(until, Event):
             raise EmptySchedule("ran out of events before {!r}".format(until))
         if stop_at != float("inf"):
@@ -125,6 +179,69 @@ class Environment:
     def any_of(self, events):
         """Race: event that succeeds when any of *events* succeeds."""
         return AnyOf(self, events)
+
+
+class ProfiledEnvironment(Environment):
+    """An :class:`Environment` with full kernel self-profiling.
+
+    On top of the base dispatch counter it tracks the peak heap size,
+    wall-clock seconds spent inside :meth:`run` (and therefore
+    events/second), and how many events of each type were processed
+    (``Timeout``, ``Process``, ``Initialize``, ...).  That bookkeeping
+    costs a few percent of raw event throughput, so it lives in a
+    subclass and the production simulation keeps the plain kernel.
+    """
+
+    __slots__ = ("_heap_peak", "_type_counts", "_run_seconds")
+
+    def __init__(self, initial_time=0.0):
+        super().__init__(initial_time)
+        self._heap_peak = 0
+        self._type_counts = Counter()
+        self._run_seconds = 0.0
+
+    def schedule(self, event, delay=0.0, priority=NORMAL):
+        """Schedule *event*, tracking the peak heap population."""
+        heap = self._heap
+        heappush(heap, (self._now + delay, priority, next(self._eid), event))
+        if len(heap) > self._heap_peak:
+            self._heap_peak = len(heap)
+
+    def step(self):
+        """Process the next event, counting it by event type."""
+        try:
+            when, _, _, event = heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+        self._type_counts[type(event).__name__] += 1
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until=None):
+        """Run as the base class does, accumulating wall-clock time."""
+        started = perf_counter()
+        try:
+            return super().run(until)
+        finally:
+            self._run_seconds += perf_counter() - started
+
+    def kernel_stats(self):
+        """Full :class:`KernelStats` snapshot."""
+        rate = (
+            self._dispatched / self._run_seconds if self._run_seconds else None
+        )
+        return KernelStats(
+            events_dispatched=self._dispatched,
+            heap_length=len(self._heap),
+            heap_peak=self._heap_peak,
+            run_seconds=self._run_seconds,
+            events_per_second=rate,
+            event_type_counts=dict(self._type_counts),
+        )
 
 
 def _stop_on_event(event):

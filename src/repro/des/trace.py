@@ -3,16 +3,21 @@
 A :class:`Trace` is an append-only log of ``(time, kind, subject,
 details)`` records.  The simulation model emits one record per
 transaction lifecycle step (arrival, lock request/grant/denial,
-sub-transaction start, completion, ...), which gives users a replayable
-account of a run and gives the tests a way to assert causal ordering
-invariants that aggregate metrics cannot express.
+sub-transaction fork, per-device service, join, completion, ...),
+which gives users a replayable account of a run and gives the tests a
+way to assert causal ordering invariants that aggregate metrics cannot
+express.
 
 Tracing is off by default (zero overhead beyond one ``None`` check per
-emit site).
+emit site).  :class:`Trace` is the in-memory *ring-buffer* backend of
+the :class:`~repro.obs.sinks.TraceSink` protocol; the JSONL file
+backend and the schema-versioned export/replay loader live in
+:mod:`repro.obs.sinks`.
 """
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
+from itertools import islice
 
 
 @dataclass(frozen=True)
@@ -36,6 +41,10 @@ class TraceRecord:
 class Trace:
     """An in-memory, optionally bounded event log.
 
+    Bounded traces are backed by a ``deque(maxlen=...)`` so eviction at
+    the limit is O(1) per emit (a list's ``del records[0]`` is O(n),
+    which turns a long capped trace into a quadratic accident).
+
     Parameters
     ----------
     limit:
@@ -47,7 +56,7 @@ class Trace:
         if limit < 0:
             raise ValueError("limit must be >= 0")
         self.limit = limit
-        self._records = []
+        self._records = deque(maxlen=limit or None)
         self._dropped = 0
 
     def __len__(self):
@@ -63,10 +72,10 @@ class Trace:
 
     def emit(self, time, kind, subject, **details):
         """Append one record."""
-        self._records.append(TraceRecord(time, kind, subject, details))
-        if self.limit and len(self._records) > self.limit:
-            del self._records[0]
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
             self._dropped += 1
+        records.append(TraceRecord(time, kind, subject, details))
 
     def records(self, kind=None, subject=None):
         """Records filtered by *kind* and/or *subject*."""
@@ -91,5 +100,5 @@ class Trace:
 
     def format(self, limit=None):
         """Human-readable dump (optionally only the first *limit* rows)."""
-        rows = self._records if limit is None else self._records[:limit]
+        rows = self._records if limit is None else islice(self._records, limit)
         return "\n".join(str(record) for record in rows)

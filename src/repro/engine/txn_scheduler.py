@@ -37,6 +37,11 @@ class FCFSAdmission:
         if mpl_limit < 0:
             raise ValueError("mpl_limit must be >= 0")
         self.mpl_limit = mpl_limit
+        #: Optional callable ``notify(kind, **details)`` for telemetry;
+        #: policies report scheduling transitions through it (the
+        #: adaptive policy emits ``"mpl_change"`` whenever feedback
+        #: moves its multiprogramming limit).
+        self.notify = None
 
     def select(self, pending, in_flight):
         """Index into *pending* to admit now, or ``None`` to hold."""
@@ -112,10 +117,18 @@ class AdaptiveAdmission(FCFSAdmission):
         if total < self.window:
             return
         denial_rate = self._denials / total
+        before = self.mpl_limit
         if denial_rate > self.high:
             self.mpl_limit = max(1, self.mpl_limit // 2)
         elif denial_rate < self.low:
             self.mpl_limit = min(self.max_mpl, self.mpl_limit + 1)
+        if self.mpl_limit != before and self.notify is not None:
+            self.notify(
+                "mpl_change",
+                mpl=self.mpl_limit,
+                previous=before,
+                denial_rate=round(denial_rate, 4),
+            )
         self._grants = 0
         self._denials = 0
 

@@ -93,6 +93,30 @@ class ResultCache:
         key = cache_key(params, self.model_version)
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def manifest_path_for(self, params):
+        """Provenance manifest path for *params*' entry.
+
+        The ``.manifest`` suffix (not ``.json``) keeps manifests out
+        of :meth:`__len__` / :meth:`clear`, which count cache entries.
+        """
+        key = cache_key(params, self.model_version)
+        return os.path.join(self.root, key[:2], key + ".manifest")
+
+    def put_manifest(self, params, manifest):
+        """Store a provenance *manifest* dict next to the entry.
+
+        Best-effort, like :meth:`put`: returns the path or ``None``.
+        """
+        from repro.obs.manifest import write_manifest
+
+        return write_manifest(self.manifest_path_for(params), manifest)
+
+    def get_manifest(self, params):
+        """The stored manifest dict, or ``None``."""
+        from repro.obs.manifest import load_manifest
+
+        return load_manifest(self.manifest_path_for(params))
+
     def get(self, params):
         """The cached :class:`SimulationResult`, or ``None`` on a miss.
 

@@ -23,6 +23,7 @@ from time import perf_counter
 from repro.core.model import LockingGranularityModel
 from repro.core.results import aggregate
 from repro.experiments.cache import ResultCache, cache_enabled
+from repro.obs.manifest import build_manifest
 
 
 def _run_single(params):
@@ -176,7 +177,14 @@ def _config_label(spec, params):
 
 
 def run_experiment(
-    spec, replications=1, jobs=None, progress=None, cache=None, refresh=False
+    spec,
+    replications=1,
+    jobs=None,
+    progress=None,
+    cache=None,
+    refresh=False,
+    cell_progress=None,
+    manifests=True,
 ):
     """Execute every configuration of *spec*.
 
@@ -203,6 +211,20 @@ def run_experiment(
     refresh:
         Ignore existing cache entries, re-simulate everything and
         overwrite them (the ``--refresh`` escape hatch).
+    cell_progress:
+        Optional callable ``cell_progress(done, total, info)`` invoked
+        once per (configuration, replication) cell as it resolves —
+        cache hits during the initial scan, simulated runs as they
+        complete (in completion order under a pool).  *info* is a dict
+        with ``config`` (index), ``replication``, ``label``,
+        ``source`` (``"cache"`` or ``"run"``) and ``seconds``
+        (compute time; ``None`` for hits).  This is the live-progress
+        hook: a long sweep reports every finished replication instead
+        of going dark until a whole configuration completes.
+    manifests:
+        When caching is active, write a provenance manifest (params
+        hash, seed, git SHA, model version, wall time — see
+        :mod:`repro.obs.manifest`) next to every newly stored result.
 
     Raises
     ------
@@ -225,6 +247,25 @@ def run_experiment(
     # Grid of single-run results, one row per configuration, one
     # column per replication; filled from the cache first, then from
     # execution.
+    total_cells = total * replications
+    done_cells = 0
+
+    def notify_cell(i, r, source, seconds=None):
+        nonlocal done_cells
+        done_cells += 1
+        if cell_progress is not None:
+            cell_progress(
+                done_cells,
+                total_cells,
+                {
+                    "config": i,
+                    "replication": r,
+                    "label": stats.per_config[i].label,
+                    "source": source,
+                    "seconds": seconds,
+                },
+            )
+
     grid = [[None] * replications for _ in range(total)]
     pending = []  # (config_index, replication_index, run_params)
     for i, params in enumerate(configs):
@@ -239,6 +280,7 @@ def run_experiment(
                 grid[i][r] = hit
                 config_stats.cache_hits += 1
                 stats.cache_hits += 1
+                notify_cell(i, r, "cache")
             else:
                 pending.append((i, r, run_params))
                 stats.cache_misses += 1
@@ -261,6 +303,17 @@ def run_experiment(
         stats.runs += 1
         if cache is not None:
             cache.put(run_params, result)
+            if manifests:
+                cache.put_manifest(
+                    run_params,
+                    build_manifest(
+                        run_params,
+                        cache_hit=False,
+                        wall_seconds=seconds,
+                        model_version=cache.model_version,
+                    ),
+                )
+        notify_cell(i, r, "run", seconds)
         remaining[i] -= 1
         if remaining[i] == 0:
             finish_config(i)

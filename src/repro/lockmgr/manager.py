@@ -56,10 +56,26 @@ class LockRequest:
 
 
 class LockManager:
-    """Grants, queues, and releases locks over a :class:`LockTable`."""
+    """Grants, queues, and releases locks over a :class:`LockTable`.
 
-    def __init__(self):
+    Parameters
+    ----------
+    observer:
+        Optional callable ``observer(kind, owner, **details)`` invoked
+        at contention transitions: ``"lock_queue"`` when a request has
+        to wait (details: ``granule``, ``mode``, ``holders``),
+        ``"lock_promote"`` when a queued request is granted by a
+        release (``granule``, ``mode``), and ``"lock_cancel"`` when a
+        waiting request is withdrawn (``granule``).  Uncontended
+        grants and releases are deliberately not reported — they are
+        the overwhelmingly common case and carry no diagnostic value.
+        The manager has no clock; the simulation layer wraps the
+        callable to stamp the current time.
+    """
+
+    def __init__(self, observer=None):
         self.table = LockTable()
+        self.observer = observer
         self._held = {}
 
     # -- preclaim protocol ---------------------------------------------
@@ -110,6 +126,14 @@ class LockManager:
             request.status = RequestStatus.GRANTED
             return request
         state.waiters.append(request)
+        if self.observer is not None:
+            self.observer(
+                "lock_queue",
+                owner,
+                granule=granule,
+                mode=mode.name,
+                holders=len(state.holders),
+            )
         return request
 
     def cancel(self, request):
@@ -120,6 +144,10 @@ class LockManager:
         if state is not None and request in state.waiters:
             state.waiters.remove(request)
             request.status = RequestStatus.CANCELLED
+            if self.observer is not None:
+                self.observer(
+                    "lock_cancel", request.owner, granule=request.granule
+                )
             self._promote(request.granule)
 
     # -- release -----------------------------------------------------------
@@ -189,6 +217,13 @@ class LockManager:
             granted.append(request)
         self.table.prune(granule)
         for request in granted:
+            if self.observer is not None:
+                self.observer(
+                    "lock_promote",
+                    request.owner,
+                    granule=granule,
+                    mode=request.mode.name,
+                )
             if request.on_grant is not None:
                 request.on_grant(request)
         return granted

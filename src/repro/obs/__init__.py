@@ -1,0 +1,82 @@
+"""Observability: structured trace export, time-series telemetry,
+run provenance, and offline reporting.
+
+The paper's conclusions rest on internal, time-resolved quantities —
+lock waits, blocking populations, per-processor utilisation — that
+end-of-run aggregates cannot explain.  This package turns every run
+into an explainable artifact:
+
+* :mod:`repro.obs.sinks` — the pluggable trace-sink protocol, the
+  JSONL export backend, and the schema-versioned replay loader;
+* :mod:`repro.obs.timeseries` — a sampled recorder of machine and
+  population state;
+* :mod:`repro.obs.telemetry` — the bundle a model run carries;
+* :mod:`repro.obs.manifest` — run provenance records;
+* :mod:`repro.obs.report` — the ``repro report`` analysis.
+
+Quick tour::
+
+    from repro.core.model import LockingGranularityModel
+    from repro.core.parameters import SimulationParameters
+    from repro.obs import JsonlTraceSink, Telemetry, load_trace
+
+    telemetry = Telemetry(
+        sink=JsonlTraceSink("run.jsonl"), sample_interval=5.0
+    )
+    params = SimulationParameters(tmax=200.0)
+    result = LockingGranularityModel(params, telemetry=telemetry).run()
+    telemetry.finish()
+
+    replay = load_trace("run.jsonl")
+    assert len(replay.records) > 0
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_sha,
+    load_manifest,
+    write_manifest,
+)
+from repro.obs.report import (
+    format_report,
+    format_timeline,
+    save_report_chart,
+    summarize_trace,
+    timeline_chart,
+)
+from repro.obs.sinks import (
+    TRACE_SCHEMA,
+    JsonlTraceSink,
+    MultiSink,
+    RingBufferSink,
+    TraceFile,
+    TraceSchemaError,
+    TraceSink,
+    load_trace,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.timeseries import TimeSeriesRecorder
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "TRACE_SCHEMA",
+    "JsonlTraceSink",
+    "MultiSink",
+    "RingBufferSink",
+    "Telemetry",
+    "TimeSeriesRecorder",
+    "TraceFile",
+    "TraceSchemaError",
+    "TraceSink",
+    "build_manifest",
+    "format_report",
+    "format_timeline",
+    "git_sha",
+    "load_manifest",
+    "load_trace",
+    "save_report_chart",
+    "summarize_trace",
+    "timeline_chart",
+    "write_manifest",
+]

@@ -1,0 +1,177 @@
+"""Offline analysis of telemetry files: the ``repro report`` verb.
+
+Turns a :class:`~repro.obs.sinks.TraceFile` into the quantities a
+granularity analyst actually asks about — who blocked whom, which
+granules are hot, how utilisation and the blocked population evolved —
+as text (with unicode sparkline timelines) and, via
+:mod:`repro.experiments.svg`, as SVG charts.
+"""
+
+from collections import Counter
+
+from repro.experiments.svg import SvgChart
+
+#: Sparkline glyphs, lowest to highest.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, lo=None, hi=None):
+    """Render *values* as a unicode sparkline string."""
+    values = list(values)
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[0] * len(values)
+    top = len(_SPARK) - 1
+    return "".join(
+        _SPARK[min(top, int((value - lo) / span * top))] for value in values
+    )
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def summarize_trace(tracefile, top=10):
+    """Aggregate a telemetry file into a report-friendly dict.
+
+    Keys: ``events``, ``counts`` (kind → n), ``completions``,
+    ``mean_response``, ``max_response``, ``retries`` (lock requests
+    beyond a transaction's first), ``aborts``, ``top_blockers``
+    (transactions most often named as the blocker of a denied or
+    queued request), ``hot_granules`` (granules most often waited on;
+    empty for the probabilistic engine, which has no granule
+    identity), ``samples``.
+    """
+    counts = Counter(record.kind for record in tracefile.records)
+    blockers = Counter()
+    granules = Counter()
+    responses = []
+    retries = 0
+    for record in tracefile.records:
+        details = record.details
+        if record.kind in ("lock_deny", "block"):
+            blocker = details.get("blocker")
+            if blocker is not None:
+                blockers[blocker] += 1
+            granule = details.get("granule")
+            if granule is not None:
+                granules[granule] += 1
+        elif record.kind == "complete":
+            response = details.get("response")
+            if response is not None:
+                responses.append(response)
+        elif record.kind == "lock_request" and details.get("attempt", 1) > 1:
+            retries += 1
+    return {
+        "events": len(tracefile.records),
+        "counts": dict(counts),
+        "completions": counts.get("complete", 0),
+        "mean_response": _mean(responses) if responses else None,
+        "max_response": max(responses) if responses else None,
+        "retries": retries,
+        "aborts": counts.get("abort", 0),
+        "top_blockers": blockers.most_common(top),
+        "hot_granules": granules.most_common(top),
+        "samples": len(tracefile.samples),
+    }
+
+
+def _timeline_rows(samples):
+    """(label, values) pairs for the timeline signals of *samples*."""
+    return [
+        ("cpu util", [_mean(s.get("cpu_util", ())) for s in samples]),
+        ("disk util", [_mean(s.get("disk_util", ())) for s in samples]),
+        ("blocked", [s.get("blocked", 0) for s in samples]),
+        ("active", [s.get("active", 0) for s in samples]),
+        ("locks held", [s.get("locks_held", 0) for s in samples]),
+    ]
+
+
+def format_timeline(samples, width=60):
+    """Text sparkline timeline of the sampled signals."""
+    if not samples:
+        return "(no time-series samples in this telemetry file)"
+    # Down-sample to at most *width* points by striding.
+    stride = max(1, len(samples) // width)
+    windowed = samples[::stride]
+    lines = [
+        "Utilisation timeline ({} samples, t={:g}..{:g}):".format(
+            len(samples), samples[0]["t"], samples[-1]["t"]
+        )
+    ]
+    for label, values in _timeline_rows(windowed):
+        lo, hi = min(values), max(values)
+        lines.append(
+            "  {:<10s} {}  [{:.3g} .. {:.3g}]".format(
+                label, sparkline(values), lo, hi
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_report(tracefile, top=10):
+    """The full text report for one telemetry file."""
+    summary = summarize_trace(tracefile, top=top)
+    header = tracefile.header
+    lines = ["Telemetry report"]
+    if header.get("params"):
+        params = header["params"]
+        lines.append(
+            "  run: ltot={} npros={} ntrans={} seed={} "
+            "engine={} protocol={}".format(
+                params.get("ltot"), params.get("npros"),
+                params.get("ntrans"), params.get("seed"),
+                params.get("conflict_engine"), params.get("protocol"),
+            )
+        )
+    lines.append("  events: {}".format(summary["events"]))
+    lines.append(
+        "  completions: {}   retries: {}   aborts: {}".format(
+            summary["completions"], summary["retries"], summary["aborts"]
+        )
+    )
+    if summary["mean_response"] is not None:
+        lines.append(
+            "  response: mean {:.4g}, max {:.4g}".format(
+                summary["mean_response"], summary["max_response"]
+            )
+        )
+    lines.append("  events by kind:")
+    for kind in sorted(summary["counts"]):
+        lines.append("    {:<14s} {}".format(kind, summary["counts"][kind]))
+    if summary["top_blockers"]:
+        lines.append("  top blockers (txn: times blocking others):")
+        for tid, count in summary["top_blockers"]:
+            lines.append("    txn#{:<8d} {}".format(tid, count))
+    if summary["hot_granules"]:
+        lines.append("  lock hot-spots (granule: waits):")
+        for granule, count in summary["hot_granules"]:
+            lines.append("    granule {:<6} {}".format(granule, count))
+    lines.append("")
+    lines.append(format_timeline(tracefile.samples))
+    return "\n".join(lines)
+
+
+def timeline_chart(tracefile, title=None):
+    """An :class:`SvgChart` of the sampled utilisation timeline."""
+    chart = SvgChart(
+        title or "Utilisation timeline",
+        x_label="simulated time",
+        y_label="utilisation / population",
+        log_x=False,
+    )
+    samples = tracefile.samples
+    times = [s["t"] for s in samples]
+    for label, values in _timeline_rows(samples):
+        chart.add_series(label, list(zip(times, values)))
+    return chart
+
+
+def save_report_chart(tracefile, path, title=None):
+    """Write the utilisation timeline SVG to *path*; returns the path."""
+    return timeline_chart(tracefile, title=title).save(path)

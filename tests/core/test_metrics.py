@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.metrics import MetricsCollector
+from repro.core.metrics import MetricsCollector, _percentiles
 from repro.core.parameters import SimulationParameters
 from repro.core.transaction import Transaction
 from repro.des import Environment
@@ -20,6 +20,43 @@ def setup():
     machine = Machine(env, params.npros)
     collector = MetricsCollector(env, params, machine)
     return env, params, machine, collector
+
+
+class TestPercentiles:
+    """Pin the nearest-rank formula: rank = ceil(f * n), 1-based.
+
+    The old ``int(round(f * (n - 1)))`` implementation used banker's
+    rounding, so the median of an even-count sample drifted one rank
+    high (e.g. median of four samples picked ``ordered[2]``).  These
+    cases fail under that implementation and pass under nearest-rank.
+    """
+
+    def test_empty_is_nan(self):
+        assert all(math.isnan(v) for v in _percentiles([], (0.5, 0.95)))
+
+    def test_single_sample(self):
+        assert _percentiles([42.0], (0.5, 0.95)) == [42.0, 42.0]
+
+    def test_median_of_four_is_second_sample(self):
+        # ceil(0.5 * 4) = 2 -> ordered[1]; the banker's-rounding bug
+        # returned ordered[2] (30.0) here.
+        assert _percentiles([40.0, 20.0, 10.0, 30.0], (0.5,)) == [20.0]
+
+    def test_median_of_odd_count_is_middle(self):
+        assert _percentiles([5.0, 1.0, 3.0], (0.5,)) == [3.0]
+
+    def test_p95_of_twenty_is_nineteenth(self):
+        samples = [float(i) for i in range(1, 21)]
+        # ceil(0.95 * 20) = 19 -> ordered[18] = 19.0
+        assert _percentiles(samples, (0.95,)) == [19.0]
+
+    def test_extreme_fractions_clamped(self):
+        samples = [3.0, 1.0, 2.0]
+        assert _percentiles(samples, (0.0,)) == [1.0]
+        assert _percentiles(samples, (1.0,)) == [3.0]
+
+    def test_unsorted_input_is_ordered_first(self):
+        assert _percentiles([9.0, 0.0, 5.0, 7.0, 2.0], (0.5,)) == [5.0]
 
 
 class TestCounting:

@@ -58,8 +58,15 @@ class TestLifecycleInvariants:
             assert kinds.count("lock_grant") == 1
             assert kinds.count("exec") == 1
             grant_at = kinds.index("lock_grant")
-            assert kinds.index("exec") == len(kinds) - 2
             assert grant_at < kinds.index("exec")
+            # Execution detail: every fork pairs with one completed
+            # I/O and one completed CPU phase before the join, and the
+            # transaction ends join -> commit -> complete.
+            forks = kinds.count("fork")
+            assert forks >= 1
+            assert kinds.count("io_end") == forks
+            assert kinds.count("cpu_end") == forks
+            assert kinds[-3:] == ["join", "commit", "complete"]
             requests = kinds.count("lock_request")
             denials = kinds.count("lock_deny")
             aborts = kinds.count("abort")

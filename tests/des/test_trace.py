@@ -86,7 +86,9 @@ class TestModelTracing:
         trace, _ = traced_run
         order = {
             "arrive": 0, "admit": 1, "lock_request": 2, "lock_deny": 3,
-            "wake": 4, "lock_grant": 5, "exec": 6, "complete": 7,
+            "block": 4, "wake": 5, "lock_grant": 6, "exec": 7,
+            "fork": 8, "io_start": 9, "io_end": 10, "cpu_start": 11,
+            "cpu_end": 12, "join": 13, "commit": 14, "complete": 15,
         }
         completed = {r.subject for r in trace.records(kind="complete")}
         for tid in completed:

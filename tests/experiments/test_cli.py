@@ -200,3 +200,43 @@ class TestExecution:
         save_rows_csv([{"ltot": 1, "throughput": 0.1}], a)
         save_rows_csv([{"ltot": 99, "throughput": 0.1}], b)
         assert main(["compare", str(a), str(b)]) == 1
+
+    def test_trace_then_report_round_trip(self, capsys, tmp_path):
+        from repro.obs import load_manifest, load_trace
+
+        out = tmp_path / "telemetry.jsonl"
+        assert main([
+            "trace", "--out", str(out), "--sample-interval", "10",
+            "--dbsize", "200", "--ltot", "10", "--ntrans", "3",
+            "--maxtransize", "20", "--npros", "2", "--tmax", "80",
+            "--print", "3",
+        ]) == 0
+        trace_out = capsys.readouterr().out
+        assert "Telemetry written to" in trace_out
+        assert "arrive" in trace_out  # --print 3 shows the first events
+
+        loaded = load_trace(str(out))
+        assert loaded.footer is not None
+        assert len(loaded.records) == loaded.footer["events"]
+        assert len(loaded.samples) == 8  # tmax=80 / interval 10
+        manifest = load_manifest(str(out) + ".manifest")
+        assert manifest is not None
+        assert manifest["cache_hit"] is False
+
+        svg = tmp_path / "timeline.svg"
+        assert main([
+            "report", str(out), "--top", "3", "--svg", str(svg),
+        ]) == 0
+        report_out = capsys.readouterr().out
+        assert "Telemetry report" in report_out
+        assert "events by kind" in report_out
+        assert "Utilisation timeline" in report_out
+        assert svg.read_text().startswith("<svg")
+
+    def test_report_rejects_garbage_file(self, tmp_path):
+        from repro.obs import TraceSchemaError
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(TraceSchemaError):
+            main(["report", str(bad)])

@@ -54,6 +54,64 @@ class TestRunExperiment:
         run_experiment(tiny_spec, progress=lambda done, total: seen.append((done, total)))
         assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
 
+    def test_cell_progress_fires_per_replication(self, tiny_spec):
+        seen = []
+        run_experiment(
+            tiny_spec,
+            replications=2,
+            cache=False,
+            cell_progress=lambda done, total, info: seen.append(
+                (done, total, info)
+            ),
+        )
+        assert [(done, total) for done, total, _ in seen] == [
+            (i + 1, 8) for i in range(8)
+        ]
+        infos = [info for _, _, info in seen]
+        assert all(info["source"] == "run" for info in infos)
+        assert all(info["seconds"] > 0 for info in infos)
+        assert {(info["config"], info["replication"]) for info in infos} == {
+            (i, r) for i in range(4) for r in range(2)
+        }
+        assert infos[0]["label"]
+
+    def test_cell_progress_reports_cache_hits(self, tiny_spec, tmp_path):
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(root=tmp_path / "cache")
+        run_experiment(tiny_spec, cache=cache)
+        seen = []
+        run_experiment(
+            tiny_spec,
+            cache=cache,
+            cell_progress=lambda done, total, info: seen.append(info),
+        )
+        assert len(seen) == 4
+        assert all(info["source"] == "cache" for info in seen)
+        assert all(info["seconds"] is None for info in seen)
+
+    def test_manifests_written_next_to_cache_entries(self, tiny_spec, tmp_path):
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(root=tmp_path / "cache")
+        run_experiment(tiny_spec, cache=cache)
+        for params in tiny_spec.configurations():
+            manifest = cache.get_manifest(params)
+            assert manifest is not None, params
+            assert manifest["cache_hit"] is False
+            assert manifest["seed"] == params.seed
+            assert manifest["wall_seconds"] > 0
+
+    def test_manifests_opt_out(self, tiny_spec, tmp_path):
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(root=tmp_path / "cache")
+        run_experiment(tiny_spec, cache=cache, manifests=False)
+        assert all(
+            cache.get_manifest(params) is None
+            for params in tiny_spec.configurations()
+        )
+
     def test_parallel_matches_serial(self, tiny_spec):
         serial = run_experiment(tiny_spec)
         parallel = run_experiment(tiny_spec, jobs=2)

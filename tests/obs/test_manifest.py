@@ -1,0 +1,74 @@
+"""Unit tests for run provenance manifests."""
+
+import json
+
+from repro.core.model import MODEL_VERSION
+from repro.experiments.cache import ResultCache, cache_key
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifest,
+    write_manifest,
+)
+
+
+class TestBuild:
+    def test_fields(self, fast_params):
+        manifest = build_manifest(
+            fast_params, cache_hit=False, wall_seconds=1.25
+        )
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["params_hash"] == cache_key(fast_params)
+        assert manifest["seed"] == fast_params.seed
+        assert manifest["model_version"] == MODEL_VERSION
+        assert manifest["cache_hit"] is False
+        assert manifest["wall_seconds"] == 1.25
+        assert manifest["python"]
+        assert manifest["created_unix"] > 0
+
+    def test_extra_fields_merged(self, fast_params):
+        manifest = build_manifest(fast_params, exhibit="fig2")
+        assert manifest["exhibit"] == "fig2"
+
+    def test_explicit_model_version_changes_hash(self, fast_params):
+        current = build_manifest(fast_params)
+        pinned = build_manifest(fast_params, model_version=MODEL_VERSION + 1)
+        assert pinned["model_version"] == MODEL_VERSION + 1
+        assert pinned["params_hash"] != current["params_hash"]
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, fast_params, tmp_path):
+        path = tmp_path / "run.manifest"
+        manifest = build_manifest(fast_params)
+        assert write_manifest(str(path), manifest) == str(path)
+        assert load_manifest(str(path)) == json.loads(json.dumps(manifest))
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_manifest(str(tmp_path / "absent.manifest")) is None
+
+    def test_load_corrupt_returns_none(self, tmp_path):
+        path = tmp_path / "bad.manifest"
+        path.write_text("{{{not json")
+        assert load_manifest(str(path)) is None
+
+    def test_load_wrong_schema_returns_none(self, tmp_path):
+        path = tmp_path / "future.manifest"
+        path.write_text(json.dumps({"schema": MANIFEST_SCHEMA + 1}))
+        assert load_manifest(str(path)) is None
+
+
+class TestCacheIntegration:
+    def test_manifest_stored_next_to_entry(self, fast_params, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        manifest = build_manifest(fast_params, wall_seconds=0.5)
+        path = cache.put_manifest(fast_params, manifest)
+        assert path.endswith(".manifest")
+        loaded = cache.get_manifest(fast_params)
+        assert loaded["params_hash"] == cache_key(fast_params)
+        # Manifests must not count as cache entries.
+        assert len(cache) == 0
+
+    def test_get_manifest_missing_returns_none(self, fast_params, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        assert cache.get_manifest(fast_params) is None

@@ -1,0 +1,131 @@
+"""Causal ordering invariants of exported traces.
+
+These assertions go beyond the per-transaction *ordering* checks in
+``tests/des/test_trace.py``: they state the causal preconditions of
+each lifecycle transition — a grant needs a request, a join needs every
+forked sub-transaction to have finished, a retry needs a prior denial
+or abort — and they check them on the *exported* JSONL representation,
+so the round trip through :class:`~repro.obs.sinks.JsonlTraceSink` and
+:func:`~repro.obs.sinks.load_trace` is part of what is verified.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.model import LockingGranularityModel
+from repro.obs.sinks import JsonlTraceSink, load_trace
+
+
+def _traced_records(params, tmp_path):
+    """Run *params* with a JSONL sink and replay the file's records."""
+    path = tmp_path / "run.jsonl"
+    with JsonlTraceSink(path, params=params.as_dict()) as sink:
+        LockingGranularityModel(params, trace=sink).run()
+    return load_trace(path).records
+
+
+@pytest.fixture(params=["preclaim", "incremental"])
+def records(request, fast_params, tmp_path):
+    if request.param == "incremental":
+        params = fast_params.replace(
+            conflict_engine="explicit", protocol="incremental"
+        )
+    else:
+        params = fast_params
+    return _traced_records(params, tmp_path)
+
+
+def _per_txn(records):
+    timelines = defaultdict(list)
+    for record in records:
+        if record.subject:  # skip system events (subject 0)
+            timelines[record.subject].append(record)
+    return timelines
+
+
+def test_every_grant_preceded_by_request(records):
+    """A lock_grant without an earlier lock_request is impossible."""
+    granted = False
+    requests = defaultdict(int)
+    grants = defaultdict(int)
+    for record in records:
+        if record.kind == "lock_request":
+            requests[record.subject] += 1
+        elif record.kind == "lock_grant":
+            granted = True
+            grants[record.subject] += 1
+            assert grants[record.subject] <= requests[record.subject], (
+                "txn {} granted more often than it requested".format(
+                    record.subject
+                )
+            )
+            # The grant reports the attempt that won; that attempt must
+            # have been requested.
+            attempt = record.details.get("attempt")
+            assert attempt is not None and attempt <= requests[record.subject]
+    assert granted, "run produced no grants at all — fixture too small"
+
+
+def test_every_join_preceded_by_all_forked_sub_completions(records):
+    """A join may only fire once every forked sub-transaction ended."""
+    forks = defaultdict(int)
+    io_ends = defaultdict(int)
+    cpu_ends = defaultdict(int)
+    joined = False
+    for record in records:
+        tid = record.subject
+        if record.kind == "fork":
+            forks[tid] += 1
+        elif record.kind == "io_end":
+            io_ends[tid] += 1
+        elif record.kind == "cpu_end":
+            cpu_ends[tid] += 1
+        elif record.kind == "join":
+            joined = True
+            assert record.details["subs"] == forks[tid], tid
+            assert io_ends[tid] == forks[tid], (
+                "txn {} joined with {} of {} sub I/O phases done".format(
+                    tid, io_ends[tid], forks[tid]
+                )
+            )
+            assert cpu_ends[tid] == forks[tid], (
+                "txn {} joined with {} of {} sub CPU phases done".format(
+                    tid, cpu_ends[tid], forks[tid]
+                )
+            )
+    assert joined, "run produced no joins at all — fixture too small"
+
+
+def test_every_retry_preceded_by_deny_or_abort(records):
+    """Attempt N+1 requires attempt N to have been denied or aborted."""
+    setbacks = defaultdict(int)  # denials + aborts seen so far, per txn
+    for record in records:
+        tid = record.subject
+        if record.kind in ("lock_deny", "abort"):
+            setbacks[tid] += 1
+        elif record.kind == "lock_request":
+            attempt = record.details["attempt"]
+            assert attempt == setbacks[tid] + 1, (
+                "txn {} attempt {} after only {} denials/aborts".format(
+                    tid, attempt, setbacks[tid]
+                )
+            )
+
+
+def test_commit_and_complete_are_terminal_and_paired(records):
+    """Each completed transaction commits exactly once, then completes."""
+    for tid, events in _per_txn(records).items():
+        kinds = [record.kind for record in events]
+        if "complete" not in kinds:
+            continue  # cut off by tmax mid-flight
+        assert kinds.count("commit") == 1, tid
+        assert kinds.count("complete") == 1, tid
+        assert kinds.index("commit") == len(kinds) - 2, tid
+        assert kinds[-1] == "complete", tid
+
+
+def test_exported_times_monotonic_per_transaction(records):
+    for tid, events in _per_txn(records).items():
+        times = [record.time for record in events]
+        assert times == sorted(times), tid

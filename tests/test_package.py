@@ -58,6 +58,12 @@ MODULES = [
     "repro.lockmgr.manager",
     "repro.lockmgr.modes",
     "repro.lockmgr.table",
+    "repro.obs",
+    "repro.obs.manifest",
+    "repro.obs.report",
+    "repro.obs.sinks",
+    "repro.obs.telemetry",
+    "repro.obs.timeseries",
     "repro.stats",
     "repro.stats.batchmeans",
 ]
