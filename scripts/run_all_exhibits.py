@@ -54,6 +54,15 @@ def parse_args(argv):
         "--refresh", action="store_true",
         help="ignore cached results, re-simulate and overwrite them",
     )
+    parser.add_argument(
+        "--watchdog", type=float, default=None, metavar="SECONDS",
+        help="per-replication wall-clock watchdog (stalled cells are "
+        "killed and retried)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume interrupted sweeps from their journals",
+    )
     return parser.parse_args(argv)
 
 
@@ -83,21 +92,35 @@ def main(argv=None):
             result = type(result)(spec, result.outcomes)
             note = "(reused fig2 runs)"
         else:
-            result = run_experiment(
-                spec,
-                jobs=args.jobs,
-                cache=False if args.no_cache else None,
-                refresh=args.refresh,
-                # Live per-replication progress: every resolved cell
-                # (cache hit or finished run) updates the line, so
-                # parallel sweeps are never silent between configs.
-                cell_progress=lambda done, total, info, key=key: print(
-                    "\r  {} {}/{} cells [{}: {}]   ".format(
-                        key, done, total, info["source"], info["label"]
+            try:
+                result = run_experiment(
+                    spec,
+                    jobs=args.jobs,
+                    cache=False if args.no_cache else None,
+                    refresh=args.refresh,
+                    # One crash-safe journal per exhibit: an
+                    # interrupted regeneration resumes with --resume.
+                    journal=str(out_dir / ".journals" / (key + ".journal")),
+                    resume=args.resume,
+                    watchdog=args.watchdog,
+                    drain_signals=True,
+                    # Live per-replication progress: every resolved cell
+                    # (cache hit or finished run) updates the line, so
+                    # parallel sweeps are never silent between configs.
+                    cell_progress=lambda done, total, info, key=key: print(
+                        "\r  {} {}/{} cells [{}: {}]   ".format(
+                            key, done, total, info["source"], info["label"]
+                        ),
+                        end="", file=sys.stderr, flush=True,
                     ),
-                    end="", file=sys.stderr, flush=True,
-                ),
-            )
+                )
+            except KeyboardInterrupt:
+                print(file=sys.stderr)
+                print(
+                    "interrupted during {}; progress journalled — rerun "
+                    "with --resume to continue".format(key)
+                )
+                return 130
             print(file=sys.stderr)
             note = "({})".format(result.stats.summary())
         if key == "fig2":

@@ -74,6 +74,94 @@ def build_parser():
         help="result cache location (default results/.cache, or "
         "$REPRO_CACHE_DIR)",
     )
+    run.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="record completed cells to this crash-safe journal "
+        "(default with --resume: <cache>/journals/<exhibit>.journal)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from its journal + cache",
+    )
+    run.add_argument(
+        "--watchdog", type=float, default=None, metavar="SECONDS",
+        help="per-replication wall-clock watchdog; stalled cells are "
+        "killed and retried",
+    )
+    run.add_argument(
+        "--watchdog-retries", type=int, default=2, metavar="N",
+        help="retries per stalled cell before the sweep fails (default 2)",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="availability-vs-granularity sweep under injected faults",
+    )
+    faults.add_argument(
+        "--ltot-grid", default="10,100,1000", metavar="L1,L2,...",
+        help="lock-count grid to sweep (default 10,100,1000)",
+    )
+    faults.add_argument(
+        "--mttf", type=float, default=None, metavar="T",
+        help="mean time to processor failure (enables crash injection)",
+    )
+    faults.add_argument(
+        "--mttr", type=float, default=10.0, metavar="T",
+        help="mean time to processor repair (default 10)",
+    )
+    faults.add_argument(
+        "--first-failure-after", type=float, default=0.0, metavar="T",
+        help="no crash before this simulation time (default 0)",
+    )
+    faults.add_argument(
+        "--disk-mtbf", type=float, default=None, metavar="T",
+        help="mean time between disk-slowdown windows (enables them)",
+    )
+    faults.add_argument(
+        "--disk-duration", type=float, default=10.0, metavar="T",
+        help="mean disk-slowdown window length (default 10)",
+    )
+    faults.add_argument(
+        "--disk-factor", type=float, default=2.0, metavar="F",
+        help="disk service-time inflation inside a window (default 2)",
+    )
+    faults.add_argument(
+        "--stall-mtbf", type=float, default=None, metavar="T",
+        help="mean time between lock-manager stalls (enables them)",
+    )
+    faults.add_argument(
+        "--stall-duration", type=float, default=5.0, metavar="T",
+        help="mean lock-manager stall length (default 5)",
+    )
+    faults.add_argument(
+        "--stall-factor", type=float, default=4.0, metavar="F",
+        help="lock-overhead inflation during a stall (default 4)",
+    )
+    faults.add_argument(
+        "--backoff", default="uniform",
+        choices=("uniform", "exponential", "jittered"),
+        help="retry backoff policy (default uniform)",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=None, metavar="S",
+        help="dedicated fault-schedule seed (default: the run seed)",
+    )
+    faults.add_argument(
+        "--replications", type=int, default=3,
+        help="replications per grid point (default 3)",
+    )
+    faults.add_argument("--save", default=None, help="write rows to CSV path")
+    for name, value in SimulationParameters().as_dict().items():
+        if name == "ltot":
+            continue
+        kind = type(value)
+        faults.add_argument(
+            "--{}".format(name.replace("_", "-")),
+            dest=name,
+            type=kind if kind in (int, float) else str,
+            default=None,
+            help="default: {!r}".format(value),
+        )
 
     one = sub.add_parser("simulate", help="run a single configuration")
     defaults = SimulationParameters()
@@ -236,15 +324,56 @@ def _command_run(args):
         cache = ResultCache(args.cache_dir)
     else:
         cache = None  # default on-disk cache (REPRO_CACHE=0 disables)
-    result = run_experiment(
-        spec,
-        replications=args.replications,
-        jobs=args.jobs,
-        cell_progress=cell_progress,
-        cache=cache,
-        refresh=args.refresh,
-    )
+    journal = args.journal
+    if journal is None and args.resume:
+        import os
+
+        from repro.experiments.cache import default_cache_dir
+
+        root = args.cache_dir or default_cache_dir()
+        journal = os.path.join(root, "journals", spec.key + ".journal")
+    try:
+        result = run_experiment(
+            spec,
+            replications=args.replications,
+            jobs=args.jobs,
+            cell_progress=cell_progress,
+            cache=cache,
+            refresh=args.refresh,
+            journal=journal,
+            resume=args.resume,
+            watchdog=args.watchdog,
+            watchdog_retries=args.watchdog_retries,
+            drain_signals=True,
+        )
+    except KeyboardInterrupt:
+        sys.stderr.write("\n")
+        print("Interrupted; progress drained to the journal and cache.")
+        if journal is not None:
+            print(
+                "Resume with: repro-locking run {} --resume --journal {}".format(
+                    args.exhibit, journal
+                )
+            )
+        else:
+            print(
+                "Re-running the same command will reuse cached cells; "
+                "pass --journal/--resume for journalled progress."
+            )
+        return 130
     print(result.stats.summary())
+    if result.stats.resumed:
+        print(
+            "Resumed {} previously completed cells from the journal.".format(
+                result.stats.resumed
+            )
+        )
+    if result.stats.watchdog_restarts:
+        print(
+            "Watchdog killed and retried {} stalled cells.".format(
+                result.stats.watchdog_restarts
+            )
+        )
     for y_field in spec.y_fields:
         print()
         print(format_series_table(result, y_field))
@@ -272,6 +401,110 @@ def _command_run(args):
         os.makedirs(args.svg, exist_ok=True)
         for path in save_result_charts(result, args.svg):
             print("Chart written to {}".format(path))
+    return 0
+
+
+def _command_faults(args):
+    """Availability-vs-granularity sweep under an injected fault plan.
+
+    Faulted runs are *not* cached: the fault plan is harness input
+    that deliberately stays outside the content address, so results
+    go straight from the model to the table (and are reproducible
+    from the seeds alone).
+    """
+    from repro.core.model import LockingGranularityModel
+    from repro.core.results import aggregate
+    from repro.faults import (
+        CrashSpec,
+        FaultPlan,
+        SlowdownSpec,
+        StallSpec,
+        make_backoff_policy,
+    )
+
+    crashes = ()
+    if args.mttf is not None:
+        crashes = (
+            CrashSpec(
+                mttf=args.mttf,
+                mttr=args.mttr,
+                first_failure_after=args.first_failure_after,
+            ),
+        )
+    slowdowns = ()
+    if args.disk_mtbf is not None:
+        slowdowns = (
+            SlowdownSpec(
+                mtbf=args.disk_mtbf,
+                duration=args.disk_duration,
+                factor=args.disk_factor,
+            ),
+        )
+    stalls = ()
+    if args.stall_mtbf is not None:
+        stalls = (
+            StallSpec(
+                mtbf=args.stall_mtbf,
+                duration=args.stall_duration,
+                factor=args.stall_factor,
+            ),
+        )
+    plan = FaultPlan(
+        crashes=crashes,
+        disk_slowdowns=slowdowns,
+        lock_stalls=stalls,
+        seed=args.fault_seed,
+    )
+    if not plan.enabled():
+        print(
+            "No fault source enabled (pass --mttf, --disk-mtbf or "
+            "--stall-mtbf); running fault-free baseline."
+        )
+    backoff = make_backoff_policy(args.backoff)
+    overrides = {
+        name: getattr(args, name)
+        for name in SimulationParameters().as_dict()
+        if name != "ltot" and getattr(args, name, None) is not None
+    }
+    ltots = [int(v) for v in args.ltot_grid.split(",") if v.strip()]
+    fields = (
+        "throughput",
+        "availability",
+        "failure_aborts",
+        "degraded_throughput",
+        "response_time",
+    )
+    print(
+        "Faulted sweep: ltot in {}, {} replications, backoff={}".format(
+            ltots, args.replications, args.backoff
+        )
+    )
+    header = "{:>8s}".format("ltot") + "".join(
+        "{:>20s}".format(f) for f in fields
+    )
+    print(header)
+    rows = []
+    for ltot in ltots:
+        base = SimulationParameters(**overrides).replace(ltot=ltot)
+        results = []
+        for r in range(args.replications):
+            params = base.replace(seed=base.seed + r)
+            model = LockingGranularityModel(
+                params, fault_plan=plan, backoff=backoff
+            )
+            results.append(model.run())
+        outcome = aggregate(results)
+        row = {"ltot": ltot}
+        for f in fields:
+            row[f] = outcome.mean(f)
+        rows.append(row)
+        print(
+            "{:>8d}".format(ltot)
+            + "".join("{:>20.6g}".format(row[f]) for f in fields)
+        )
+    if args.save:
+        save_rows_csv(rows, args.save)
+        print("Rows written to {}".format(args.save))
     return 0
 
 
@@ -462,6 +695,8 @@ def main(argv=None):
         return _command_list(args)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "faults":
+        return _command_faults(args)
     if args.command == "simulate":
         return _command_simulate(args)
     if args.command == "tune":

@@ -61,7 +61,11 @@ class MetricsCollector:
         self.lock_requests = 0
         self.lock_denials = 0
         self.deadlock_aborts = 0
+        self.failure_aborts = 0
+        self.degraded_completions = 0
         self._warmup_busy = BusySnapshot(0.0, 0.0, 0.0, 0.0)
+        self._warmup_downtime = 0.0
+        self._warmup_degraded = 0.0
         self._measuring = params.warmup == 0.0
         if params.warmup > 0.0:
             env.process(self._begin_measurement())
@@ -69,6 +73,8 @@ class MetricsCollector:
     def _begin_measurement(self):
         yield self.env.timeout(self.params.warmup)
         self._warmup_busy = self.machine.busy_snapshot()
+        self._warmup_downtime = self.machine.downtime(self.env.now)
+        self._warmup_degraded = self.machine.degraded_time(self.env.now)
         self.response = Tally("response")
         self.attempts = Tally("attempts")
         self.response_samples = []
@@ -76,6 +82,8 @@ class MetricsCollector:
         self.lock_requests = 0
         self.lock_denials = 0
         self.deadlock_aborts = 0
+        self.failure_aborts = 0
+        self.degraded_completions = 0
         self._measuring = True
 
     # -- event hooks -----------------------------------------------------
@@ -95,11 +103,20 @@ class MetricsCollector:
         if self._measuring:
             self.deadlock_aborts += 1
 
+    def note_failure_abort(self):
+        """A transaction was aborted by a processor crash."""
+        if self._measuring:
+            self.failure_aborts += 1
+
     def note_completion(self, txn):
         """A transaction finished and released its locks."""
         if not self._measuring:
             return
         self.completions += 1
+        if self.machine.down_count:
+            # Committed while at least one node was down: this is the
+            # degraded-mode share of the throughput.
+            self.degraded_completions += 1
         response = self.env.now - txn.arrival
         self.response.observe(response)
         self.response_samples.append(response)
@@ -122,6 +139,13 @@ class MetricsCollector:
             self.lock_denials / self.lock_requests if self.lock_requests else 0.0
         )
         escalations = getattr(self.conflicts, "escalations", 0)
+        now = self.env.now
+        downtime = self.machine.downtime(now) - self._warmup_downtime
+        degraded = self.machine.degraded_time(now) - self._warmup_degraded
+        availability = 1.0 - downtime / (npros * horizon) if horizon else 1.0
+        degraded_throughput = (
+            self.degraded_completions / degraded if degraded > 0.0 else 0.0
+        )
         return SimulationResult(
             params=params,
             totcpus=busy.totcpus,
@@ -149,4 +173,7 @@ class MetricsCollector:
             mean_pending=self.pending.mean(),
             mean_blocked=self.blocked.mean(),
             mean_active=self.active.mean(),
+            failure_aborts=self.failure_aborts,
+            availability=availability,
+            degraded_throughput=degraded_throughput,
         )

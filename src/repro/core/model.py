@@ -42,7 +42,10 @@ from repro.core.transaction import Transaction, split_entities
 from repro.core.workload import make_size_sampler
 from repro.des import Environment, RandomStreams
 from repro.engine.machine import Machine
+from repro.engine.processor import ProcessorDown
 from repro.engine.txn_scheduler import make_admission_policy
+from repro.faults.backoff import FixedUniformBackoff
+from repro.faults.injector import FaultInjector
 from repro.lockmgr.deadlock import DeadlockDetector
 from repro.lockmgr.manager import RequestStatus
 from repro.lockmgr.modes import LockMode
@@ -96,9 +99,33 @@ class LockingGranularityModel:
         time-series recorder (if configured) is installed when the
         run starts.  Telemetry never touches a random stream, so
         results are identical with or without it.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  A ``None`` or
+        empty plan is inert and results are bit-identical to a build
+        without fault support; an enabled plan schedules processor
+        crashes, disk slowdowns and lock-manager stalls from the
+        injector's own random streams (never the model's).  Fault
+        transitions surface in the trace as ``proc_crash`` /
+        ``proc_recover`` / ``disk_slow`` / ``disk_recover`` /
+        ``lockmgr_stall`` / ``lockmgr_resume`` (subject 0), and
+        affected transactions emit ``sub_fail`` and ``retry``.
+    backoff:
+        Optional :class:`~repro.faults.backoff.BackoffPolicy` used for
+        deadlock-victim backoff and failure-retry backoff.  Defaults
+        to :class:`~repro.faults.backoff.FixedUniformBackoff`, which
+        reproduces the historical inline ``uniform(0, 1)`` draw
+        bit-for-bit.
     """
 
-    def __init__(self, params, trace=None, size_sampler=None, telemetry=None):
+    def __init__(
+        self,
+        params,
+        trace=None,
+        size_sampler=None,
+        telemetry=None,
+        fault_plan=None,
+        backoff=None,
+    ):
         params.validate()
         self.params = params
         self.telemetry = telemetry
@@ -121,7 +148,17 @@ class LockingGranularityModel:
         self._rng_rw = streams.stream("readwrite")
         self._rng_backoff = streams.stream("backoff")
         self._rng_arrivals = streams.stream("arrivals")
+        # Failure-retry backoff has its own stream so fault-triggered
+        # draws never perturb the deadlock-backoff stream above.
+        self._rng_fault_backoff = streams.stream("fault_backoff")
+        self.backoff = backoff if backoff is not None else FixedUniformBackoff()
         self.machine = Machine(self.env, params.npros, params.discipline)
+        if fault_plan is not None and fault_plan.enabled():
+            self._injector = FaultInjector(
+                self.env, self.machine, fault_plan, params.seed, trace=self.trace
+            )
+        else:
+            self._injector = None
         self.placement = make_placement(params)
         self.partitioning = make_partitioning(params)
         self.sizes = (
@@ -157,19 +194,30 @@ class LockingGranularityModel:
 
     # -- public API ------------------------------------------------------
 
-    def run(self):
+    def run(self, timeout=None):
         """Run until ``tmax`` and return the
-        :class:`~repro.core.results.SimulationResult`."""
+        :class:`~repro.core.results.SimulationResult`.
+
+        Parameters
+        ----------
+        timeout:
+            Optional wall-clock budget in seconds, forwarded to
+            :meth:`repro.des.engine.Environment.run`; when exhausted
+            the run raises
+            :class:`~repro.des.errors.SimulationStalled`.
+        """
         if self._finished:
             raise RuntimeError("model instances are single-use; build a new one")
         if self.telemetry is not None:
             self.telemetry.install(self)
+        if self._injector is not None:
+            self._injector.install()
         if self.params.arrival_process == "open":
             self.env.process(self._open_arrivals())
         else:
             for i in range(self.params.ntrans):
                 self.env.process(self._arrival(delay=float(i)))
-        self.env.run(until=self.params.tmax)
+        self.env.run(until=self.params.tmax, timeout=timeout)
         self._finished = True
         return self.metrics.finalize()
 
@@ -229,14 +277,40 @@ class LockingGranularityModel:
         self._emit("arrive", txn, nu=txn.nu, locks=txn.lock_count)
         yield from self._await_admission(txn)
         self._emit("admit", txn)
-        if self.params.protocol == "preclaim":
-            yield from self._preclaim_locks(txn)
-        else:
-            yield from self._incremental_locks(txn)
+        while True:
+            try:
+                if self.params.protocol == "preclaim":
+                    yield from self._preclaim_locks(txn)
+                else:
+                    yield from self._incremental_locks(txn)
+            except ProcessorDown as down:
+                # The node crashed while serving this transaction's
+                # share of lock-management work.
+                yield from self._retry_after_failure(txn, down.index)
+                continue
+            self.metrics.active.update(self.conflicts.active_count)
+            self.metrics.locks_held.update(self.conflicts.locks_held)
+            if (yield from self._execute(txn)):
+                break
+            # A sub-transaction died on a crashed node: abort the
+            # parent, release its locks and retry from the lock phase.
+            yield from self._retry_after_failure(txn, None)
+        self._complete(txn)
+
+    def _retry_after_failure(self, txn, node):
+        """Degraded-mode abort: release, wake waiters, back off, retry."""
+        self.conflicts.release(txn)
         self.metrics.active.update(self.conflicts.active_count)
         self.metrics.locks_held.update(self.conflicts.locks_held)
-        yield from self._execute(txn)
-        self._complete(txn)
+        self.metrics.note_failure_abort()
+        txn.fault_retries += 1
+        self._emit("retry", txn, node=node, retries=txn.fault_retries)
+        for wake in self._blocked_wakes.pop(txn.tid, ()):
+            if not wake.triggered:
+                wake.succeed()
+        yield self.env.timeout(
+            self.backoff.delay(self._rng_fault_backoff, txn.fault_retries - 1)
+        )
 
     def _await_admission(self, txn):
         admit = self.env.event()
@@ -345,8 +419,12 @@ class LockingGranularityModel:
             txn.aborts += 1
             self.policy.on_deny()
             # Randomised backoff so the same cycle does not instantly
-            # re-form among retrying victims.
-            yield self.env.timeout(self._rng_backoff.uniform(0.0, 1.0))
+            # re-form among retrying victims.  The policy seam keeps
+            # the default (FixedUniformBackoff) drawing exactly the
+            # historical uniform(0, 1) variate from the same stream.
+            yield self.env.timeout(
+                self.backoff.delay(self._rng_backoff, txn.aborts - 1)
+            )
 
     def _abort_self(self, txn, request):
         manager = self.conflicts.manager
@@ -369,6 +447,12 @@ class LockingGranularityModel:
     # -- execution ---------------------------------------------------------
 
     def _execute(self, txn):
+        """Run the sub-transactions; True iff every one completed.
+
+        A sub-transaction on a crashed node reports failure (it never
+        fails its process event, so the join below always succeeds);
+        surviving siblings run to completion before the parent aborts.
+        """
         processors = self.partitioning.processors(self._rng_part)
         self._emit("exec", txn, pu=len(processors))
         shares = split_entities(txn.nu, len(processors))
@@ -385,16 +469,22 @@ class LockingGranularityModel:
         if subtxns:
             yield self.env.all_of(subtxns)
         self._emit("join", txn, subs=len(subtxns))
+        return all(sub.value for sub in subtxns)
 
     def _subtransaction(self, txn, sub, proc_index, entities):
         params = self.params
         node = self.machine[proc_index]
-        self._emit("io_start", txn, sub=sub, node=proc_index)
-        yield node.io(entities * params.iotime)
-        self._emit("io_end", txn, sub=sub, node=proc_index)
-        self._emit("cpu_start", txn, sub=sub, node=proc_index)
-        yield node.compute(entities * params.cputime)
-        self._emit("cpu_end", txn, sub=sub, node=proc_index)
+        try:
+            self._emit("io_start", txn, sub=sub, node=proc_index)
+            yield node.io(entities * params.iotime)
+            self._emit("io_end", txn, sub=sub, node=proc_index)
+            self._emit("cpu_start", txn, sub=sub, node=proc_index)
+            yield node.compute(entities * params.cputime)
+            self._emit("cpu_end", txn, sub=sub, node=proc_index)
+        except ProcessorDown as down:
+            self._emit("sub_fail", txn, sub=sub, node=down.index)
+            return False
+        return True
 
     # -- completion ----------------------------------------------------------
 
@@ -416,19 +506,25 @@ class LockingGranularityModel:
             self.env.process(self._lifecycle(self._new_transaction()))
 
 
-def simulate(params=None, **overrides):
+def simulate(params=None, fault_plan=None, backoff=None, **overrides):
     """Run one simulation and return its result.
 
     Accepts a prebuilt :class:`SimulationParameters`, keyword
     overrides applied to the defaults, or both::
 
         result = simulate(ltot=100, npros=10, tmax=2000)
+
+    ``fault_plan`` and ``backoff`` are forwarded to the model (they
+    are run-harness inputs, not simulation parameters, so they never
+    enter the result-cache address).
     """
     if params is None:
         params = SimulationParameters(**overrides)
     elif overrides:
         params = params.replace(**overrides)
-    return LockingGranularityModel(params).run()
+    return LockingGranularityModel(
+        params, fault_plan=fault_plan, backoff=backoff
+    ).run()
 
 
 def simulate_replications(params, replications=5, base_seed=None):

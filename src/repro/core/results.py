@@ -35,6 +35,9 @@ RESULT_FIELDS = (
     "mean_pending",
     "mean_blocked",
     "mean_active",
+    "failure_aborts",
+    "availability",
+    "degraded_throughput",
 )
 
 
@@ -57,6 +60,16 @@ class SimulationResult:
         ``totcom / (tmax − warmup)``.
     response_time:
         Mean time from pending-queue entry to lock release.
+    failure_aborts:
+        Transactions aborted because a processor crash killed one of
+        their sub-transactions or lock-work shares (fault injection;
+        0 in unfaulted runs).
+    availability:
+        ``1 − node-downtime / (npros × horizon)`` — fraction of
+        node-time the machine was up (1.0 in unfaulted runs).
+    degraded_throughput:
+        Completions per time unit while at least one node was down
+        (0.0 when the run never degraded).
     """
 
     params: SimulationParameters
@@ -85,6 +98,9 @@ class SimulationResult:
     mean_pending: float
     mean_blocked: float
     mean_active: float
+    failure_aborts: int = 0
+    availability: float = 1.0
+    degraded_throughput: float = 0.0
 
     def as_dict(self, include_params=True):
         """Flat dict of outputs (optionally prefixed parameter inputs)."""

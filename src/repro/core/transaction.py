@@ -30,6 +30,9 @@ class Transaction:
     aborts:
         Times it was chosen as a deadlock victim (incremental
         protocol only).
+    fault_retries:
+        Times it was aborted by a processor crash and retried
+        (fault injection only; always 0 in unfaulted runs).
     """
 
     __slots__ = (
@@ -41,6 +44,7 @@ class Transaction:
         "arrival",
         "attempts",
         "aborts",
+        "fault_retries",
     )
 
     def __init__(self, tid, nu, lock_count, granules=None, is_writer=True):
@@ -52,6 +56,7 @@ class Transaction:
         self.arrival = None
         self.attempts = 0
         self.aborts = 0
+        self.fault_retries = 0
 
     def __repr__(self):
         return "<Transaction #{} nu={} locks={}>".format(

@@ -6,7 +6,12 @@ from heapq import heappop, heappush
 from itertools import count
 from time import perf_counter
 
-from repro.des.errors import EmptySchedule, SimulationError, StopSimulation
+from repro.des.errors import (
+    EmptySchedule,
+    SimulationError,
+    SimulationStalled,
+    StopSimulation,
+)
 from repro.des.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
 
@@ -56,13 +61,14 @@ class Environment:
         Starting value of the simulation clock (default ``0.0``).
     """
 
-    __slots__ = ("_now", "_heap", "_eid", "_dispatched")
+    __slots__ = ("_now", "_heap", "_eid", "_dispatched", "_live_procs")
 
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
         self._heap = []
         self._eid = count()
         self._dispatched = 0
+        self._live_procs = 0
 
     @property
     def now(self):
@@ -73,6 +79,11 @@ class Environment:
     def events_dispatched(self):
         """Events processed by :meth:`run` over this environment's life."""
         return self._dispatched
+
+    @property
+    def live_process_count(self):
+        """Processes started but not yet finished."""
+        return self._live_procs
 
     def kernel_stats(self):
         """Current :class:`KernelStats` snapshot (cheap counters only)."""
@@ -114,7 +125,7 @@ class Environment:
         if not event._ok and not event._defused:
             raise event._value
 
-    def run(self, until=None):
+    def run(self, until=None, timeout=None):
         """Run until *until* (a time or an event), or until heap empty.
 
         * ``until`` is ``None``: run until no events remain.
@@ -122,6 +133,22 @@ class Environment:
           exactly that value.
         * ``until`` is an :class:`Event`: run until it is processed and
           return its value.
+
+        Parameters
+        ----------
+        timeout:
+            Optional wall-clock budget in seconds.  When exceeded, the
+            run stops with :class:`~repro.des.errors.SimulationStalled`
+            carrying a :class:`KernelStats` snapshot.  ``None`` (the
+            default) keeps the hot loop entirely guard-free.
+
+        Raises
+        ------
+        SimulationStalled
+            When the wall-clock *timeout* is exhausted, or when *until*
+            is a number and the event heap runs dry before that time
+            while processes are still alive — every live process is
+            then waiting on an event that nothing will ever trigger.
         """
         if until is None:
             stop_at = float("inf")
@@ -145,9 +172,27 @@ class Environment:
         step = self.step
         dispatched = 0
         try:
-            while heap and heap[0][0] <= stop_at:
-                step()
-                dispatched += 1
+            if timeout is None:
+                while heap and heap[0][0] <= stop_at:
+                    step()
+                    dispatched += 1
+            else:
+                # The wall-clock guard is checked once every 1024
+                # events so the budget costs one masked compare per
+                # event instead of a perf_counter() syscall.
+                deadline = perf_counter() + timeout
+                while heap and heap[0][0] <= stop_at:
+                    step()
+                    dispatched += 1
+                    if not dispatched & 1023 and perf_counter() >= deadline:
+                        raise SimulationStalled(
+                            "wall-clock timeout ({}s) exhausted at "
+                            "t={}".format(timeout, self._now),
+                            stats=KernelStats(
+                                events_dispatched=self._dispatched + dispatched,
+                                heap_length=len(heap),
+                            ),
+                        )
         except StopSimulation as stop:
             return stop.value
         finally:
@@ -155,6 +200,15 @@ class Environment:
         if isinstance(until, Event):
             raise EmptySchedule("ran out of events before {!r}".format(until))
         if stop_at != float("inf"):
+            if not heap and self._live_procs > 0:
+                raise SimulationStalled(
+                    "event heap ran dry at t={} before until={} with {} "
+                    "live process(es) — every live process is waiting on "
+                    "an event that will never trigger".format(
+                        self._now, stop_at, self._live_procs
+                    ),
+                    stats=self.kernel_stats(),
+                )
             self._now = stop_at
         return None
 
@@ -221,11 +275,11 @@ class ProfiledEnvironment(Environment):
         if not event._ok and not event._defused:
             raise event._value
 
-    def run(self, until=None):
+    def run(self, until=None, timeout=None):
         """Run as the base class does, accumulating wall-clock time."""
         started = perf_counter()
         try:
-            return super().run(until)
+            return super().run(until, timeout=timeout)
         finally:
             self._run_seconds += perf_counter() - started
 

@@ -22,6 +22,29 @@ class EmptySchedule(SimulationError):
     """Raised when the event heap runs dry before the run target."""
 
 
+class SimulationStalled(SimulationError):
+    """The run loop stopped making progress before reaching ``until``.
+
+    Raised by :meth:`Environment.run` in two situations:
+
+    * the event heap ran dry before the requested simulation time while
+      processes were still alive (every live process is waiting on an
+      event that nothing will ever trigger — a modelling deadlock that
+      previously returned silently);
+    * the optional ``timeout=`` wall-clock budget was exhausted (a hung
+      or pathologically slow run).
+
+    Carries a :class:`~repro.des.engine.KernelStats` snapshot in
+    :attr:`stats` so the failure is diagnosable post-mortem.
+    """
+
+    def __init__(self, message, stats=None):
+        if stats is not None:
+            message = "{} [kernel: {}]".format(message, stats.as_dict())
+        super().__init__(message)
+        self.stats = stats
+
+
 class Interrupt(Exception):
     """Thrown into a process by :meth:`Process.interrupt`.
 

@@ -167,10 +167,15 @@ class Condition(Event):
                 event.callbacks.append(self._on_child)
 
     def _on_child(self, event):
+        if not event.ok:
+            # Defuse even when the condition already triggered: a second
+            # failing child (e.g. the CPU and disk halves of a node both
+            # killed by a processor crash) must not escalate out of the
+            # run loop once the first failure decided the condition.
+            event.defuse()
         if self.triggered:
             return
         if not event.ok:
-            event.defuse()
             self.fail(event.value)
             return
         self._count += 1

@@ -26,6 +26,7 @@ class Process(Event):
         #: The event this process currently waits on (None if running or
         #: not yet started).
         self._target = None
+        env._live_procs += 1
         from repro.des.events import Initialize
 
         Initialize(env, self)
@@ -80,15 +81,18 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
+                self.env._live_procs -= 1
                 self.env.schedule(self, delay=0)
                 return
             except Interrupt:
                 # The process let an interrupt escape: treat it as an
                 # unhandled failure of the process event.
+                self.env._live_procs -= 1
                 raise
             except BaseException as error:
                 self._ok = False
                 self._value = error
+                self.env._live_procs -= 1
                 self.env.schedule(self, delay=0)
                 return
             if not isinstance(next_event, Event):

@@ -72,6 +72,7 @@ class Server:
         self._busy = {}
         self._served = {}
         self._demand_total = {}
+        self._scale = 1.0
 
     def __repr__(self):
         return "<Server {!r} queue={} busy={}>".format(
@@ -94,6 +95,10 @@ class Server:
         """
         if demand < 0:
             raise ValueError("negative service demand {}".format(demand))
+        if self._scale != 1.0:
+            # Transient degradation window (fault injection): inflate
+            # the service requirement of jobs submitted inside it.
+            demand = demand * self._scale
         done = Event(self.env)
         job = _Job(demand, priority, tag, next(self._seq), done, self.env.now)
         self._demand_total[tag] = self._demand_total.get(tag, 0.0) + demand
@@ -143,6 +148,44 @@ class Server:
         if tag is None:
             return sum(self._demand_total.values())
         return self._demand_total.get(tag, 0.0)
+
+    @property
+    def scale(self):
+        """Current service-time inflation factor (1.0 = nominal)."""
+        return self._scale
+
+    def set_scale(self, factor):
+        """Set the inflation factor applied to future submissions.
+
+        Only jobs submitted while the factor is in force are inflated;
+        jobs already queued or in service keep their original demand.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be > 0, got {}".format(factor))
+        self._scale = float(factor)
+
+    def fail_all(self, exception):
+        """Kill the job in service and every queued job (a crash).
+
+        Each killed job's done event fails with *exception*, so waiting
+        processes receive it at their yield point.  Busy time already
+        delivered to the in-service job stays credited (the device was
+        genuinely busy until the instant of the crash).  Returns the
+        number of jobs killed.
+        """
+        killed = 0
+        if self._current is not None:
+            job = self._current
+            self._credit(job.tag, self.env.now - self._segment_start)
+            self._token += 1  # invalidate the scheduled completion
+            self._current = None
+            job.done.fail(exception)
+            killed += 1
+        while self._heap:
+            _, job = heapq.heappop(self._heap)
+            job.done.fail(exception)
+            killed += 1
+        return killed
 
     # -- internals -------------------------------------------------------
 

@@ -48,6 +48,12 @@ class Machine:
         self.env = env
         self.npros = npros
         self.processors = [Processor(env, i, discipline) for i in range(npros)]
+        self._down_count = 0
+        self._downtime = 0.0
+        self._down_since = {}
+        self._degraded_time = 0.0
+        self._degraded_since = None
+        self._lock_scale = 1.0
 
     def __len__(self):
         return self.npros
@@ -55,18 +61,89 @@ class Machine:
     def __getitem__(self, index):
         return self.processors[index]
 
+    # -- fault injection -------------------------------------------------
+
+    @property
+    def down_count(self):
+        """Number of nodes currently down."""
+        return self._down_count
+
+    def crash(self, index):
+        """Crash node *index*; returns the number of jobs killed there."""
+        proc = self.processors[index]
+        if not proc.up:
+            return 0
+        killed = proc.crash()
+        self._down_since[index] = self.env.now
+        if self._down_count == 0:
+            self._degraded_since = self.env.now
+        self._down_count += 1
+        return killed
+
+    def recover(self, index):
+        """Bring node *index* back up."""
+        proc = self.processors[index]
+        if proc.up:
+            return
+        proc.recover()
+        self._downtime += self.env.now - self._down_since.pop(index)
+        self._down_count -= 1
+        if self._down_count == 0:
+            self._degraded_time += self.env.now - self._degraded_since
+            self._degraded_since = None
+
+    def downtime(self, now):
+        """Total node-downtime accumulated by *now*, open intervals included.
+
+        Summed over nodes: two nodes down for 5 time units each
+        contribute 10.
+        """
+        total = self._downtime
+        for since in self._down_since.values():
+            total += now - since
+        return total
+
+    def degraded_time(self, now):
+        """Time with at least one node down, open interval included."""
+        total = self._degraded_time
+        if self._degraded_since is not None:
+            total += now - self._degraded_since
+        return total
+
+    @property
+    def lock_scale(self):
+        """Current lock-manager service-time inflation (1.0 = nominal)."""
+        return self._lock_scale
+
+    def set_lock_scale(self, factor):
+        """Inflate future lock-management demands by *factor* (a stall)."""
+        if factor <= 0:
+            raise ValueError("lock scale must be > 0, got {}".format(factor))
+        self._lock_scale = float(factor)
+
     def lock_overhead(self, cpu_total, io_total):
         """Charge one lock request's total processing to the machine.
 
-        The work is divided evenly across every node ("processors share
-        the work for [the] locking mechanism") at preemptive priority;
-        the returned event fires when the slowest share completes.
+        The work is divided evenly across every *up* node ("processors
+        share the work for [the] locking mechanism") at preemptive
+        priority; the returned event fires when the slowest share
+        completes.  With all nodes down the request costs nothing — the
+        requesting transaction will fail on its own node's servers.
         """
         if cpu_total <= 0 and io_total <= 0:
             return self.env.timeout(0)
-        cpu_share = cpu_total / self.npros
-        io_share = io_total / self.npros
-        events = [p.lock_work(cpu_share, io_share) for p in self.processors]
+        if self._lock_scale != 1.0:
+            cpu_total *= self._lock_scale
+            io_total *= self._lock_scale
+        if self._down_count:
+            nodes = [p for p in self.processors if p.up]
+            if not nodes:
+                return self.env.timeout(0)
+        else:
+            nodes = self.processors
+        cpu_share = cpu_total / len(nodes)
+        io_share = io_total / len(nodes)
+        events = [p.lock_work(cpu_share, io_share) for p in nodes]
         if len(events) == 1:
             return events[0]
         return self.env.all_of(events)

@@ -1,5 +1,6 @@
 """One shared-nothing processor node: a private CPU and a private disk."""
 
+from repro.des.events import Event
 from repro.des.server import Server
 
 #: Lock-management work preempts transaction work (paper §2).
@@ -10,6 +11,19 @@ TXN_PRIORITY = 1
 #: Busy-time accounting tags.
 LOCK_TAG = "lock"
 TXN_TAG = "txn"
+
+
+class ProcessorDown(Exception):
+    """Raised into work waiting on (or submitted to) a crashed node.
+
+    The model treats it as a sub-transaction failure: the parent
+    transaction aborts, releases its locks and retries under the
+    configured backoff policy.
+    """
+
+    def __init__(self, index):
+        super().__init__("processor {} is down".format(index))
+        self.index = index
 
 
 class Processor:
@@ -28,11 +42,36 @@ class Processor:
     def __init__(self, env, index, discipline="fcfs"):
         self.env = env
         self.index = index
+        self.up = True
         self.cpu = Server(env, "cpu{}".format(index), discipline)
         self.disk = Server(env, "disk{}".format(index), discipline)
 
     def __repr__(self):
-        return "<Processor {}>".format(self.index)
+        return "<Processor {}{}>".format(self.index, "" if self.up else " DOWN")
+
+    # -- fault injection -------------------------------------------------
+
+    def crash(self):
+        """Take the node down, killing all queued and in-service work.
+
+        Every killed job's waiter receives :class:`ProcessorDown`.
+        Idempotent; returns the number of jobs killed.
+        """
+        if not self.up:
+            return 0
+        self.up = False
+        down = ProcessorDown(self.index)
+        return self.cpu.fail_all(down) + self.disk.fail_all(down)
+
+    def recover(self):
+        """Bring the node back up (it restarts with empty queues)."""
+        self.up = True
+
+    def _down_event(self):
+        """An event that fails with :class:`ProcessorDown` immediately."""
+        event = Event(self.env)
+        event.fail(ProcessorDown(self.index))
+        return event
 
     def lock_work(self, cpu_demand, io_demand):
         """Submit this node's share of a lock request's processing.
@@ -54,10 +93,14 @@ class Processor:
 
     def io(self, demand):
         """Queue transaction I/O on this node's disk."""
+        if not self.up:
+            return self._down_event()
         return self.disk.submit(demand, TXN_PRIORITY, TXN_TAG)
 
     def compute(self, demand):
         """Queue transaction CPU work on this node's processor."""
+        if not self.up:
+            return self._down_event()
         return self.cpu.submit(demand, TXN_PRIORITY, TXN_TAG)
 
     # -- accounting ------------------------------------------------------

@@ -25,14 +25,27 @@ must never be able to fail a sweep.
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 
 from repro.core.model import MODEL_VERSION
 from repro.core.results import RESULT_FIELDS, SimulationResult
 
+logger = logging.getLogger(__name__)
+
 #: On-disk layout version; bump when the entry format itself changes.
 CACHE_SCHEMA = 1
+
+#: Output fields added after entries may already have been written.
+#: Entries from before a field existed stay readable by assuming the
+#: field's no-fault value, instead of silently invalidating the whole
+#: cache on every result-schema extension.
+_COMPAT_DEFAULTS = {
+    "failure_aborts": 0,
+    "availability": 1.0,
+    "degraded_throughput": 0.0,
+}
 
 #: Default location, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
@@ -121,11 +134,23 @@ class ResultCache:
         """The cached :class:`SimulationResult`, or ``None`` on a miss.
 
         Any unreadable, unparsable or inconsistent entry counts as a
-        miss — the caller just re-simulates and overwrites it.
+        miss — the caller just re-simulates and overwrites it.  A file
+        that exists but cannot be decoded (truncated write, disk
+        corruption) is additionally *quarantined*: renamed to
+        ``<entry>.corrupt`` with a logged warning, so the damaged
+        bytes are kept for inspection and can never shadow the fresh
+        entry the recompute will store.
         """
+        path = self.path_for(params)
         try:
-            with open(self.path_for(params)) as handle:
+            with open(path) as handle:
                 document = json.load(handle)
+        except OSError:
+            return None  # plain miss: no entry on disk
+        except ValueError:
+            self._quarantine(path, "undecodable JSON")
+            return None
+        try:
             if document.get("schema") != CACHE_SCHEMA:
                 return None
             if document.get("model_version") != self.model_version:
@@ -133,12 +158,30 @@ class ResultCache:
             if document.get("params") != params.as_dict():
                 return None  # hash collision or hand-edited entry
             outputs = document["result"]
-            return SimulationResult(
-                params=params,
-                **{name: outputs[name] for name in RESULT_FIELDS}
-            )
-        except (OSError, ValueError, TypeError, KeyError):
+            values = {}
+            for name in RESULT_FIELDS:
+                if name in outputs:
+                    values[name] = outputs[name]
+                elif name in _COMPAT_DEFAULTS:
+                    values[name] = _COMPAT_DEFAULTS[name]
+                else:
+                    raise KeyError(name)
+            return SimulationResult(params=params, **values)
+        except (ValueError, TypeError, KeyError, AttributeError):
+            self._quarantine(path, "malformed entry structure")
             return None
+
+    def _quarantine(self, path, reason):
+        """Move a corrupt entry aside as ``<entry>.corrupt``."""
+        try:
+            os.replace(path, path + ".corrupt")
+            logger.warning(
+                "quarantined corrupt cache entry %s (%s); will recompute",
+                path,
+                reason,
+            )
+        except OSError:
+            pass  # caching must never be able to fail a sweep
 
     def put(self, params, result):
         """Store *result* for *params*; best-effort (errors swallowed).

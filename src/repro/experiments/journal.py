@@ -1,0 +1,170 @@
+"""Crash-safe sweep journal: append-only record of completed cells.
+
+A sweep is identified by the ordered content addresses (cache keys) of
+all its ``(configuration, replication)`` cells — :func:`sweep_id`
+hashes them, so the same spec with the same replication count always
+maps to the same id, and *any* change to the grid maps to a different
+one.  While the sweep runs, the journal appends one JSON line per
+completed cell and flushes immediately, so a ``kill -9`` at any
+instant leaves a valid prefix on disk.
+
+On ``--resume`` the journal is reloaded tolerantly: a torn final line
+(the usual crash artefact) is skipped, and a journal written for a
+*different* sweep id is discarded wholesale rather than poisoning the
+resume.  The journal records progress only; the results themselves
+live in the content-addressed cache, which is what a resumed sweep
+reads them back from.
+
+File format (JSONL)::
+
+    {"sweep": "<id>", "cells": 12, "label": "table1"}   # header
+    {"done": "<cache key>"}                             # one per cell
+    {"finished": true}                                  # clean end
+"""
+
+import hashlib
+import json
+import os
+
+
+def sweep_id(cell_keys):
+    """Stable identity of a sweep: hash of its ordered cell addresses."""
+    digest = hashlib.sha256("\n".join(cell_keys).encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only progress journal for one sweep file.
+
+    Parameters
+    ----------
+    path:
+        Journal file location; parent directories are created on
+        :meth:`begin`.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._handle = None
+        self._sweep = None
+
+    def __repr__(self):
+        return "<SweepJournal {!r}>".format(self.path)
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self, sweep):
+        """Completed cell keys journalled for sweep id *sweep*.
+
+        Tolerant: a missing file, a journal for another sweep, or an
+        unparsable header yields an empty set; unparsable body lines
+        (torn tail writes) are skipped individually.
+        """
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return set()
+        if not lines:
+            return set()
+        try:
+            header = json.loads(lines[0])
+            recorded = header.get("sweep")
+        except ValueError:
+            return set()
+        if recorded != sweep:
+            return set()
+        done = set()
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn write at the crash point
+            if isinstance(entry, dict) and "done" in entry:
+                done.add(entry["done"])
+        return done
+
+    def finished(self, sweep):
+        """True when the journal records a clean end of sweep *sweep*."""
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return False
+        if not lines:
+            return False
+        try:
+            if json.loads(lines[0]).get("sweep") != sweep:
+                return False
+            return any(
+                json.loads(line).get("finished") for line in lines[1:]
+            )
+        except ValueError:
+            return False
+
+    # -- writing ---------------------------------------------------------
+
+    def begin(self, sweep, cells, label=None, keep=False):
+        """Open the journal for appending under sweep id *sweep*.
+
+        With ``keep=True`` an existing journal for the *same* sweep is
+        preserved and appended to (the resume path); otherwise, and
+        always when the on-disk journal belongs to a different sweep,
+        the file is rewritten with a fresh header.
+        """
+        preserve = keep and self._matches(sweep)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if preserve:
+            self._handle = open(self.path, "a")
+        else:
+            self._handle = open(self.path, "w")
+            header = {"sweep": sweep, "cells": cells}
+            if label is not None:
+                header["label"] = label
+            self._write(header)
+        self._sweep = sweep
+
+    def _matches(self, sweep):
+        try:
+            with open(self.path) as handle:
+                first = handle.readline()
+            return json.loads(first).get("sweep") == sweep
+        except (OSError, ValueError):
+            return False
+
+    def record(self, key):
+        """Append one completed cell and flush it to disk."""
+        if self._handle is not None:
+            self._write({"done": key})
+
+    def finish(self):
+        """Append the clean-completion marker."""
+        if self._handle is not None:
+            self._write({"finished": True})
+
+    def close(self):
+        """Flush and close the journal file (idempotent)."""
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
+            self._handle.close()
+            self._handle = None
+
+    def _write(self, entry):
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

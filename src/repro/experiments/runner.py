@@ -9,21 +9,51 @@ granularity, so a single expensive configuration still parallelises),
 and aggregates each configuration's replications in seed order —
 which makes ``jobs=N`` bit-identical to an inline run.
 
+Crash-safety (all opt-in, see :func:`run_experiment`):
+
+* a :class:`~repro.experiments.journal.SweepJournal` records every
+  completed cell as it lands, so an interrupted sweep can be resumed
+  (``resume=True``) and will re-read finished cells from the cache;
+* a per-replication wall-clock *watchdog* raises
+  :class:`~repro.des.errors.SimulationStalled` inside the worker, and
+  a harness-level guard terminates workers that are too wedged even
+  for that; killed cells are retried on a fresh pool with capped
+  exponential backoff, bounded by ``watchdog_retries``;
+* ``drain_signals=True`` converts SIGINT/SIGTERM into a graceful
+  drain: in-flight cells finish (bounded), the journal is flushed,
+  and ``KeyboardInterrupt`` is raised.
+
 Execution accounting (per-configuration wall time, cache hit/miss
-counts, total elapsed) is reported through :class:`SweepStats`,
-available as ``result.stats`` on the returned
-:class:`ExperimentResult`.
+counts, resumed cells, watchdog restarts, total elapsed) is reported
+through :class:`SweepStats`, available as ``result.stats`` on the
+returned :class:`ExperimentResult`.
 """
 
 import concurrent.futures
 import os
+import signal
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 
 from repro.core.model import LockingGranularityModel
 from repro.core.results import aggregate
-from repro.experiments.cache import ResultCache, cache_enabled
+from repro.des.errors import SimulationStalled
+from repro.experiments.cache import ResultCache, cache_enabled, cache_key
+from repro.experiments.journal import SweepJournal, sweep_id
 from repro.obs.manifest import build_manifest
+
+#: Seconds a graceful drain waits for in-flight cells before the pool
+#: is terminated anyway (the journal is flushed either way).
+DRAIN_GRACE_SECONDS = 10.0
+
+#: Backoff before retrying cells whose workers were killed: doubles per
+#: retry round, capped here.
+_RETRY_BACKOFF_BASE = 0.5
+_RETRY_BACKOFF_CAP = 5.0
+
+
+class SweepStalled(RuntimeError):
+    """A sweep cell kept exceeding its watchdog after every retry."""
 
 
 def _run_single(params):
@@ -31,11 +61,66 @@ def _run_single(params):
     return LockingGranularityModel(params).run()
 
 
-def _run_single_timed(params):
-    """Worker returning ``(result, compute_seconds)`` for stats."""
+def _run_single_timed(params, timeout=None):
+    """Worker returning ``(result, compute_seconds)`` for stats.
+
+    *timeout* is the per-replication wall-clock watchdog, enforced
+    inside the simulation kernel (see
+    :meth:`repro.des.engine.Environment.run`).
+    """
     started = perf_counter()
-    result = LockingGranularityModel(params).run()
+    result = LockingGranularityModel(params).run(timeout=timeout)
     return result, perf_counter() - started
+
+
+def _retry_backoff(round_index):
+    """Capped exponential backoff before retry round *round_index*."""
+    return min(_RETRY_BACKOFF_BASE * (2.0 ** (round_index - 1)), _RETRY_BACKOFF_CAP)
+
+
+class _SignalDrain:
+    """Flag-setting SIGINT/SIGTERM handler for graceful sweep draining.
+
+    Installing it outside the main thread is a silent no-op
+    (``tripped`` then simply never trips), so pooled sweeps stay
+    usable from worker threads.
+    """
+
+    def __init__(self):
+        self.tripped = False
+        self._previous = {}
+
+    def install(self):
+        """Swap in the flag-setting handler; returns self."""
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                self._previous[signum] = signal.signal(signum, self._handle)
+        except ValueError:
+            self._previous = {}
+        return self
+
+    def restore(self):
+        """Put the previous handlers back."""
+        for signum, handler in self._previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, TypeError):
+                pass
+        self._previous = {}
+
+    def _handle(self, signum, frame):
+        self.tripped = True
+
+
+def _terminate_pool(pool):
+    """Hard-kill a process pool's workers (they are wedged)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except OSError:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 @dataclass
@@ -79,6 +164,11 @@ class SweepStats:
     cache_misses: int = 0
     elapsed_seconds: float = 0.0
     per_config: list = field(default_factory=list)
+    #: Cache hits that a resumed journal had already recorded as done
+    #: — the share of this sweep completed by the interrupted run.
+    resumed: int = 0
+    #: Cells whose worker was killed (or stalled) and re-queued.
+    watchdog_restarts: int = 0
 
     @property
     def cells(self):
@@ -185,6 +275,11 @@ def run_experiment(
     refresh=False,
     cell_progress=None,
     manifests=True,
+    journal=None,
+    resume=False,
+    watchdog=None,
+    watchdog_retries=2,
+    drain_signals=False,
 ):
     """Execute every configuration of *spec*.
 
@@ -225,6 +320,29 @@ def run_experiment(
         When caching is active, write a provenance manifest (params
         hash, seed, git SHA, model version, wall time — see
         :mod:`repro.obs.manifest`) next to every newly stored result.
+    journal:
+        Optional :class:`~repro.experiments.journal.SweepJournal` (or
+        a path string) recording every completed cell as it lands —
+        the crash-safety log that makes *resume* possible.
+    resume:
+        Reuse a journal left by an interrupted run of the *same*
+        sweep: previously journalled cells resolve from the cache and
+        are counted in ``stats.resumed``.  A journal belonging to a
+        different sweep is discarded automatically.
+    watchdog:
+        Per-replication wall-clock budget in seconds.  Enforced
+        inside each worker via the kernel's run-loop timeout, plus a
+        harness-level guard that terminates a pool making no progress
+        for well past that budget; killed cells are retried on a
+        fresh pool with capped backoff.
+    watchdog_retries:
+        Times one cell may be retried after stalling before the sweep
+        fails with :class:`SweepStalled`.
+    drain_signals:
+        Convert SIGINT/SIGTERM into a graceful drain: stop submitting
+        work, let in-flight cells finish (bounded by
+        :data:`DRAIN_GRACE_SECONDS`), flush the journal, then raise
+        ``KeyboardInterrupt``.
 
     Raises
     ------
@@ -232,6 +350,12 @@ def run_experiment(
         The first worker exception is re-raised in the caller after
         outstanding pool work is cancelled; ``outcomes`` are never
         returned with ``None`` holes.
+    SweepStalled
+        A cell exceeded *watchdog* on its initial run and on every
+        retry.
+    KeyboardInterrupt
+        With *drain_signals*, after a signal-triggered drain has
+        flushed the journal.
     """
     if replications < 1:
         raise ValueError(
@@ -243,6 +367,8 @@ def run_experiment(
     cache = _resolve_cache(cache)
     stats = SweepStats(configs=total, replications=replications)
     outcomes = [None] * total
+    if isinstance(journal, (str, os.PathLike)):
+        journal = SweepJournal(journal)
 
     # Grid of single-run results, one row per configuration, one
     # column per replication; filled from the cache first, then from
@@ -266,24 +392,48 @@ def run_experiment(
                 },
             )
 
-    grid = [[None] * replications for _ in range(total)]
-    pending = []  # (config_index, replication_index, run_params)
+    # Materialise every cell (with its content address) up front: the
+    # ordered addresses identify the sweep for the journal.
+    cells = []  # (config_index, replication_index, run_params, key)
     for i, params in enumerate(configs):
-        config_stats = ConfigStats(index=i, label=_config_label(spec, params))
-        stats.per_config.append(config_stats)
+        stats.per_config.append(
+            ConfigStats(index=i, label=_config_label(spec, params))
+        )
         for r in range(replications):
             run_params = params.replace(seed=params.seed + r)
-            hit = None
-            if cache is not None and not refresh:
-                hit = cache.get(run_params)
-            if hit is not None:
-                grid[i][r] = hit
-                config_stats.cache_hits += 1
-                stats.cache_hits += 1
-                notify_cell(i, r, "cache")
-            else:
-                pending.append((i, r, run_params))
-                stats.cache_misses += 1
+            cells.append((i, r, run_params, cache_key(run_params)))
+
+    journaled = set()
+    if journal is not None:
+        sid = sweep_id([key for _, _, _, key in cells])
+        if resume:
+            journaled = journal.load(sid)
+        journal.begin(
+            sid,
+            len(cells),
+            label=getattr(spec, "key", None),
+            keep=resume,
+        )
+
+    grid = [[None] * replications for _ in range(total)]
+    pending = []  # cells the cache could not answer
+    for i, r, run_params, key in cells:
+        hit = None
+        if cache is not None and not refresh:
+            hit = cache.get(run_params)
+        if hit is not None:
+            grid[i][r] = hit
+            config_stats = stats.per_config[i]
+            config_stats.cache_hits += 1
+            stats.cache_hits += 1
+            if key in journaled:
+                stats.resumed += 1
+            elif journal is not None:
+                journal.record(key)
+            notify_cell(i, r, "cache")
+        else:
+            pending.append((i, r, run_params, key))
+            stats.cache_misses += 1
 
     remaining = [row.count(None) for row in grid]
     done_configs = 0
@@ -295,7 +445,7 @@ def run_experiment(
         if progress is not None:
             progress(done_configs, total)
 
-    def record(i, r, run_params, result, seconds):
+    def record(i, r, run_params, key, result, seconds):
         grid[i][r] = result
         config_stats = stats.per_config[i]
         config_stats.runs += 1
@@ -313,6 +463,8 @@ def run_experiment(
                         model_version=cache.model_version,
                     ),
                 )
+        if journal is not None:
+            journal.record(key)
         notify_cell(i, r, "run", seconds)
         remaining[i] -= 1
         if remaining[i] == 0:
@@ -326,31 +478,164 @@ def run_experiment(
 
     if jobs is None:
         jobs = 0
-    if pending and jobs <= 1:
-        for i, r, run_params in pending:
-            result, seconds = _run_single_timed(run_params)
-            record(i, r, run_params, result, seconds)
-    elif pending:
-        max_workers = min(jobs, os.cpu_count() or 1, len(pending)) or 1
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=max_workers
-        ) as pool:
-            futures = {
-                pool.submit(_run_single_timed, run_params): (i, r, run_params)
-                for i, r, run_params in pending
-            }
-            try:
-                for future in concurrent.futures.as_completed(futures):
-                    i, r, run_params = futures[future]
-                    result, seconds = future.result()
-                    record(i, r, run_params, result, seconds)
-            except BaseException:
-                # One worker failed: drop everything still queued so
-                # the pool winds down promptly, then surface the
-                # original exception instead of returning outcomes
-                # with None holes.
-                for future in futures:
-                    future.cancel()
-                raise
+    drain = _SignalDrain().install() if drain_signals else None
+    try:
+        if pending and jobs <= 1:
+            _run_inline(
+                pending, record, stats, drain, watchdog, watchdog_retries
+            )
+        elif pending:
+            max_workers = min(jobs, os.cpu_count() or 1, len(pending)) or 1
+            _run_pooled(
+                pending,
+                record,
+                stats,
+                drain,
+                watchdog,
+                watchdog_retries,
+                max_workers,
+            )
+        if journal is not None:
+            journal.finish()
+    finally:
+        if drain is not None:
+            drain.restore()
+        if journal is not None:
+            journal.close()
     stats.elapsed_seconds = perf_counter() - started
     return ExperimentResult(spec, outcomes, stats=stats)
+
+
+def _run_inline(pending, record, stats, drain, watchdog, watchdog_retries):
+    """Execute *pending* cells in this process, one at a time."""
+    for i, r, run_params, key in pending:
+        if drain is not None and drain.tripped:
+            raise KeyboardInterrupt
+        attempt = 0
+        while True:
+            try:
+                result, seconds = _run_single_timed(run_params, watchdog)
+                break
+            except SimulationStalled:
+                attempt += 1
+                stats.watchdog_restarts += 1
+                if attempt > watchdog_retries:
+                    raise SweepStalled(
+                        "cell (config={}, replication={}) exceeded the "
+                        "{}s watchdog {} times".format(
+                            i, r, watchdog, attempt
+                        )
+                    ) from None
+                sleep(_retry_backoff(attempt))
+        record(i, r, run_params, key, result, seconds)
+
+
+def _run_pooled(
+    pending, record, stats, drain, watchdog, watchdog_retries, max_workers
+):
+    """Fan *pending* cells out over worker pools, retrying stalls.
+
+    Each *round* runs the outstanding cells on one pool.  Cells that
+    stall (in-worker watchdog) or whose workers are terminated by the
+    harness-level guard are collected and re-run on a fresh pool in
+    the next round, after a capped exponential backoff — up to
+    *watchdog_retries* attempts per cell, then :class:`SweepStalled`.
+    """
+    attempts = {}
+    queue = list(pending)
+    round_index = 0
+    while queue:
+        if round_index:
+            sleep(_retry_backoff(round_index))
+        queue = _pool_round(
+            queue,
+            record,
+            stats,
+            drain,
+            watchdog,
+            watchdog_retries,
+            max_workers,
+            attempts,
+        )
+        round_index += 1
+
+
+def _pool_round(
+    cells, record, stats, drain, watchdog, watchdog_retries, max_workers, attempts
+):
+    """Run one pool over *cells*; returns the cells needing a retry."""
+    retry = []
+
+    def mark_stalled(i, r, run_params, key):
+        stats.watchdog_restarts += 1
+        attempts[(i, r)] = attempts.get((i, r), 0) + 1
+        if attempts[(i, r)] > watchdog_retries:
+            raise SweepStalled(
+                "cell (config={}, replication={}) exceeded the {}s "
+                "watchdog after {} retries".format(
+                    i, r, watchdog, watchdog_retries
+                )
+            )
+        retry.append((i, r, run_params, key))
+
+    pool = concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(max_workers, len(cells))
+    )
+    futures = {}
+    for cell in cells:
+        futures[pool.submit(_run_single_timed, cell[2], watchdog)] = cell
+    not_done = set(futures)
+    # The harness guard only fires when workers are wedged past the
+    # in-worker timeout (e.g. stuck outside the run loop), so it sits
+    # well above the watchdog itself.
+    hard_limit = None if watchdog is None else max(2.0 * watchdog, watchdog + 5.0)
+    needs_polling = watchdog is not None or drain is not None
+    last_progress = perf_counter()
+    draining_since = None
+    try:
+        while not_done:
+            if drain is not None and drain.tripped and draining_since is None:
+                draining_since = perf_counter()
+                for future in not_done:
+                    future.cancel()
+            done, not_done = concurrent.futures.wait(
+                not_done,
+                timeout=0.2 if needs_polling else None,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            for future in done:
+                if future.cancelled():
+                    continue  # drained before it started
+                i, r, run_params, key = futures[future]
+                try:
+                    result, seconds = future.result()
+                except SimulationStalled:
+                    mark_stalled(i, r, run_params, key)
+                else:
+                    record(i, r, run_params, key, result, seconds)
+                last_progress = perf_counter()
+            if draining_since is not None:
+                if (
+                    not not_done
+                    or perf_counter() - draining_since > DRAIN_GRACE_SECONDS
+                ):
+                    _terminate_pool(pool)
+                    raise KeyboardInterrupt
+                continue
+            if (
+                hard_limit is not None
+                and not_done
+                and not done
+                and perf_counter() - last_progress > hard_limit
+            ):
+                # No completion for well past the in-worker budget:
+                # the workers are wedged.  Kill them and re-queue
+                # whatever they were running on a fresh pool.
+                _terminate_pool(pool)
+                for future in not_done:
+                    i, r, run_params, key = futures[future]
+                    mark_stalled(i, r, run_params, key)
+                return retry
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return retry

@@ -1,0 +1,32 @@
+"""Fault injection: seeded fault plans, injector, and backoff policies.
+
+See DESIGN.md ("Fault model") for what this extends beyond the 1991
+paper.  The package is inert unless a run is given an enabled
+:class:`FaultPlan` — without one, results are bit-identical to a
+build without this package.
+"""
+
+from repro.faults.backoff import (
+    POLICIES,
+    BackoffPolicy,
+    ExponentialBackoff,
+    FixedUniformBackoff,
+    JitteredBackoff,
+    make_backoff_policy,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import CrashSpec, FaultPlan, SlowdownSpec, StallSpec
+
+__all__ = [
+    "POLICIES",
+    "BackoffPolicy",
+    "CrashSpec",
+    "ExponentialBackoff",
+    "FaultInjector",
+    "FaultPlan",
+    "FixedUniformBackoff",
+    "JitteredBackoff",
+    "SlowdownSpec",
+    "StallSpec",
+    "make_backoff_policy",
+]

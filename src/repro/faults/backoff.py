@@ -1,0 +1,101 @@
+"""Pluggable retry-backoff policies.
+
+The model uses a backoff delay in two places: after an incremental
+(claim-as-needed) transaction is aborted as a deadlock victim, and
+after a transaction loses a sub-transaction to a crashed processor
+(fault injection).  Both draw from a policy object so experiments can
+swap the delay law without touching the model.
+
+Every policy draws **exactly one** ``rng.uniform(0.0, 1.0)`` variate
+per delay, regardless of the attempt number.  That keeps the random
+stream consumption identical across policies, so switching the policy
+changes delays but never desynchronises the other streams — and the
+default :class:`FixedUniformBackoff` consumes the stream exactly as
+the pre-seam inline ``rng.uniform(0.0, 1.0)`` call did, preserving
+bit-identical results for existing runs.
+"""
+
+#: Registry of constructable policies for CLI / config use.
+POLICIES = ("uniform", "exponential", "jittered")
+
+
+class BackoffPolicy:
+    """Base class: maps (rng, attempt) to a non-negative delay."""
+
+    name = "base"
+
+    def delay(self, rng, attempt):
+        """Delay before retry number *attempt* (0-based).
+
+        Must draw exactly one variate from *rng*.
+        """
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "<{}>".format(type(self).__name__)
+
+
+class FixedUniformBackoff(BackoffPolicy):
+    """The paper-era default: uniform on ``[0, width)``, flat in attempt."""
+
+    name = "uniform"
+
+    def __init__(self, width=1.0):
+        if width <= 0:
+            raise ValueError("width must be > 0, got {}".format(width))
+        self.width = float(width)
+
+    def delay(self, rng, attempt):
+        return rng.uniform(0.0, self.width)
+
+
+class ExponentialBackoff(BackoffPolicy):
+    """Deterministic exponential growth: ``min(base * 2**attempt, cap)``.
+
+    The mandatory variate draw is discarded so stream consumption
+    matches the other policies.
+    """
+
+    name = "exponential"
+
+    def __init__(self, base=0.5, cap=16.0):
+        if base <= 0 or cap <= 0:
+            raise ValueError(
+                "base and cap must be > 0, got base={} cap={}".format(base, cap)
+            )
+        self.base = float(base)
+        self.cap = float(cap)
+
+    def delay(self, rng, attempt):
+        rng.uniform(0.0, 1.0)  # keep stream consumption uniform
+        return min(self.base * (2.0 ** attempt), self.cap)
+
+
+class JitteredBackoff(BackoffPolicy):
+    """Full-jitter exponential: uniform on ``[0, min(base*2**attempt, cap))``."""
+
+    name = "jittered"
+
+    def __init__(self, base=0.5, cap=16.0):
+        if base <= 0 or cap <= 0:
+            raise ValueError(
+                "base and cap must be > 0, got base={} cap={}".format(base, cap)
+            )
+        self.base = float(base)
+        self.cap = float(cap)
+
+    def delay(self, rng, attempt):
+        return rng.uniform(0.0, min(self.base * (2.0 ** attempt), self.cap))
+
+
+def make_backoff_policy(name, **kwargs):
+    """Build a policy by registry name (see :data:`POLICIES`)."""
+    if name == "uniform":
+        return FixedUniformBackoff(**kwargs)
+    if name == "exponential":
+        return ExponentialBackoff(**kwargs)
+    if name == "jittered":
+        return JitteredBackoff(**kwargs)
+    raise ValueError(
+        "unknown backoff policy {!r}; expected one of {}".format(name, POLICIES)
+    )

@@ -1,0 +1,102 @@
+"""Seeded fault injector: turns a plan into scheduled fault processes.
+
+The injector owns its own :class:`~repro.des.rng.RandomStreams`
+instance, with one named stream per fault process (for example
+``fault_crash[0]@2`` for crash spec 0 acting on node 2).  Two
+consequences:
+
+* a given (plan, seed) pair yields an identical fault schedule on
+  every run, independent of what the workload is doing;
+* the model's own streams are never touched, so enabling faults
+  perturbs the simulation only through the faults themselves.
+"""
+
+from repro.des.rng import RandomStreams
+
+
+class FaultInjector:
+    """Drives the fault processes described by a plan.
+
+    Parameters
+    ----------
+    env:
+        The run's environment.
+    machine:
+        The run's :class:`~repro.engine.machine.Machine`.
+    plan:
+        A :class:`~repro.faults.plan.FaultPlan`.
+    seed:
+        Fallback seed when the plan carries none (normally the run's
+        own seed, so one seed reproduces workload *and* faults).
+    trace:
+        Optional trace sink; fault transitions are emitted as system
+        events (subject 0): ``proc_crash``, ``proc_recover``,
+        ``disk_slow``, ``disk_recover``, ``lockmgr_stall``,
+        ``lockmgr_resume``.
+    """
+
+    def __init__(self, env, machine, plan, seed, trace=None):
+        self.env = env
+        self.machine = machine
+        self.plan = plan
+        self.trace = trace
+        self._streams = RandomStreams(plan.seed if plan.seed is not None else seed)
+        self.crashes_injected = 0
+        self.jobs_killed = 0
+
+    def install(self):
+        """Start one process per (spec, target) pair."""
+        for si, spec in enumerate(self.plan.crashes):
+            for node in self._targets(spec):
+                rng = self._streams.stream("fault_crash[{}]@{}".format(si, node))
+                self.env.process(self._crash_loop(spec, node, rng))
+        for si, spec in enumerate(self.plan.disk_slowdowns):
+            for node in self._targets(spec):
+                rng = self._streams.stream("fault_disk[{}]@{}".format(si, node))
+                self.env.process(self._slowdown_loop(spec, node, rng))
+        for si, spec in enumerate(self.plan.lock_stalls):
+            rng = self._streams.stream("fault_lock[{}]".format(si))
+            self.env.process(self._stall_loop(spec, rng))
+
+    def _targets(self, spec):
+        if spec.processors is None:
+            return range(self.machine.npros)
+        return [i for i in spec.processors if 0 <= i < self.machine.npros]
+
+    def _emit(self, kind, **details):
+        if self.trace is not None:
+            self.trace.emit(self.env.now, kind, 0, **details)
+
+    # -- fault processes -------------------------------------------------
+
+    def _crash_loop(self, spec, node, rng):
+        if spec.first_failure_after > 0:
+            yield self.env.timeout(spec.first_failure_after)
+        while True:
+            yield self.env.timeout(rng.expovariate(1.0 / spec.mttf))
+            killed = self.machine.crash(node)
+            self.crashes_injected += 1
+            self.jobs_killed += killed
+            self._emit("proc_crash", node=node, jobs_killed=killed)
+            yield self.env.timeout(rng.expovariate(1.0 / spec.mttr))
+            self.machine.recover(node)
+            self._emit("proc_recover", node=node)
+
+    def _slowdown_loop(self, spec, node, rng):
+        disk = self.machine[node].disk
+        while True:
+            yield self.env.timeout(rng.expovariate(1.0 / spec.mtbf))
+            disk.set_scale(spec.factor)
+            self._emit("disk_slow", node=node, factor=spec.factor)
+            yield self.env.timeout(rng.expovariate(1.0 / spec.duration))
+            disk.set_scale(1.0)
+            self._emit("disk_recover", node=node)
+
+    def _stall_loop(self, spec, rng):
+        while True:
+            yield self.env.timeout(rng.expovariate(1.0 / spec.mtbf))
+            self.machine.set_lock_scale(spec.factor)
+            self._emit("lockmgr_stall", factor=spec.factor)
+            yield self.env.timeout(rng.expovariate(1.0 / spec.duration))
+            self.machine.set_lock_scale(1.0)
+            self._emit("lockmgr_resume")

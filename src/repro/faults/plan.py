@@ -1,0 +1,146 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a frozen description of *what can go wrong*
+during a run: processor crash/recovery cycles, transient disk
+slowdowns, and lock-manager stalls.  It holds distribution parameters
+only — actual fault times are drawn by the
+:class:`~repro.faults.injector.FaultInjector` from its own named
+random streams, so a plan is reusable across runs and two runs with
+the same (plan, seed) produce identical fault schedules.
+
+Plans are deliberately **not** part of
+:class:`~repro.core.parameters.SimulationParameters`: the parameter
+set feeds the content-addressed result cache, and faulted runs bypass
+the cache entirely, so the unfaulted cache keys stay bit-identical.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Repeated crash/recover cycles on processor nodes.
+
+    Parameters
+    ----------
+    mttf:
+        Mean time to failure — up-time between recovery and the next
+        crash is exponential with this mean.
+    mttr:
+        Mean time to repair — down-time is exponential with this mean.
+    processors:
+        Node indices the spec applies to, or ``None`` for all nodes.
+    first_failure_after:
+        No crash from this spec fires before this simulation time
+        (lets the run warm up before faults start).
+    """
+
+    mttf: float
+    mttr: float
+    processors: tuple = None
+    first_failure_after: float = 0.0
+
+    def __post_init__(self):
+        if self.mttf <= 0 or self.mttr <= 0:
+            raise ValueError(
+                "mttf and mttr must be > 0, got mttf={} mttr={}".format(
+                    self.mttf, self.mttr
+                )
+            )
+        if self.processors is not None:
+            object.__setattr__(self, "processors", tuple(self.processors))
+
+
+@dataclass(frozen=True)
+class SlowdownSpec:
+    """Transient disk service-time inflation windows.
+
+    Parameters
+    ----------
+    mtbf:
+        Mean time between the end of one window and the start of the
+        next (exponential).
+    duration:
+        Mean window length (exponential).
+    factor:
+        Service-time multiplier applied to disk jobs submitted inside
+        a window (``> 1`` slows the disk down).
+    processors:
+        Node indices affected, or ``None`` for all nodes.
+    """
+
+    mtbf: float
+    duration: float
+    factor: float = 2.0
+    processors: tuple = None
+
+    def __post_init__(self):
+        if self.mtbf <= 0 or self.duration <= 0:
+            raise ValueError(
+                "mtbf and duration must be > 0, got mtbf={} duration={}".format(
+                    self.mtbf, self.duration
+                )
+            )
+        if self.factor <= 0:
+            raise ValueError("factor must be > 0, got {}".format(self.factor))
+        if self.processors is not None:
+            object.__setattr__(self, "processors", tuple(self.processors))
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """Lock-manager stall windows: lock-overhead demands are inflated.
+
+    Same timing law as :class:`SlowdownSpec` but applied to the
+    machine-wide lock-management work instead of one node's disk.
+    """
+
+    mtbf: float
+    duration: float
+    factor: float = 4.0
+
+    def __post_init__(self):
+        if self.mtbf <= 0 or self.duration <= 0:
+            raise ValueError(
+                "mtbf and duration must be > 0, got mtbf={} duration={}".format(
+                    self.mtbf, self.duration
+                )
+            )
+        if self.factor <= 0:
+            raise ValueError("factor must be > 0, got {}".format(self.factor))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule for one run.
+
+    An empty plan (the default) is inert: the model never builds an
+    injector for it, so results are bit-identical to a run with no
+    plan at all.
+
+    Parameters
+    ----------
+    crashes:
+        :class:`CrashSpec` entries.
+    disk_slowdowns:
+        :class:`SlowdownSpec` entries.
+    lock_stalls:
+        :class:`StallSpec` entries.
+    seed:
+        Optional dedicated fault seed; ``None`` derives the fault
+        streams from the run's own seed.
+    """
+
+    crashes: tuple = field(default_factory=tuple)
+    disk_slowdowns: tuple = field(default_factory=tuple)
+    lock_stalls: tuple = field(default_factory=tuple)
+    seed: int = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "disk_slowdowns", tuple(self.disk_slowdowns))
+        object.__setattr__(self, "lock_stalls", tuple(self.lock_stalls))
+
+    def enabled(self):
+        """True when the plan schedules at least one fault source."""
+        return bool(self.crashes or self.disk_slowdowns or self.lock_stalls)

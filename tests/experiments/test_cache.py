@@ -133,6 +133,78 @@ class TestResultCache:
         assert cache.get(params) is None
 
 
+class TestQuarantine:
+    def test_undecodable_entry_is_quarantined(self, cache, params, caplog):
+        cache.put(params, _simulate(params))
+        path = cache.path_for(params)
+        with open(path, "w") as handle:
+            handle.write("{ torn write")
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            assert cache.get(params) is None
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert any("quarantined" in rec.message for rec in caplog.records)
+
+    def test_recompute_after_quarantine_round_trips(self, cache, params):
+        cache.put(params, _simulate(params))
+        path = cache.path_for(params)
+        with open(path, "w") as handle:
+            handle.write("{ torn write")
+        assert cache.get(params) is None
+        cache.put(params, _simulate(params))
+        assert cache.get(params) is not None
+        assert os.path.exists(path + ".corrupt")  # kept for inspection
+
+    def test_structurally_broken_entry_is_quarantined(self, cache, params):
+        cache.put(params, _simulate(params))
+        path = cache.path_for(params)
+        with open(path) as handle:
+            document = json.load(handle)
+        del document["result"]["totcom"]  # a required, non-compat field
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        assert cache.get(params) is None
+        assert os.path.exists(path + ".corrupt")
+
+    def test_schema_mismatch_is_not_quarantined(self, cache, params):
+        """Version skew is a plain miss, not corruption: the entry may
+        belong to another checkout sharing the cache directory."""
+        cache.put(params, _simulate(params))
+        path = cache.path_for(params)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["schema"] = CACHE_SCHEMA + 1
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        assert cache.get(params) is None
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".corrupt")
+
+    def test_missing_entry_is_not_quarantined(self, cache, params):
+        assert cache.get(params) is None
+        assert not os.path.exists(cache.path_for(params) + ".corrupt")
+
+
+class TestCompatDefaults:
+    def test_entry_predating_fault_fields_still_loads(self, cache, params):
+        """Entries written before the fault-metric fields existed must
+        stay readable with the no-fault defaults filled in."""
+        cache.put(params, _simulate(params))
+        path = cache.path_for(params)
+        with open(path) as handle:
+            document = json.load(handle)
+        for name in ("failure_aborts", "availability", "degraded_throughput"):
+            del document["result"][name]
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        restored = cache.get(params)
+        assert restored is not None
+        assert restored.failure_aborts == 0
+        assert restored.availability == 1.0
+        assert restored.degraded_throughput == 0.0
+        assert not os.path.exists(path + ".corrupt")
+
+
 class TestEnvironmentKnobs:
     def test_cache_enabled_honours_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE", raising=False)

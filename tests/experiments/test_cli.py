@@ -53,6 +53,41 @@ class TestParser:
         assert not args.refresh
         assert args.cache_dir is None
 
+    def test_run_crash_safety_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig2", "--journal", "/tmp/j", "--resume",
+             "--watchdog", "30", "--watchdog-retries", "1"]
+        )
+        assert args.journal == "/tmp/j"
+        assert args.resume
+        assert args.watchdog == 30.0
+        assert args.watchdog_retries == 1
+
+    def test_run_crash_safety_defaults_off(self):
+        args = build_parser().parse_args(["run", "fig2"])
+        assert args.journal is None
+        assert not args.resume
+        assert args.watchdog is None
+        assert args.watchdog_retries == 2
+
+    def test_faults_command_parses(self):
+        args = build_parser().parse_args(
+            ["faults", "--mttf", "50", "--mttr", "5",
+             "--ltot-grid", "10,100", "--backoff", "jittered",
+             "--replications", "2", "--npros", "2"]
+        )
+        assert args.command == "faults"
+        assert args.mttf == 50.0
+        assert args.mttr == 5.0
+        assert args.ltot_grid == "10,100"
+        assert args.backoff == "jittered"
+        assert args.replications == 2
+        assert args.npros == 2
+
+    def test_faults_rejects_unknown_backoff(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--backoff", "fibonacci"])
+
 
 class TestExecution:
     def test_list_prints_exhibits(self, capsys):
@@ -232,6 +267,61 @@ class TestExecution:
         assert "events by kind" in report_out
         assert "Utilisation timeline" in report_out
         assert svg.read_text().startswith("<svg")
+
+    def test_faults_sweep_prints_table_and_saves(self, capsys, tmp_path):
+        csv_path = tmp_path / "faults.csv"
+        code = main(
+            [
+                "faults", "--mttf", "30", "--mttr", "10",
+                "--ltot-grid", "10,20", "--replications", "1",
+                "--dbsize", "500", "--ntrans", "5", "--maxtransize", "50",
+                "--npros", "4", "--tmax", "150", "--seed", "7",
+                "--save", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "failure_aborts" in out
+        assert csv_path.exists()
+
+    def test_faults_sweep_is_reproducible(self, capsys, tmp_path):
+        argv = [
+            "faults", "--mttf", "30", "--ltot-grid", "10",
+            "--replications", "1", "--dbsize", "300", "--ntrans", "3",
+            "--maxtransize", "30", "--npros", "2", "--tmax", "100",
+            "--seed", "5",
+        ]
+        assert main(argv + ["--save", str(tmp_path / "a.csv")]) == 0
+        assert main(argv + ["--save", str(tmp_path / "b.csv")]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "a.csv").read_text() == (
+            tmp_path / "b.csv"
+        ).read_text()
+
+    def test_faults_without_sources_warns(self, capsys):
+        code = main(
+            [
+                "faults", "--ltot-grid", "10", "--replications", "1",
+                "--dbsize", "300", "--ntrans", "3", "--maxtransize", "30",
+                "--npros", "2", "--tmax", "60",
+            ]
+        )
+        assert code == 0
+        assert "No fault source enabled" in capsys.readouterr().out
+
+    def test_run_resume_on_clean_cache_completes(self, capsys, tmp_path):
+        argv = [
+            "run", "table1", "--quick", "--cache-dir", str(tmp_path),
+            "--journal", str(tmp_path / "t.journal"), "--resume",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Second invocation resumes everything from journal + cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Resumed" in out
+        assert "0 simulated" in out
 
     def test_report_rejects_garbage_file(self, tmp_path):
         from repro.obs import TraceSchemaError

@@ -1,0 +1,140 @@
+"""Unit tests for the crash-safe sweep journal."""
+
+import json
+
+import pytest
+
+from repro.experiments.journal import SweepJournal, sweep_id
+
+KEYS = ["k1", "k2", "k3"]
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return SweepJournal(tmp_path / "sweep.journal")
+
+
+class TestSweepId:
+    def test_stable(self):
+        assert sweep_id(KEYS) == sweep_id(list(KEYS))
+
+    def test_sensitive_to_membership_and_order(self):
+        assert sweep_id(KEYS) != sweep_id(KEYS[:2])
+        assert sweep_id(KEYS) != sweep_id(list(reversed(KEYS)))
+
+    def test_short_hex(self):
+        sid = sweep_id(KEYS)
+        assert len(sid) == 16
+        int(sid, 16)  # raises if not hex
+
+
+class TestLifecycle:
+    def test_record_and_load_round_trip(self, journal):
+        sid = sweep_id(KEYS)
+        journal.begin(sid, len(KEYS), label="tiny")
+        journal.record("k1")
+        journal.record("k2")
+        journal.close()
+        assert journal.load(sid) == {"k1", "k2"}
+        assert journal.finished(sid) is False
+
+    def test_finish_marks_clean_end(self, journal):
+        sid = sweep_id(KEYS)
+        journal.begin(sid, len(KEYS))
+        for key in KEYS:
+            journal.record(key)
+        journal.finish()
+        journal.close()
+        assert journal.finished(sid) is True
+        assert journal.load(sid) == set(KEYS)
+
+    def test_context_manager_closes(self, tmp_path):
+        sid = sweep_id(KEYS)
+        with SweepJournal(tmp_path / "cm.journal") as journal:
+            journal.begin(sid, len(KEYS))
+            journal.record("k1")
+        assert journal._handle is None
+        assert journal.load(sid) == {"k1"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        journal = SweepJournal(tmp_path / "deep" / "nested" / "s.journal")
+        journal.begin(sweep_id(KEYS), len(KEYS))
+        journal.close()
+        assert (tmp_path / "deep" / "nested" / "s.journal").exists()
+
+    def test_header_records_shape(self, journal):
+        sid = sweep_id(KEYS)
+        journal.begin(sid, len(KEYS), label="fig2")
+        journal.close()
+        with open(journal.path) as handle:
+            header = json.loads(handle.readline())
+        assert header == {"sweep": sid, "cells": 3, "label": "fig2"}
+
+
+class TestTolerantLoading:
+    def test_missing_file_is_empty(self, journal):
+        assert journal.load("whatever") == set()
+        assert journal.finished("whatever") is False
+
+    def test_torn_final_line_is_skipped(self, journal):
+        sid = sweep_id(KEYS)
+        journal.begin(sid, len(KEYS))
+        journal.record("k1")
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write('{"done": "k2')  # the crash artefact
+        assert journal.load(sid) == {"k1"}
+
+    def test_other_sweep_journal_is_discarded(self, journal):
+        journal.begin("aaaa", 3)
+        journal.record("k1")
+        journal.close()
+        assert journal.load("bbbb") == set()
+        assert journal.finished("bbbb") is False
+
+    def test_garbage_header_is_empty(self, journal, tmp_path):
+        with open(journal.path, "w") as handle:
+            handle.write("not json at all\n")
+        assert journal.load("aaaa") == set()
+
+    def test_empty_file_is_empty(self, journal):
+        open(journal.path, "w").close()
+        assert journal.load("aaaa") == set()
+        assert journal.finished("aaaa") is False
+
+
+class TestResumeSemantics:
+    def test_keep_appends_to_matching_sweep(self, journal):
+        sid = sweep_id(KEYS)
+        journal.begin(sid, len(KEYS))
+        journal.record("k1")
+        journal.close()
+        journal.begin(sid, len(KEYS), keep=True)
+        journal.record("k2")
+        journal.close()
+        assert journal.load(sid) == {"k1", "k2"}
+
+    def test_keep_rewrites_on_sweep_mismatch(self, journal):
+        journal.begin("aaaa", 3)
+        journal.record("k1")
+        journal.close()
+        other = sweep_id(KEYS)
+        journal.begin(other, len(KEYS), keep=True)
+        journal.record("k2")
+        journal.close()
+        assert journal.load(other) == {"k2"}
+        assert journal.load("aaaa") == set()
+
+    def test_fresh_begin_truncates(self, journal):
+        sid = sweep_id(KEYS)
+        journal.begin(sid, len(KEYS))
+        journal.record("k1")
+        journal.close()
+        journal.begin(sid, len(KEYS))  # keep defaults to False
+        journal.close()
+        assert journal.load(sid) == set()
+
+    def test_record_before_begin_is_a_noop(self, journal):
+        journal.record("k1")  # no handle yet: must not raise
+        journal.finish()
+        journal.close()

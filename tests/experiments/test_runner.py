@@ -1,23 +1,48 @@
 """Integration tests for the experiment runner."""
 
+import json
+
 import pytest
 
 import repro.experiments.runner as runner_module
 from repro.core.parameters import SimulationParameters
+from repro.des.errors import SimulationStalled
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentSpec
+from repro.experiments.journal import SweepJournal
 from repro.experiments.runner import (
     ExperimentResult,
+    SweepStalled,
     SweepStats,
+    _retry_backoff,
     _run_single_timed,
     run_experiment,
 )
 
 
-def _failing_worker(params):
+def _failing_worker(params, timeout=None):
     """Module-level replacement worker (process pools must pickle it)."""
     if params.ltot == 20:
         raise RuntimeError("injected failure ltot=20")
     return _run_single_timed(params)
+
+
+def _always_stalling_worker(params, timeout=None):
+    """Module-level stalling worker (process pools must pickle it)."""
+    raise SimulationStalled("injected stall")
+
+
+class _StallOnceWorker:
+    """Inline-only worker: stalls on its first call, then recovers."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, params, timeout=None):
+        self.calls += 1
+        if self.calls == 1:
+            raise SimulationStalled("injected stall")
+        return _run_single_timed(params)
 
 
 @pytest.fixture
@@ -150,6 +175,112 @@ class TestRunExperiment:
         )
         with pytest.raises(RuntimeError, match="injected failure"):
             run_experiment(tiny_spec, jobs=2, cache=False)
+
+
+class TestJournalledSweeps:
+    def test_journal_path_accepted_and_finished(self, tiny_spec, tmp_path):
+        journal_path = tmp_path / "journals" / "tiny.journal"
+        cache = ResultCache(tmp_path / "cache")
+        run_experiment(tiny_spec, cache=cache, journal=str(journal_path))
+        assert journal_path.exists()
+        lines = [
+            json.loads(line)
+            for line in journal_path.read_text().splitlines()
+        ]
+        assert lines[0]["cells"] == 4
+        assert lines[0]["label"] == "tiny"
+        assert sum(1 for entry in lines if "done" in entry) == 4
+        assert lines[-1] == {"finished": True}
+
+    def test_resume_counts_journalled_cache_hits(self, tiny_spec, tmp_path):
+        journal_path = tmp_path / "tiny.journal"
+        cache = ResultCache(tmp_path / "cache")
+        first = run_experiment(tiny_spec, cache=cache, journal=journal_path)
+        resumed = run_experiment(
+            tiny_spec, cache=cache, journal=journal_path, resume=True
+        )
+        assert resumed.stats.resumed == 4
+        assert resumed.stats.cache_hits == 4
+        assert resumed.stats.runs == 0
+        for a, b in zip(first.outcomes, resumed.outcomes):
+            assert a.as_dict() == b.as_dict()
+
+    def test_partial_journal_resumes_the_rest(self, tiny_spec, tmp_path):
+        journal_path = tmp_path / "tiny.journal"
+        cache = ResultCache(tmp_path / "cache")
+        run_experiment(tiny_spec, cache=cache, journal=journal_path)
+        # Simulate a crash after two cells: keep header + two entries.
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text("\n".join(lines[:3]) + "\n")
+        resumed = run_experiment(
+            tiny_spec, cache=cache, journal=journal_path, resume=True
+        )
+        assert resumed.stats.resumed == 2
+        assert resumed.stats.cache_hits == 4  # the rest still hit the cache
+        assert SweepJournal(journal_path).finished(
+            json.loads(journal_path.read_text().splitlines()[0])["sweep"]
+        )
+
+    def test_without_resume_journal_is_rewritten(self, tiny_spec, tmp_path):
+        journal_path = tmp_path / "tiny.journal"
+        cache = ResultCache(tmp_path / "cache")
+        run_experiment(tiny_spec, cache=cache, journal=journal_path)
+        again = run_experiment(tiny_spec, cache=cache, journal=journal_path)
+        assert again.stats.resumed == 0
+        assert again.stats.cache_hits == 4
+
+    def test_journal_instance_accepted(self, tiny_spec, tmp_path):
+        journal = SweepJournal(tmp_path / "tiny.journal")
+        result = run_experiment(tiny_spec, cache=False, journal=journal)
+        assert result.stats.runs == 4
+        assert journal._handle is None  # closed on the way out
+
+
+class TestWatchdog:
+    def test_generous_watchdog_changes_nothing(self, tiny_spec):
+        plain = run_experiment(tiny_spec, cache=False)
+        guarded = run_experiment(tiny_spec, cache=False, watchdog=300.0)
+        assert guarded.stats.watchdog_restarts == 0
+        for a, b in zip(plain.outcomes, guarded.outcomes):
+            for ra, rb in zip(a.results, b.results):
+                assert ra.as_dict() == rb.as_dict()
+
+    def test_inline_stall_retries_then_succeeds(self, tiny_spec, monkeypatch):
+        monkeypatch.setattr(
+            runner_module, "_run_single_timed", _StallOnceWorker()
+        )
+        result = run_experiment(
+            tiny_spec, cache=False, watchdog=1.0, watchdog_retries=2
+        )
+        assert result.stats.watchdog_restarts == 1
+        assert all(outcome is not None for outcome in result.outcomes)
+
+    def test_inline_stall_exhausts_retries(self, tiny_spec, monkeypatch):
+        monkeypatch.setattr(
+            runner_module, "_run_single_timed", _always_stalling_worker
+        )
+        with pytest.raises(SweepStalled, match="watchdog"):
+            run_experiment(
+                tiny_spec, cache=False, watchdog=1.0, watchdog_retries=0
+            )
+
+    def test_pooled_stall_exhausts_retries(self, tiny_spec, monkeypatch):
+        monkeypatch.setattr(
+            runner_module, "_run_single_timed", _always_stalling_worker
+        )
+        with pytest.raises(SweepStalled, match="watchdog"):
+            run_experiment(
+                tiny_spec, cache=False, jobs=2,
+                watchdog=1.0, watchdog_retries=0,
+            )
+
+    def test_retry_backoff_is_capped_exponential(self):
+        assert _retry_backoff(1) == 0.5
+        assert _retry_backoff(2) == 1.0
+        assert _retry_backoff(3) == 2.0
+        assert _retry_backoff(4) == 4.0
+        assert _retry_backoff(5) == 5.0
+        assert _retry_backoff(50) == 5.0
 
 
 class TestSweepStats:

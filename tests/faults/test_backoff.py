@@ -1,0 +1,116 @@
+"""Unit tests for the pluggable retry-backoff policies."""
+
+import random
+
+import pytest
+
+from repro.faults.backoff import (
+    POLICIES,
+    ExponentialBackoff,
+    FixedUniformBackoff,
+    JitteredBackoff,
+    make_backoff_policy,
+)
+
+
+class TestFixedUniformBackoff:
+    def test_matches_inline_uniform_draw(self):
+        """The default policy must consume the stream exactly as the
+        pre-seam inline ``rng.uniform(0.0, 1.0)`` call did — this is
+        what keeps existing seeded runs bit-identical."""
+        policy = FixedUniformBackoff()
+        a, b = random.Random(7), random.Random(7)
+        for attempt in range(20):
+            assert policy.delay(a, attempt) == b.uniform(0.0, 1.0)
+
+    def test_flat_in_attempt(self):
+        policy = FixedUniformBackoff()
+        rng = random.Random(3)
+        delays = [policy.delay(rng, attempt) for attempt in range(100)]
+        assert all(0.0 <= delay < 1.0 for delay in delays)
+
+    def test_width_scales_range(self):
+        policy = FixedUniformBackoff(width=5.0)
+        rng = random.Random(3)
+        delays = [policy.delay(rng, 0) for _ in range(200)]
+        assert max(delays) > 1.0
+        assert all(0.0 <= delay < 5.0 for delay in delays)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            FixedUniformBackoff(width=0.0)
+        with pytest.raises(ValueError):
+            FixedUniformBackoff(width=-1.0)
+
+
+class TestExponentialBackoff:
+    def test_deterministic_doubling(self):
+        policy = ExponentialBackoff(base=0.5, cap=16.0)
+        rng = random.Random(1)
+        assert policy.delay(rng, 0) == 0.5
+        assert policy.delay(rng, 1) == 1.0
+        assert policy.delay(rng, 2) == 2.0
+        assert policy.delay(rng, 3) == 4.0
+
+    def test_cap(self):
+        policy = ExponentialBackoff(base=0.5, cap=16.0)
+        rng = random.Random(1)
+        assert policy.delay(rng, 10) == 16.0
+        assert policy.delay(rng, 50) == 16.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=0.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(cap=-1.0)
+
+
+class TestJitteredBackoff:
+    def test_bounded_by_exponential_envelope(self):
+        policy = JitteredBackoff(base=0.5, cap=16.0)
+        rng = random.Random(9)
+        for attempt in range(12):
+            ceiling = min(0.5 * 2.0 ** attempt, 16.0)
+            for _ in range(20):
+                assert 0.0 <= policy.delay(rng, attempt) < ceiling
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JitteredBackoff(base=-1.0)
+        with pytest.raises(ValueError):
+            JitteredBackoff(cap=0.0)
+
+
+class TestStreamConsumption:
+    def test_every_policy_draws_exactly_one_variate(self):
+        """Policies must be stream-compatible: swapping the policy
+        changes the delays but never desynchronises the other random
+        streams of a run."""
+        policies = [
+            FixedUniformBackoff(),
+            ExponentialBackoff(),
+            JitteredBackoff(),
+        ]
+        states = []
+        for policy in policies:
+            rng = random.Random(42)
+            for attempt in range(10):
+                policy.delay(rng, attempt)
+            states.append(rng.getstate())
+        assert states[0] == states[1] == states[2]
+
+
+class TestRegistry:
+    def test_registry_names_construct(self):
+        for name in POLICIES:
+            policy = make_backoff_policy(name)
+            assert policy.name == name
+
+    def test_kwargs_forwarded(self):
+        policy = make_backoff_policy("exponential", base=2.0, cap=8.0)
+        assert policy.base == 2.0
+        assert policy.cap == 8.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backoff policy"):
+            make_backoff_policy("fibonacci")

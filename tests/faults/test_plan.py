@@ -1,0 +1,74 @@
+"""Unit tests for declarative fault plans."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults.plan import CrashSpec, FaultPlan, SlowdownSpec, StallSpec
+
+
+class TestCrashSpec:
+    def test_validates_rates(self):
+        with pytest.raises(ValueError):
+            CrashSpec(mttf=0.0, mttr=1.0)
+        with pytest.raises(ValueError):
+            CrashSpec(mttf=1.0, mttr=-1.0)
+
+    def test_processors_coerced_to_tuple(self):
+        spec = CrashSpec(mttf=10.0, mttr=1.0, processors=[0, 2])
+        assert spec.processors == (0, 2)
+
+    def test_frozen(self):
+        spec = CrashSpec(mttf=10.0, mttr=1.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.mttf = 5.0
+
+
+class TestSlowdownSpec:
+    def test_validates_timing_and_factor(self):
+        with pytest.raises(ValueError):
+            SlowdownSpec(mtbf=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            SlowdownSpec(mtbf=1.0, duration=0.0)
+        with pytest.raises(ValueError):
+            SlowdownSpec(mtbf=1.0, duration=1.0, factor=0.0)
+
+    def test_processors_coerced_to_tuple(self):
+        spec = SlowdownSpec(mtbf=5.0, duration=1.0, processors=[1])
+        assert spec.processors == (1,)
+
+
+class TestStallSpec:
+    def test_validates_timing_and_factor(self):
+        with pytest.raises(ValueError):
+            StallSpec(mtbf=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            StallSpec(mtbf=1.0, duration=1.0, factor=-2.0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_inert(self):
+        assert FaultPlan().enabled() is False
+
+    def test_any_source_enables(self):
+        crash = CrashSpec(mttf=10.0, mttr=1.0)
+        slow = SlowdownSpec(mtbf=5.0, duration=1.0)
+        stall = StallSpec(mtbf=5.0, duration=1.0)
+        assert FaultPlan(crashes=(crash,)).enabled()
+        assert FaultPlan(disk_slowdowns=(slow,)).enabled()
+        assert FaultPlan(lock_stalls=(stall,)).enabled()
+
+    def test_lists_coerced_to_tuples(self):
+        plan = FaultPlan(crashes=[CrashSpec(mttf=10.0, mttr=1.0)])
+        assert isinstance(plan.crashes, tuple)
+        assert isinstance(plan.disk_slowdowns, tuple)
+        assert isinstance(plan.lock_stalls, tuple)
+
+    def test_plan_is_hashable(self):
+        plan = FaultPlan(crashes=(CrashSpec(mttf=10.0, mttr=1.0),), seed=3)
+        assert plan == FaultPlan(
+            crashes=(CrashSpec(mttf=10.0, mttr=1.0),), seed=3
+        )
+        assert hash(plan) == hash(
+            FaultPlan(crashes=(CrashSpec(mttf=10.0, mttr=1.0),), seed=3)
+        )

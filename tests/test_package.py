@@ -46,12 +46,17 @@ MODULES = [
     "repro.experiments.config",
     "repro.experiments.crossval",
     "repro.experiments.figures",
+    "repro.experiments.journal",
     "repro.experiments.report",
     "repro.experiments.runner",
     "repro.experiments.search",
     "repro.experiments.sensitivity",
     "repro.experiments.storage",
     "repro.experiments.svg",
+    "repro.faults",
+    "repro.faults.backoff",
+    "repro.faults.injector",
+    "repro.faults.plan",
     "repro.lockmgr",
     "repro.lockmgr.deadlock",
     "repro.lockmgr.hierarchy",
