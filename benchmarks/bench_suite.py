@@ -1,0 +1,271 @@
+"""One-shot performance suite with a committed-baseline regression gate.
+
+Measures the two layers the reproduction's wall time depends on and
+writes one JSON artifact per layer:
+
+``BENCH_kernel.json``
+    Raw DES kernel throughput (events/second) for four workloads —
+    timeout drain, bare callbacks, the process path, and the process
+    path with Timeout/Event pooling — plus the kernel free-list
+    counters of the pooled run.
+``BENCH_sweep.json``
+    A small locking-granularity sweep through the global work queue:
+    per-cell wall times, queue wait, worker occupancy and total
+    elapsed time.
+
+``--check`` compares the kernel events/second numbers against the
+committed baseline under ``benchmarks/baselines/`` (one file per
+mode: smoke and full) and exits non-zero when any workload regresses
+by more than ``REPRO_BENCH_TOLERANCE`` (default 0.30, i.e. 30%).
+Baselines are committed deliberately low (roughly half of a measured
+run) so the gate trips on real regressions, not on CI runner noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_suite.py [--out DIR] [--check]
+
+Set ``REPRO_SMOKE=1`` for the CI-sized run (fewer events, a smaller
+sweep, fewer repeats).
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.parameters import SimulationParameters  # noqa: E402
+from repro.des import Environment  # noqa: E402
+from repro.experiments.config import ExperimentSpec  # noqa: E402
+from repro.experiments.runner import run_experiments  # noqa: E402
+
+#: Directory holding the committed baseline files.
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def _smoke():
+    return os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
+def _tolerance():
+    return float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30"))
+
+
+# -- kernel workloads ----------------------------------------------------
+
+
+def _timeout_drain(n):
+    env = Environment()
+    timeout = env.timeout
+    for i in range(n):
+        timeout(float(i % 97))
+    env.run()
+    return n
+
+
+def _callback_drain(n):
+    env = Environment()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    schedule_callback = env.schedule_callback
+    for i in range(n):
+        schedule_callback(tick, float(i % 97))
+    env.run()
+    return fired[0]
+
+
+def _ticker(env, n):
+    timeout = env.timeout
+    for _ in range(n):
+        yield timeout(1.0)
+
+
+def _process_path(n, pool):
+    env = Environment(pool=pool)
+    n_processes = 10
+    for _ in range(n_processes):
+        env.process(_ticker(env, n // n_processes))
+    env.run()
+    return env
+
+
+def _best_rate(workload, events, repeats):
+    """Best-of-*repeats* events/second for one kernel workload."""
+    best = 0.0
+    result = None
+    for _ in range(repeats):
+        start = perf_counter()
+        result = workload(events)
+        elapsed = perf_counter() - start
+        best = max(best, events / elapsed)
+    return best, result
+
+
+def bench_kernel():
+    """Kernel throughput measurements; returns the BENCH_kernel dict."""
+    events = 20_000 if _smoke() else 200_000
+    repeats = 2 if _smoke() else 3
+    rates = {}
+    rates["timeout_drain"], _ = _best_rate(_timeout_drain, events, repeats)
+    rates["callbacks"], _ = _best_rate(_callback_drain, events, repeats)
+    rates["process"], _ = _best_rate(
+        lambda n: _process_path(n, pool=False), events, repeats
+    )
+    rates["process_pooled"], env = _best_rate(
+        lambda n: _process_path(n, pool=True), events, repeats
+    )
+    return {
+        "mode": "smoke" if _smoke() else "full",
+        "events_per_workload": events,
+        "events_per_second": {k: round(v) for k, v in rates.items()},
+        "pool_stats": env.pool_stats(),
+    }
+
+
+# -- sweep workload ------------------------------------------------------
+
+
+def _sweep_spec():
+    base = SimulationParameters(
+        dbsize=500,
+        ntrans=4,
+        maxtransize=30,
+        npros=2,
+        tmax=40.0 if _smoke() else 120.0,
+        seed=11,
+    )
+    return ExperimentSpec(
+        key="bench-sweep",
+        title="bench sweep",
+        base=base,
+        sweeps={"ltot": (1, 20, 100), "npros": (1, 2)},
+        series_fields=("npros",),
+        y_fields=("throughput",),
+    )
+
+
+def bench_sweep():
+    """Sweep harness measurement; returns the BENCH_sweep dict."""
+    spec = _sweep_spec()
+    cells = []
+
+    def on_cell(done, total, info):
+        if info["seconds"] is not None:
+            cells.append(
+                {"label": info["label"], "seconds": round(info["seconds"], 4)}
+            )
+
+    jobs = min(2, os.cpu_count() or 1)
+    started = perf_counter()
+    # cache=False: this must time simulations, never cache reads.
+    result = run_experiments(
+        [spec],
+        replications=1 if _smoke() else 2,
+        jobs=jobs,
+        cache=False,
+        cell_progress=on_cell,
+    )[0]
+    elapsed = perf_counter() - started
+    stats = result.stats
+    seconds = [cell["seconds"] for cell in cells]
+    return {
+        "mode": "smoke" if _smoke() else "full",
+        "cells": stats.cells,
+        "workers": stats.workers,
+        "occupancy": round(stats.occupancy, 4),
+        "queue_wait_seconds": round(stats.queue_wait_seconds, 4),
+        "elapsed_seconds": round(elapsed, 4),
+        "cell_seconds_max": max(seconds) if seconds else 0.0,
+        "cell_seconds_total": round(sum(seconds), 4) if seconds else 0.0,
+        "cell_wall_times": cells,
+    }
+
+
+# -- baseline gate -------------------------------------------------------
+
+
+def check_kernel(current):
+    """Compare events/second against the committed baseline.
+
+    Returns a list of human-readable failure strings (empty = pass).
+    A missing baseline file is reported but never fails the run, so
+    the suite stays usable on machines without a committed baseline
+    for their mode.
+    """
+    baseline_path = BASELINE_DIR / "kernel-{}.json".format(current["mode"])
+    if not baseline_path.exists():
+        print("no committed baseline at {}; gate skipped".format(baseline_path))
+        return []
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    tolerance = _tolerance()
+    failures = []
+    for name, floor in baseline["events_per_second"].items():
+        measured = current["events_per_second"].get(name)
+        if measured is None:
+            failures.append("workload {!r} missing from current run".format(name))
+            continue
+        allowed = floor * (1.0 - tolerance)
+        if measured < allowed:
+            failures.append(
+                "{}: {:.0f} ev/s < {:.0f} (baseline {:.0f} - {:.0%})".format(
+                    name, measured, allowed, floor, tolerance
+                )
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=".", help="directory for the BENCH_*.json artifacts"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on events/sec regression vs the committed baseline",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    kernel = bench_kernel()
+    with open(out_dir / "BENCH_kernel.json", "w") as handle:
+        json.dump(kernel, handle, indent=1, sort_keys=True)
+    for name, rate in sorted(kernel["events_per_second"].items()):
+        print("kernel {:16s} {:>10,} ev/s".format(name, rate))
+
+    sweep = bench_sweep()
+    with open(out_dir / "BENCH_sweep.json", "w") as handle:
+        json.dump(sweep, handle, indent=1, sort_keys=True)
+    print(
+        "sweep  {} cells on {} workers: occupancy {:.0%}, "
+        "queue wait {:.2f}s, {:.2f}s wall".format(
+            sweep["cells"],
+            sweep["workers"],
+            sweep["occupancy"],
+            sweep["queue_wait_seconds"],
+            sweep["elapsed_seconds"],
+        )
+    )
+    print("wrote {}/BENCH_kernel.json and BENCH_sweep.json".format(out_dir))
+
+    if args.check:
+        failures = check_kernel(kernel)
+        if failures:
+            for failure in failures:
+                print("PERF REGRESSION: {}".format(failure), file=sys.stderr)
+            return 1
+        print("perf gate passed ({:.0%} tolerance)".format(_tolerance()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

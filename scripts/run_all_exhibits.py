@@ -5,10 +5,16 @@ JSON per exhibit under ``results/``, plus a combined summary JSON.
 Figures 2–4 share one configuration grid, so their sweep is executed
 once and reused.
 
+With ``--jobs N`` (N > 1) every selected exhibit is batched into ONE
+global work queue (:func:`repro.experiments.runner.run_experiments`):
+all (cell, replication) jobs across all exhibits are deduplicated by
+content address, ordered longest-first and packed onto one worker
+pool, so cores never idle at exhibit boundaries.
+
 Usage::
 
     python scripts/run_all_exhibits.py [--tmax 600] [--out results]
-        [--npros-grid 1,10,30] [--only fig7,fig9]
+        [--npros-grid 1,10,30] [--only fig7,fig9] [--jobs 8]
 """
 
 import argparse
@@ -18,7 +24,7 @@ import time
 from pathlib import Path
 
 from repro.experiments.figures import EXHIBITS
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import run_experiment, run_experiments
 from repro.experiments.storage import save_rows_csv, save_rows_json
 
 #: Exhibits whose sweep equals fig2's (same base, same grid): their
@@ -66,6 +72,86 @@ def parse_args(argv):
     return parser.parse_args(argv)
 
 
+def _write_exhibit(key, spec, result, elapsed, out_dir, summary, svg):
+    """Persist one exhibit's rows, series and summary entry."""
+    rows = result.rows()
+    save_rows_csv(rows, out_dir / "{}.csv".format(key))
+    save_rows_json(
+        rows,
+        out_dir / "{}.json".format(key),
+        metadata={
+            "exhibit": key,
+            "title": spec.title,
+            "tmax": spec.base.tmax,
+            "elapsed_seconds": round(elapsed, 1),
+            "cache_hits": result.stats.cache_hits if result.stats else None,
+            "simulated_runs": result.stats.runs if result.stats else None,
+        },
+    )
+    series = {
+        y: {
+            label: points
+            for label, points in result.series(y).items()
+        }
+        for y in spec.y_fields
+    }
+    summary[key] = {
+        "title": spec.title,
+        "series": series,
+        "elapsed_seconds": round(elapsed, 1),
+    }
+    if svg:
+        from repro.experiments.svg import save_result_charts
+
+        save_result_charts(result, str(out_dir), prefix=key)
+
+
+def _run_batched(selected, args, out_dir, summary):
+    """Run every selected exhibit through one global work queue."""
+    started = time.time()
+    try:
+        results = run_experiments(
+            [spec for _, spec in selected],
+            jobs=args.jobs,
+            cache=False if args.no_cache else None,
+            refresh=args.refresh,
+            journals=[
+                str(out_dir / ".journals" / (key + ".journal"))
+                for key, _ in selected
+            ],
+            resume=args.resume,
+            watchdog=args.watchdog,
+            drain_signals=True,
+            cell_progress=lambda done, total, info: print(
+                "\r  {} {}/{} cells [{}: {}]   ".format(
+                    info["spec"], done, total, info["source"], info["label"]
+                ),
+                end="", file=sys.stderr, flush=True,
+            ),
+        )
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        print(
+            "interrupted; progress journalled per exhibit — rerun "
+            "with --resume to continue"
+        )
+        return 130
+    print(file=sys.stderr)
+    elapsed = time.time() - started
+    for (key, spec), result in zip(selected, results):
+        _write_exhibit(key, spec, result, elapsed, out_dir, summary, args.svg)
+        print(
+            "done {} ({})".format(key, result.stats.summary())
+        )
+    stats = results[0].stats
+    print(
+        "global queue: {} workers, occupancy {:.0%}, {:.0f}s wall".format(
+            stats.workers, stats.occupancy, elapsed
+        )
+    )
+    return 0
+
+
 def main(argv=None):
     args = parse_args(argv)
     out_dir = Path(args.out)
@@ -79,13 +165,30 @@ def main(argv=None):
             summary = json.load(handle)
     else:
         summary = {}
-    fig2_result = None
+
+    selected = []
     for key, builder in EXHIBITS.items():
         if only and key not in only:
             continue
         spec = builder().scaled(tmax=args.tmax)
         if "npros" in spec.sweeps and len(spec.sweeps["npros"]) > 3:
             spec = spec.scaled(replace_sweeps={"npros": npros_grid})
+        selected.append((key, spec))
+
+    if args.jobs > 1 and len(selected) > 1:
+        # Batched path: one global queue over every exhibit's cells.
+        # Exhibits sharing a grid (figs 2-4) dedupe at the cell level,
+        # so the explicit fig2 reuse below is only needed inline.
+        code = _run_batched(selected, args, out_dir, summary)
+        if code:
+            return code
+        with open(summary_path, "w") as handle:
+            json.dump(summary, handle, indent=1, sort_keys=True)
+        print("wrote {}/summary.json".format(out_dir))
+        return 0
+
+    fig2_result = None
+    for key, spec in selected:
         started = time.time()
         if key in SHARES_FIG2_GRID and fig2_result is not None and not only:
             result = fig2_result
@@ -126,36 +229,7 @@ def main(argv=None):
         if key == "fig2":
             fig2_result = result
         elapsed = time.time() - started
-        rows = result.rows()
-        save_rows_csv(rows, out_dir / "{}.csv".format(key))
-        save_rows_json(
-            rows,
-            out_dir / "{}.json".format(key),
-            metadata={
-                "exhibit": key,
-                "title": spec.title,
-                "tmax": args.tmax,
-                "elapsed_seconds": round(elapsed, 1),
-                "cache_hits": result.stats.cache_hits if result.stats else None,
-                "simulated_runs": result.stats.runs if result.stats else None,
-            },
-        )
-        series = {
-            y: {
-                label: points
-                for label, points in result.series(y).items()
-            }
-            for y in spec.y_fields
-        }
-        summary[key] = {
-            "title": spec.title,
-            "series": series,
-            "elapsed_seconds": round(elapsed, 1),
-        }
-        if args.svg:
-            from repro.experiments.svg import save_result_charts
-
-            save_result_charts(result, str(out_dir), prefix=key)
+        _write_exhibit(key, spec, result, elapsed, out_dir, summary, args.svg)
         print("done {} in {:.0f}s {}".format(key, elapsed, note))
     with open(summary_path, "w") as handle:
         json.dump(summary, handle, indent=1, sort_keys=True)

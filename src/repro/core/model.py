@@ -30,6 +30,7 @@ off briefly and retries.  The bundled request cost is charged the same
 way, once per attempt.
 """
 
+import os
 from itertools import count
 
 from repro.core.conflict import make_conflict_engine
@@ -115,6 +116,12 @@ class LockingGranularityModel:
         to :class:`~repro.faults.backoff.FixedUniformBackoff`, which
         reproduces the historical inline ``uniform(0, 1)`` draw
         bit-for-bit.
+    kernel_pool:
+        Whether the simulation kernel recycles processed Timeout and
+        Event objects (see ``Environment(pool=...)``).  ``None``
+        (the default) reads ``REPRO_KERNEL_POOL`` (on unless set to
+        ``0``).  Pooling never changes results — it is a pure
+        allocator optimisation, and bit-identity is pinned by tests.
     """
 
     def __init__(
@@ -125,6 +132,7 @@ class LockingGranularityModel:
         telemetry=None,
         fault_plan=None,
         backoff=None,
+        kernel_pool=None,
     ):
         params.validate()
         self.params = params
@@ -140,7 +148,12 @@ class LockingGranularityModel:
         else:
             self.trace = sinks[0] if sinks else None
         self._size_sampler_override = size_sampler
-        self.env = Environment()
+        if kernel_pool is None:
+            # Event pooling is a pure allocator optimisation (results
+            # are bit-identical either way, pinned by tests), so it
+            # defaults on; REPRO_KERNEL_POOL=0 is the escape hatch.
+            kernel_pool = os.environ.get("REPRO_KERNEL_POOL", "1") != "0"
+        self.env = Environment(pool=kernel_pool)
         streams = RandomStreams(params.seed)
         self._rng_size = streams.stream("sizes")
         self._rng_place = streams.stream("placement")

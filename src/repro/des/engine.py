@@ -4,7 +4,9 @@ from collections import Counter
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from itertools import count
+from sys import getrefcount
 from time import perf_counter
+from typing import Dict, Optional
 
 from repro.des.errors import (
     EmptySchedule,
@@ -12,7 +14,7 @@ from repro.des.errors import (
     SimulationStalled,
     StopSimulation,
 )
-from repro.des.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.des.events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
 
 
@@ -28,13 +30,19 @@ class KernelStats:
 
     events_dispatched: int
     heap_length: int
-    heap_peak: int = None
-    run_seconds: float = None
-    events_per_second: float = None
-    event_type_counts: dict = None
+    heap_peak: Optional[int] = None
+    run_seconds: Optional[float] = None
+    events_per_second: Optional[float] = None
+    event_type_counts: Optional[Dict[str, int]] = None
 
     def as_dict(self):
-        """Plain dict with the unpopulated fields omitted."""
+        """Plain dict with the unpopulated fields omitted.
+
+        Key order is fixed (declaration order) and the event-type
+        counts are sorted by type name, so two snapshots of the same
+        state serialise identically — the property the perf-regression
+        harness relies on when diffing ``BENCH_*.json`` files.
+        """
         row = {
             "events_dispatched": self.events_dispatched,
             "heap_length": self.heap_length,
@@ -44,7 +52,9 @@ class KernelStats:
             if value is not None:
                 row[name] = value
         if self.event_type_counts is not None:
-            row["event_type_counts"] = dict(self.event_type_counts)
+            row["event_type_counts"] = dict(
+                sorted(self.event_type_counts.items())
+            )
         return row
 
 
@@ -59,16 +69,38 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock (default ``0.0``).
+    pool:
+        Enable the Timeout/Event free lists: processed events that are
+        provably unreferenced (checked by refcount) are reset and
+        reused by the :meth:`timeout` / :meth:`event` factories instead
+        of being garbage.  Results are bit-identical with pooling on or
+        off; see DESIGN.md for the recycling contract.
     """
 
-    __slots__ = ("_now", "_heap", "_eid", "_dispatched", "_live_procs")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_eid",
+        "_dispatched",
+        "_live_procs",
+        "_pool",
+        "_timeout_pool",
+        "_event_pool",
+        "_timeout_reuses",
+        "_event_reuses",
+    )
 
-    def __init__(self, initial_time=0.0):
+    def __init__(self, initial_time=0.0, pool=False):
         self._now = float(initial_time)
         self._heap = []
         self._eid = count()
         self._dispatched = 0
         self._live_procs = 0
+        self._pool = bool(pool)
+        self._timeout_pool = []
+        self._event_pool = []
+        self._timeout_reuses = 0
+        self._event_reuses = 0
 
     @property
     def now(self):
@@ -85,6 +117,11 @@ class Environment:
         """Processes started but not yet finished."""
         return self._live_procs
 
+    @property
+    def pooling(self):
+        """True when the Timeout/Event free lists are enabled."""
+        return self._pool
+
     def kernel_stats(self):
         """Current :class:`KernelStats` snapshot (cheap counters only)."""
         return KernelStats(
@@ -92,12 +129,46 @@ class Environment:
             heap_length=len(self._heap),
         )
 
+    def pool_stats(self):
+        """Free-list occupancy and reuse counters (cheap)."""
+        return {
+            "enabled": self._pool,
+            "timeout_free": len(self._timeout_pool),
+            "event_free": len(self._event_pool),
+            "timeout_reused": self._timeout_reuses,
+            "event_reused": self._event_reuses,
+        }
+
     # -- scheduling ----------------------------------------------------
 
     def schedule(self, event, delay=0.0, priority=NORMAL):
-        """Put *event* on the heap to be processed after *delay*."""
+        """Put *event* on the heap to be processed after *delay*.
+
+        *delay* must be non-negative: a direct ``schedule`` (or a bare
+        callback) could otherwise move time backwards on the heap,
+        which the run loop never checks for.
+        """
+        if delay < 0:
+            raise ValueError("negative delay {}".format(delay))
         heappush(
             self._heap, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def schedule_callback(self, fn, delay=0.0, priority=NORMAL):
+        """Schedule a bare callable — no :class:`Event` is allocated.
+
+        *fn* is invoked with no arguments when its heap entry is
+        processed.  This is the zero-allocation path for internal
+        wakeups that nothing ever waits on (e.g. server completion
+        segments): one heap tuple instead of an Event, its callback
+        list and a closure per callback.  The callable must not have a
+        ``callbacks`` attribute (plain functions, closures and bound
+        methods never do).
+        """
+        if delay < 0:
+            raise ValueError("negative delay {}".format(delay))
+        heappush(
+            self._heap, (self._now + delay, priority, next(self._eid), fn)
         )
 
     def peek(self):
@@ -107,7 +178,7 @@ class Environment:
         return self._heap[0][0]
 
     def step(self):
-        """Process the next scheduled event.
+        """Process the next scheduled event (or bare callback).
 
         Raises
         ------
@@ -119,11 +190,111 @@ class Environment:
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        try:
+            callbacks = event.callbacks
+        except AttributeError:  # a bare callback, not an Event
+            event()
+            return
+        event.callbacks = None
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter(event)
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
             raise event._value
+        if self._pool:
+            # `event` local + getrefcount's argument == 2: nothing else
+            # references the object, so recycling cannot leak state.
+            if event.__class__ is Timeout:
+                if getrefcount(event) == 2:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._value = PENDING
+                    event._defused = False
+                    self._timeout_pool.append(event)
+            elif event.__class__ is Event and getrefcount(event) == 2:
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = PENDING
+                event._ok = None
+                event._defused = False
+                self._event_pool.append(event)
+
+    def _dispatch(self, stop_at, timeout):
+        """The hot loop: pop-and-dispatch until *stop_at* is passed.
+
+        This is :meth:`step` inlined (no per-event method call), with
+        the bare-callback branch, the single-waiter fast path and the
+        free-list recycler folded in.  The dispatch count lives in a
+        local and is folded into the instance counter once on exit.
+        """
+        heap = self._heap
+        pooling = self._pool
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        getrefs = getrefcount
+        deadline = None if timeout is None else perf_counter() + timeout
+        dispatched = 0
+        try:
+            while heap and heap[0][0] <= stop_at:
+                when, _, _, event = heappop(heap)
+                self._now = when
+                dispatched += 1
+                try:
+                    callbacks = event.callbacks
+                except AttributeError:  # a bare callback, not an Event
+                    event()
+                else:
+                    event.callbacks = None
+                    waiter = event._waiter
+                    if waiter is not None:
+                        event._waiter = None
+                        waiter(event)
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if pooling:
+                        # `event` local + getrefcount's argument == 2:
+                        # nothing else references the object, so
+                        # recycling cannot leak state (conditions,
+                        # generators or monitors holding it keep the
+                        # refcount higher and the object alive).
+                        if event.__class__ is Timeout:
+                            if getrefs(event) == 2:
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                                event._value = PENDING
+                                event._defused = False
+                                timeout_pool.append(event)
+                        elif (
+                            event.__class__ is Event
+                            and getrefs(event) == 2
+                        ):
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            event._value = PENDING
+                            event._ok = None
+                            event._defused = False
+                            event_pool.append(event)
+                if deadline is not None and not dispatched & 1023:
+                    # The wall-clock guard is checked once every 1024
+                    # events so the budget costs one masked compare
+                    # per event instead of a perf_counter() syscall.
+                    if perf_counter() >= deadline:
+                        raise SimulationStalled(
+                            "wall-clock timeout ({}s) exhausted at "
+                            "t={}".format(timeout, self._now),
+                            stats=KernelStats(
+                                events_dispatched=self._dispatched
+                                + dispatched,
+                                heap_length=len(heap),
+                            ),
+                        )
+        finally:
+            self._dispatched += dispatched
 
     def run(self, until=None, timeout=None):
         """Run until *until* (a time or an event), or until heap empty.
@@ -163,44 +334,14 @@ class Environment:
                 raise SimulationError(
                     "until ({}) is in the past (now={})".format(stop_at, self._now)
                 )
-        # Hot loop: bind the heap and the step method once instead of
-        # resolving both attributes on every iteration — the loop body
-        # runs once per processed event.  The dispatch count lives in a
-        # local and is folded into the instance counter once on exit,
-        # keeping per-event overhead to one local increment.
-        heap = self._heap
-        step = self.step
-        dispatched = 0
         try:
-            if timeout is None:
-                while heap and heap[0][0] <= stop_at:
-                    step()
-                    dispatched += 1
-            else:
-                # The wall-clock guard is checked once every 1024
-                # events so the budget costs one masked compare per
-                # event instead of a perf_counter() syscall.
-                deadline = perf_counter() + timeout
-                while heap and heap[0][0] <= stop_at:
-                    step()
-                    dispatched += 1
-                    if not dispatched & 1023 and perf_counter() >= deadline:
-                        raise SimulationStalled(
-                            "wall-clock timeout ({}s) exhausted at "
-                            "t={}".format(timeout, self._now),
-                            stats=KernelStats(
-                                events_dispatched=self._dispatched + dispatched,
-                                heap_length=len(heap),
-                            ),
-                        )
+            self._dispatch(stop_at, timeout)
         except StopSimulation as stop:
             return stop.value
-        finally:
-            self._dispatched += dispatched
         if isinstance(until, Event):
             raise EmptySchedule("ran out of events before {!r}".format(until))
         if stop_at != float("inf"):
-            if not heap and self._live_procs > 0:
+            if not self._heap and self._live_procs > 0:
                 raise SimulationStalled(
                     "event heap ran dry at t={} before until={} with {} "
                     "live process(es) — every live process is waiting on "
@@ -215,11 +356,29 @@ class Environment:
     # -- factories -----------------------------------------------------
 
     def event(self):
-        """Create a fresh, untriggered :class:`Event`."""
+        """Create (or recycle) a fresh, untriggered :class:`Event`."""
+        pool = self._event_pool
+        if pool:
+            # Recycled events were fully reset when pooled, so reuse
+            # is a pop and a counter bump.
+            self._event_reuses += 1
+            return pool.pop()
         return Event(self)
 
     def timeout(self, delay, value=None):
-        """Create a :class:`Timeout` that fires after *delay*."""
+        """Create (or recycle) a :class:`Timeout` firing after *delay*."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError("negative delay {}".format(delay))
+            self._timeout_reuses += 1
+            t = pool.pop()
+            t._delay = delay
+            t._value = value
+            heappush(
+                self._heap, (self._now + delay, NORMAL, next(self._eid), t)
+            )
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator):
@@ -241,39 +400,84 @@ class ProfiledEnvironment(Environment):
     On top of the base dispatch counter it tracks the peak heap size,
     wall-clock seconds spent inside :meth:`run` (and therefore
     events/second), and how many events of each type were processed
-    (``Timeout``, ``Process``, ``Initialize``, ...).  That bookkeeping
-    costs a few percent of raw event throughput, so it lives in a
-    subclass and the production simulation keeps the plain kernel.
+    (``Timeout``, ``Process``, ``Initialize``, ... — bare callbacks
+    scheduled through :meth:`Environment.schedule_callback` are
+    counted as ``Callback``).  That bookkeeping costs a few percent of
+    raw event throughput, so it lives in a subclass and the production
+    simulation keeps the plain kernel.  The free-list pool is disabled
+    here: a profiling run should see real allocation behaviour.
     """
 
     __slots__ = ("_heap_peak", "_type_counts", "_run_seconds")
 
     def __init__(self, initial_time=0.0):
-        super().__init__(initial_time)
+        super().__init__(initial_time, pool=False)
         self._heap_peak = 0
         self._type_counts = Counter()
         self._run_seconds = 0.0
 
     def schedule(self, event, delay=0.0, priority=NORMAL):
         """Schedule *event*, tracking the peak heap population."""
+        if delay < 0:
+            raise ValueError("negative delay {}".format(delay))
         heap = self._heap
         heappush(heap, (self._now + delay, priority, next(self._eid), event))
         if len(heap) > self._heap_peak:
             self._heap_peak = len(heap)
 
+    def schedule_callback(self, fn, delay=0.0, priority=NORMAL):
+        """Schedule a bare callback, tracking the peak heap population."""
+        super().schedule_callback(fn, delay, priority)
+        if len(self._heap) > self._heap_peak:
+            self._heap_peak = len(self._heap)
+
     def step(self):
-        """Process the next event, counting it by event type."""
+        """Process the next entry, counting it by event type."""
         try:
             when, _, _, event = heappop(self._heap)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
-        self._type_counts[type(event).__name__] += 1
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        try:
+            callbacks = event.callbacks
+        except AttributeError:
+            self._type_counts["Callback"] += 1
+            event()
+            return
+        self._type_counts[type(event).__name__] += 1
+        event.callbacks = None
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter(event)
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
             raise event._value
+
+    def _dispatch(self, stop_at, timeout):
+        """Counted loop over :meth:`step` (slower, fully profiled)."""
+        heap = self._heap
+        step = self.step
+        deadline = None if timeout is None else perf_counter() + timeout
+        dispatched = 0
+        try:
+            while heap and heap[0][0] <= stop_at:
+                step()
+                dispatched += 1
+                if deadline is not None and not dispatched & 1023:
+                    if perf_counter() >= deadline:
+                        raise SimulationStalled(
+                            "wall-clock timeout ({}s) exhausted at "
+                            "t={}".format(timeout, self._now),
+                            stats=KernelStats(
+                                events_dispatched=self._dispatched
+                                + dispatched,
+                                heap_length=len(heap),
+                            ),
+                        )
+        finally:
+            self._dispatched += dispatched
 
     def run(self, until=None, timeout=None):
         """Run as the base class does, accumulating wall-clock time."""

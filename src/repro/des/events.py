@@ -41,7 +41,14 @@ class Event:
     # Events are allocated by the million on the simulation hot path;
     # __slots__ drops the per-instance dict (smaller, faster attribute
     # access).  Subclasses must declare their own __slots__ too.
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    #
+    # ``_waiter`` is the single-waiter fast path: when exactly one
+    # process waits on a Timeout (the ubiquitous ``yield env.timeout(d)``
+    # pattern), its bound resume callback is stored here instead of in
+    # the ``callbacks`` list, and the run loop invokes it directly —
+    # before the list, preserving the append order the generic path
+    # would have produced.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_waiter")
 
     def __init__(self, env):
         self.env = env
@@ -51,6 +58,7 @@ class Event:
         self._value = PENDING
         self._ok = None
         self._defused = False
+        self._waiter = None
 
     def __repr__(self):
         return "<{} object at {:#x}>".format(type(self).__name__, id(self))
@@ -115,12 +123,16 @@ class Timeout(Event):
     __slots__ = ("_delay",)
 
     def __init__(self, env, delay, value=None):
-        if delay < 0:
-            raise ValueError("negative delay {}".format(delay))
-        super().__init__(env)
-        self._delay = delay
+        # Timeouts dominate event allocation; the base __init__ is
+        # inlined here (one call frame saved per timeout) and the
+        # delay check is left to Environment.schedule.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
+        self._defused = False
+        self._waiter = None
+        self._delay = delay
         env.schedule(self, delay=delay)
 
     def __repr__(self):
@@ -134,7 +146,7 @@ class Initialize(Event):
 
     def __init__(self, env, process):
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         self._ok = True
         self._value = None
         env.schedule(self, delay=0, priority=URGENT)

@@ -1,7 +1,7 @@
 """Generator-based simulation processes."""
 
 from repro.des.errors import Interrupt, SimulationError
-from repro.des.events import URGENT, Event
+from repro.des.events import URGENT, Event, Timeout
 
 
 class Process(Event):
@@ -16,7 +16,7 @@ class Process(Event):
     one another or be joined with :class:`~repro.des.events.AllOf`.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_resume_cb")
 
     def __init__(self, env, generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -26,6 +26,10 @@ class Process(Event):
         #: The event this process currently waits on (None if running or
         #: not yet started).
         self._target = None
+        #: The resume callback is bound once: every yield re-registers
+        #: it, and ``self._resume`` would allocate a fresh bound method
+        #: per access on the hottest path in the kernel.
+        self._resume_cb = self._resume
         env._live_procs += 1
         from repro.des.events import Initialize
 
@@ -54,7 +58,7 @@ class Process(Event):
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
-        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.callbacks.append(self._resume_cb)
         self.env.schedule(interrupt_event, delay=0, priority=URGENT)
 
     def _resume(self, event):
@@ -63,9 +67,12 @@ class Process(Event):
         # event; detach from that event so its later processing does
         # not resume us twice.
         if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+            target = self._target
+            if target._waiter is self._resume_cb:
+                target._waiter = None
+            elif target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume_cb)
                 except ValueError:
                     pass
         self._target = None
@@ -95,7 +102,22 @@ class Process(Event):
                 self.env._live_procs -= 1
                 self.env.schedule(self, delay=0)
                 return
-            if not isinstance(next_event, Event):
+            if next_event.__class__ is Timeout:
+                # Fast path for the ubiquitous ``yield env.timeout(d)``:
+                # a freshly created timeout nobody else watches gets its
+                # single waiter stored directly on the event, skipping
+                # the generic callback list (one append + one list
+                # iteration per event saved).  The run loop fires the
+                # waiter before any listed callbacks, which is exactly
+                # the order an immediate append would have produced.
+                if next_event._waiter is None and not next_event.callbacks:
+                    if next_event.callbacks is None:
+                        event = next_event
+                        continue  # already processed: feed it back in
+                    next_event._waiter = self._resume_cb
+                    self._target = next_event
+                    return
+            elif not isinstance(next_event, Event):
                 raise SimulationError(
                     "process yielded a non-event: {!r}".format(next_event)
                 )
@@ -103,6 +125,6 @@ class Process(Event):
                 # Already done: loop and feed its value immediately.
                 event = next_event
                 continue
-            next_event.callbacks.append(self._resume)
+            next_event.callbacks.append(self._resume_cb)
             self._target = next_event
             return

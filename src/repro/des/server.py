@@ -16,6 +16,7 @@ useful (transaction) work.  :class:`Server` provides exactly that:
 """
 
 import heapq
+from collections import defaultdict
 from itertools import count
 
 from repro.des.events import Event
@@ -64,14 +65,18 @@ class Server:
         self.env = env
         self.name = name
         self.discipline = discipline
+        # The discipline string is resolved to a key function once;
+        # comparing it on every enqueue would put a string compare on
+        # the submit/preempt hot path.
+        self._key = self._sjf_key if discipline == "sjf" else self._fcfs_key
         self._heap = []
         self._seq = count()
         self._current = None
         self._segment_start = 0.0
         self._token = 0
-        self._busy = {}
-        self._served = {}
-        self._demand_total = {}
+        self._busy = defaultdict(float)
+        self._served = defaultdict(int)
+        self._demand_total = defaultdict(float)
         self._scale = 1.0
 
     def __repr__(self):
@@ -101,7 +106,7 @@ class Server:
             demand = demand * self._scale
         done = Event(self.env)
         job = _Job(demand, priority, tag, next(self._seq), done, self.env.now)
-        self._demand_total[tag] = self._demand_total.get(tag, 0.0) + demand
+        self._demand_total[tag] += demand
         if self._current is None:
             self._start(job)
         elif job.priority < self._current.priority:
@@ -189,21 +194,28 @@ class Server:
 
     # -- internals -------------------------------------------------------
 
-    def _key(self, job):
-        if self.discipline == "sjf":
-            return (job.priority, job.remaining, job.seq)
+    @staticmethod
+    def _fcfs_key(job):
         return (job.priority, job.seq)
+
+    @staticmethod
+    def _sjf_key(job):
+        return (job.priority, job.remaining, job.seq)
 
     def _start(self, job):
         self._current = job
         self._segment_start = self.env.now
         self._token += 1
-        token = self._token
-        completion = Event(self.env)
-        completion._ok = True
-        completion._value = None
-        completion.callbacks.append(lambda _ev, t=token: self._on_complete(t))
-        self.env.schedule(completion, delay=job.remaining)
+        # Per-segment completions are the server's hottest allocation
+        # site (every preemption reschedules one); a bare callback
+        # puts a single closure on the heap instead of an Event and
+        # its callback list.  The captured token keeps the
+        # stale-completion guard: a preemption or crash bumps
+        # self._token, and the out-of-date callback is ignored by
+        # _on_complete when it eventually fires.
+        self.env.schedule_callback(
+            lambda t=self._token: self._on_complete(t), job.remaining
+        )
 
     def _preempt(self):
         job = self._current

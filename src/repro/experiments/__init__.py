@@ -20,7 +20,11 @@ from repro.experiments.config import LTOT_GRID, NPROS_GRID, ExperimentSpec
 from repro.experiments.crossval import CrossValidation, cross_validate_engines
 from repro.experiments.figures import EXHIBITS, get_exhibit
 from repro.experiments.report import ascii_plot, format_series_table
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_experiment,
+    run_experiments,
+)
 from repro.experiments.search import SearchOutcome, find_optimal_ltot
 from repro.experiments.sensitivity import (
     Sensitivity,
@@ -50,6 +54,7 @@ __all__ = [
     "get_exhibit",
     "load_rows_csv",
     "run_experiment",
+    "run_experiments",
     "save_result_charts",
     "save_rows_csv",
     "save_rows_json",

@@ -9,6 +9,18 @@ granularity, so a single expensive configuration still parallelises),
 and aggregates each configuration's replications in seed order —
 which makes ``jobs=N`` bit-identical to an inline run.
 
+:func:`run_experiments` generalises this to a *batch* of specs sharing
+ONE global work queue: every (cell, replication) job of every spec is
+collected up front, deduplicated by content address (figure specs that
+share a parameter grid request the same cells — each unique cell is
+simulated exactly once and delivered to all requesters), ordered
+longest-expected-cell-first so the big cells start while small ones
+backfill the stragglers, and executed on a single pool.  Journal
+identity and cache keys are exactly those of the equivalent
+per-spec :func:`run_experiment` calls, so resume and caching are
+unaffected by batching.  :func:`run_experiment` is the one-spec
+special case.
+
 Crash-safety (all opt-in, see :func:`run_experiment`):
 
 * a :class:`~repro.experiments.journal.SweepJournal` records every
@@ -169,6 +181,17 @@ class SweepStats:
     resumed: int = 0
     #: Cells whose worker was killed (or stalled) and re-queued.
     watchdog_restarts: int = 0
+    #: Summed seconds this sweep's simulated cells spent between being
+    #: submitted to the global work queue and starting to compute
+    #: (includes pool hand-off overhead; 0.0 for inline runs).
+    queue_wait_seconds: float = 0.0
+    #: Fraction of worker capacity kept busy while the queue drained:
+    #: summed compute seconds / (workers x execution wall time).
+    #: Shared by every spec of a batched :func:`run_experiments` call.
+    occupancy: float = 0.0
+    #: Worker processes the queue ran on (1 = inline execution,
+    #: 0 = every cell answered from the cache).
+    workers: int = 0
 
     @property
     def cells(self):
@@ -266,6 +289,74 @@ def _config_label(spec, params):
     return ", ".join(parts)
 
 
+def _job_cost(params):
+    """Expected relative cost of one cell, for queue ordering.
+
+    Simulated horizon x terminals x transaction-size cap tracks the
+    event count well enough for longest-first scheduling; it only has
+    to rank cells, not predict seconds.
+    """
+    return params.tmax * params.npros * params.ntrans
+
+
+class _Job:
+    """One unique pending cell of the global work queue.
+
+    ``requesters`` lists every ``(context, config, replication)`` that
+    asked for this cell's content address; the first one is *primary*
+    and owns the compute-time accounting and the cache write.
+    """
+
+    __slots__ = ("seq", "run_params", "key", "cost", "requesters")
+
+    def __init__(self, seq, run_params, key):
+        self.seq = seq
+        self.run_params = run_params
+        self.key = key
+        self.cost = _job_cost(run_params)
+        self.requesters = []
+
+
+class _SweepContext:
+    """Mutable per-spec state while a batch of sweeps executes."""
+
+    __slots__ = (
+        "spec",
+        "index",
+        "configs",
+        "stats",
+        "outcomes",
+        "grid",
+        "remaining",
+        "cells",
+        "journal",
+        "journaled",
+    )
+
+    def __init__(self, spec, replications, index):
+        self.spec = spec
+        self.index = index
+        self.configs = spec.configurations()
+        self.stats = SweepStats(
+            configs=len(self.configs), replications=replications
+        )
+        self.outcomes = [None] * len(self.configs)
+        self.grid = [[None] * replications for _ in self.configs]
+        self.remaining = [replications] * len(self.configs)
+        self.journal = None
+        self.journaled = set()
+        # Materialise every cell (with its content address) up front:
+        # the ordered addresses identify this sweep for the journal.
+        self.cells = []  # (config_index, replication_index, params, key)
+        for i, params in enumerate(self.configs):
+            self.stats.per_config.append(
+                ConfigStats(index=i, label=_config_label(spec, params))
+            )
+            for r in range(replications):
+                run_params = params.replace(seed=params.seed + r)
+                self.cells.append((i, r, run_params, cache_key(run_params)))
+
+
 def run_experiment(
     spec,
     replications=1,
@@ -357,26 +448,86 @@ def run_experiment(
         With *drain_signals*, after a signal-triggered drain has
         flushed the journal.
     """
+    return run_experiments(
+        [spec],
+        replications=replications,
+        jobs=jobs,
+        progress=progress,
+        cache=cache,
+        refresh=refresh,
+        cell_progress=cell_progress,
+        manifests=manifests,
+        journals=[journal],
+        resume=resume,
+        watchdog=watchdog,
+        watchdog_retries=watchdog_retries,
+        drain_signals=drain_signals,
+    )[0]
+
+
+def run_experiments(
+    specs,
+    replications=1,
+    jobs=None,
+    progress=None,
+    cache=None,
+    refresh=False,
+    cell_progress=None,
+    manifests=True,
+    journals=None,
+    resume=False,
+    watchdog=None,
+    watchdog_retries=2,
+    drain_signals=False,
+):
+    """Execute a batch of specs over ONE global work queue.
+
+    Every parameter keeps its :func:`run_experiment` meaning; the
+    differences of the batched form are:
+
+    * *journals* is a list aligned with *specs* (``None`` entries for
+      specs that should not be journalled); each spec keeps its own
+      journal identity, exactly as if it had been run alone.
+    * cells shared between specs (same content address — e.g. figure
+      grids that overlap) are simulated once and delivered to every
+      requesting spec.  The first requester is reported with source
+      ``"run"`` and owns the cache write; the others see source
+      ``"shared"``.  Both count toward ``stats.runs`` so
+      ``cache_misses == runs`` holds per spec.
+    * pending cells are ordered longest-expected-cell-first
+      (``tmax * npros * ntrans``), so expensive cells start early and
+      cheap ones backfill idle workers near the end of the queue.
+    * ``progress(done, total)`` / ``cell_progress(done, total, info)``
+      count globally across the batch, and *info* gains a ``"spec"``
+      key with the requesting spec's key.
+
+    Returns a list of :class:`ExperimentResult`, aligned with *specs*.
+    """
     if replications < 1:
         raise ValueError(
             "replications must be >= 1, got {}".format(replications)
         )
+    specs = list(specs)
+    if journals is None:
+        journals = [None] * len(specs)
+    if len(journals) != len(specs):
+        raise ValueError(
+            "journals must align with specs ({} != {})".format(
+                len(journals), len(specs)
+            )
+        )
     started = perf_counter()
-    configs = spec.configurations()
-    total = len(configs)
     cache = _resolve_cache(cache)
-    stats = SweepStats(configs=total, replications=replications)
-    outcomes = [None] * total
-    if isinstance(journal, (str, os.PathLike)):
-        journal = SweepJournal(journal)
-
-    # Grid of single-run results, one row per configuration, one
-    # column per replication; filled from the cache first, then from
-    # execution.
-    total_cells = total * replications
+    contexts = [
+        _SweepContext(spec, replications, index)
+        for index, spec in enumerate(specs)
+    ]
+    total_cells = sum(len(ctx.cells) for ctx in contexts)
+    total_configs = sum(len(ctx.configs) for ctx in contexts)
     done_cells = 0
+    done_configs = 0
 
-    def notify_cell(i, r, source, seconds=None):
+    def notify_cell(ctx, i, r, source, seconds=None):
         nonlocal done_cells
         done_cells += 1
         if cell_progress is not None:
@@ -384,173 +535,214 @@ def run_experiment(
                 done_cells,
                 total_cells,
                 {
+                    "spec": getattr(ctx.spec, "key", ctx.index),
                     "config": i,
                     "replication": r,
-                    "label": stats.per_config[i].label,
+                    "label": ctx.stats.per_config[i].label,
                     "source": source,
                     "seconds": seconds,
                 },
             )
 
-    # Materialise every cell (with its content address) up front: the
-    # ordered addresses identify the sweep for the journal.
-    cells = []  # (config_index, replication_index, run_params, key)
-    for i, params in enumerate(configs):
-        stats.per_config.append(
-            ConfigStats(index=i, label=_config_label(spec, params))
-        )
-        for r in range(replications):
-            run_params = params.replace(seed=params.seed + r)
-            cells.append((i, r, run_params, cache_key(run_params)))
-
-    journaled = set()
-    if journal is not None:
-        sid = sweep_id([key for _, _, _, key in cells])
-        if resume:
-            journaled = journal.load(sid)
-        journal.begin(
-            sid,
-            len(cells),
-            label=getattr(spec, "key", None),
-            keep=resume,
-        )
-
-    grid = [[None] * replications for _ in range(total)]
-    pending = []  # cells the cache could not answer
-    for i, r, run_params, key in cells:
-        hit = None
-        if cache is not None and not refresh:
-            hit = cache.get(run_params)
-        if hit is not None:
-            grid[i][r] = hit
-            config_stats = stats.per_config[i]
-            config_stats.cache_hits += 1
-            stats.cache_hits += 1
-            if key in journaled:
-                stats.resumed += 1
-            elif journal is not None:
-                journal.record(key)
-            notify_cell(i, r, "cache")
-        else:
-            pending.append((i, r, run_params, key))
-            stats.cache_misses += 1
-
-    remaining = [row.count(None) for row in grid]
-    done_configs = 0
-
-    def finish_config(i):
+    def finish_config(ctx, i):
         nonlocal done_configs
-        outcomes[i] = aggregate(grid[i])
+        ctx.outcomes[i] = aggregate(ctx.grid[i])
         done_configs += 1
         if progress is not None:
-            progress(done_configs, total)
+            progress(done_configs, total_configs)
 
-    def record(i, r, run_params, key, result, seconds):
-        grid[i][r] = result
-        config_stats = stats.per_config[i]
-        config_stats.runs += 1
-        config_stats.seconds += seconds
-        stats.runs += 1
-        if cache is not None:
-            cache.put(run_params, result)
-            if manifests:
-                cache.put_manifest(
-                    run_params,
-                    build_manifest(
-                        run_params,
-                        cache_hit=False,
-                        wall_seconds=seconds,
-                        model_version=cache.model_version,
-                    ),
-                )
+    for ctx, journal in zip(contexts, journals):
+        if isinstance(journal, (str, os.PathLike)):
+            journal = SweepJournal(journal)
+        ctx.journal = journal
         if journal is not None:
-            journal.record(key)
-        notify_cell(i, r, "run", seconds)
-        remaining[i] -= 1
-        if remaining[i] == 0:
-            finish_config(i)
+            sid = sweep_id([key for _, _, _, key in ctx.cells])
+            if resume:
+                ctx.journaled = journal.load(sid)
+            journal.begin(
+                sid,
+                len(ctx.cells),
+                label=getattr(ctx.spec, "key", None),
+                keep=resume,
+            )
+
+    # Cache scan, then the global queue: cells no spec could answer
+    # from the cache become unique jobs, deduplicated by content
+    # address across the whole batch.
+    jobs_by_key = {}
+    job_order = []
+    for ctx in contexts:
+        for i, r, run_params, key in ctx.cells:
+            hit = None
+            if cache is not None and not refresh:
+                hit = cache.get(run_params)
+            if hit is not None:
+                ctx.grid[i][r] = hit
+                config_stats = ctx.stats.per_config[i]
+                config_stats.cache_hits += 1
+                ctx.stats.cache_hits += 1
+                if key in ctx.journaled:
+                    ctx.stats.resumed += 1
+                elif ctx.journal is not None:
+                    ctx.journal.record(key)
+                notify_cell(ctx, i, r, "cache")
+                ctx.remaining[i] -= 1
+            else:
+                ctx.stats.cache_misses += 1
+                job = jobs_by_key.get(key)
+                if job is None:
+                    job = _Job(len(job_order), run_params, key)
+                    jobs_by_key[key] = job
+                    job_order.append(job)
+                job.requesters.append((ctx, i, r))
 
     # Configurations fully answered by the cache complete immediately,
-    # in sweep order.
-    for i in range(total):
-        if remaining[i] == 0:
-            finish_config(i)
+    # in batch and sweep order.
+    for ctx in contexts:
+        for i in range(len(ctx.configs)):
+            if ctx.remaining[i] == 0:
+                finish_config(ctx, i)
+
+    busy_seconds = 0.0
+
+    def deliver(job, result, seconds, queue_wait):
+        nonlocal busy_seconds
+        busy_seconds += seconds
+        job.requesters[0][0].stats.queue_wait_seconds += queue_wait
+        for rank, (ctx, i, r) in enumerate(job.requesters):
+            ctx.grid[i][r] = result
+            config_stats = ctx.stats.per_config[i]
+            config_stats.runs += 1
+            ctx.stats.runs += 1
+            if rank == 0:
+                config_stats.seconds += seconds
+                if cache is not None:
+                    cache.put(job.run_params, result)
+                    if manifests:
+                        cache.put_manifest(
+                            job.run_params,
+                            build_manifest(
+                                job.run_params,
+                                cache_hit=False,
+                                wall_seconds=seconds,
+                                model_version=cache.model_version,
+                            ),
+                        )
+            if ctx.journal is not None:
+                ctx.journal.record(job.key)
+            notify_cell(
+                ctx, i, r,
+                "run" if rank == 0 else "shared",
+                seconds if rank == 0 else None,
+            )
+            ctx.remaining[i] -= 1
+            if ctx.remaining[i] == 0:
+                finish_config(ctx, i)
+
+    def mark_restart(job):
+        for ctx, _, _ in job.requesters:
+            ctx.stats.watchdog_restarts += 1
+
+    # Longest-expected-first (stable, so ties keep enqueue order):
+    # start the big cells immediately and let the cheap ones backfill
+    # workers that free up while the stragglers finish.
+    queue = sorted(job_order, key=lambda job: -job.cost)
 
     if jobs is None:
         jobs = 0
+    workers = 0
     drain = _SignalDrain().install() if drain_signals else None
+    exec_started = perf_counter()
     try:
-        if pending and jobs <= 1:
+        if queue and jobs <= 1:
+            workers = 1
             _run_inline(
-                pending, record, stats, drain, watchdog, watchdog_retries
+                queue, deliver, mark_restart, drain, watchdog, watchdog_retries
             )
-        elif pending:
-            max_workers = min(jobs, os.cpu_count() or 1, len(pending)) or 1
+        elif queue:
+            workers = min(jobs, os.cpu_count() or 1, len(queue)) or 1
             _run_pooled(
-                pending,
-                record,
-                stats,
+                queue,
+                deliver,
+                mark_restart,
                 drain,
                 watchdog,
                 watchdog_retries,
-                max_workers,
+                workers,
             )
-        if journal is not None:
-            journal.finish()
+        for ctx in contexts:
+            if ctx.journal is not None:
+                ctx.journal.finish()
     finally:
         if drain is not None:
             drain.restore()
-        if journal is not None:
-            journal.close()
-    stats.elapsed_seconds = perf_counter() - started
-    return ExperimentResult(spec, outcomes, stats=stats)
+        for ctx in contexts:
+            if ctx.journal is not None:
+                ctx.journal.close()
+    exec_elapsed = perf_counter() - exec_started
+    occupancy = 0.0
+    if queue and workers and exec_elapsed > 0.0:
+        occupancy = busy_seconds / (workers * exec_elapsed)
+    elapsed = perf_counter() - started
+    for ctx in contexts:
+        ctx.stats.workers = workers
+        ctx.stats.occupancy = occupancy
+        ctx.stats.elapsed_seconds = elapsed
+    return [
+        ExperimentResult(ctx.spec, ctx.outcomes, stats=ctx.stats)
+        for ctx in contexts
+    ]
 
 
-def _run_inline(pending, record, stats, drain, watchdog, watchdog_retries):
-    """Execute *pending* cells in this process, one at a time."""
-    for i, r, run_params, key in pending:
+def _stalled_error(job, watchdog, attempts):
+    """Uniform :class:`SweepStalled` for a job that kept timing out."""
+    _, i, r = job.requesters[0]
+    return SweepStalled(
+        "cell (config={}, replication={}) exceeded the {}s watchdog "
+        "after {} attempts".format(i, r, watchdog, attempts)
+    )
+
+
+def _run_inline(queue, deliver, mark_restart, drain, watchdog, watchdog_retries):
+    """Execute the job *queue* in this process, one job at a time."""
+    for job in queue:
         if drain is not None and drain.tripped:
             raise KeyboardInterrupt
         attempt = 0
         while True:
             try:
-                result, seconds = _run_single_timed(run_params, watchdog)
+                result, seconds = _run_single_timed(job.run_params, watchdog)
                 break
             except SimulationStalled:
                 attempt += 1
-                stats.watchdog_restarts += 1
+                mark_restart(job)
                 if attempt > watchdog_retries:
-                    raise SweepStalled(
-                        "cell (config={}, replication={}) exceeded the "
-                        "{}s watchdog {} times".format(
-                            i, r, watchdog, attempt
-                        )
-                    ) from None
+                    raise _stalled_error(job, watchdog, attempt) from None
                 sleep(_retry_backoff(attempt))
-        record(i, r, run_params, key, result, seconds)
+        deliver(job, result, seconds, 0.0)
 
 
 def _run_pooled(
-    pending, record, stats, drain, watchdog, watchdog_retries, max_workers
+    queue, deliver, mark_restart, drain, watchdog, watchdog_retries, max_workers
 ):
-    """Fan *pending* cells out over worker pools, retrying stalls.
+    """Fan the job *queue* out over worker pools, retrying stalls.
 
-    Each *round* runs the outstanding cells on one pool.  Cells that
+    Each *round* runs the outstanding jobs on one pool.  Jobs that
     stall (in-worker watchdog) or whose workers are terminated by the
     harness-level guard are collected and re-run on a fresh pool in
     the next round, after a capped exponential backoff — up to
-    *watchdog_retries* attempts per cell, then :class:`SweepStalled`.
+    *watchdog_retries* attempts per job, then :class:`SweepStalled`.
     """
     attempts = {}
-    queue = list(pending)
+    outstanding = list(queue)
     round_index = 0
-    while queue:
+    while outstanding:
         if round_index:
             sleep(_retry_backoff(round_index))
-        queue = _pool_round(
-            queue,
-            record,
-            stats,
+        outstanding = _pool_round(
+            outstanding,
+            deliver,
+            mark_restart,
             drain,
             watchdog,
             watchdog_retries,
@@ -561,29 +753,34 @@ def _run_pooled(
 
 
 def _pool_round(
-    cells, record, stats, drain, watchdog, watchdog_retries, max_workers, attempts
+    queue,
+    deliver,
+    mark_restart,
+    drain,
+    watchdog,
+    watchdog_retries,
+    max_workers,
+    attempts,
 ):
-    """Run one pool over *cells*; returns the cells needing a retry."""
+    """Run one pool over the job *queue*; returns the jobs to retry."""
     retry = []
 
-    def mark_stalled(i, r, run_params, key):
-        stats.watchdog_restarts += 1
-        attempts[(i, r)] = attempts.get((i, r), 0) + 1
-        if attempts[(i, r)] > watchdog_retries:
-            raise SweepStalled(
-                "cell (config={}, replication={}) exceeded the {}s "
-                "watchdog after {} retries".format(
-                    i, r, watchdog, watchdog_retries
-                )
-            )
-        retry.append((i, r, run_params, key))
+    def mark_stalled(job):
+        mark_restart(job)
+        attempts[job.seq] = attempts.get(job.seq, 0) + 1
+        if attempts[job.seq] > watchdog_retries:
+            raise _stalled_error(job, watchdog, attempts[job.seq])
+        retry.append(job)
 
     pool = concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(max_workers, len(cells))
+        max_workers=min(max_workers, len(queue))
     )
     futures = {}
-    for cell in cells:
-        futures[pool.submit(_run_single_timed, cell[2], watchdog)] = cell
+    submitted = {}
+    for job in queue:
+        future = pool.submit(_run_single_timed, job.run_params, watchdog)
+        futures[future] = job
+        submitted[future] = perf_counter()
     not_done = set(futures)
     # The harness guard only fires when workers are wedged past the
     # in-worker timeout (e.g. stuck outside the run loop), so it sits
@@ -606,13 +803,23 @@ def _pool_round(
             for future in done:
                 if future.cancelled():
                     continue  # drained before it started
-                i, r, run_params, key = futures[future]
+                job = futures[future]
                 try:
                     result, seconds = future.result()
                 except SimulationStalled:
-                    mark_stalled(i, r, run_params, key)
+                    mark_stalled(job)
                 else:
-                    record(i, r, run_params, key, result, seconds)
+                    # Queue wait is measured parent-side (the worker
+                    # function stays the plain picklable
+                    # _run_single_timed): time from submission to the
+                    # result landing, minus the compute itself.  That
+                    # includes pool hand-off overhead, which is exactly
+                    # the idle cost occupancy should see.
+                    wait = max(
+                        0.0,
+                        perf_counter() - submitted[future] - seconds,
+                    )
+                    deliver(job, result, seconds, wait)
                 last_progress = perf_counter()
             if draining_since is not None:
                 if (
@@ -633,8 +840,7 @@ def _pool_round(
                 # whatever they were running on a fresh pool.
                 _terminate_pool(pool)
                 for future in not_done:
-                    i, r, run_params, key = futures[future]
-                    mark_stalled(i, r, run_params, key)
+                    mark_stalled(futures[future])
                 return retry
     finally:
         pool.shutdown(wait=False, cancel_futures=True)

@@ -95,9 +95,19 @@ _SUPREMUM = {
 }
 
 
+# Pair-keyed flattening of COMPATIBILITY: one dict lookup instead of
+# two on the grant/conflict hot path (compatible() runs once per held
+# lock per request under contention).
+_COMPATIBLE_PAIRS = {
+    (held, requested): ok
+    for held, row in COMPATIBILITY.items()
+    for requested, ok in row.items()
+}
+
+
 def compatible(held, requested):
     """True if *requested* can be granted alongside *held*."""
-    return COMPATIBILITY[held][requested]
+    return _COMPATIBLE_PAIRS[(held, requested)]
 
 
 def supremum(a, b):

@@ -1,0 +1,209 @@
+"""Timeout/Event free-list pooling invariants.
+
+Pooling (``Environment(pool=True)``) recycles processed Timeout and
+done-Event objects whose refcount proves nothing else references them.
+These tests pin the safety contract: a recycled object carries no
+state from its previous life, anything still referenced is never
+recycled, and results are bit-identical with pooling on or off.
+"""
+
+from repro.core.model import LockingGranularityModel
+from repro.core.parameters import SimulationParameters
+from repro.des import Environment
+from repro.des.server import Server
+from repro.des.trace import Trace
+
+#: The golden fig-2 cell (same as tests/test_regression_golden.py).
+FIG2_CELL = SimulationParameters(
+    dbsize=500,
+    ltot=20,
+    ntrans=5,
+    maxtransize=50,
+    npros=4,
+    tmax=200.0,
+    seed=7,
+)
+
+
+class TestTimeoutRecycling:
+    def test_single_waiter_timeouts_recycle(self):
+        env = Environment(pool=True)
+
+        def ticker(env, n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env, 1000))
+        env.run()
+        stats = env.pool_stats()
+        assert stats["enabled"] is True
+        # All but the first few timeouts come from the free list.
+        assert stats["timeout_reused"] > 900
+
+    def test_recycled_timeout_never_fires_stale_callbacks(self):
+        env = Environment(pool=True)
+        fired = []
+
+        def schedule_one(tag):
+            t = env.timeout(1.0, value=tag)
+            t.callbacks.append(lambda ev, tag=tag: fired.append(tag))
+            del t  # drop our reference so the recycler may take it
+
+        schedule_one("first")
+        env.run()
+        assert fired == ["first"]
+        assert env.pool_stats()["timeout_free"] == 1
+        schedule_one("second")  # reuses the recycled object
+        env.run()
+        assert env.pool_stats()["timeout_reused"] == 1
+        # The stale "first" callback must not fire again.
+        assert fired == ["first", "second"]
+
+    def test_recycled_timeout_comes_back_clean(self):
+        env = Environment(pool=True)
+        env.timeout(1.0, value="old")
+        env.run()
+        assert env.pool_stats()["timeout_free"] == 1
+        fresh = env.timeout(2.0, value="new")
+        assert env.pool_stats()["timeout_reused"] == 1
+        assert fresh.callbacks == []
+        assert fresh._waiter is None
+        assert fresh._defused is False
+        assert fresh.triggered
+        assert fresh.value == "new"
+
+    def test_referenced_timeout_is_never_recycled(self):
+        env = Environment(pool=True)
+        held = env.timeout(1.0, value="mine")
+        env.run()
+        assert env.pool_stats()["timeout_free"] == 0
+        assert held.processed
+        assert held.value == "mine"
+
+
+class TestEventRecycling:
+    def test_recycled_event_never_fires_stale_callbacks(self):
+        env = Environment(pool=True)
+        fired = []
+
+        def fire_one(tag):
+            ev = env.event()
+            ev.callbacks.append(lambda _ev, tag=tag: fired.append(tag))
+            ev.succeed(tag)
+            del ev
+
+        fire_one("first")
+        env.run()
+        assert fired == ["first"]
+        assert env.pool_stats()["event_free"] == 1
+        fire_one("second")
+        env.run()
+        assert env.pool_stats()["event_reused"] == 1
+        assert fired == ["first", "second"]
+
+    def test_recycled_event_comes_back_untriggered(self):
+        env = Environment(pool=True)
+        env.event().succeed("old")
+        env.run()
+        assert env.pool_stats()["event_free"] == 1
+        fresh = env.event()
+        assert env.pool_stats()["event_reused"] == 1
+        assert not fresh.triggered
+        assert fresh.callbacks == []
+        assert fresh._ok is None
+        assert fresh._defused is False
+
+    def test_event_yielded_by_process_is_held_until_safe(self):
+        """A process waiting on an event keeps it alive through the
+        generator frame; pooling must deliver the value correctly."""
+        env = Environment(pool=True)
+        got = []
+
+        def waiter(env):
+            ev = env.event()
+            env.schedule_callback(lambda: ev.succeed("payload"), 2.0)
+            value = yield ev
+            got.append((env.now, value))
+
+        env.process(waiter(env))
+        env.run()
+        assert got == [(2.0, "payload")]
+
+
+class TestPooledServer:
+    def test_fail_all_during_pooled_service_no_double_release(self):
+        """A crash mid-service under pooling: the failed done-events
+        deliver exactly one failure each, the stale completion callback
+        is ignored, and the server keeps serving afterwards."""
+        env = Environment(pool=True)
+        server = Server(env)
+        outcomes = []
+
+        def worker(env, demand, tag):
+            try:
+                yield server.submit(demand, tag=tag)
+                outcomes.append((tag, "done", env.now))
+            except RuntimeError:
+                outcomes.append((tag, "failed", env.now))
+
+        env.process(worker(env, 4.0, "a"))
+        env.process(worker(env, 4.0, "b"))
+        env.schedule_callback(lambda: server.fail_all(RuntimeError("crash")), 1.0)
+        env.run(until=1.0)
+        env.run()
+        assert sorted(outcomes) == [
+            ("a", "failed", 1.0),
+            ("b", "failed", 1.0),
+        ]
+        assert not server.busy
+        # Job a's original completion callback (scheduled for t=4.0)
+        # is still on the heap; draining it advanced the clock there,
+        # and the token guard ignored it — served counts stay zero.
+        assert env.now == 4.0
+        assert server.jobs_served() == 0
+        # The server still works after the crash (no corrupted state
+        # from a recycled completion or done event).
+        env.process(worker(env, 2.0, "c"))
+        env.run()
+        assert ("c", "done", 6.0) in outcomes
+        assert server.jobs_served("c") == 1
+
+    def test_preemption_under_pooling_matches_unpooled(self):
+        """Preempt-resume accounting is identical with pooling on."""
+
+        def run(pool):
+            env = Environment(pool=pool)
+            server = Server(env)
+            finished = []
+
+            def low(env):
+                yield server.submit(5.0, priority=5, tag="low")
+                finished.append(("low", env.now))
+
+            def high(env):
+                yield env.timeout(2.0)
+                yield server.submit(1.0, priority=0, tag="high")
+                finished.append(("high", env.now))
+
+            env.process(low(env))
+            env.process(high(env))
+            env.run()
+            return finished, server.busy_time("low"), server.busy_time("high")
+
+        assert run(False) == run(True)
+
+
+class TestPoolBitIdentity:
+    def test_fig2_cell_identical_with_and_without_pool(self):
+        """The golden fig-2 cell: result dict and full trace must be
+        bit-identical with pooling on and off."""
+        runs = {}
+        for pool in (False, True):
+            trace = Trace()
+            result = LockingGranularityModel(
+                FIG2_CELL, trace=trace, kernel_pool=pool
+            ).run()
+            runs[pool] = (result.as_dict(), [str(r) for r in trace])
+        assert runs[False][0] == runs[True][0]
+        assert runs[False][1] == runs[True][1]
+        assert len(runs[True][1]) > 100  # the trace actually recorded
