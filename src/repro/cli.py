@@ -31,6 +31,33 @@ from repro.experiments.storage import save_rows_csv, save_rows_json
 QUICK_LTOT_GRID = (1, 10, 100, 1000, 5000)
 QUICK_TMAX = 400.0
 
+#: Short aliases for policy-selecting parameter flags: ``--cc`` is
+#: ``--protocol``, ``--admission`` is ``--txn-policy``.
+_FLAG_ALIASES = {"protocol": "--cc", "txn_policy": "--admission"}
+
+
+def _add_parameter_flags(parser, skip=()):
+    """Add one ``--<name>`` option per simulation parameter.
+
+    Every subcommand that accepts a full configuration (simulate,
+    trace, faults, tune, sensitivity) shares this generator, so new
+    parameters and policy aliases appear everywhere at once.
+    """
+    for name, value in SimulationParameters().as_dict().items():
+        if name in skip:
+            continue
+        kind = type(value)
+        flags = ["--{}".format(name.replace("_", "-"))]
+        if name in _FLAG_ALIASES:
+            flags.append(_FLAG_ALIASES[name])
+        parser.add_argument(
+            *flags,
+            dest=name,
+            type=kind if kind in (int, float) else str,
+            default=None,
+            help="default: {!r}".format(value),
+        )
+
 
 def build_parser():
     """The argparse parser (exposed for tests and docs)."""
@@ -42,6 +69,16 @@ def build_parser():
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list reproducible exhibits")
+
+    policies = sub.add_parser(
+        "policies",
+        help="list the pluggable policy layers and registered names",
+    )
+    policies.add_argument(
+        "layer", nargs="?", default=None,
+        help="only this layer (cc, admission, workload, arrival, "
+        "placement, partitioning, conflict)",
+    )
 
     run = sub.add_parser("run", help="run one exhibit's full sweep")
     run.add_argument("exhibit", help="table1, fig2..fig12, 2..12, or an ablation key")
@@ -151,29 +188,10 @@ def build_parser():
         help="replications per grid point (default 3)",
     )
     faults.add_argument("--save", default=None, help="write rows to CSV path")
-    for name, value in SimulationParameters().as_dict().items():
-        if name == "ltot":
-            continue
-        kind = type(value)
-        faults.add_argument(
-            "--{}".format(name.replace("_", "-")),
-            dest=name,
-            type=kind if kind in (int, float) else str,
-            default=None,
-            help="default: {!r}".format(value),
-        )
+    _add_parameter_flags(faults, skip=("ltot",))
 
     one = sub.add_parser("simulate", help="run a single configuration")
-    defaults = SimulationParameters()
-    for name, value in defaults.as_dict().items():
-        kind = type(value)
-        one.add_argument(
-            "--{}".format(name.replace("_", "-")),
-            dest=name,
-            type=kind if kind in (int, float) else str,
-            default=None,
-            help="default: {!r}".format(value),
-        )
+    _add_parameter_flags(one)
     one.add_argument(
         "--trace", type=int, default=0, metavar="N",
         help="print the first N transaction lifecycle events",
@@ -186,17 +204,7 @@ def build_parser():
     tune.add_argument("--minimize", action="store_true")
     tune.add_argument("--replications", type=int, default=2)
     tune.add_argument("--tmax", type=float, default=400.0)
-    for name, value in defaults.as_dict().items():
-        if name in ("ltot", "tmax"):
-            continue
-        kind = type(value)
-        tune.add_argument(
-            "--{}".format(name.replace("_", "-")),
-            dest=name,
-            type=kind if kind in (int, float) else str,
-            default=None,
-            help="default: {!r}".format(value),
-        )
+    _add_parameter_flags(tune, skip=("ltot", "tmax"))
 
     sensitivity = sub.add_parser(
         "sensitivity",
@@ -206,17 +214,7 @@ def build_parser():
     sensitivity.add_argument("--delta", type=float, default=0.25)
     sensitivity.add_argument("--replications", type=int, default=2)
     sensitivity.add_argument("--tmax", type=float, default=300.0)
-    for name, value in defaults.as_dict().items():
-        if name == "tmax":
-            continue
-        kind = type(value)
-        sensitivity.add_argument(
-            "--{}".format(name.replace("_", "-")),
-            dest=name,
-            type=kind if kind in (int, float) else str,
-            default=None,
-            help="default: {!r}".format(value),
-        )
+    _add_parameter_flags(sensitivity, skip=("tmax",))
 
     trace = sub.add_parser(
         "trace",
@@ -234,15 +232,7 @@ def build_parser():
         "--print", type=int, default=0, metavar="N", dest="print_events",
         help="also print the first N lifecycle events",
     )
-    for name, value in defaults.as_dict().items():
-        kind = type(value)
-        trace.add_argument(
-            "--{}".format(name.replace("_", "-")),
-            dest=name,
-            type=kind if kind in (int, float) else str,
-            default=None,
-            help="default: {!r}".format(value),
-        )
+    _add_parameter_flags(trace)
 
     report = sub.add_parser(
         "report", help="summarise a telemetry JSONL file"
@@ -278,6 +268,41 @@ def _command_list(_args):
         spec = EXHIBITS[key]()
         points = len(spec.configurations())
         print("  {:22s} {:4d} configs  {}".format(key, points, spec.title))
+    return 0
+
+
+def _command_policies(args):
+    """List the policy registry, layer by layer."""
+    import difflib
+
+    from repro.policies import PARAM_FIELDS, registry
+
+    loaded = registry.load_entry_points()
+    layers = registry.layers()
+    if args.layer is not None and args.layer not in layers:
+        message = "unknown policy layer {!r}; layers: {}".format(
+            args.layer, ", ".join(layers)
+        )
+        close = difflib.get_close_matches(args.layer, layers, n=1, cutoff=0.5)
+        if close:
+            message += ". Did you mean {!r}?".format(close[0])
+        print(message, file=sys.stderr)
+        return 2
+    for layer in layers if args.layer is None else (args.layer,):
+        field = PARAM_FIELDS.get(layer)
+        selector = (
+            " (selected by --{}{})".format(
+                field.replace("_", "-"),
+                " / " + _FLAG_ALIASES[field] if field in _FLAG_ALIASES else "",
+            )
+            if field
+            else ""
+        )
+        print("{}{}".format(layer, selector))
+        for _layer, name, doc in registry.describe(layer):
+            print("  {:14s} {}".format(name, doc))
+    if loaded:
+        print("({} policies loaded from entry points)".format(loaded))
     return 0
 
 
@@ -689,10 +714,31 @@ def _command_compare(args):
 
 
 def main(argv=None):
-    """Entry point of the ``repro-locking`` console script."""
+    """Entry point of the ``repro-locking`` console script.
+
+    An unknown policy name (``--cc wond-wait``) exits with status 2
+    and the registry's close-match suggestions instead of a traceback.
+    """
+    from repro.policies import UnknownPolicyError
+
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except UnknownPolicyError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        print(
+            "Run 'repro-locking policies' to list every registered "
+            "policy.",
+            file=sys.stderr,
+        )
+        return 2
+
+
+def _dispatch(args):
     if args.command == "list":
         return _command_list(args)
+    if args.command == "policies":
+        return _command_policies(args)
     if args.command == "run":
         return _command_run(args)
     if args.command == "faults":

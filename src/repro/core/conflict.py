@@ -147,19 +147,7 @@ class ExplicitConflicts:
 
 
 def make_conflict_engine(params, rng):
-    """Build the conflict engine described by *params*."""
-    if params.conflict_engine == "probabilistic":
-        return ProbabilisticConflicts(params.ltot, rng)
-    if params.conflict_engine == "explicit":
-        return ExplicitConflicts()
-    if params.conflict_engine == "hierarchical":
-        from repro.core.hierarchy_engine import HierarchicalConflicts
+    """Build the conflict engine described by *params* (via the registry)."""
+    from repro.policies import resolve
 
-        # A database of 1 granule cannot have 20 files: clamp so the
-        # ltot sweep grids work unchanged.
-        return HierarchicalConflicts(
-            params.ltot,
-            min(params.nfiles, params.ltot),
-            params.escalation_threshold,
-        )
-    raise ValueError("unknown conflict engine {!r}".format(params.conflict_engine))
+    return resolve("conflict", params.conflict_engine)(params, rng)

@@ -1,33 +1,15 @@
 """The closed-system locking-granularity simulator (paper §2).
 
-Transaction lifecycle, exactly as Figure 1 of the paper:
-
-1. A fixed population of ``ntrans`` transactions cycles through the
-   system; the initial population arrives one time unit apart.
-2. A transaction waits in the **pending queue** until the admission
-   policy lets it issue its lock request (the paper's policy, FCFS
-   with no limit, admits immediately in arrival order).
-3. The lock request charges ``LU·lcputime`` CPU and ``LU·liotime``
-   I/O — split evenly over all processors at preemptive priority,
-   covering the eventual release, and charged even when the request is
-   denied.  The conflict engine then grants the request or names a
-   blocking active transaction; a denied transaction waits in the
-   **blocked queue** until its blocker completes, then retries (paying
-   the request cost again).
-4. A granted transaction splits into sub-transactions per the
-   partitioning method — no two on the same processor — and each
-   queues for its node's disk, then its node's CPU.
-5. When every sub-transaction finishes, the parent releases its locks,
-   wakes the transactions blocked on it, and is replaced by a fresh
-   transaction, keeping the population constant.
-
-The optional *incremental* protocol (claim-as-needed 2PL with
-deadlock detection; footnote 1 of the paper) replaces step 3: granules
-are acquired one at a time through the explicit lock manager, waiting
-in place on conflict; waits-for cycles are broken by aborting the
-youngest transaction in the cycle, which releases everything, backs
-off briefly and retries.  The bundled request cost is charged the same
-way, once per attempt.
+Transaction lifecycle, exactly as Figure 1 of the paper: pending →
+lock request → fork into sub-transactions → per-node I/O and CPU →
+join → release → replace.  The model is a thin *orchestrator*: every
+strategic decision — arrival, admission, the whole lock-acquisition
+phase (cc), workload, placement, partitioning, conflict resolution —
+is delegated to a named policy resolved through :mod:`repro.policies`
+(see DESIGN.md §8 for the layer map).  The model owns only what every
+policy composition shares: the kernel, the machine, the random
+streams, the metrics, the trace plumbing and the fork/join execution
+of granted transactions.
 """
 
 import os
@@ -44,27 +26,33 @@ from repro.core.workload import make_size_sampler
 from repro.des import Environment, RandomStreams
 from repro.engine.machine import Machine
 from repro.engine.processor import ProcessorDown
-from repro.engine.txn_scheduler import make_admission_policy
 from repro.faults.backoff import FixedUniformBackoff
 from repro.faults.injector import FaultInjector
-from repro.lockmgr.deadlock import DeadlockDetector
-from repro.lockmgr.manager import RequestStatus
-from repro.lockmgr.modes import LockMode
+from repro.policies import resolve
+from repro.policies.admission import AdmissionGate, make_admission_policy
 
-#: Outcome value delivered to a waiting incremental request when its
-#: owner is killed as a deadlock victim.
-_ABORTED = "aborted"
-
-#: Version of the simulation semantics.  Bump this whenever a change
-#: alters the outputs produced for a given ``(parameters, seed)`` pair
-#: — it is part of the content-address used by
-#: :mod:`repro.experiments.cache`, so bumping it invalidates every
-#: previously cached result.
+#: Version of the simulation semantics.  Bump whenever a change alters
+#: the outputs for a given ``(parameters, seed)`` pair — it is part of
+#: the content-address used by :mod:`repro.experiments.cache`, so a
+#: bump invalidates every previously cached result.
 #:
-#: 2: response percentiles switched to the explicit nearest-rank
-#:    formula (the previous ``round``-based pick was off by one on
-#:    even sample counts); simulation dynamics are unchanged.
+#: 2: response percentiles switched to explicit nearest-rank (the
+#:    ``round``-based pick was off by one on even sample counts).
 MODEL_VERSION = 2
+
+#: Named random streams derived from the master seed.  Each stream is
+#: seeded from ``(seed, name)`` alone, so adding one never perturbs
+#: the others (``fault_backoff`` is separate from ``backoff`` so
+#: fault-triggered draws never desync the deadlock-backoff stream).
+_STREAMS = (
+    "sizes",
+    "placement",
+    "partitioning",
+    "readwrite",
+    "backoff",
+    "arrivals",
+    "fault_backoff",
+)
 
 
 class LockingGranularityModel:
@@ -74,54 +62,17 @@ class LockingGranularityModel:
     and call :meth:`run`; the instance is single-use (a fresh model is
     built per run so repeated runs never share state).
 
-    Parameters
-    ----------
-    params:
-        The run's configuration.
-    trace:
-        Optional trace sink — anything with
-        ``emit(time, kind, subject, **details)``, e.g. the in-memory
-        :class:`~repro.des.trace.Trace` ring buffer or a
-        :class:`~repro.obs.sinks.JsonlTraceSink`.  When given, every
-        transaction lifecycle transition is recorded: arrive, admit,
-        lock_request, lock_grant, lock_deny, block, wake, abort,
-        exec, fork, io_start/io_end, cpu_start/cpu_end, join, commit,
-        complete, plus lock-manager contention events
-        (lock_promote, lock_cancel) and scheduler transitions
-        (mpl_change, subject 0).
-    size_sampler:
-        Optional replacement for the workload's size distribution —
-        any object with ``sample(rng) -> int`` (e.g.
-        :class:`~repro.core.workload.TraceSizes` for replaying a
-        recorded workload).
-    telemetry:
-        Optional :class:`~repro.obs.telemetry.Telemetry` bundle; its
-        sink (if any) receives the same events as *trace*, and its
-        time-series recorder (if configured) is installed when the
-        run starts.  Telemetry never touches a random stream, so
-        results are identical with or without it.
-    fault_plan:
-        Optional :class:`~repro.faults.plan.FaultPlan`.  A ``None`` or
-        empty plan is inert and results are bit-identical to a build
-        without fault support; an enabled plan schedules processor
-        crashes, disk slowdowns and lock-manager stalls from the
-        injector's own random streams (never the model's).  Fault
-        transitions surface in the trace as ``proc_crash`` /
-        ``proc_recover`` / ``disk_slow`` / ``disk_recover`` /
-        ``lockmgr_stall`` / ``lockmgr_resume`` (subject 0), and
-        affected transactions emit ``sub_fail`` and ``retry``.
-    backoff:
-        Optional :class:`~repro.faults.backoff.BackoffPolicy` used for
-        deadlock-victim backoff and failure-retry backoff.  Defaults
-        to :class:`~repro.faults.backoff.FixedUniformBackoff`, which
-        reproduces the historical inline ``uniform(0, 1)`` draw
-        bit-for-bit.
-    kernel_pool:
-        Whether the simulation kernel recycles processed Timeout and
-        Event objects (see ``Environment(pool=...)``).  ``None``
-        (the default) reads ``REPRO_KERNEL_POOL`` (on unless set to
-        ``0``).  Pooling never changes results — it is a pure
-        allocator optimisation, and bit-identity is pinned by tests.
+    Optional extras: ``trace`` (any sink with
+    ``emit(time, kind, subject, **details)`` — receives every
+    lifecycle, lock-manager and scheduler event), ``size_sampler``
+    (any ``sample(rng) -> int``, replaces the workload's size
+    distribution), ``telemetry`` (never touches a random stream, so
+    results are unchanged), ``fault_plan`` (inert when ``None`` or
+    empty, otherwise drives crashes/slowdowns/stalls from its own
+    streams), ``backoff`` (the default reproduces the historical
+    ``uniform(0, 1)`` draw bit-for-bit) and ``kernel_pool``
+    (Timeout/Event recycling — a pure allocator optimisation, results
+    pinned bit-identical by tests).
     """
 
     def __init__(
@@ -147,23 +98,11 @@ class LockingGranularityModel:
             self.trace = MultiSink(sinks)
         else:
             self.trace = sinks[0] if sinks else None
-        self._size_sampler_override = size_sampler
         if kernel_pool is None:
-            # Event pooling is a pure allocator optimisation (results
-            # are bit-identical either way, pinned by tests), so it
-            # defaults on; REPRO_KERNEL_POOL=0 is the escape hatch.
             kernel_pool = os.environ.get("REPRO_KERNEL_POOL", "1") != "0"
         self.env = Environment(pool=kernel_pool)
         streams = RandomStreams(params.seed)
-        self._rng_size = streams.stream("sizes")
-        self._rng_place = streams.stream("placement")
-        self._rng_part = streams.stream("partitioning")
-        self._rng_rw = streams.stream("readwrite")
-        self._rng_backoff = streams.stream("backoff")
-        self._rng_arrivals = streams.stream("arrivals")
-        # Failure-retry backoff has its own stream so fault-triggered
-        # draws never perturb the deadlock-backoff stream above.
-        self._rng_fault_backoff = streams.stream("fault_backoff")
+        self.rngs = {name: streams.stream(name) for name in _STREAMS}
         self.backoff = backoff if backoff is not None else FixedUniformBackoff()
         self.machine = Machine(self.env, params.npros, params.discipline)
         if fault_plan is not None and fault_plan.enabled():
@@ -178,31 +117,23 @@ class LockingGranularityModel:
             size_sampler if size_sampler is not None else make_size_sampler(params)
         )
         self.conflicts = make_conflict_engine(params, streams.stream("conflict"))
-        self.policy = make_admission_policy(params)
+        policy = make_admission_policy(params)
         self.metrics = MetricsCollector(
             self.env, params, self.machine, self.conflicts
         )
+        self.admission = AdmissionGate(policy, self.env, self.metrics)
+        self.cc = resolve("cc", params.protocol)().bind(self)
+        self.arrivals = resolve("arrival", params.arrival_process)()
         self._tid = count(1)
-        self._pending = []
-        self._in_flight = 0
-        self._blocked_wakes = {}
-        self._waiting_request = {}
-        self._victim_wake = {}
-        if params.protocol == "incremental":
-            self._detector = DeadlockDetector(
-                self.conflicts.manager, victim_key=lambda txn: txn.tid
-            )
-        else:
-            self._detector = None
+        #: blocker tid -> events to succeed when that blocker completes.
+        self.blocked_wakes = {}
         if self.trace is not None:
-            # Thread the sink through the layers below the model: the
-            # lock manager reports contention transitions and the
-            # admission policy reports scheduling decisions.  Both are
-            # clock-less, so the hooks stamp the current time here.
+            # The layers below are clock-less; these hooks stamp the
+            # current time onto their contention/scheduling events.
             manager = getattr(self.conflicts, "manager", None)
             if manager is not None:
                 manager.observer = self._lock_observer
-            self.policy.notify = self._policy_observer
+            policy.notify = self._policy_observer
         self._finished = False
 
     # -- public API ------------------------------------------------------
@@ -211,13 +142,9 @@ class LockingGranularityModel:
         """Run until ``tmax`` and return the
         :class:`~repro.core.results.SimulationResult`.
 
-        Parameters
-        ----------
-        timeout:
-            Optional wall-clock budget in seconds, forwarded to
-            :meth:`repro.des.engine.Environment.run`; when exhausted
-            the run raises
-            :class:`~repro.des.errors.SimulationStalled`.
+        ``timeout`` is an optional wall-clock budget in seconds
+        (forwarded to the kernel, which raises ``SimulationStalled``
+        when it is exhausted).
         """
         if self._finished:
             raise RuntimeError("model instances are single-use; build a new one")
@@ -225,55 +152,40 @@ class LockingGranularityModel:
             self.telemetry.install(self)
         if self._injector is not None:
             self._injector.install()
-        if self.params.arrival_process == "open":
-            self.env.process(self._open_arrivals())
-        else:
-            for i in range(self.params.ntrans):
-                self.env.process(self._arrival(delay=float(i)))
+        self.arrivals.start(self)
         self.env.run(until=self.params.tmax, timeout=timeout)
         self._finished = True
         return self.metrics.finalize()
 
     # -- transaction factory ---------------------------------------------
 
-    def _new_transaction(self):
+    def new_transaction(self):
+        """Draw one transaction from the workload/placement policies."""
         params = self.params
-        nu = self.sizes.sample(self._rng_size)
+        nu = self.sizes.sample(self.rngs["sizes"])
         lock_count = self.placement.lock_count(nu)
         if params.conflict_engine in ("explicit", "hierarchical"):
-            granules = self.placement.granules(nu, self._rng_place)
+            granules = self.placement.granules(nu, self.rngs["placement"])
         else:
             granules = None
         if params.write_fraction >= 1.0:
             is_writer = True
         else:
-            is_writer = self._rng_rw.random() < params.write_fraction
+            is_writer = self.rngs["readwrite"].random() < params.write_fraction
         return Transaction(next(self._tid), nu, lock_count, granules, is_writer)
 
-    # -- lifecycle processes -----------------------------------------------
+    # -- trace plumbing ----------------------------------------------------
 
-    def _arrival(self, delay):
-        if delay > 0:
-            yield self.env.timeout(delay)
-        yield from self._lifecycle(self._new_transaction())
-
-    def _open_arrivals(self):
-        """Poisson source for the open-system extension."""
-        rate = self.params.arrival_rate
-        while True:
-            yield self.env.timeout(self._rng_arrivals.expovariate(rate))
-            self.env.process(self._lifecycle(self._new_transaction()))
-
-    def _emit(self, kind, txn, **details):
+    def emit(self, kind, txn, **details):
+        """Record a lifecycle event for *txn* (no-op without a sink)."""
         if self.trace is not None:
             self.trace.emit(self.env.now, kind, txn.tid, **details)
 
     def _lock_observer(self, kind, owner, **details):
         """Lock-manager contention events, stamped with the clock.
 
-        ``lock_queue`` is reported as the lifecycle kind ``block`` —
-        it is the incremental protocol's blocked-queue entry, the
-        counterpart of the preclaim protocol's post-denial block.
+        ``lock_queue`` is reported as the lifecycle kind ``block``
+        (the table-backed counterpart of preclaim's post-denial block).
         """
         if kind == "lock_queue":
             kind = "block"
@@ -285,195 +197,59 @@ class LockingGranularityModel:
         """Admission-policy transitions (system events, subject 0)."""
         self.trace.emit(self.env.now, kind, 0, **details)
 
-    def _lifecycle(self, txn):
+    # -- lifecycle ---------------------------------------------------------
+
+    def lifecycle(self, txn):
+        """The full life of one transaction (an arrival policy spawns
+        one of these per arriving transaction)."""
         txn.arrival = self.env.now
-        self._emit("arrive", txn, nu=txn.nu, locks=txn.lock_count)
-        yield from self._await_admission(txn)
-        self._emit("admit", txn)
+        self.emit("arrive", txn, nu=txn.nu, locks=txn.lock_count)
+        yield from self.admission.admit(txn)
+        self.emit("admit", txn)
         while True:
             try:
-                if self.params.protocol == "preclaim":
-                    yield from self._preclaim_locks(txn)
-                else:
-                    yield from self._incremental_locks(txn)
+                yield from self.cc.acquire(txn)
             except ProcessorDown as down:
                 # The node crashed while serving this transaction's
-                # share of lock-management work.
-                yield from self._retry_after_failure(txn, down.index)
+                # lock-management work.
+                yield from self.cc.fault_abort(txn, down.index)
                 continue
             self.metrics.active.update(self.conflicts.active_count)
             self.metrics.locks_held.update(self.conflicts.locks_held)
             if (yield from self._execute(txn)):
-                break
+                if (yield from self.cc.post_execute(txn)):
+                    break
+                # The protocol killed the transaction at its commit
+                # point (wound-wait): re-acquire from scratch.
+                continue
             # A sub-transaction died on a crashed node: abort the
             # parent, release its locks and retry from the lock phase.
-            yield from self._retry_after_failure(txn, None)
+            yield from self.cc.fault_abort(txn, None)
         self._complete(txn)
 
-    def _retry_after_failure(self, txn, node):
-        """Degraded-mode abort: release, wake waiters, back off, retry."""
-        self.conflicts.release(txn)
-        self.metrics.active.update(self.conflicts.active_count)
-        self.metrics.locks_held.update(self.conflicts.locks_held)
-        self.metrics.note_failure_abort()
-        txn.fault_retries += 1
-        self._emit("retry", txn, node=node, retries=txn.fault_retries)
-        for wake in self._blocked_wakes.pop(txn.tid, ()):
+    def wake_waiters(self, txn):
+        """Succeed every event blocked on *txn* (release notification)."""
+        for wake in self.blocked_wakes.pop(txn.tid, ()):
             if not wake.triggered:
                 wake.succeed()
-        yield self.env.timeout(
-            self.backoff.delay(self._rng_fault_backoff, txn.fault_retries - 1)
-        )
-
-    def _await_admission(self, txn):
-        admit = self.env.event()
-        self._pending.append((txn, admit))
-        self.metrics.pending.update(len(self._pending))
-        self._pump_admission()
-        yield admit
-
-    def _pump_admission(self):
-        while self._pending:
-            index = self.policy.select(
-                [txn for txn, _ in self._pending], self._in_flight
-            )
-            if index is None:
-                return
-            _, admit = self._pending.pop(index)
-            self.metrics.pending.update(len(self._pending))
-            self._in_flight += 1
-            admit.succeed()
-
-    # -- preclaim protocol -------------------------------------------------
-
-    def _preclaim_locks(self, txn):
-        params = self.params
-        # The hierarchical engine sets intention locks and may escalate,
-        # so the chargeable lock count is its planned set, not the flat
-        # placement count.
-        plan_count = getattr(self.conflicts, "planned_lock_count", None)
-        while True:
-            txn.attempts += 1
-            self.metrics.note_request()
-            locks = plan_count(txn) if plan_count is not None else txn.lock_count
-            self._emit("lock_request", txn, attempt=txn.attempts, locks=locks)
-            yield self.machine.lock_overhead(
-                locks * params.lcputime, locks * params.liotime
-            )
-            blocker = self.conflicts.request(txn)
-            if blocker is None:
-                self._emit("lock_grant", txn, attempt=txn.attempts)
-                self.policy.on_grant()
-                return
-            self._emit("lock_deny", txn, blocker=blocker.tid)
-            self.metrics.note_denial()
-            self.policy.on_deny()
-            wake = self.env.event()
-            self._blocked_wakes.setdefault(blocker.tid, []).append(wake)
-            self._emit("block", txn, blocker=blocker.tid)
-            self.metrics.blocked.increment(1)
-            yield wake
-            self._emit("wake", txn)
-            self.metrics.blocked.increment(-1)
-
-    # -- incremental (claim-as-needed) protocol ------------------------------
-
-    def _incremental_locks(self, txn):
-        params = self.params
-        manager = self.conflicts.manager
-        mode = LockMode.X if txn.is_writer else LockMode.S
-        while True:
-            txn.attempts += 1
-            self.metrics.note_request()
-            self._emit(
-                "lock_request", txn, attempt=txn.attempts,
-                locks=len(txn.granules),
-            )
-            # The bundled request/set/release cost, charged per attempt
-            # exactly as in the preclaim protocol so the two schemes
-            # differ only in conflict semantics.
-            yield self.machine.lock_overhead(
-                len(txn.granules) * params.lcputime,
-                len(txn.granules) * params.liotime,
-            )
-            aborted = False
-            for granule in txn.granules:
-                request = manager.acquire(txn, granule, mode)
-                if request.status is RequestStatus.GRANTED:
-                    continue
-                wake = self.env.event()
-                request.on_grant = lambda _req, event=wake: event.succeed("granted")
-                self._waiting_request[txn.tid] = request
-                self._victim_wake[txn.tid] = wake
-                victim = self._detector.resolve_once()
-                if victim is not None and victim is not txn:
-                    self._abort_victim(victim)
-                    victim = None
-                if victim is txn:
-                    self._abort_self(txn, request)
-                    aborted = True
-                    break
-                self.metrics.blocked.increment(1)
-                outcome = yield wake
-                self.metrics.blocked.increment(-1)
-                self._waiting_request.pop(txn.tid, None)
-                self._victim_wake.pop(txn.tid, None)
-                if outcome == _ABORTED:
-                    aborted = True
-                    break
-            if not aborted:
-                self._emit("lock_grant", txn, attempt=txn.attempts)
-                self.conflicts.mark_active(txn)
-                self.policy.on_grant()
-                return
-            self._emit("abort", txn, aborts=txn.aborts + 1)
-            self.metrics.note_denial()
-            self.metrics.note_abort()
-            txn.aborts += 1
-            self.policy.on_deny()
-            # Randomised backoff so the same cycle does not instantly
-            # re-form among retrying victims.  The policy seam keeps
-            # the default (FixedUniformBackoff) drawing exactly the
-            # historical uniform(0, 1) variate from the same stream.
-            yield self.env.timeout(
-                self.backoff.delay(self._rng_backoff, txn.aborts - 1)
-            )
-
-    def _abort_self(self, txn, request):
-        manager = self.conflicts.manager
-        manager.cancel(request)
-        manager.release_all(txn)
-        self._waiting_request.pop(txn.tid, None)
-        self._victim_wake.pop(txn.tid, None)
-
-    def _abort_victim(self, victim):
-        """Kill another waiting transaction to break a cycle."""
-        manager = self.conflicts.manager
-        request = self._waiting_request.pop(victim.tid, None)
-        if request is not None:
-            manager.cancel(request)
-        manager.release_all(victim)
-        wake = self._victim_wake.pop(victim.tid, None)
-        if wake is not None and not wake.triggered:
-            wake.succeed(_ABORTED)
 
     # -- execution ---------------------------------------------------------
 
     def _execute(self, txn):
         """Run the sub-transactions; True iff every one completed.
 
-        A sub-transaction on a crashed node reports failure (it never
-        fails its process event, so the join below always succeeds);
-        surviving siblings run to completion before the parent aborts.
+        A sub on a crashed node reports failure without failing its
+        process event, so the join always succeeds and surviving
+        siblings run to completion before the parent aborts.
         """
-        processors = self.partitioning.processors(self._rng_part)
-        self._emit("exec", txn, pu=len(processors))
+        processors = self.partitioning.processors(self.rngs["partitioning"])
+        self.emit("exec", txn, pu=len(processors))
         shares = split_entities(txn.nu, len(processors))
         subtxns = []
         for sub, (proc_index, entities) in enumerate(zip(processors, shares)):
             if entities <= 0:
                 continue
-            self._emit("fork", txn, sub=sub, node=proc_index, entities=entities)
+            self.emit("fork", txn, sub=sub, node=proc_index, entities=entities)
             subtxns.append(
                 self.env.process(
                     self._subtransaction(txn, sub, proc_index, entities)
@@ -481,55 +257,45 @@ class LockingGranularityModel:
             )
         if subtxns:
             yield self.env.all_of(subtxns)
-        self._emit("join", txn, subs=len(subtxns))
+        self.emit("join", txn, subs=len(subtxns))
         return all(sub.value for sub in subtxns)
 
     def _subtransaction(self, txn, sub, proc_index, entities):
         params = self.params
         node = self.machine[proc_index]
         try:
-            self._emit("io_start", txn, sub=sub, node=proc_index)
+            self.emit("io_start", txn, sub=sub, node=proc_index)
             yield node.io(entities * params.iotime)
-            self._emit("io_end", txn, sub=sub, node=proc_index)
-            self._emit("cpu_start", txn, sub=sub, node=proc_index)
+            self.emit("io_end", txn, sub=sub, node=proc_index)
+            self.emit("cpu_start", txn, sub=sub, node=proc_index)
             yield node.compute(entities * params.cputime)
-            self._emit("cpu_end", txn, sub=sub, node=proc_index)
+            self.emit("cpu_end", txn, sub=sub, node=proc_index)
         except ProcessorDown as down:
-            self._emit("sub_fail", txn, sub=sub, node=down.index)
+            self.emit("sub_fail", txn, sub=sub, node=down.index)
             return False
         return True
 
     # -- completion ----------------------------------------------------------
 
     def _complete(self, txn):
-        self._emit("commit", txn, attempts=txn.attempts)
+        self.emit("commit", txn, attempts=txn.attempts)
         self.conflicts.release(txn)
-        self._emit("complete", txn, response=self.env.now - txn.arrival)
+        self.emit("complete", txn, response=self.env.now - txn.arrival)
         self.metrics.active.update(self.conflicts.active_count)
         self.metrics.locks_held.update(self.conflicts.locks_held)
         self.metrics.note_completion(txn)
-        for wake in self._blocked_wakes.pop(txn.tid, ()):
-            if not wake.triggered:
-                wake.succeed()
-        self._in_flight -= 1
-        self._pump_admission()
-        if self.params.arrival_process == "closed":
-            # Closed system: the finished transaction is immediately
-            # replaced so the population stays at ntrans.
-            self.env.process(self._lifecycle(self._new_transaction()))
+        self.wake_waiters(txn)
+        self.admission.on_complete()
+        self.arrivals.on_complete(self)
 
 
 def simulate(params=None, fault_plan=None, backoff=None, **overrides):
     """Run one simulation and return its result.
 
-    Accepts a prebuilt :class:`SimulationParameters`, keyword
-    overrides applied to the defaults, or both::
-
-        result = simulate(ltot=100, npros=10, tmax=2000)
-
-    ``fault_plan`` and ``backoff`` are forwarded to the model (they
+    Accepts a prebuilt :class:`SimulationParameters`, keyword overrides
+    applied to the defaults, or both.  ``fault_plan`` and ``backoff``
     are run-harness inputs, not simulation parameters, so they never
-    enter the result-cache address).
+    enter the result-cache address.
     """
     if params is None:
         params = SimulationParameters(**overrides)

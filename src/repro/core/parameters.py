@@ -14,24 +14,29 @@ hundreds of transactions (see DESIGN.md).
 import dataclasses
 from dataclasses import dataclass
 
+from repro.policies import PARAM_FIELDS, UnknownPolicyError, registry
+
 #: Placement strategies: §3.5 of the paper, plus ``skewed`` (hot-spot
 #: access, an extension controlled by ``access_skew``).
-PLACEMENTS = ("best", "worst", "random", "skewed")
+PLACEMENTS = registry.names("placement")
 #: Data partitioning methods (section 2 / 3.4).
-PARTITIONINGS = ("horizontal", "random")
+PARTITIONINGS = registry.names("partitioning")
 #: How lock conflicts are decided.  ``probabilistic`` is the paper's
 #: interval model; ``explicit`` is a real flat lock table;
 #: ``hierarchical`` adds file/block multi-granularity with optional
 #: lock escalation (the Gamma-style design the paper's conclusion
 #: discusses).
-CONFLICT_ENGINES = ("probabilistic", "explicit", "hierarchical")
-#: Lock acquisition protocols.
-PROTOCOLS = ("preclaim", "incremental")
+CONFLICT_ENGINES = registry.names("conflict")
+#: Lock acquisition (concurrency-control) protocols.
+PROTOCOLS = registry.names("cc")
 #: Transaction-size workloads (uniform per Table 1; mixed per §3.6).
-WORKLOADS = ("uniform", "mixed", "fixed")
+WORKLOADS = registry.names("workload")
 #: Transaction admission policies (§3.7 / refs [3,4] extension).
-TXN_POLICIES = ("fcfs", "smallest", "adaptive")
-#: Sub-transaction queueing disciplines at each CPU/disk.
+TXN_POLICIES = registry.names("admission")
+#: Arrival processes (closed per the paper; open/bursty extensions).
+ARRIVAL_PROCESSES = registry.names("arrival")
+#: Sub-transaction queueing disciplines at each CPU/disk (a server
+#: property, not a policy layer — see repro.des.server).
 DISCIPLINES = ("fcfs", "sjf")
 
 
@@ -72,9 +77,14 @@ class SimulationParameters:
         model) or ``explicit`` (a real lock table with materialised
         granule sets).
     protocol:
-        ``preclaim`` (the paper's conservative scheme) or
-        ``incremental`` (claim-as-needed 2PL; requires the explicit
-        engine; deadlocks resolved by aborting the youngest).
+        Concurrency-control protocol: ``preclaim`` (the paper's
+        conservative scheme), ``incremental`` (claim-as-needed 2PL;
+        requires the explicit engine; deadlocks resolved by aborting
+        the youngest), ``no-waiting`` (immediate restart on denial)
+        or ``wound-wait`` (older transactions wound younger lock
+        holders; requires the explicit engine).  Extensible: any name
+        registered under the ``cc`` layer of
+        :data:`repro.policies.registry` is accepted.
     workload:
         ``uniform`` (Table 1), ``mixed`` (§3.6 small/large mix) or
         ``fixed`` (every transaction exactly ``maxtransize`` entities).
@@ -102,8 +112,9 @@ class SimulationParameters:
     arrival_process / arrival_rate:
         ``closed`` is the paper's fixed-population model; ``open`` is
         an extension with Poisson arrivals at ``arrival_rate`` per
-        time unit and no replacement on completion (``ntrans`` then
-        only sizes the initial staggered batch).
+        time unit and no replacement on completion; ``bursty`` is a
+        Markov-modulated Poisson source alternating quiet phases (at
+        ``arrival_rate``) with shorter high-rate bursts.
     seed:
         Master random seed (named substreams derive from it).
     warmup:
@@ -170,30 +181,19 @@ class SimulationParameters:
             raise ValueError(
                 "warmup must be in [0, tmax={}), got {}".format(self.tmax, self.warmup)
             )
-        if self.placement not in PLACEMENTS:
+        # Every policy-selecting field must name a registered policy.
+        # UnknownPolicyError is a ValueError carrying the registered
+        # names and close-match suggestions ("wond-wait" -> wound-wait).
+        for layer, field in sorted(PARAM_FIELDS.items()):
+            value = getattr(self, field)
+            if (layer, value) not in registry:
+                raise UnknownPolicyError(layer, value, registry.names(layer))
+        cc = registry.resolve("cc", self.protocol)
+        if getattr(cc, "needs_granules", False) and self.conflict_engine != "explicit":
             raise ValueError(
-                "placement must be one of {}, got {!r}".format(
-                    PLACEMENTS, self.placement
-                )
+                "the {} protocol tracks per-granule ownership and "
+                "requires the explicit engine".format(self.protocol)
             )
-        if self.partitioning not in PARTITIONINGS:
-            raise ValueError(
-                "partitioning must be one of {}, got {!r}".format(
-                    PARTITIONINGS, self.partitioning
-                )
-            )
-        if self.conflict_engine not in CONFLICT_ENGINES:
-            raise ValueError(
-                "conflict_engine must be one of {}, got {!r}".format(
-                    CONFLICT_ENGINES, self.conflict_engine
-                )
-            )
-        if self.protocol not in PROTOCOLS:
-            raise ValueError(
-                "protocol must be one of {}, got {!r}".format(PROTOCOLS, self.protocol)
-            )
-        if self.protocol == "incremental" and self.conflict_engine != "explicit":
-            raise ValueError("the incremental protocol requires the explicit engine")
         if self.nfiles < 1:
             raise ValueError("nfiles must be >= 1, got {}".format(self.nfiles))
         if self.escalation_threshold < 0:
@@ -206,18 +206,8 @@ class SimulationParameters:
                 "(explicit or hierarchical); the interval model cannot "
                 "represent hot spots"
             )
-        if self.arrival_process not in ("closed", "open"):
-            raise ValueError(
-                "arrival_process must be 'closed' or 'open', got {!r}".format(
-                    self.arrival_process
-                )
-            )
-        if self.arrival_process == "open" and self.arrival_rate <= 0:
+        if self.arrival_process != "closed" and self.arrival_rate <= 0:
             raise ValueError("arrival_rate must be > 0 for the open system")
-        if self.workload not in WORKLOADS:
-            raise ValueError(
-                "workload must be one of {}, got {!r}".format(WORKLOADS, self.workload)
-            )
         if not 0.0 <= self.mix_small_fraction <= 1.0:
             raise ValueError("mix_small_fraction must be in [0, 1]")
         if self.workload == "mixed":
@@ -231,12 +221,6 @@ class SimulationParameters:
                     )
         if not 0.0 <= self.write_fraction <= 1.0:
             raise ValueError("write_fraction must be in [0, 1]")
-        if self.txn_policy not in TXN_POLICIES:
-            raise ValueError(
-                "txn_policy must be one of {}, got {!r}".format(
-                    TXN_POLICIES, self.txn_policy
-                )
-            )
         if self.mpl_limit < 0:
             raise ValueError("mpl_limit must be >= 0 (0 = unlimited)")
         if self.discipline not in DISCIPLINES:

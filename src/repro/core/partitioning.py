@@ -42,9 +42,7 @@ class RandomPartitioning:
 
 
 def make_partitioning(params):
-    """Build the partitioning method described by *params*."""
-    if params.partitioning == "horizontal":
-        return HorizontalPartitioning(params.npros)
-    if params.partitioning == "random":
-        return RandomPartitioning(params.npros)
-    raise ValueError("unknown partitioning {!r}".format(params.partitioning))
+    """Build the partitioning method described by *params* (via the registry)."""
+    from repro.policies import resolve
+
+    return resolve("partitioning", params.partitioning)(params)

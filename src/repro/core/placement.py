@@ -176,19 +176,8 @@ class SkewedPlacement:
         return sorted(chosen)
 
 
-_STRATEGIES = {
-    "best": BestPlacement,
-    "worst": WorstPlacement,
-    "random": RandomPlacement,
-}
-
-
 def make_placement(params):
-    """Build the placement strategy described by *params*."""
-    if params.placement == "skewed":
-        return SkewedPlacement(params.dbsize, params.ltot, params.access_skew)
-    try:
-        strategy = _STRATEGIES[params.placement]
-    except KeyError:
-        raise ValueError("unknown placement {!r}".format(params.placement)) from None
-    return strategy(params.dbsize, params.ltot)
+    """Build the placement strategy described by *params* (via the registry)."""
+    from repro.policies import resolve
+
+    return resolve("placement", params.placement)(params)

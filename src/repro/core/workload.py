@@ -119,15 +119,7 @@ class TraceSizes:
 
 
 def make_size_sampler(params):
-    """Build the size sampler described by *params*."""
-    if params.workload == "uniform":
-        return UniformSizes(params.maxtransize)
-    if params.workload == "mixed":
-        return MixedSizes(
-            params.mix_small_fraction,
-            params.mix_small_maxtransize,
-            params.mix_large_maxtransize,
-        )
-    if params.workload == "fixed":
-        return FixedSizes(params.maxtransize)
-    raise ValueError("unknown workload {!r}".format(params.workload))
+    """Build the size sampler described by *params* (via the registry)."""
+    from repro.policies import resolve
+
+    return resolve("workload", params.workload)(params)

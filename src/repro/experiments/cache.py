@@ -68,12 +68,25 @@ def cache_key(params, model_version=MODEL_VERSION):
     model version and the cache schema, canonicalised as
     sorted-key/compact JSON so it is independent of dict ordering,
     Python version and process.
+
+    When a selected policy declares a behavioural ``version`` other
+    than 1 (see :func:`repro.policies.policy_versions`), the versions
+    are folded into the address too — so evolving one protocol forks
+    only *its* cache entries.  For all-default versions the document
+    is byte-identical to the historical format, keeping every
+    previously written address (and the committed golden digests)
+    valid.
     """
+    from repro.policies import policy_versions
+
     document = {
         "schema": CACHE_SCHEMA,
         "model_version": model_version,
         "params": params.as_dict(),
     }
+    versions = policy_versions(params)
+    if versions is not None:
+        document["policy_versions"] = versions
     blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -179,6 +179,21 @@ class LockManager:
         """Number of granules *owner* currently holds."""
         return len(self._held.get(owner, ()))
 
+    def conflicting_holders(self, owner, granule, mode):
+        """Current holders of *granule* whose mode conflicts with *mode*.
+
+        Excludes *owner* (an upgrade never conflicts with itself).
+        Wound-wait uses this to pick wounding victims before queueing.
+        """
+        state = self.table.peek(granule)
+        if state is None:
+            return []
+        return [
+            holder
+            for holder, held in state.holders.items()
+            if holder != owner and not compatible(held, mode)
+        ]
+
     def waits_for_edges(self):
         """Yield (waiter, holder) pairs for the waits-for graph.
 

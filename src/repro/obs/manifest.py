@@ -70,6 +70,7 @@ def build_manifest(
     """
     from repro.core.model import MODEL_VERSION
     from repro.experiments.cache import cache_key
+    from repro.policies import active_policies
 
     if model_version is None:
         model_version = MODEL_VERSION
@@ -78,6 +79,7 @@ def build_manifest(
         "params_hash": cache_key(params, model_version),
         "seed": params.seed,
         "model_version": model_version,
+        "policies": active_policies(params),
         "git_sha": git_sha(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),

@@ -1,0 +1,104 @@
+"""Arrival-process policies (the ``"arrival"`` policy layer).
+
+An arrival policy decides when transactions enter the system and
+whether completed ones are replaced:
+
+``closed``
+    The paper's fixed-population model: ``ntrans`` transactions
+    arrive one time unit apart, and every completion immediately
+    spawns a replacement so the population stays constant.
+``open``
+    Poisson arrivals at ``arrival_rate`` per time unit, no
+    replacement on completion (``ntrans`` then only sizes nothing —
+    the source runs for the whole horizon).
+``bursty``
+    A two-state Markov-modulated Poisson source: exponentially
+    distributed quiet phases at ``arrival_rate`` alternating with
+    shorter burst phases at ``burst_factor`` times that rate.  Open
+    (no replacement); models the flash-crowd traffic the closed model
+    cannot express.
+
+All draws come from the model's ``arrivals`` stream, so arrival
+shapes never perturb any other random stream.
+"""
+
+
+class ClosedArrivals:
+    """Fixed population: staggered initial batch, replace on complete."""
+
+    name = "closed"
+
+    def start(self, model):
+        """Launch the initial population, one time unit apart."""
+        for i in range(model.params.ntrans):
+            model.env.process(self._staggered(model, float(i)))
+
+    def _staggered(self, model, delay):
+        if delay > 0:
+            yield model.env.timeout(delay)
+        yield from model.lifecycle(model.new_transaction())
+
+    def on_complete(self, model):
+        """Closed system: the finished transaction is immediately
+        replaced so the population stays at ``ntrans``."""
+        model.env.process(model.lifecycle(model.new_transaction()))
+
+
+class OpenArrivals:
+    """Poisson source: independent arrivals, no replacement."""
+
+    name = "open"
+
+    def start(self, model):
+        """Launch the Poisson source process."""
+        model.env.process(self._source(model))
+
+    def _source(self, model):
+        rate = model.params.arrival_rate
+        rng = model.rngs["arrivals"]
+        while True:
+            yield model.env.timeout(rng.expovariate(rate))
+            model.env.process(model.lifecycle(model.new_transaction()))
+
+    def on_complete(self, model):
+        """Open system: completions are not replaced."""
+
+
+class BurstyArrivals(OpenArrivals):
+    """Markov-modulated Poisson: quiet phases alternating with bursts.
+
+    Phase lengths are exponential with means :attr:`mean_quiet` /
+    :attr:`mean_burst`; the burst-phase rate is ``arrival_rate *
+    burst_factor``.  The long-run average rate is therefore
+    ``arrival_rate * (mean_quiet + burst_factor * mean_burst) /
+    (mean_quiet + mean_burst)``.
+    """
+
+    name = "bursty"
+
+    #: Rate multiplier inside a burst phase.
+    burst_factor = 8.0
+    #: Mean burst-phase length (simulated time units).
+    mean_burst = 20.0
+    #: Mean quiet-phase length (simulated time units).
+    mean_quiet = 80.0
+
+    def _source(self, model):
+        base = model.params.arrival_rate
+        rng = model.rngs["arrivals"]
+        phases = (
+            (base, self.mean_quiet),
+            (base * self.burst_factor, self.mean_burst),
+        )
+        while True:
+            for rate, mean_length in phases:
+                phase_end = model.env.now + rng.expovariate(1.0 / mean_length)
+                while True:
+                    gap = rng.expovariate(rate)
+                    if model.env.now + gap >= phase_end:
+                        # The next arrival falls past the phase switch:
+                        # idle out the remainder and change rate.
+                        yield model.env.timeout(phase_end - model.env.now)
+                        break
+                    yield model.env.timeout(gap)
+                    model.env.process(model.lifecycle(model.new_transaction()))

@@ -1,0 +1,389 @@
+"""Concurrency-control protocols (the ``"cc"`` policy layer).
+
+A :class:`ConcurrencyControl` owns the lock-acquisition phase of the
+transaction lifecycle: everything between admission and execution,
+plus what happens when execution has to be undone.  The orchestrator
+(:class:`~repro.core.model.LockingGranularityModel`) calls
+
+* :meth:`~ConcurrencyControl.acquire` — a generator that returns once
+  the transaction holds every lock it needs (blocking, restarting or
+  aborting victims along the way as the protocol dictates);
+* :meth:`~ConcurrencyControl.post_execute` — a generator run after
+  all sub-transactions completed, returning ``True`` to commit or
+  aborting-and-backing-off and returning ``False`` to retry (used by
+  wound-wait, whose victims may already be executing);
+* :meth:`~ConcurrencyControl.fault_abort` — the single degraded-mode
+  abort path shared by **every** protocol: release locks, wake
+  waiters, back off on the fault-retry stream, retry.  Faulted and
+  conflict aborts thus share one code path and draw exactly one
+  backoff variate per abort (the model's
+  :class:`~repro.faults.backoff.BackoffPolicy` discipline), they just
+  draw it from different named streams so fault injection never
+  perturbs conflict-backoff reproducibility.
+
+Four protocols are built in:
+
+``preclaim``
+    The paper's conservative scheme: all locks at once, block on the
+    named blocker until it completes, retry.  Deadlock-free.
+``incremental``
+    Claim-as-needed 2PL (footnote 1): granules acquired one at a time
+    through the explicit lock manager; waits-for cycles are broken by
+    aborting the youngest transaction in the cycle.
+``no-waiting``
+    Immediate-restart CC (Thomasian's restart-oriented family): a
+    denied request never blocks — the transaction aborts, backs off
+    and retries from scratch.  Deadlock-free by construction; works
+    with any conflict engine.
+``wound-wait``
+    Timestamp-ordered deadlock avoidance: an older requester *wounds*
+    (aborts) any younger conflicting holder; a younger requester
+    waits for older holders.  Wounded transactions that are already
+    executing finish their current work and abort at the commit
+    point.  Deadlock-free: waits only ever point from younger to
+    older.
+
+All protocols are registered in :data:`repro.policies.registry`; new
+ones subclass :class:`ConcurrencyControl`, implement ``acquire`` and
+register under a fresh name (see DESIGN.md §8 for a worked example).
+"""
+
+from repro.lockmgr.manager import RequestStatus
+from repro.lockmgr.modes import LockMode
+
+#: Outcome value delivered to a waiting request when its owner is
+#: killed (deadlock victim or wound).
+ABORTED = "aborted"
+
+
+class ConcurrencyControl:
+    """Base protocol: binding, shared abort paths, commit hook.
+
+    Class attributes
+    ----------------
+    name:
+        Registry key; also surfaced in manifests and the CLI.
+    needs_granules:
+        True when the protocol acquires individual granules through
+        the explicit lock manager and therefore requires materialised
+        granule sets (``conflict_engine="explicit"``).
+    version:
+        Semantic version of the protocol's behaviour.  ``1`` for as
+        shipped; bumping it forks the result-cache address of runs
+        using this protocol (see
+        :func:`repro.policies.policy_versions`) without invalidating
+        any other policy's cached results.
+    """
+
+    name = None
+    needs_granules = False
+    version = 1
+
+    def __init__(self):
+        self.model = None
+
+    def bind(self, model):
+        """Attach to *model*; called once before the run starts."""
+        self.model = model
+        return self
+
+    # -- protocol hooks ---------------------------------------------------
+
+    def acquire(self, txn):
+        """Generator: return once *txn* holds all its locks."""
+        raise NotImplementedError
+
+    def post_execute(self, txn):
+        """Generator: ``True`` to commit, ``False`` to retry.
+
+        The default commits unconditionally; protocols that can kill
+        a transaction *after* it acquired its locks (wound-wait)
+        override this to abort at the commit point.
+        """
+        return True
+        yield  # pragma: no cover - makes this a generator
+
+    # -- shared abort paths -----------------------------------------------
+
+    def fault_abort(self, txn, node):
+        """Degraded-mode abort: release, wake waiters, back off, retry.
+
+        One code path for every protocol; the backoff variate comes
+        from the dedicated ``fault_backoff`` stream so fault-triggered
+        draws never perturb the conflict-backoff stream.
+        """
+        model = self.model
+        model.conflicts.release(txn)
+        model.metrics.active.update(model.conflicts.active_count)
+        model.metrics.locks_held.update(model.conflicts.locks_held)
+        model.metrics.note_failure_abort()
+        txn.fault_retries += 1
+        model.emit("retry", txn, node=node, retries=txn.fault_retries)
+        model.wake_waiters(txn)
+        yield model.env.timeout(
+            model.backoff.delay(
+                model.rngs["fault_backoff"], txn.fault_retries - 1
+            )
+        )
+
+    def conflict_abort(self, txn, reason):
+        """Conflict-driven abort bookkeeping plus one backoff variate.
+
+        Emits ``abort``, counts a denial and an abort, feeds the
+        admission policy's congestion signal, then sleeps a randomised
+        backoff so the same conflict does not instantly re-form among
+        retrying transactions.  The draw discipline matches
+        :meth:`fault_abort`: exactly one variate per abort, from the
+        ``backoff`` stream.
+        """
+        model = self.model
+        model.emit("abort", txn, aborts=txn.aborts + 1, reason=reason)
+        model.metrics.note_denial()
+        model.metrics.note_abort()
+        txn.aborts += 1
+        model.admission.policy.on_deny()
+        yield model.env.timeout(
+            model.backoff.delay(model.rngs["backoff"], txn.aborts - 1)
+        )
+
+
+class PreclaimCC(ConcurrencyControl):
+    """Conservative preclaim: all locks up front, block on the blocker."""
+
+    name = "preclaim"
+
+    def acquire(self, txn):
+        model = self.model
+        params = model.params
+        # The hierarchical engine sets intention locks and may
+        # escalate, so the chargeable lock count is its planned set,
+        # not the flat placement count.
+        plan_count = getattr(model.conflicts, "planned_lock_count", None)
+        while True:
+            txn.attempts += 1
+            model.metrics.note_request()
+            locks = plan_count(txn) if plan_count is not None else txn.lock_count
+            model.emit("lock_request", txn, attempt=txn.attempts, locks=locks)
+            yield model.machine.lock_overhead(
+                locks * params.lcputime, locks * params.liotime
+            )
+            blocker = model.conflicts.request(txn)
+            if blocker is None:
+                model.emit("lock_grant", txn, attempt=txn.attempts)
+                model.admission.policy.on_grant()
+                return
+            yield from self._denied(txn, blocker)
+
+    def _denied(self, txn, blocker):
+        """Denied request: wait for *blocker* to complete, then retry."""
+        model = self.model
+        model.emit("lock_deny", txn, blocker=blocker.tid)
+        model.metrics.note_denial()
+        model.admission.policy.on_deny()
+        wake = model.env.event()
+        model.blocked_wakes.setdefault(blocker.tid, []).append(wake)
+        model.emit("block", txn, blocker=blocker.tid)
+        model.metrics.blocked.increment(1)
+        yield wake
+        model.emit("wake", txn)
+        model.metrics.blocked.increment(-1)
+
+
+class NoWaitingCC(PreclaimCC):
+    """No-waiting (immediate restart): a denied request never blocks."""
+
+    name = "no-waiting"
+
+    def _denied(self, txn, blocker):
+        """Denied request: abort immediately, back off, restart."""
+        model = self.model
+        model.emit("lock_deny", txn, blocker=blocker.tid)
+        # conflict_abort counts the denial (metrics + admission
+        # feedback) along with the abort.
+        yield from self.conflict_abort(txn, reason="no-waiting")
+
+
+class IncrementalCC(ConcurrencyControl):
+    """Claim-as-needed 2PL with youngest-victim deadlock detection."""
+
+    name = "incremental"
+    needs_granules = True
+
+    def bind(self, model):
+        from repro.lockmgr.deadlock import DeadlockDetector
+
+        super().bind(model)
+        #: tid -> (waiting LockRequest, wake event) for transactions
+        #: currently parked inside the lock manager's FIFO queues.
+        self._waiting = {}
+        self._detector = DeadlockDetector(
+            model.conflicts.manager, victim_key=lambda txn: txn.tid
+        )
+        return self
+
+    def acquire(self, txn):
+        model = self.model
+        params = model.params
+        manager = model.conflicts.manager
+        mode = LockMode.X if txn.is_writer else LockMode.S
+        while True:
+            txn.attempts += 1
+            model.metrics.note_request()
+            model.emit(
+                "lock_request", txn, attempt=txn.attempts,
+                locks=len(txn.granules),
+            )
+            # The bundled request/set/release cost, charged per attempt
+            # exactly as in the preclaim protocol so the two schemes
+            # differ only in conflict semantics.
+            yield model.machine.lock_overhead(
+                len(txn.granules) * params.lcputime,
+                len(txn.granules) * params.liotime,
+            )
+            aborted = False
+            for granule in txn.granules:
+                request = manager.acquire(txn, granule, mode)
+                if request.status is RequestStatus.GRANTED:
+                    continue
+                wake = model.env.event()
+                request.on_grant = (
+                    lambda _req, event=wake: event.succeed("granted")
+                )
+                self._waiting[txn.tid] = (request, wake)
+                victim = self._detector.resolve_once()
+                if victim is txn:
+                    # Self-abort before parking: nothing waits on the
+                    # wake event, so it must never trigger (a spurious
+                    # trigger would consume a kernel event slot).
+                    manager.cancel(request)
+                    manager.release_all(txn)
+                    self._waiting.pop(txn.tid, None)
+                    aborted = True
+                    break
+                if victim is not None:
+                    self._abort_waiter(victim)
+                model.metrics.blocked.increment(1)
+                outcome = yield wake
+                model.metrics.blocked.increment(-1)
+                self._waiting.pop(txn.tid, None)
+                if outcome == ABORTED:
+                    aborted = True
+                    break
+            if not aborted:
+                model.emit("lock_grant", txn, attempt=txn.attempts)
+                model.conflicts.mark_active(txn)
+                model.admission.policy.on_grant()
+                return
+            yield from self.conflict_abort(txn, reason="deadlock")
+
+    def _abort_waiter(self, victim):
+        """Kill another waiting transaction to break a cycle."""
+        manager = self.model.conflicts.manager
+        entry = self._waiting.pop(victim.tid, None)
+        if entry is not None:
+            request, wake = entry
+            manager.cancel(request)
+            manager.release_all(victim)
+            if not wake.triggered:
+                wake.succeed(ABORTED)
+        else:
+            manager.release_all(victim)
+
+
+class WoundWaitCC(ConcurrencyControl):
+    """Wound-wait: older transactions wound younger conflicting holders.
+
+    Timestamps are transaction ids (assigned in start order, so a
+    smaller tid is older).  On conflict, the requester wounds every
+    younger holder: a holder that is itself parked in a lock queue is
+    aborted on the spot (like a deadlock victim); a holder already
+    executing is marked wounded and aborts at its commit point,
+    releasing its locks then.  A requester younger than some holder
+    simply waits in the manager's FIFO queue.  Since a transaction
+    only ever waits for an *older* one, waits-for edges all point from
+    younger to older and cycles are impossible.
+    """
+
+    name = "wound-wait"
+    needs_granules = True
+
+    def bind(self, model):
+        super().bind(model)
+        self._waiting = {}
+        #: tids wounded while executing; they abort at post_execute.
+        self._wounded = set()
+        return self
+
+    def acquire(self, txn):
+        model = self.model
+        params = model.params
+        manager = model.conflicts.manager
+        mode = LockMode.X if txn.is_writer else LockMode.S
+        self._wounded.discard(txn.tid)
+        while True:
+            txn.attempts += 1
+            model.metrics.note_request()
+            model.emit(
+                "lock_request", txn, attempt=txn.attempts,
+                locks=len(txn.granules),
+            )
+            yield model.machine.lock_overhead(
+                len(txn.granules) * params.lcputime,
+                len(txn.granules) * params.liotime,
+            )
+            aborted = False
+            for granule in txn.granules:
+                request = manager.acquire(txn, granule, mode)
+                if request.status is RequestStatus.GRANTED:
+                    continue
+                wake = model.env.event()
+                request.on_grant = (
+                    lambda _req, event=wake: event.succeed("granted")
+                )
+                self._waiting[txn.tid] = (request, wake)
+                # Wound every younger conflicting holder.  Releasing a
+                # wounded waiter's locks may promote our own queued
+                # request synchronously, in which case the wake event
+                # is already triggered when we yield it.
+                for holder in manager.conflicting_holders(txn, granule, mode):
+                    if holder.tid > txn.tid:
+                        self._wound(holder)
+                model.metrics.blocked.increment(1)
+                outcome = yield wake
+                model.metrics.blocked.increment(-1)
+                self._waiting.pop(txn.tid, None)
+                if outcome == ABORTED:
+                    aborted = True
+                    break
+            if not aborted:
+                model.emit("lock_grant", txn, attempt=txn.attempts)
+                model.conflicts.mark_active(txn)
+                model.admission.policy.on_grant()
+                return
+            yield from self.conflict_abort(txn, reason="wounded")
+
+    def _wound(self, victim):
+        """Abort *victim* now if it is waiting, else mark it wounded."""
+        entry = self._waiting.pop(victim.tid, None)
+        if entry is None:
+            # Already executing with a full lock set; it aborts at its
+            # commit point (post_execute) and releases everything then.
+            self._wounded.add(victim.tid)
+            return
+        manager = self.model.conflicts.manager
+        request, wake = entry
+        manager.cancel(request)
+        manager.release_all(victim)
+        if not wake.triggered:
+            wake.succeed(ABORTED)
+
+    def post_execute(self, txn):
+        if txn.tid not in self._wounded:
+            return True
+        self._wounded.discard(txn.tid)
+        model = self.model
+        model.conflicts.release(txn)
+        model.metrics.active.update(model.conflicts.active_count)
+        model.metrics.locks_held.update(model.conflicts.locks_held)
+        yield from self.conflict_abort(txn, reason="wounded")
+        return False

@@ -1,0 +1,33 @@
+"""Conflict-engine policies (the ``"conflict"`` registry layer).
+
+Factories binding the engines of :mod:`repro.core.conflict` (and the
+multi-granularity engine of :mod:`repro.core.hierarchy_engine`) into
+the policy registry.  Unlike the other layers these factories take
+``(params, rng)`` — the probabilistic engine draws its interval test
+from a dedicated stream; table-backed engines ignore the stream.
+"""
+
+from repro.core.conflict import ExplicitConflicts, ProbabilisticConflicts
+
+
+def probabilistic(params, rng):
+    """The paper's Ries–Stonebraker interval conflict model."""
+    return ProbabilisticConflicts(params.ltot, rng)
+
+
+def explicit(params, rng):
+    """A real flat lock table over materialised granule sets."""
+    return ExplicitConflicts()
+
+
+def hierarchical(params, rng):
+    """File/granule multi-granularity locking with optional escalation."""
+    from repro.core.hierarchy_engine import HierarchicalConflicts
+
+    # A database of 1 granule cannot have 20 files: clamp so the
+    # ltot sweep grids work unchanged.
+    return HierarchicalConflicts(
+        params.ltot,
+        min(params.nfiles, params.ltot),
+        params.escalation_threshold,
+    )

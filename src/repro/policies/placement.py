@@ -1,0 +1,47 @@
+"""Placement and partitioning policies (two registry layers).
+
+Thin factories binding the granule-placement strategies of
+:mod:`repro.core.placement` and the data-partitioning methods of
+:mod:`repro.core.partitioning` into the policy registry.  A placement
+answers ``lock_count(nu)`` / ``granules(nu, rng)``; a partitioning
+answers ``processors(rng)``.  Register new ones under fresh names to
+model other storage layouts without touching the model.
+"""
+
+from repro.core.partitioning import HorizontalPartitioning, RandomPartitioning
+from repro.core.placement import (
+    BestPlacement,
+    RandomPlacement,
+    SkewedPlacement,
+    WorstPlacement,
+)
+
+
+def best(params):
+    """Sequential access: locks proportional to the fraction touched."""
+    return BestPlacement(params.dbsize, params.ltot)
+
+
+def worst(params):
+    """Fully scattered access: every entity in a different granule."""
+    return WorstPlacement(params.dbsize, params.ltot)
+
+
+def random_placement(params):
+    """Uniform random access (Yao's mean-value formula)."""
+    return RandomPlacement(params.dbsize, params.ltot)
+
+
+def skewed(params):
+    """Hot-spot access: Zipf(theta = ``access_skew``) over granules."""
+    return SkewedPlacement(params.dbsize, params.ltot, params.access_skew)
+
+
+def horizontal(params):
+    """Round-robin over all disks: every transaction uses all nodes."""
+    return HorizontalPartitioning(params.npros)
+
+
+def random_partitioning(params):
+    """Relations on a random subset of disks: ``PU ~ U{1 .. npros}``."""
+    return RandomPartitioning(params.npros)

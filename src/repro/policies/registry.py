@@ -1,0 +1,186 @@
+"""A string-keyed registry of pluggable policy layers.
+
+Every strategy seam of the simulation — the concurrency-control
+protocol, the admission policy, the workload and arrival shapes, the
+granule placement, the data partitioning, the conflict engine — is
+resolved by name through one :class:`PolicyRegistry`.  The registry
+maps ``(layer, name)`` to a *target*: either an object (class or
+factory) registered directly, or a lazy ``"module:attr"`` reference
+imported on first resolution.  Lazy references are how the built-in
+policies register without import cycles: :mod:`repro.policies` lists
+them as strings at import time and the implementing modules load only
+when a policy is actually used.
+
+Third-party packages can contribute policies two ways:
+
+* imperatively, ``from repro.policies import registry`` and
+  ``registry.register("cc", "my-proto", MyProtocol)`` (or use it as a
+  decorator);
+* declaratively, through a ``repro.policies`` entry-point group whose
+  entry names are ``"<layer>/<name>"`` — call
+  :meth:`PolicyRegistry.load_entry_points` (the CLI does) to pick
+  them up.
+
+Unknown names raise :class:`UnknownPolicyError` (a ``ValueError``)
+listing the registered names and close-match suggestions.
+"""
+
+import difflib
+import importlib
+
+
+class UnknownPolicyError(ValueError):
+    """An unregistered policy name was requested.
+
+    Attributes
+    ----------
+    layer / name:
+        The failing lookup.
+    known:
+        Sorted tuple of names registered for the layer.
+    suggestions:
+        Close matches to *name* among *known* (possibly empty).
+    """
+
+    def __init__(self, layer, name, known):
+        self.layer = layer
+        self.name = name
+        self.known = tuple(sorted(known))
+        self.suggestions = tuple(
+            difflib.get_close_matches(str(name), self.known, n=3, cutoff=0.5)
+        )
+        message = "unknown {} policy {!r}; registered: {}".format(
+            layer, name, ", ".join(self.known) or "(none)"
+        )
+        if self.suggestions:
+            message += ". Did you mean {}?".format(
+                " or ".join(repr(s) for s in self.suggestions)
+            )
+        super().__init__(message)
+
+
+class _Entry:
+    """One registered policy: a resolved object or a lazy reference."""
+
+    __slots__ = ("target", "doc")
+
+    def __init__(self, target, doc=None):
+        self.target = target
+        self.doc = doc
+
+    def resolve(self):
+        """The policy object, importing a ``"module:attr"`` ref once."""
+        if isinstance(self.target, str):
+            module_name, _, attr = self.target.partition(":")
+            module = importlib.import_module(module_name)
+            self.target = getattr(module, attr)
+        return self.target
+
+    def describe(self):
+        """One-line doc: the explicit doc, else the target's docstring."""
+        if self.doc:
+            return self.doc
+        target = self.resolve()
+        doc = getattr(target, "__doc__", None) or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+class PolicyRegistry:
+    """String-keyed policy layers: ``(layer, name) -> class/factory``."""
+
+    def __init__(self):
+        self._layers = {}
+
+    def register(self, layer, name, target=None, doc=None, replace=False):
+        """Register *target* as ``(layer, name)``.
+
+        With ``target=None`` acts as a class decorator::
+
+            @registry.register("cc", "my-proto")
+            class MyProtocol(ConcurrencyControl): ...
+
+        *target* may be a ``"module:attr"`` string, imported lazily on
+        first :meth:`resolve`.  Re-registering an existing name raises
+        unless ``replace=True`` (plugins overriding built-ins must say
+        so explicitly).
+        """
+        if target is None:
+            def decorator(obj):
+                self.register(layer, name, obj, doc=doc, replace=replace)
+                return obj
+
+            return decorator
+        entries = self._layers.setdefault(layer, {})
+        if name in entries and not replace:
+            raise ValueError(
+                "policy {!r} already registered for layer {!r}; "
+                "pass replace=True to override".format(name, layer)
+            )
+        entries[name] = _Entry(target, doc)
+        return target
+
+    def resolve(self, layer, name):
+        """The policy object for ``(layer, name)``.
+
+        Raises :class:`UnknownPolicyError` — with suggestions — for an
+        unregistered name (or an entirely unknown layer).
+        """
+        entries = self._layers.get(layer)
+        if entries is None:
+            raise UnknownPolicyError(layer, name, ())
+        entry = entries.get(name)
+        if entry is None:
+            raise UnknownPolicyError(layer, name, entries)
+        return entry.resolve()
+
+    def names(self, layer):
+        """Sorted names registered for *layer* (empty for unknown)."""
+        return tuple(sorted(self._layers.get(layer, ())))
+
+    def layers(self):
+        """Sorted layer names with at least one registration."""
+        return tuple(sorted(self._layers))
+
+    def __contains__(self, key):
+        layer, name = key
+        return name in self._layers.get(layer, ())
+
+    def describe(self, layer=None):
+        """Rows of ``(layer, name, one-line doc)`` for the CLI listing."""
+        rows = []
+        for layer_name in self.layers() if layer is None else (layer,):
+            for name in self.names(layer_name):
+                entry = self._layers[layer_name][name]
+                rows.append((layer_name, name, entry.describe()))
+        return rows
+
+    def load_entry_points(self, group="repro.policies"):
+        """Register policies advertised under entry-point *group*.
+
+        Entry names must be ``"<layer>/<name>"``; the entry value
+        loads to the policy object.  Returns the number registered.
+        Malformed names and load failures are skipped (a broken plugin
+        must not take the CLI down); duplicates of existing names are
+        ignored rather than overriding built-ins.
+        """
+        try:
+            from importlib.metadata import entry_points
+        except ImportError:  # pragma: no cover - py3.7 fallback
+            return 0
+        try:
+            selected = entry_points(group=group)
+        except TypeError:  # pragma: no cover - py3.9 compat
+            selected = entry_points().get(group, ())
+        loaded = 0
+        for point in selected:
+            layer, sep, name = point.name.partition("/")
+            if not sep or not layer or not name:
+                continue
+            if (layer, name) in self:
+                continue
+            try:
+                self.register(layer, name, point.load())
+                loaded += 1
+            except Exception:  # noqa: BLE001 - plugin faults stay isolated
+                continue
+        return loaded

@@ -1,0 +1,31 @@
+"""Workload policies (the ``"workload"`` policy layer).
+
+Thin factories binding the transaction-size samplers of
+:mod:`repro.core.workload` into the policy registry, so size
+distributions are resolved by name exactly like CC protocols and
+composable with any arrival policy (``closed``, ``open``,
+``bursty``).  A sampler is any object with ``sample(rng) -> int`` and
+a ``mean`` property; register a new one under a fresh name to open a
+new workload without touching the model.
+"""
+
+from repro.core.workload import FixedSizes, MixedSizes, UniformSizes
+
+
+def uniform(params):
+    """``NU ~ U{1 .. maxtransize}`` (the paper's base workload)."""
+    return UniformSizes(params.maxtransize)
+
+
+def mixed(params):
+    """The §3.6 small/large mix (80% small / 20% large by default)."""
+    return MixedSizes(
+        params.mix_small_fraction,
+        params.mix_small_maxtransize,
+        params.mix_large_maxtransize,
+    )
+
+
+def fixed(params):
+    """Every transaction accesses exactly ``maxtransize`` entities."""
+    return FixedSizes(params.maxtransize)

@@ -1,0 +1,51 @@
+"""Committed cache-address goldens.
+
+The content address of a run is part of the repo's public contract:
+sweep caches, journals and manifests all key off it.  These digests
+were computed before the policy refactor and must never drift while
+every active policy is at version 1 — the registry, the
+``policy_versions`` cache token and any amount of policy registration
+must leave default addresses byte-identical.
+"""
+
+from repro.core import SimulationParameters
+from repro.experiments.cache import cache_key
+
+#: SHA-256 address of the all-defaults configuration, pinned from the
+#: pre-refactor implementation.
+DEFAULTS_DIGEST = (
+    "54dea6966b3a27b7e07fd4cd0c36d65d3449aa409f508fed0a6645f919ef3a03"
+)
+
+#: Address of the golden-regression configuration
+#: (tests/test_regression_golden.py), pinned the same way.
+GOLDEN_DIGEST = (
+    "21f26040f12c1722f7aa38d13db8e7b8db325ec74d44430f4d9387f693e66e5f"
+)
+
+
+def test_default_params_digest_is_stable():
+    assert cache_key(SimulationParameters()) == DEFAULTS_DIGEST
+
+
+def test_golden_params_digest_is_stable():
+    params = SimulationParameters(
+        dbsize=500,
+        ltot=20,
+        ntrans=5,
+        maxtransize=50,
+        npros=4,
+        tmax=200.0,
+        seed=7,
+    )
+    assert cache_key(params) == GOLDEN_DIGEST
+
+
+def test_registering_a_policy_does_not_move_addresses():
+    from repro.policies import registry
+
+    registry.register("cc", "digest-test-dummy", object)
+    try:
+        assert cache_key(SimulationParameters()) == DEFAULTS_DIGEST
+    finally:
+        registry._layers["cc"].pop("digest-test-dummy")

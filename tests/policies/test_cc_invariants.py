@@ -1,0 +1,135 @@
+"""Cross-protocol invariants: every registered CC protocol must obey
+the model's safety properties on a contentious workload.
+
+These tests iterate over ``registry.names("cc")``, so a protocol
+registered by a plugin (or a future built-in) is automatically held to
+the same bar: locks are never negative, committed work is consistent,
+and the system makes progress instead of deadlocking or livelocking.
+"""
+
+import pytest
+
+from repro.core import SimulationParameters
+from repro.core.model import LockingGranularityModel
+from repro.des.trace import Trace
+from repro.policies import policy_names, registry
+
+#: Small database + coarse locks + several transactions = contention.
+CONTENTIOUS = dict(
+    dbsize=100,
+    ltot=5,
+    ntrans=8,
+    maxtransize=40,
+    npros=3,
+    tmax=150.0,
+    seed=11,
+)
+
+
+def params_for(cc_name, **overrides):
+    """A contentious parameter set valid for *cc_name*."""
+    cc = registry.resolve("cc", cc_name)
+    changes = dict(CONTENTIOUS)
+    if getattr(cc, "needs_granules", False):
+        changes["conflict_engine"] = "explicit"
+    changes.update(overrides)
+    return SimulationParameters(protocol=cc_name, **changes)
+
+
+@pytest.mark.parametrize("cc_name", policy_names("cc"))
+class TestEveryProtocol:
+    def test_makes_progress_and_terminates(self, cc_name):
+        """The run reaches tmax with completions, not a deadlock."""
+        trace = Trace()
+        model = LockingGranularityModel(params_for(cc_name), trace=trace)
+        result = model.run()
+        assert result.totcom > 0
+        arrived = {r.subject for r in trace.records(kind="arrive")}
+        completed = {r.subject for r in trace.records(kind="complete")}
+        assert completed <= arrived
+        assert len(completed) == result.totcom
+        # Closed system: everything that arrived either completed or is
+        # one of the <= ntrans still in flight at the horizon.
+        assert len(arrived) - len(completed) <= model.params.ntrans
+
+    def test_locks_and_blocked_never_negative(self, cc_name):
+        """Every sample the model pushes to its monitors is >= 0."""
+        model = LockingGranularityModel(params_for(cc_name))
+        seen = {"locks": [], "blocked": []}
+        real_locks = model.metrics.locks_held.update
+        real_blocked = model.metrics.blocked.update
+
+        def spy(kind, real):
+            def update(level):
+                seen[kind].append(level)
+                return real(level)
+
+            return update
+
+        model.metrics.locks_held.update = spy("locks", real_locks)
+        model.metrics.blocked.update = spy("blocked", real_blocked)
+        model.run()
+        assert seen["locks"], "run never sampled locks_held"
+        assert min(seen["locks"]) >= 0
+        assert min(seen["blocked"], default=0) >= 0
+        # And nothing is left dangling in the engine at the horizon
+        # beyond what in-flight transactions legitimately hold.
+        assert model.conflicts.locks_held >= 0
+
+    def test_completed_transactions_commit_exactly_once(self, cc_name):
+        trace = Trace()
+        model = LockingGranularityModel(params_for(cc_name), trace=trace)
+        result = model.run()
+        completed = {r.subject for r in trace.records(kind="complete")}
+        for tid in completed:
+            kinds = [kind for kind, _ in trace.timeline(tid)]
+            assert kinds.count("commit") == 1
+            assert kinds.count("complete") == 1
+            assert kinds[-3:] == ["join", "commit", "complete"]
+            # A commit requires a grant in the same (final) attempt.
+            assert kinds.count("lock_grant") >= 1
+        assert result.totcom == len(completed)
+
+    def test_deterministic_across_instances(self, cc_name):
+        first = LockingGranularityModel(params_for(cc_name)).run()
+        second = LockingGranularityModel(params_for(cc_name)).run()
+        assert first.as_dict(include_params=False) == second.as_dict(
+            include_params=False
+        )
+
+
+class TestRestartProtocolBehaviour:
+    """The restart-oriented pair must actually restart under conflict."""
+
+    def test_no_waiting_aborts_instead_of_blocking(self):
+        trace = Trace()
+        model = LockingGranularityModel(
+            params_for("no-waiting"), trace=trace
+        )
+        result = model.run()
+        assert result.deadlock_aborts > 0
+        # Never parks on a blocker: no block events at all.
+        assert not list(trace.records(kind="block"))
+        assert result.lock_denials == result.deadlock_aborts
+
+    def test_wound_wait_wounds_younger_holders(self):
+        # High contention so wounds actually happen.
+        trace = Trace()
+        model = LockingGranularityModel(
+            params_for("wound-wait", ltot=3, ntrans=10), trace=trace
+        )
+        result = model.run()
+        assert result.totcom > 0
+        wounded = [
+            r for r in trace.records(kind="abort")
+            if r.details.get("reason") == "wounded"
+        ]
+        assert wounded, "contentious wound-wait run produced no wounds"
+
+    def test_wound_wait_cannot_deadlock(self):
+        """Waits only point younger -> older, so cycles are impossible;
+        a coarse-grained crunch must still drain."""
+        result = LockingGranularityModel(
+            params_for("wound-wait", ltot=1, ntrans=12, tmax=120.0)
+        ).run()
+        assert result.totcom > 0

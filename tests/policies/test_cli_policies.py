@@ -1,0 +1,76 @@
+"""The ``repro-locking policies`` verb and the policy CLI aliases."""
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_policies_command_parses(self):
+        args = build_parser().parse_args(["policies"])
+        assert args.command == "policies"
+        assert args.layer is None
+
+    def test_policies_layer_filter_parses(self):
+        args = build_parser().parse_args(["policies", "cc"])
+        assert args.layer == "cc"
+
+    def test_cc_alias_sets_protocol(self):
+        args = build_parser().parse_args(["simulate", "--cc", "no-waiting"])
+        assert args.protocol == "no-waiting"
+
+    def test_admission_alias_sets_txn_policy(self):
+        args = build_parser().parse_args(
+            ["simulate", "--admission", "adaptive"]
+        )
+        assert args.txn_policy == "adaptive"
+
+    def test_aliases_exist_on_trace_too(self):
+        args = build_parser().parse_args(["trace", "--cc", "incremental"])
+        assert args.protocol == "incremental"
+
+
+class TestCommand:
+    def test_lists_every_layer_and_protocol(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for layer in (
+            "cc", "admission", "workload", "arrival",
+            "placement", "partitioning", "conflict",
+        ):
+            assert layer in out
+        for name in ("preclaim", "incremental", "no-waiting", "wound-wait"):
+            assert name in out
+        # Selector flags are shown next to their layer.
+        assert "--protocol / --cc" in out
+        assert "--txn-policy / --admission" in out
+
+    def test_layer_filter_limits_output(self, capsys):
+        assert main(["policies", "cc"]) == 0
+        out = capsys.readouterr().out
+        assert "wound-wait" in out
+        assert "horizontal" not in out
+
+    def test_unknown_layer_suggests_and_fails(self, capsys):
+        assert main(["policies", "cx"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown policy layer" in err
+        assert "cc" in err
+
+    def test_unknown_policy_name_exits_cleanly_with_suggestion(self, capsys):
+        code = main(
+            ["simulate", "--cc", "wond-wait", "--tmax", "20"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "wound-wait" in err
+        assert "repro-locking policies" in err
+
+    def test_simulate_runs_with_cc_alias(self, capsys):
+        code = main(
+            ["simulate", "--cc", "no-waiting", "--dbsize", "100",
+             "--ltot", "5", "--ntrans", "3", "--maxtransize", "20",
+             "--npros", "2", "--tmax", "50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no-waiting" in out
+        assert "totcom" in out

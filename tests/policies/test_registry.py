@@ -1,0 +1,154 @@
+"""The policy registry: registration, resolution, errors, laziness."""
+
+import pytest
+
+from repro.policies import (
+    PARAM_FIELDS,
+    active_policies,
+    policy_names,
+    policy_versions,
+    registry,
+)
+from repro.policies.registry import PolicyRegistry, UnknownPolicyError
+
+
+class TestRegistration:
+    def test_register_and_resolve_round_trip(self):
+        reg = PolicyRegistry()
+
+        class Thing:
+            """A policy."""
+
+        reg.register("cc", "thing", Thing)
+        assert reg.resolve("cc", "thing") is Thing
+        assert ("cc", "thing") in reg
+        assert reg.names("cc") == ("thing",)
+        assert reg.layers() == ("cc",)
+
+    def test_register_as_decorator(self):
+        reg = PolicyRegistry()
+
+        @reg.register("cc", "decorated")
+        class Thing:
+            """A policy."""
+
+        assert reg.resolve("cc", "decorated") is Thing
+
+    def test_duplicate_registration_rejected_without_replace(self):
+        reg = PolicyRegistry()
+        reg.register("cc", "x", object)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("cc", "x", object)
+        # But replace=True overrides (plugins must opt in explicitly).
+        marker = object()
+        reg.register("cc", "x", marker, replace=True)
+        assert reg.resolve("cc", "x") is marker
+
+    def test_lazy_string_target_resolves_on_first_use(self):
+        reg = PolicyRegistry()
+        reg.register("cc", "lazy", "repro.policies.cc:PreclaimCC")
+        from repro.policies.cc import PreclaimCC
+
+        assert reg.resolve("cc", "lazy") is PreclaimCC
+        # Resolution is memoised: the entry now holds the object.
+        assert reg.resolve("cc", "lazy") is PreclaimCC
+
+
+class TestUnknownNames:
+    def test_unknown_name_is_a_value_error_with_suggestions(self):
+        with pytest.raises(UnknownPolicyError) as excinfo:
+            registry.resolve("cc", "wond-wait")
+        error = excinfo.value
+        assert isinstance(error, ValueError)
+        assert "wound-wait" in error.suggestions
+        assert "wound-wait" in str(error)
+        assert error.known == registry.names("cc")
+
+    def test_unknown_layer_lists_nothing(self):
+        with pytest.raises(UnknownPolicyError) as excinfo:
+            registry.resolve("nonsense", "anything")
+        assert excinfo.value.known == ()
+
+    def test_no_suggestion_for_distant_name(self):
+        with pytest.raises(UnknownPolicyError) as excinfo:
+            registry.resolve("cc", "zzzzzz")
+        assert excinfo.value.suggestions == ()
+
+
+class TestBuiltins:
+    def test_every_layer_has_builtin_policies(self):
+        for layer in PARAM_FIELDS:
+            assert policy_names(layer), "layer {} is empty".format(layer)
+
+    def test_all_builtins_resolve_and_describe(self):
+        for layer, name, doc in registry.describe():
+            assert registry.resolve(layer, name) is not None
+            assert doc, "{}/{} lacks a one-line doc".format(layer, name)
+
+    def test_cc_protocols_present(self):
+        assert set(policy_names("cc")) >= {
+            "preclaim",
+            "incremental",
+            "no-waiting",
+            "wound-wait",
+        }
+
+
+class TestParamsIntegration:
+    def test_active_policies_reads_param_fields(self):
+        from repro.core import SimulationParameters
+
+        params = SimulationParameters(
+            conflict_engine="explicit", protocol="wound-wait"
+        )
+        active = active_policies(params)
+        assert active["cc"] == "wound-wait"
+        assert active["conflict"] == "explicit"
+        assert set(active) == set(PARAM_FIELDS)
+
+    def test_unknown_protocol_rejected_with_suggestion(self):
+        from repro.core import SimulationParameters
+
+        with pytest.raises(ValueError, match="wound-wait"):
+            SimulationParameters(protocol="wond-wait")
+
+    def test_granule_protocols_require_explicit_engine(self):
+        from repro.core import SimulationParameters
+
+        with pytest.raises(ValueError, match="explicit"):
+            SimulationParameters(protocol="wound-wait")
+
+    def test_default_policy_versions_token_is_none(self):
+        from repro.core import SimulationParameters
+
+        assert policy_versions(SimulationParameters()) is None
+
+    def test_nondefault_version_forks_only_its_cache_key(self):
+        from repro.core import SimulationParameters
+        from repro.experiments.cache import cache_key
+        from repro.policies.cc import WoundWaitCC
+
+        params = SimulationParameters(
+            conflict_engine="explicit", protocol="wound-wait"
+        )
+        default_key = cache_key(SimulationParameters())
+        original = cache_key(params)
+        WoundWaitCC.version = 2
+        try:
+            assert cache_key(params) != original
+            assert policy_versions(params) == {
+                "cc": {"name": "wound-wait", "version": 2}
+            }
+            # The default configuration's address is untouched.
+            assert cache_key(SimulationParameters()) == default_key
+        finally:
+            WoundWaitCC.version = 1
+        assert cache_key(params) == original
+
+    def test_manifest_names_active_policies(self):
+        from repro.core import SimulationParameters
+        from repro.obs.manifest import build_manifest
+
+        manifest = build_manifest(SimulationParameters())
+        assert manifest["policies"]["cc"] == "preclaim"
+        assert manifest["policies"]["admission"] == "fcfs"

@@ -69,6 +69,14 @@ MODULES = [
     "repro.obs.sinks",
     "repro.obs.telemetry",
     "repro.obs.timeseries",
+    "repro.policies",
+    "repro.policies.admission",
+    "repro.policies.arrival",
+    "repro.policies.cc",
+    "repro.policies.conflict",
+    "repro.policies.placement",
+    "repro.policies.registry",
+    "repro.policies.workload",
     "repro.stats",
     "repro.stats.batchmeans",
 ]

@@ -66,8 +66,39 @@ class TestGoldenVariants:
             ({"partitioning": "random"}, 97),
             ({"workload": "fixed"}, 72),
             ({"discipline": "sjf"}, 130),
+            ({"protocol": "no-waiting"}, 128),
+            (
+                {"conflict_engine": "explicit", "protocol": "wound-wait"},
+                128,
+            ),
         ],
     )
     def test_variant_completions(self, changes, expected_totcom):
         result = simulate(GOLDEN_PARAMS.replace(**changes))
         assert result.totcom == expected_totcom
+
+
+class TestNewProtocolGoldens:
+    """Full pinned profiles for the restart-oriented CC protocols.
+
+    Pinned from their first runs (this is where the protocols were
+    born, so these goldens define the reference behaviour rather than
+    guard a paper number)."""
+
+    def test_no_waiting_profile(self):
+        result = simulate(GOLDEN_PARAMS.replace(protocol="no-waiting"))
+        assert result.totcom == 128
+        assert result.lock_requests == 189
+        assert result.lock_denials == 56
+        assert result.deadlock_aborts == 56
+
+    def test_wound_wait_profile(self):
+        result = simulate(
+            GOLDEN_PARAMS.replace(
+                conflict_engine="explicit", protocol="wound-wait"
+            )
+        )
+        assert result.totcom == 128
+        assert result.lock_requests == 134
+        assert result.lock_denials == 1
+        assert result.deadlock_aborts == 1
