@@ -11,7 +11,9 @@ writes one JSON artifact per layer:
 ``BENCH_sweep.json``
     A small locking-granularity sweep through the global work queue:
     per-cell wall times, queue wait, worker occupancy and total
-    elapsed time.
+    elapsed time — plus an ``accelerator`` block comparing the same
+    single-curve sweep with and without ``accelerator="analytic"``
+    (cells simulated vs pruned, measured wall-clock saved).
 
 ``--check`` compares the kernel events/second numbers against the
 committed baseline under ``benchmarks/baselines/`` (one file per
@@ -42,7 +44,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.core.parameters import SimulationParameters  # noqa: E402
 from repro.des import Environment  # noqa: E402
 from repro.experiments.config import ExperimentSpec  # noqa: E402
-from repro.experiments.runner import run_experiments  # noqa: E402
+from repro.experiments.runner import run_experiment, run_experiments  # noqa: E402
 
 #: Directory holding the committed baseline files.
 BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
@@ -186,6 +188,60 @@ def bench_sweep():
         "cell_seconds_max": max(seconds) if seconds else 0.0,
         "cell_seconds_total": round(sum(seconds), 4) if seconds else 0.0,
         "cell_wall_times": cells,
+        "accelerator": bench_accelerated_sweep(),
+    }
+
+
+def _accelerator_spec():
+    """One long granularity curve — enough interior points to prune."""
+    base = SimulationParameters(
+        dbsize=500,
+        ntrans=6,
+        maxtransize=50,
+        npros=4,
+        tmax=60.0 if _smoke() else 150.0,
+        seed=11,
+    )
+    return ExperimentSpec(
+        key="bench-accel",
+        title="bench accelerated sweep",
+        base=base,
+        sweeps={"ltot": (2, 5, 10, 20, 50, 100, 200, 500)},
+        y_fields=("throughput",),
+    )
+
+
+def bench_accelerated_sweep():
+    """The same curve with and without the analytic accelerator.
+
+    Both runs are uncached and inline, so the elapsed delta is the
+    simulation work the pruned cells would have cost.
+    """
+    spec = _accelerator_spec()
+
+    started = perf_counter()
+    plain = run_experiment(spec, cache=False)
+    plain_elapsed = perf_counter() - started
+
+    started = perf_counter()
+    accelerated = run_experiment(spec, cache=False, accelerator="analytic")
+    accel_elapsed = perf_counter() - started
+
+    stats = accelerated.stats
+    return {
+        "cells": stats.cells,
+        "cells_simulated": stats.runs,
+        "cells_pruned": stats.analytic_cells,
+        "pruned_fraction": round(stats.pruned_fraction, 4),
+        "plain_elapsed_seconds": round(plain_elapsed, 4),
+        "accelerated_elapsed_seconds": round(accel_elapsed, 4),
+        "wall_clock_saved_seconds": round(plain_elapsed - accel_elapsed, 4),
+        "plain_throughput_optimum": max(
+            outcome.mean("throughput") for outcome in plain.outcomes
+        ),
+        "accelerated_throughput_optimum": max(
+            outcome.mean("throughput") for outcome in accelerated.outcomes
+        ),
     }
 
 

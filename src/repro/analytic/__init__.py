@@ -12,8 +12,22 @@
     Operational laws (Denning–Buzen) for the closed model: service
     demands, asymptotic throughput/response bounds that the simulator
     provably must obey — and the tests check that it does.
+:mod:`repro.analytic.mva`
+    The analytic fast path: approximate mean-value analysis coupled
+    to a lock-contention fixed point, predicting throughput, blocking
+    probability and lock overhead per configuration in microseconds —
+    the model behind ``repro-locking predict``/``crossval`` and the
+    ``--accelerator analytic`` sweep pruner.
 """
 
+from repro.analytic.mva import (
+    AnalyticPrediction,
+    cc_semantics,
+    predict,
+    predict_grid,
+    schweitzer_response_times,
+    uncertainty_score,
+)
 from repro.analytic.granularity import (
     conflict_probability,
     expected_lock_overhead,
@@ -31,16 +45,22 @@ from repro.analytic.queueing import (
 from repro.analytic.yao import expected_granules_touched, yao_locks
 
 __all__ = [
+    "AnalyticPrediction",
     "balanced_system_throughput",
     "bottleneck_demand",
+    "cc_semantics",
     "conflict_probability",
     "expected_granules_touched",
     "expected_lock_overhead",
     "optimal_ltot_estimate",
+    "predict",
+    "predict_grid",
     "response_time_lower_bound",
+    "schweitzer_response_times",
     "serial_throughput_bound",
     "service_demands",
     "throughput_upper_bound",
     "total_demand",
+    "uncertainty_score",
     "yao_locks",
 ]

@@ -1,0 +1,382 @@
+"""Analytic fast path: mean-value model of the locking system.
+
+Predicts, for one :class:`~repro.core.parameters.SimulationParameters`
+configuration, the steady-state outputs the simulator would measure —
+``{throughput, blocking_prob, lock_overhead_frac, effective_mpl,
+response_time}`` — in microseconds instead of seconds, in the spirit of
+Thomasian's analytic treatment of lock contention.  The sweep harness
+uses these predictions to prune grid cells (see
+``accelerator="analytic"`` in :mod:`repro.experiments.runner`), and
+:mod:`repro.experiments.crossval` quantifies their error against the
+simulator.
+
+Model structure (derivation in DESIGN.md §9)
+--------------------------------------------
+The closed system of ``ntrans`` terminals cycles through lock
+acquisition, (possibly) blocking, and fork-join execution.  A damped
+fixed point couples three sub-models:
+
+* **Markov contention step** — the Ries–Stonebraker interval model
+  seen by a fresh request: with ``m`` transactions executing, each
+  holding ``L_h`` locks (size-biased transaction length, because a
+  random observer sees long holders more often), a request is denied
+  with probability ``p ≈ γ·m·L_h/ltot``, capped at the serialization
+  ceiling ``(N−1)/N``.  Geometric retries give ``A = 1/(1−p)``
+  attempts per completion.
+* **Lock-overhead station** — each attempt pays Yao/placement lock
+  work ``L_req`` fanned out across ``npros`` nodes at preemptive
+  priority; its response inflates by ``1/(1−u_lock)`` and it steals
+  the same factor from transaction service below it.
+* **Execution sub-network** — Schweitzer–Bard approximate MVA over
+  the per-node disk→CPU stations at (non-integer) population ``m``,
+  times a small fork-join join penalty.
+
+The cycle time ``C = A·O + (A−1)·W + R_exec`` closes the loop:
+``X = ntrans/C`` and ``m = X·R_exec`` (Little).  Concurrency-control
+semantics change only the cycle accounting: blocking preclaim re-pays
+``O`` every attempt and waits ``W`` per denial; no-waiting restarts
+pay a backoff instead of a blocked wait; incremental 2PL pays ``O``
+once and sees contention damped by partial (growing-phase) lock
+holdings.
+
+Calibration constants were fit once against the committed
+``results/fig2.json`` / ``results/ablation_protocol.json`` simulation
+curves and are deliberately frozen: the model must stay an
+*independent* predictor for cross-validation to mean anything.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.analytic.granularity import locks_required
+from repro.core.parameters import SimulationParameters
+from repro.core.results import RESULT_FIELDS
+
+#: Calibration constants (fit against the committed fig2 /
+#: ablation_protocol curves; see module docstring — do not tune per
+#: run).
+CONTENTION_SCALE = 0.9   # γ: interval-model inflation on m·L_h/ltot
+WAIT_FRACTION = 0.8      # blocked wait per denial, as a fraction of R_exec
+JOIN_PENALTY = 0.1       # fork-join synchronisation penalty scale
+INCREMENTAL_DECAY = 0.035  # contention decay per extra granule (2PL)
+UTILIZATION_CAP = 0.95   # lock-device utilisation ceiling in the fixed point
+
+#: Fixed-point controls.
+_MAX_ITERATIONS = 500
+_DAMPING = 0.5
+_TOLERANCE = 1e-10
+
+#: Semantics the model distinguishes (see ``analytic_semantics`` on
+#: :class:`repro.policies.cc.ConcurrencyControl` subclasses).
+SEMANTICS = ("blocking", "restart", "incremental")
+
+
+@dataclass(frozen=True)
+class AnalyticPrediction:
+    """One configuration's analytic estimate.
+
+    Exposes the same read surface as
+    :class:`~repro.core.results.ReplicatedResult` (``mean``,
+    ``samples``, ``as_dict``, ``params``) so predictions can stand in
+    for simulated cells inside an
+    :class:`~repro.experiments.runner.ExperimentResult` grid.  Fields
+    the model does not predict read as ``nan``.
+    """
+
+    params: SimulationParameters
+    throughput: float
+    blocking_prob: float
+    lock_overhead_frac: float
+    effective_mpl: float
+    response_time: float
+    attempts: float
+    semantics: str
+    converged: bool
+    #: Heuristic trust score in [0, 1]; see :func:`uncertainty_score`.
+    uncertainty: float = 0.0
+
+    @property
+    def provenance(self):
+        """Always ``"analytic"`` — never confuse with simulation."""
+        return "analytic"
+
+    def _field_value(self, name):
+        mapped = {
+            "throughput": self.throughput,
+            "response_time": self.response_time,
+            "denial_rate": self.blocking_prob,
+            "lock_overhead": self.lock_overhead_frac,
+            "mean_active": self.effective_mpl,
+            "mean_attempts": self.attempts,
+            "totcom": self.throughput * max(self.params.tmax, 0.0),
+        }
+        return mapped.get(name, math.nan)
+
+    # -- ReplicatedResult-compatible read surface -------------------------
+
+    def mean(self, name):
+        """Predicted value of output field *name* (nan if unmodelled)."""
+        return self._field_value(name)
+
+    def samples(self, name):
+        """Single-element sample list (predictions have no spread)."""
+        return [self._field_value(name)]
+
+    def __len__(self):
+        return 1
+
+    def as_dict(self, include_params=True):
+        """Flat row like a simulated cell's, plus ``provenance``."""
+        row = {name: self._field_value(name) for name in RESULT_FIELDS}
+        row["provenance"] = self.provenance
+        if include_params:
+            for key, value in self.params.as_dict().items():
+                row.setdefault(key, value)
+        return row
+
+
+def size_biased_transaction_size(params):
+    """``E[nu²]/E[nu]`` — the mean size of the holder a random request
+    conflicts with (long transactions hold locks longer, so a fresh
+    request meets them more often than the plain mean suggests)."""
+    if params.workload == "fixed":
+        return float(params.maxtransize)
+    if params.workload == "mixed":
+        def moments(mtx):
+            return (mtx + 1) / 2.0, (mtx + 1) * (2 * mtx + 1) / 6.0
+
+        small_m1, small_m2 = moments(params.mix_small_maxtransize)
+        large_m1, large_m2 = moments(params.mix_large_maxtransize)
+        fraction = params.mix_small_fraction
+        m1 = fraction * small_m1 + (1 - fraction) * large_m1
+        m2 = fraction * small_m2 + (1 - fraction) * large_m2
+        return m2 / m1
+    # uniform on 1..maxtransize
+    return (2 * params.maxtransize + 1) / 3.0
+
+
+def cc_semantics(params):
+    """Analytic semantics of the configured cc protocol.
+
+    Reads ``analytic_semantics`` off the registered protocol class
+    (``repro.policies``); protocols that do not declare one fall back
+    on ``"incremental"`` when they acquire individual granules
+    (``needs_granules``) and ``"blocking"`` otherwise.
+    """
+    from repro.policies import registry
+
+    protocol = registry.resolve("cc", params.protocol)
+    declared = getattr(protocol, "analytic_semantics", None)
+    if declared in SEMANTICS:
+        return declared
+    if getattr(protocol, "needs_granules", False):
+        return "incremental"
+    return "blocking"
+
+
+def schweitzer_response_times(demands, population):
+    """Schweitzer–Bard approximate MVA per-station response times.
+
+    Supports non-integer *population* (the fixed point feeds back a
+    fractional effective MPL).  Returns one response time per demand.
+    """
+    demands = [max(float(d), 0.0) for d in demands]
+    if population <= 0 or not any(demands):
+        return demands
+    queue = [population / len(demands)] * len(demands)
+    scale = max(population - 1.0, 0.0) / population
+    for _ in range(200):
+        responses = [d * (1.0 + q * scale) for d, q in zip(demands, queue)]
+        total = sum(responses)
+        throughput = population / total if total > 0 else 0.0
+        refreshed = [throughput * r for r in responses]
+        if all(abs(a - b) < 1e-10 for a, b in zip(queue, refreshed)):
+            queue = refreshed
+            break
+        queue = refreshed
+    return [d * (1.0 + q * scale) for d, q in zip(demands, queue)]
+
+
+def _mean_backoff(params):
+    """Mean conflict-backoff delay of the model's default policy.
+
+    The simulator's paper-era default is uniform on ``[0, 1)``; the
+    restart protocols pay it once per denied attempt.
+    """
+    return 0.5
+
+
+def predict(params):
+    """Analytic prediction for one configuration.
+
+    Returns an :class:`AnalyticPrediction`; never raises for valid
+    :class:`SimulationParameters` (degenerate corners clamp instead).
+    """
+    semantics = cc_semantics(params)
+    nu = max(params.mean_transaction_size, 1.0)
+    nu_sb = max(size_biased_transaction_size(params), nu)
+    n_txn = params.ntrans
+    npros = params.npros
+    ltot = params.ltot
+    locks_per_txn = max(
+        locks_required(params.placement, params.dbsize, ltot, nu), 1.0
+    )
+    locks_held = max(
+        locks_required(params.placement, params.dbsize, ltot, nu_sb), 1.0
+    )
+    # S/X sharing: two requests conflict only when at least one writes.
+    write_fraction = params.write_fraction
+    mode_factor = 1.0 - (1.0 - write_fraction) ** 2
+
+    # Per-node service demands: transaction work and lock work both fan
+    # out across all nodes (horizontal partitioning / lock fan-out).
+    exec_disk = nu * params.iotime / npros
+    exec_cpu = nu * params.cputime / npros
+    lock_disk = locks_per_txn * params.liotime / npros
+    lock_cpu = locks_per_txn * params.lcputime / npros
+
+    join_factor = 1.0 + JOIN_PENALTY * (1.0 - 1.0 / npros)
+    # Serialization ceiling: with one completion waking every waiter,
+    # at most (N-1)/N of requests can be denied in steady state.
+    p_cap = max(0.0, (n_txn - 1.0) / n_txn) if n_txn > 0 else 0.0
+    contention = CONTENTION_SCALE
+    if semantics == "incremental":
+        # Growing-phase holdings and granule-at-a-time waits damp the
+        # effective contention as transactions span more granules.
+        contention /= 1.0 + INCREMENTAL_DECAY * (locks_per_txn - 1.0)
+
+    throughput = 1.0 / max(
+        exec_disk + exec_cpu + lock_disk + lock_cpu, 1e-12
+    )
+    mpl = min(float(n_txn), max(1.0, ltot / locks_held))
+    blocking = 0.0
+    converged = False
+    response_exec = exec_disk + exec_cpu
+    lock_response = lock_disk + lock_cpu
+    util_lock_disk = util_lock_cpu = 0.0
+    for _ in range(_MAX_ITERATIONS):
+        blocking_new = mode_factor * min(
+            p_cap, contention * mpl * locks_held / ltot
+        )
+        attempts = 1.0 / (1.0 - blocking_new)
+        overhead_attempts = attempts if semantics != "incremental" else 1.0
+        # Lock-work utilisation per node and device (preemptive
+        # priority: it steals capacity from execution service below).
+        util_lock_disk = min(
+            UTILIZATION_CAP, throughput * overhead_attempts * lock_disk
+        )
+        util_lock_cpu = min(
+            UTILIZATION_CAP, throughput * overhead_attempts * lock_cpu
+        )
+        responses = schweitzer_response_times(
+            [
+                exec_disk / (1.0 - util_lock_disk),
+                exec_cpu / (1.0 - util_lock_cpu),
+            ],
+            max(mpl, 1e-6),
+        )
+        response_exec = sum(responses) * join_factor
+        lock_response = max(
+            lock_disk / (1.0 - util_lock_disk) if lock_disk else 0.0,
+            lock_cpu / (1.0 - util_lock_cpu) if lock_cpu else 0.0,
+        )
+        wait = WAIT_FRACTION * response_exec
+        if semantics == "blocking":
+            cycle = (
+                attempts * lock_response
+                + (attempts - 1.0) * wait
+                + response_exec
+            )
+        elif semantics == "restart":
+            cycle = (
+                attempts * lock_response
+                + (attempts - 1.0) * _mean_backoff(params)
+                + response_exec
+            )
+        else:  # incremental: lock work paid once, damped waits
+            cycle = (
+                lock_response + (attempts - 1.0) * wait + response_exec
+            )
+        throughput_new = n_txn / max(cycle, 1e-12)
+        mpl_new = min(throughput_new * response_exec, float(n_txn))
+        delta = max(
+            abs(throughput_new - throughput), abs(blocking_new - blocking)
+        )
+        throughput = (1.0 - _DAMPING) * throughput + _DAMPING * throughput_new
+        mpl = (1.0 - _DAMPING) * mpl + _DAMPING * mpl_new
+        blocking = blocking_new
+        if delta < _TOLERANCE:
+            converged = True
+            break
+
+    attempts = 1.0 / (1.0 - blocking)
+    overhead_attempts = attempts if semantics != "incremental" else 1.0
+    lock_work = overhead_attempts * locks_per_txn * (
+        params.liotime + params.lcputime
+    )
+    exec_work = nu * (params.iotime + params.cputime)
+    lock_overhead_frac = (
+        lock_work / (lock_work + exec_work) if lock_work + exec_work else 0.0
+    )
+    prediction = AnalyticPrediction(
+        params=params,
+        throughput=throughput,
+        blocking_prob=blocking,
+        lock_overhead_frac=lock_overhead_frac,
+        effective_mpl=mpl,
+        response_time=n_txn / throughput if throughput > 0 else math.inf,
+        attempts=attempts,
+        semantics=semantics,
+        converged=converged,
+    )
+    return _with_uncertainty(
+        prediction,
+        p_cap=p_cap,
+        util=max(util_lock_disk, util_lock_cpu),
+    )
+
+
+def uncertainty_score(prediction, p_cap=None, util=0.0):
+    """Heuristic trust score in [0, 1]; higher means "simulate this".
+
+    The model is least trustworthy where its approximations are
+    stressed: at the serialization ceiling (the geometric-retry
+    picture breaks down), when lock devices approach saturation (the
+    ``1/(1−u)`` inflation diverges), near-serial effective MPL (wait
+    accounting is crude there), and whenever the fixed point failed to
+    converge.
+    """
+    if p_cap is None:
+        n_txn = prediction.params.ntrans
+        p_cap = max(0.0, (n_txn - 1.0) / n_txn) if n_txn > 0 else 0.0
+    scores = [0.0]
+    if not prediction.converged:
+        scores.append(1.0)
+    if p_cap > 0:
+        # How close blocking sits to the ceiling (1.0 at the cap).
+        scores.append(max(0.0, prediction.blocking_prob / p_cap - 0.8) / 0.2)
+    scores.append(max(0.0, util / UTILIZATION_CAP - 0.8) / 0.2)
+    if prediction.effective_mpl < 1.5:
+        scores.append(0.6)
+    return min(1.0, max(scores))
+
+
+def _with_uncertainty(prediction, p_cap, util):
+    score = uncertainty_score(prediction, p_cap=p_cap, util=util)
+    return AnalyticPrediction(
+        params=prediction.params,
+        throughput=prediction.throughput,
+        blocking_prob=prediction.blocking_prob,
+        lock_overhead_frac=prediction.lock_overhead_frac,
+        effective_mpl=prediction.effective_mpl,
+        response_time=prediction.response_time,
+        attempts=prediction.attempts,
+        semantics=prediction.semantics,
+        converged=prediction.converged,
+        uncertainty=score,
+    )
+
+
+def predict_grid(configurations):
+    """Predictions for a whole sweep, in configuration order."""
+    return [predict(params) for params in configurations]

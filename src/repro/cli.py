@@ -129,6 +129,85 @@ def build_parser():
         "--watchdog-retries", type=int, default=2, metavar="N",
         help="retries per stalled cell before the sweep fails (default 2)",
     )
+    run.add_argument(
+        "--accelerator", default=None, choices=("analytic",),
+        help="prune the sweep with the analytic mean-value model: "
+        "simulate only curve endpoints, the predicted optimum and "
+        "flagged cells; fill the rest from predictions (journalled "
+        "with provenance 'analytic', never cached)",
+    )
+
+    predict = sub.add_parser(
+        "predict",
+        help="analytic prediction of one configuration (no simulation)",
+    )
+    predict.add_argument(
+        "--ltot-grid", default=None, metavar="L1,L2,...",
+        help="predict a whole granularity curve instead of one cell",
+    )
+    predict.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the prediction rows to a JSON file",
+    )
+    _add_parameter_flags(predict)
+
+    crossval = sub.add_parser(
+        "crossval",
+        help="validate the analytic model against the simulator",
+    )
+    crossval.add_argument(
+        "exhibit", nargs="?", default="ablation_analytic",
+        help="exhibit grid to validate on (default ablation_analytic; "
+        "use fig2 for the thorough run)",
+    )
+    crossval.add_argument("--tmax", type=float, default=None)
+    crossval.add_argument(
+        "--replications", type=int, default=1,
+        help="simulation replications per configuration",
+    )
+    crossval.add_argument("--jobs", type=int, default=0)
+    crossval.add_argument(
+        "--field", default="throughput", help="output field compared"
+    )
+    crossval.add_argument(
+        "--cc", dest="protocol", default=None,
+        help="override the cc protocol (granule-level protocols "
+        "switch the conflict engine to 'explicit' automatically)",
+    )
+    crossval.add_argument(
+        "--npros-grid", default=None, metavar="N1,N2,...",
+        help="override the spec's npros sweep",
+    )
+    crossval.add_argument(
+        "--ltot-grid", default=None, metavar="L1,L2,...",
+        help="override the spec's ltot sweep",
+    )
+    crossval.add_argument(
+        "--max-mean-error", type=float, default=None, metavar="FRAC",
+        help="exit with status 1 if the mean relative error exceeds "
+        "this fraction (the CI gate)",
+    )
+    crossval.add_argument(
+        "--min-completions", type=float, default=None, metavar="N",
+        help="flag cells with fewer completed transactions as "
+        "low-sample and exclude them from the mean (default 25)",
+    )
+    crossval.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the per-cell comparison to a JSON file",
+    )
+    crossval.add_argument(
+        "--svg", default=None, metavar="PATH",
+        help="write the sim-vs-analytic overlay chart",
+    )
+    crossval.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache entirely",
+    )
+    crossval.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache location",
+    )
 
     faults = sub.add_parser(
         "faults",
@@ -369,6 +448,7 @@ def _command_run(args):
             resume=args.resume,
             watchdog=args.watchdog,
             watchdog_retries=args.watchdog_retries,
+            accelerator=args.accelerator,
             drain_signals=True,
         )
     except KeyboardInterrupt:
@@ -387,6 +467,11 @@ def _command_run(args):
             )
         return 130
     print(result.stats.summary())
+    from repro.experiments.report import accelerator_note
+
+    note = accelerator_note(result.stats)
+    if note:
+        print(note)
     if result.stats.resumed:
         print(
             "Resumed {} previously completed cells from the journal.".format(
@@ -426,6 +511,140 @@ def _command_run(args):
         os.makedirs(args.svg, exist_ok=True)
         for path in save_result_charts(result, args.svg):
             print("Chart written to {}".format(path))
+    return 0
+
+
+def _command_predict(args):
+    """Analytic prediction(s) — milliseconds, no simulation."""
+    from repro.analytic.mva import predict
+
+    overrides = {
+        name: getattr(args, name)
+        for name in SimulationParameters().as_dict()
+        if getattr(args, name, None) is not None
+    }
+    base = SimulationParameters(**overrides)
+    if args.ltot_grid:
+        ltots = [int(v) for v in args.ltot_grid.split(",") if v.strip()]
+        configs = [base.replace(ltot=ltot) for ltot in ltots]
+    else:
+        configs = [base]
+    fields = (
+        "throughput", "response_time", "blocking_prob",
+        "lock_overhead_frac", "effective_mpl", "attempts",
+    )
+    print(
+        "{:>8s}".format("ltot")
+        + "".join("{:>20s}".format(f) for f in fields)
+        + "  {}".format("flags")
+    )
+    rows = []
+    for params in configs:
+        prediction = predict(params)
+        flags = []
+        if not prediction.converged:
+            flags.append("not converged")
+        if prediction.uncertainty >= 0.5:
+            flags.append("uncertain ({:.2f})".format(prediction.uncertainty))
+        print(
+            "{:>8d}".format(params.ltot)
+            + "".join(
+                "{:>20.6g}".format(getattr(prediction, f)) for f in fields
+            )
+            + "  {}".format(", ".join(flags))
+        )
+        rows.append(prediction.as_dict())
+    print(
+        "(semantics: {}; analytic mean-value model — validate with "
+        "'repro-locking crossval')".format(prediction.semantics)
+    )
+    if args.json:
+        save_rows_json(rows, args.json, metadata={"provenance": "analytic"})
+        print("Predictions written to {}".format(args.json))
+    return 0
+
+
+def _command_crossval(args):
+    """Validate the analytic model against the simulator on a grid."""
+    import json
+
+    from repro.experiments.crossval import (
+        MIN_COMPLETIONS,
+        cross_validate_analytic,
+        save_crossval_chart,
+    )
+
+    spec = get_exhibit(args.exhibit)
+    base_changes = {}
+    if args.protocol:
+        from repro.policies import registry
+
+        base_changes["protocol"] = args.protocol
+        if getattr(registry.resolve("cc", args.protocol), "needs_granules", False):
+            base_changes["conflict_engine"] = "explicit"
+    replace_sweeps = {}
+    if args.npros_grid and "npros" in spec.sweeps:
+        replace_sweeps["npros"] = tuple(
+            int(v) for v in args.npros_grid.split(",") if v.strip()
+        )
+    if args.tmax is not None or base_changes or replace_sweeps or args.ltot_grid:
+        spec = spec.scaled(
+            tmax=args.tmax,
+            ltot_grid=(
+                tuple(int(v) for v in args.ltot_grid.split(",") if v.strip())
+                if args.ltot_grid
+                else None
+            ),
+            replace_sweeps=replace_sweeps or None,
+            **base_changes
+        )
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir:
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = None
+    print(
+        "Cross-validating {} ({} configurations, tmax={}) against the "
+        "analytic model...".format(
+            spec.key, len(spec.configurations()), spec.base.tmax
+        )
+    )
+    crossval, _result = cross_validate_analytic(
+        spec,
+        field=args.field,
+        replications=args.replications,
+        min_completions=(
+            args.min_completions
+            if args.min_completions is not None
+            else MIN_COMPLETIONS
+        ),
+        jobs=args.jobs,
+        cache=cache,
+    )
+    print(crossval.format())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(crossval.as_dict(), handle, indent=2)
+        print("Comparison written to {}".format(args.json))
+    if args.svg:
+        save_crossval_chart(crossval, args.svg)
+        print("Overlay chart written to {}".format(args.svg))
+    if args.max_mean_error is not None:
+        if not crossval.passes(args.max_mean_error):
+            print(
+                "FAIL: mean relative error {:.1%} exceeds the {:.1%} "
+                "bound".format(
+                    crossval.mean_relative_error, args.max_mean_error
+                )
+            )
+            return 1
+        print(
+            "PASS: mean relative error {:.1%} within the {:.1%} "
+            "bound".format(crossval.mean_relative_error, args.max_mean_error)
+        )
     return 0
 
 
@@ -741,6 +960,10 @@ def _dispatch(args):
         return _command_policies(args)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "predict":
+        return _command_predict(args)
+    if args.command == "crossval":
+        return _command_crossval(args)
     if args.command == "faults":
         return _command_faults(args)
     if args.command == "simulate":

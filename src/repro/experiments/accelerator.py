@@ -1,0 +1,111 @@
+"""Analytic sweep accelerator: decide which grid cells to simulate.
+
+Given one spec's configurations and their analytic predictions
+(:mod:`repro.analytic.mva`), :func:`plan_sweep` partitions the
+configuration indices into a *simulate* set and a *prune* set.  The
+runner (``accelerator="analytic"`` in
+:mod:`repro.experiments.runner`) simulates only the former and fills
+the latter straight from the predictions, recording them in
+``SweepStats.analytic_cells`` and journalling them with provenance
+``"analytic"`` — they never enter the content-addressed result cache.
+
+Pruning rule (per curve of the spec, i.e. per series key):
+
+* **anchors** — the first and last x (the curve's endpoints) and the
+  predicted optimum with both neighbours are always simulated: the
+  paper's conclusions hang on the optimum's location, so it must come
+  from the simulator, with the analytic model only steering where to
+  look;
+* **uncertainty** — cells whose prediction carries an
+  :func:`~repro.analytic.mva.uncertainty_score` at or above
+  ``uncertainty_threshold`` are simulated (the model itself flags the
+  regimes where its approximations are stressed);
+* **disagreement** — interior cells where the predicted curve
+  disagrees with the linear interpolation of its neighbours by more
+  than ``disagreement_threshold`` of the curve's range are simulated
+  (high curvature is exactly where interpolation — and therefore the
+  model — is least safe).
+
+Everything else is pruned.  The rule is deterministic: same spec and
+predictions, same plan.
+"""
+
+#: Predictions at or above this uncertainty score are simulated.
+UNCERTAINTY_THRESHOLD = 0.5
+
+#: Interior cells whose predicted value deviates from the neighbour
+#: midpoint by more than this fraction of the curve's value range are
+#: simulated.
+DISAGREEMENT_THRESHOLD = 0.12
+
+
+class AcceleratorPlan:
+    """Outcome of :func:`plan_sweep` for one spec."""
+
+    __slots__ = ("simulate", "pruned", "predictions")
+
+    def __init__(self, simulate, pruned, predictions):
+        self.simulate = frozenset(simulate)
+        self.pruned = frozenset(pruned)
+        self.predictions = predictions
+
+    @property
+    def total(self):
+        return len(self.simulate) + len(self.pruned)
+
+    @property
+    def simulated_fraction(self):
+        """Fraction of configurations the plan simulates."""
+        return len(self.simulate) / self.total if self.total else 0.0
+
+    def prediction_for(self, index):
+        """The prediction standing in for pruned configuration *index*."""
+        return self.predictions[index]
+
+
+def plan_sweep(
+    spec,
+    configs,
+    predictions,
+    uncertainty_threshold=UNCERTAINTY_THRESHOLD,
+    disagreement_threshold=DISAGREEMENT_THRESHOLD,
+):
+    """Partition *configs* (with aligned *predictions*) for *spec*.
+
+    Returns an :class:`AcceleratorPlan`.  Curves with up to three
+    points are simulated outright (nothing to interpolate between).
+    """
+    if len(configs) != len(predictions):
+        raise ValueError(
+            "predictions must align with configs ({} != {})".format(
+                len(predictions), len(configs)
+            )
+        )
+    keep = set()
+    curves = {}
+    for index, params in enumerate(configs):
+        curves.setdefault(spec.series_key(params), []).append(index)
+    for indices in curves.values():
+        indices.sort(key=lambda i: getattr(configs[i], spec.x_field))
+        if len(indices) <= 3:
+            keep.update(indices)
+            continue
+        keep.add(indices[0])
+        keep.add(indices[-1])
+        values = [predictions[i].throughput for i in indices]
+        optimum = max(range(len(indices)), key=lambda pos: values[pos])
+        for pos in (optimum - 1, optimum, optimum + 1):
+            if 0 <= pos < len(indices):
+                keep.add(indices[pos])
+        value_range = max(values) - min(values)
+        for pos, index in enumerate(indices):
+            if predictions[index].uncertainty >= uncertainty_threshold:
+                keep.add(index)
+            if 0 < pos < len(indices) - 1 and value_range > 0:
+                midpoint = (values[pos - 1] + values[pos + 1]) / 2.0
+                if abs(values[pos] - midpoint) > (
+                    disagreement_threshold * value_range
+                ):
+                    keep.add(index)
+    pruned = set(range(len(configs))) - keep
+    return AcceleratorPlan(keep, pruned, list(predictions))

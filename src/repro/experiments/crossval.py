@@ -1,4 +1,4 @@
-"""Cross-validation of the conflict engines.
+"""Cross-validation: conflict engines, and simulator vs analytic model.
 
 The paper's results rest on the Ries–Stonebraker probabilistic
 shortcut.  :func:`cross_validate_engines` runs matched configurations
@@ -6,11 +6,29 @@ through the probabilistic and explicit engines and reports per-point
 relative divergence, giving a quantitative answer to "was the
 shortcut sound?" (EXPERIMENTS.md summarises the answer: yes, within
 a modest band, slightly optimistic at fine granularity).
+
+:func:`cross_validate_analytic` plays the same game against the
+analytic fast path (:mod:`repro.analytic.mva`): it simulates a spec's
+grid (cache-backed, so repeated validations are cheap), predicts every
+cell, and reports per-cell relative error, the worst offenders, and a
+sim-vs-analytic SVG overlay.  Cells whose simulated run completed too
+few transactions to estimate throughput reliably are flagged
+*low-sample* and excluded from the headline mean — comparing against a
+transient-dominated measurement would test the simulator's noise, not
+the model (they stay visible in the table and JSON).  This is the
+CI-enforced drift detector: golden digests catch *changed* outputs,
+the crossval error bound catches outputs that drift away from the
+physics the model encodes.
 """
 
+import math
 from dataclasses import dataclass
 
 from repro.core.model import simulate_replications
+
+#: Simulated cells with fewer completed transactions than this are
+#: flagged low-sample and excluded from the headline error mean.
+MIN_COMPLETIONS = 25
 
 
 @dataclass(frozen=True)
@@ -103,3 +121,239 @@ def cross_validate_engines(
         ).mean(field)
         points.append(DivergencePoint(ltot, prob, expl))
     return CrossValidation(points, field)
+
+
+# -- simulator vs analytic model ------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalyticCell:
+    """One configuration's sim-vs-analytic comparison."""
+
+    label: str
+    x: float
+    simulated: float
+    predicted: float
+    completions: float
+    uncertainty: float
+    low_sample: bool
+
+    @property
+    def relative_error(self):
+        """``(predicted − simulated) / simulated`` (inf when sim is 0)."""
+        if self.simulated == 0:
+            return 0.0 if self.predicted == 0 else math.inf
+        return (self.predicted - self.simulated) / self.simulated
+
+    @property
+    def valid(self):
+        """True when the cell counts toward the headline mean."""
+        return not self.low_sample and math.isfinite(self.relative_error)
+
+
+class AnalyticCrossValidation:
+    """Outcome of one :func:`cross_validate_analytic` sweep."""
+
+    def __init__(self, cells, field="throughput", spec_key=None):
+        self.cells = list(cells)
+        self.field = field
+        self.spec_key = spec_key
+
+    def __len__(self):
+        return len(self.cells)
+
+    @property
+    def valid_cells(self):
+        return [c for c in self.cells if c.valid]
+
+    @property
+    def mean_relative_error(self):
+        """Mean |relative error| over valid (non-low-sample) cells."""
+        errors = [abs(c.relative_error) for c in self.valid_cells]
+        return sum(errors) / len(errors) if errors else math.nan
+
+    @property
+    def max_relative_error(self):
+        """Largest |relative error| over valid cells."""
+        errors = [abs(c.relative_error) for c in self.valid_cells]
+        return max(errors) if errors else math.nan
+
+    def passes(self, threshold):
+        """True when the headline mean error is at or below *threshold*."""
+        mean = self.mean_relative_error
+        return math.isfinite(mean) and mean <= threshold
+
+    def worst(self, count=5):
+        """The *count* valid cells with the largest |relative error|."""
+        return sorted(
+            self.valid_cells,
+            key=lambda c: abs(c.relative_error),
+            reverse=True,
+        )[:count]
+
+    def format(self, worst=5):
+        """Per-cell table plus the worst-cell summary."""
+        lines = [
+            "{:>24s} {:>8s} {:>12s} {:>12s} {:>8s}  {}".format(
+                "series", "x", "simulated", "analytic", "error", "flags"
+            )
+        ]
+        for cell in self.cells:
+            flags = []
+            if cell.low_sample:
+                flags.append("low-sample (excluded)")
+            if cell.uncertainty >= 0.5:
+                flags.append("uncertain")
+            error = (
+                "{:>+7.1%}".format(cell.relative_error)
+                if math.isfinite(cell.relative_error)
+                else "    inf"
+            )
+            lines.append(
+                "{:>24s} {:>8g} {:>12.4f} {:>12.4f} {:>8s}  {}".format(
+                    cell.label[-24:], cell.x, cell.simulated,
+                    cell.predicted, error, ", ".join(flags)
+                )
+            )
+        lines.append("")
+        lines.append(
+            "mean |error| = {:.1%} over {} valid cells "
+            "({} low-sample excluded); max = {:.1%}".format(
+                self.mean_relative_error,
+                len(self.valid_cells),
+                sum(1 for c in self.cells if c.low_sample),
+                self.max_relative_error,
+            )
+        )
+        worst_cells = self.worst(worst)
+        if worst_cells:
+            lines.append("worst cells:")
+            for cell in worst_cells:
+                lines.append(
+                    "  {} {}={:g}: sim={:.4f} analytic={:.4f} ({:+.1%})".format(
+                        cell.label, "x", cell.x, cell.simulated,
+                        cell.predicted, cell.relative_error
+                    )
+                )
+        return "\n".join(lines)
+
+    def as_dict(self):
+        """JSON-ready summary (artifact format for CI uploads)."""
+        return {
+            "spec": self.spec_key,
+            "field": self.field,
+            "mean_relative_error": self.mean_relative_error,
+            "max_relative_error": self.max_relative_error,
+            "valid_cells": len(self.valid_cells),
+            "low_sample_cells": sum(1 for c in self.cells if c.low_sample),
+            "cells": [
+                {
+                    "label": c.label,
+                    "x": c.x,
+                    "simulated": c.simulated,
+                    "predicted": c.predicted,
+                    "relative_error": (
+                        c.relative_error
+                        if math.isfinite(c.relative_error)
+                        else None
+                    ),
+                    "completions": c.completions,
+                    "uncertainty": c.uncertainty,
+                    "low_sample": c.low_sample,
+                }
+                for c in self.cells
+            ],
+        }
+
+
+def cross_validate_analytic(
+    spec,
+    field="throughput",
+    replications=1,
+    min_completions=MIN_COMPLETIONS,
+    **run_kwargs
+):
+    """Simulate *spec*'s grid and compare every cell to the model.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.experiments.config.ExperimentSpec` to
+        validate on; the simulation side runs through
+        :func:`~repro.experiments.runner.run_experiment` (so the
+        result cache and journals apply as usual — repeated
+        validations of an already-simulated grid cost only the
+        predictions).
+    field:
+        Output field compared (throughput is the headline).
+    replications:
+        Simulation replications per configuration.
+    min_completions:
+        Mean completed transactions below which a cell is flagged
+        low-sample and excluded from the headline mean.
+    run_kwargs:
+        Passed through to :func:`run_experiment` (``jobs``, ``cache``,
+        ``journal`` ...).
+
+    Returns ``(AnalyticCrossValidation, ExperimentResult)``.
+    """
+    from repro.analytic.mva import predict
+    from repro.experiments.runner import run_experiment
+
+    result = run_experiment(spec, replications=replications, **run_kwargs)
+    cells = []
+    for params, outcome in zip(spec.configurations(), result.outcomes):
+        prediction = predict(params)
+        simulated = outcome.mean(field)
+        completions = outcome.mean("totcom")
+        low_sample = (
+            not math.isfinite(completions) or completions < min_completions
+        )
+        cells.append(
+            AnalyticCell(
+                label=spec.series_label(params),
+                x=getattr(params, spec.x_field),
+                simulated=simulated,
+                predicted=prediction.mean(field),
+                completions=completions,
+                uncertainty=prediction.uncertainty,
+                low_sample=low_sample,
+            )
+        )
+    return (
+        AnalyticCrossValidation(cells, field=field, spec_key=spec.key),
+        result,
+    )
+
+
+def save_crossval_chart(crossval, path, title=None):
+    """Write the sim-vs-analytic overlay SVG for *crossval* to *path*.
+
+    Simulated curves are solid with filled markers; their analytic
+    twins are dashed in the same colour with open markers.
+    """
+    from repro.experiments.svg import PALETTE, SvgChart
+
+    chart = SvgChart(
+        title or "{}: simulated vs analytic {}".format(
+            crossval.spec_key or "sweep", crossval.field
+        ),
+        y_label=crossval.field,
+    )
+    curves = {}
+    for cell in crossval.cells:
+        curves.setdefault(cell.label, []).append(cell)
+    for index, (label, cells) in enumerate(curves.items()):
+        colour = PALETTE[index % len(PALETTE)]
+        chart.add_series(
+            "{} (sim)".format(label),
+            [(c.x, c.simulated) for c in cells],
+            color=colour,
+        )
+        chart.add_series(
+            "{} (model)".format(label),
+            [(c.x, c.predicted) for c in cells],
+            dash="6,3",
+            color=colour,
+        )
+    return chart.save(path)

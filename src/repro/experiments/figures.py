@@ -402,6 +402,31 @@ def ablation_read_mix():
     )
 
 
+def ablation_analytic():
+    """Sim-vs-analytic cross-validation grid (the analytic fast path).
+
+    A deliberately small grid (3 lock counts × 2 processor counts)
+    spanning the optimum and both flanks, used by ``repro-locking
+    crossval`` and CI's crossval-smoke job to bound the mean-value
+    model's error cheaply.  The full Fig. 2 grid is the thorough
+    validation; this is the canary.
+    """
+    return ExperimentSpec(
+        key="ablation_analytic",
+        title="Ablation: simulated vs analytic mean-value model "
+        "(npros = 10, 30)",
+        base=_base(),
+        sweeps={"npros": (10, 30), "ltot": (10, 100, 1000)},
+        series_fields=("npros",),
+        y_fields=("throughput", "response_time"),
+        expected_shape=(
+            "The analytic model tracks simulated throughput within "
+            "~15% mean relative error on valid cells; both agree the "
+            "optimum sits at intermediate granularity."
+        ),
+    )
+
+
 def ablation_open_system():
     """Open Poisson arrivals: saturation knee vs lock granularity."""
     return ExperimentSpec(
@@ -446,6 +471,7 @@ EXHIBITS = {
     "ablation_discipline": ablation_discipline,
     "ablation_escalation": ablation_escalation,
     "ablation_readmix": ablation_read_mix,
+    "ablation_analytic": ablation_analytic,
     "ablation_open": ablation_open_system,
 }
 

@@ -19,6 +19,7 @@ File format (JSONL)::
 
     {"sweep": "<id>", "cells": 12, "label": "table1"}   # header
     {"done": "<cache key>"}                             # one per cell
+    {"done": "<cache key>", "provenance": "analytic"}   # accelerator fill
     {"finished": true}                                  # clean end
 """
 
@@ -134,10 +135,19 @@ class SweepJournal:
         except (OSError, ValueError):
             return False
 
-    def record(self, key):
-        """Append one completed cell and flush it to disk."""
+    def record(self, key, provenance=None):
+        """Append one completed cell and flush it to disk.
+
+        *provenance* tags cells not produced by the simulator (the
+        analytic accelerator records ``"analytic"``); plain simulated
+        or cached cells omit the field.  :meth:`load` treats both as
+        done.
+        """
         if self._handle is not None:
-            self._write({"done": key})
+            entry = {"done": key}
+            if provenance is not None:
+                entry["provenance"] = provenance
+            self._write(entry)
 
     def finish(self):
         """Append the clean-completion marker."""

@@ -123,3 +123,27 @@ def summarize_optima(result, y_field=None, maximize=True):
             )
         )
     return "\n".join(lines)
+
+
+def accelerator_note(stats):
+    """One-line summary of what the analytic accelerator saved.
+
+    Empty string for unaccelerated sweeps.  The wall-clock estimate
+    extrapolates the mean compute time of the cells that *were*
+    simulated onto the pruned ones — honest enough for a progress
+    line, and clearly labelled an estimate.
+    """
+    if not stats.analytic_cells:
+        return ""
+    sim_seconds = sum(config.seconds for config in stats.per_config)
+    per_cell = sim_seconds / stats.runs if stats.runs else 0.0
+    return (
+        "Accelerator '{}': {} of {} cells filled analytically "
+        "(~{:.1f}s of simulation avoided at ~{:.2f}s/cell)".format(
+            stats.accelerator,
+            stats.analytic_cells,
+            stats.cells,
+            per_cell * stats.analytic_cells,
+            per_cell,
+        )
+    )

@@ -192,6 +192,13 @@ class SweepStats:
     #: Worker processes the queue ran on (1 = inline execution,
     #: 0 = every cell answered from the cache).
     workers: int = 0
+    #: Cells filled from the analytic model instead of simulation
+    #: (``accelerator="analytic"``); they are journalled with
+    #: provenance ``"analytic"`` and never written to the cache, and
+    #: count toward neither ``cache_hits`` nor ``cache_misses``.
+    analytic_cells: int = 0
+    #: The accelerator mode used (``None`` for a plain sweep).
+    accelerator: str = None
 
     @property
     def cells(self):
@@ -204,9 +211,14 @@ class SweepStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def pruned_fraction(self):
+        """Fraction of cells the accelerator filled analytically."""
+        return self.analytic_cells / self.cells if self.cells else 0.0
+
     def summary(self):
         """One-line human summary for CLI/script output."""
-        return (
+        line = (
             "{} configs x {} replications: {} simulated, "
             "{} cache hits ({:.0%} hit rate) in {:.2f}s".format(
                 self.configs,
@@ -217,6 +229,11 @@ class SweepStats:
                 self.elapsed_seconds,
             )
         )
+        if self.analytic_cells:
+            line += ", {} analytic ({:.0%} pruned)".format(
+                self.analytic_cells, self.pruned_fraction
+            )
+        return line
 
 
 class ExperimentResult:
@@ -331,6 +348,7 @@ class _SweepContext:
         "cells",
         "journal",
         "journaled",
+        "analytic",
     )
 
     def __init__(self, spec, replications, index):
@@ -345,6 +363,9 @@ class _SweepContext:
         self.remaining = [replications] * len(self.configs)
         self.journal = None
         self.journaled = set()
+        #: config index -> AnalyticPrediction for pruned configurations
+        #: (populated only under ``accelerator="analytic"``).
+        self.analytic = {}
         # Materialise every cell (with its content address) up front:
         # the ordered addresses identify this sweep for the journal.
         self.cells = []  # (config_index, replication_index, params, key)
@@ -371,6 +392,7 @@ def run_experiment(
     watchdog=None,
     watchdog_retries=2,
     drain_signals=False,
+    accelerator=None,
 ):
     """Execute every configuration of *spec*.
 
@@ -434,6 +456,18 @@ def run_experiment(
         work, let in-flight cells finish (bounded by
         :data:`DRAIN_GRACE_SECONDS`), flush the journal, then raise
         ``KeyboardInterrupt``.
+    accelerator:
+        ``"analytic"`` prunes the sweep with the mean-value model
+        (:mod:`repro.analytic.mva`): only the cells the
+        :mod:`~repro.experiments.accelerator` plan marks — curve
+        endpoints, the predicted optimum and its neighbours,
+        high-uncertainty and high-curvature cells — are simulated;
+        the rest are filled from predictions, counted in
+        ``stats.analytic_cells``, journalled with provenance
+        ``"analytic"``, and **never** written to the result cache (so
+        default-sweep cache contents stay byte-identical whether or
+        not the accelerator was ever used).  ``None`` (default)
+        simulates every cell.
 
     Raises
     ------
@@ -462,6 +496,7 @@ def run_experiment(
         watchdog=watchdog,
         watchdog_retries=watchdog_retries,
         drain_signals=drain_signals,
+        accelerator=accelerator,
     )[0]
 
 
@@ -479,6 +514,7 @@ def run_experiments(
     watchdog=None,
     watchdog_retries=2,
     drain_signals=False,
+    accelerator=None,
 ):
     """Execute a batch of specs over ONE global work queue.
 
@@ -516,12 +552,29 @@ def run_experiments(
                 len(journals), len(specs)
             )
         )
+    if accelerator not in (None, "analytic"):
+        raise ValueError(
+            "unknown accelerator {!r}; supported: 'analytic'".format(
+                accelerator
+            )
+        )
     started = perf_counter()
     cache = _resolve_cache(cache)
     contexts = [
         _SweepContext(spec, replications, index)
         for index, spec in enumerate(specs)
     ]
+    if accelerator == "analytic":
+        from repro.analytic.mva import predict_grid
+        from repro.experiments.accelerator import plan_sweep
+
+        for ctx in contexts:
+            predictions = predict_grid(ctx.configs)
+            plan = plan_sweep(ctx.spec, ctx.configs, predictions)
+            ctx.analytic = {
+                index: plan.prediction_for(index) for index in plan.pruned
+            }
+            ctx.stats.accelerator = accelerator
     total_cells = sum(len(ctx.cells) for ctx in contexts)
     total_configs = sum(len(ctx.configs) for ctx in contexts)
     done_cells = 0
@@ -546,7 +599,13 @@ def run_experiments(
 
     def finish_config(ctx, i):
         nonlocal done_configs
-        ctx.outcomes[i] = aggregate(ctx.grid[i])
+        prediction = ctx.analytic.get(i)
+        # A pruned configuration's outcome IS its prediction (it
+        # mimics the ReplicatedResult read surface); everything else
+        # aggregates its simulated/cached replications as usual.
+        ctx.outcomes[i] = (
+            prediction if prediction is not None else aggregate(ctx.grid[i])
+        )
         done_configs += 1
         if progress is not None:
             progress(done_configs, total_configs)
@@ -573,6 +632,18 @@ def run_experiments(
     job_order = []
     for ctx in contexts:
         for i, r, run_params, key in ctx.cells:
+            prediction = ctx.analytic.get(i)
+            if prediction is not None:
+                # Pruned by the accelerator: fill from the analytic
+                # model.  No cache read, no cache write — predictions
+                # must never masquerade as simulation results.
+                ctx.grid[i][r] = prediction
+                ctx.stats.analytic_cells += 1
+                if ctx.journal is not None and key not in ctx.journaled:
+                    ctx.journal.record(key, provenance="analytic")
+                notify_cell(ctx, i, r, "analytic")
+                ctx.remaining[i] -= 1
+                continue
             hit = None
             if cache is not None and not refresh:
                 hit = cache.get(run_params)

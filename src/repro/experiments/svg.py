@@ -48,15 +48,22 @@ class SvgChart:
         self.log_x = log_x
         self._series = []
 
-    def add_series(self, label, points):
-        """Add one curve: *points* is a list of (x, y) pairs."""
+    def add_series(self, label, points, dash=None, color=None):
+        """Add one curve: *points* is a list of (x, y) pairs.
+
+        *dash* is an optional SVG ``stroke-dasharray`` string (e.g.
+        ``"6,3"``) — analytic overlays are drawn dashed so they read
+        apart from simulated curves; *color* pins the stroke colour
+        instead of cycling the palette (so an overlay can match its
+        simulated counterpart).
+        """
         cleaned = [
             (x, y)
             for x, y in points
             if y == y and (not self.log_x or x > 0)
         ]
         if cleaned:
-            self._series.append((label, sorted(cleaned)))
+            self._series.append((label, sorted(cleaned), dash, color))
 
     def _x_transform(self, x):
         return math.log10(x) if self.log_x else x
@@ -67,10 +74,10 @@ class SvgChart:
             return self._empty_document()
         xs = [
             self._x_transform(x)
-            for _, points in self._series
+            for _, points, _, _ in self._series
             for x, _ in points
         ]
-        ys = [y for _, points in self._series for _, y in points]
+        ys = [y for _, points, _, _ in self._series for _, y in points]
         x_lo, x_hi = min(xs), max(xs)
         y_lo, y_hi = min(ys), max(ys)
         if x_hi == x_lo:
@@ -97,26 +104,43 @@ class SvgChart:
             ),
         ]
         parts.extend(self._axes(x_lo, x_hi, y_lo, y_hi, px, py))
-        for index, (label, points) in enumerate(self._series):
-            colour = PALETTE[index % len(PALETTE)]
+        for index, (label, points, dash, color) in enumerate(self._series):
+            colour = color or PALETTE[index % len(PALETTE)]
+            dash_attr = (
+                ' stroke-dasharray="{}"'.format(dash) if dash else ""
+            )
             path = " ".join(
                 "{}{:.1f},{:.1f}".format("M" if i == 0 else "L", px(x), py(y))
                 for i, (x, y) in enumerate(points)
             )
             parts.append(
                 '<path d="{}" fill="none" stroke="{}" '
-                'stroke-width="1.6"/>'.format(path, colour)
+                'stroke-width="1.6"{}/>'.format(path, colour, dash_attr)
             )
             for x, y in points:
-                parts.append(
-                    '<circle cx="{:.1f}" cy="{:.1f}" r="{}" '
-                    'fill="{}"/>'.format(px(x), py(y), MARKER_RADIUS, colour)
-                )
+                if dash:
+                    # Open markers keep dashed (analytic) overlays
+                    # visually distinct from their simulated twins.
+                    parts.append(
+                        '<circle cx="{:.1f}" cy="{:.1f}" r="{}" fill="white" '
+                        'stroke="{}"/>'.format(
+                            px(x), py(y), MARKER_RADIUS, colour
+                        )
+                    )
+                else:
+                    parts.append(
+                        '<circle cx="{:.1f}" cy="{:.1f}" r="{}" '
+                        'fill="{}"/>'.format(
+                            px(x), py(y), MARKER_RADIUS, colour
+                        )
+                    )
             legend_y = MARGIN_TOP + 14 + index * 16
             legend_x = WIDTH - MARGIN_RIGHT + 12
             parts.append(
-                '<circle cx="{}" cy="{}" r="{}" fill="{}"/>'.format(
-                    legend_x, legend_y - 4, MARKER_RADIUS, colour
+                '<circle cx="{}" cy="{}" r="{}" fill="{}"{}/>'.format(
+                    legend_x, legend_y - 4, MARKER_RADIUS,
+                    "white" if dash else colour,
+                    ' stroke="{}"'.format(colour) if dash else "",
                 )
             )
             parts.append(

@@ -78,6 +78,13 @@ class ConcurrencyControl:
     name = None
     needs_granules = False
     version = 1
+    #: Contention semantics assumed by the analytic fast path
+    #: (:mod:`repro.analytic.mva`): ``"blocking"`` (deny → wait for the
+    #: blocker, retry), ``"restart"`` (deny → abort, back off, retry
+    #: from scratch) or ``"incremental"`` (granule-at-a-time waits, lock
+    #: work paid once).  ``None`` lets the model infer from
+    #: ``needs_granules``.
+    analytic_semantics = None
 
     def __init__(self):
         self.model = None
@@ -151,6 +158,7 @@ class PreclaimCC(ConcurrencyControl):
     """Conservative preclaim: all locks up front, block on the blocker."""
 
     name = "preclaim"
+    analytic_semantics = "blocking"
 
     def acquire(self, txn):
         model = self.model
@@ -193,6 +201,7 @@ class NoWaitingCC(PreclaimCC):
     """No-waiting (immediate restart): a denied request never blocks."""
 
     name = "no-waiting"
+    analytic_semantics = "restart"
 
     def _denied(self, txn, blocker):
         """Denied request: abort immediately, back off, restart."""
@@ -208,6 +217,7 @@ class IncrementalCC(ConcurrencyControl):
 
     name = "incremental"
     needs_granules = True
+    analytic_semantics = "incremental"
 
     def bind(self, model):
         from repro.lockmgr.deadlock import DeadlockDetector
@@ -306,6 +316,7 @@ class WoundWaitCC(ConcurrencyControl):
 
     name = "wound-wait"
     needs_granules = True
+    analytic_semantics = "incremental"
 
     def bind(self, model):
         super().bind(model)

@@ -112,3 +112,62 @@ class TestSimulatorObeysBounds:
         result = simulate(params)
         bound = throughput_upper_bound(params)
         assert result.throughput >= 0.5 * bound
+
+
+class TestDegenerateCorners:
+    """The laws stay finite and consistent at the parameter extremes."""
+
+    def test_single_lock_database(self):
+        # ltot=1: every transaction requires exactly one (whole-db)
+        # lock, regardless of size or placement.
+        params = SimulationParameters(ltot=1)
+        demands = service_demands(params)
+        base = service_demands(params, nu=1)
+        nu = params.mean_transaction_size
+        # Lock work is one granule's worth; exec work scales with nu.
+        assert demands["disk"] == pytest.approx(
+            (nu * params.iotime + params.liotime) / params.npros
+        )
+        assert base["disk"] < demands["disk"]
+        assert 0 < throughput_upper_bound(params) < float("inf")
+
+    def test_single_customer_population(self):
+        # ntrans=1 (MPL 1): no queueing is possible, so the population
+        # bound X = 1 / R_min is exact and binds.
+        params = SimulationParameters(ntrans=1)
+        bound = throughput_upper_bound(params)
+        assert bound == pytest.approx(
+            1.0 / response_time_lower_bound(params)
+        )
+        assert balanced_system_throughput(params) == pytest.approx(
+            1.0 / total_demand(params)
+        )
+
+    def test_zero_lock_overhead(self):
+        # lcputime = liotime = 0: demands reduce to pure transaction
+        # work and granularity stops mattering to the bounds.
+        coarse = SimulationParameters(lcputime=0.0, liotime=0.0, ltot=10)
+        fine = coarse.replace(ltot=5000)
+        assert service_demands(coarse) == service_demands(fine)
+        assert throughput_upper_bound(coarse) == pytest.approx(
+            throughput_upper_bound(fine)
+        )
+        nu = coarse.mean_transaction_size
+        assert response_time_lower_bound(coarse) == pytest.approx(
+            nu * (coarse.iotime + coarse.cputime) / coarse.npros
+        )
+
+    def test_single_processor_degenerate(self):
+        # npros=1: no fork-join parallelism; per-station and total
+        # demands coincide up to the two station types.
+        params = SimulationParameters(npros=1)
+        demands = service_demands(params)
+        assert total_demand(params) == pytest.approx(
+            demands["disk"] + demands["cpu"]
+        )
+        assert response_time_lower_bound(params) == pytest.approx(
+            total_demand(params)
+        )
+        # And the simulator still respects the bound there.
+        result = simulate(params.replace(tmax=300.0, seed=9))
+        assert result.throughput <= throughput_upper_bound(params) * 1.10

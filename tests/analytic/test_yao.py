@@ -94,3 +94,27 @@ class TestFormula:
 
     def test_alias(self):
         assert yao_locks(100, 10, 5) == expected_granules_touched(100, 10, 5)
+
+
+class TestDegenerateCorners:
+    def test_single_granule_for_every_size(self):
+        # ltot=1 collapses the formula to the constant 1 for any
+        # non-empty selection — the whole-database-lock regime.
+        for nu in (1, 2, 50, 99, 100):
+            assert expected_granules_touched(100, 1, nu) == pytest.approx(1.0)
+
+    def test_granule_per_entity_is_identity(self):
+        # ltot=dbsize: touching nu entities touches exactly nu granules.
+        for nu in (1, 7, 500):
+            assert expected_granules_touched(500, 500, nu) == pytest.approx(
+                float(nu)
+            )
+
+    def test_pair_in_two_granules_exact(self):
+        # dbsize=2, ltot=2, nu=2: both granules always touched.
+        assert expected_granules_touched(2, 2, 2) == pytest.approx(2.0)
+
+    def test_tiny_database_single_entity_selection(self):
+        # nu=1 must touch exactly one granule no matter how uneven the
+        # granule sizes are (dbsize not divisible by ltot).
+        assert expected_granules_touched(7, 3, 1) == pytest.approx(1.0)

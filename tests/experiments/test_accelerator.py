@@ -1,0 +1,202 @@
+"""Tests for the analytic sweep accelerator (planning + runner wiring)."""
+
+import json
+import math
+
+import pytest
+
+from repro.analytic.mva import predict_grid
+from repro.core.parameters import SimulationParameters
+from repro.experiments.accelerator import AcceleratorPlan, plan_sweep
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture
+def accel_spec():
+    """One 8-point curve, cheap enough to simulate in the suite."""
+    return ExperimentSpec(
+        key="accel-tiny",
+        title="accelerator tiny sweep",
+        base=SimulationParameters(
+            dbsize=500, ntrans=6, maxtransize=50, npros=4, tmax=150.0,
+            seed=3,
+        ),
+        sweeps={"ltot": (2, 5, 10, 20, 50, 100, 200, 500)},
+        y_fields=("throughput",),
+    )
+
+
+class TestPlanSweep:
+    def test_partition_is_exhaustive_and_disjoint(self, accel_spec):
+        configs = accel_spec.configurations()
+        plan = plan_sweep(accel_spec, configs, predict_grid(configs))
+        assert plan.simulate | plan.pruned == set(range(len(configs)))
+        assert not plan.simulate & plan.pruned
+        assert plan.total == len(configs)
+
+    def test_prunes_something_on_a_long_curve(self, accel_spec):
+        configs = accel_spec.configurations()
+        plan = plan_sweep(accel_spec, configs, predict_grid(configs))
+        assert plan.pruned
+        assert plan.simulated_fraction < 1.0
+
+    def test_endpoints_always_simulated(self, accel_spec):
+        configs = accel_spec.configurations()
+        plan = plan_sweep(accel_spec, configs, predict_grid(configs))
+        ltots = [c.ltot for c in configs]
+        assert ltots.index(min(ltots)) in plan.simulate
+        assert ltots.index(max(ltots)) in plan.simulate
+
+    def test_predicted_optimum_and_neighbours_simulated(self, accel_spec):
+        configs = accel_spec.configurations()
+        predictions = predict_grid(configs)
+        plan = plan_sweep(accel_spec, configs, predictions)
+        values = [p.throughput for p in predictions]
+        best = values.index(max(values))
+        for index in (best - 1, best, best + 1):
+            if 0 <= index < len(configs):
+                assert index in plan.simulate
+
+    def test_deterministic(self, accel_spec):
+        configs = accel_spec.configurations()
+        predictions = predict_grid(configs)
+        first = plan_sweep(accel_spec, configs, predictions)
+        second = plan_sweep(accel_spec, configs, predictions)
+        assert first.simulate == second.simulate
+        assert first.pruned == second.pruned
+
+    def test_short_curves_simulated_outright(self, accel_spec):
+        short = accel_spec.scaled(ltot_grid=(10, 100, 500))
+        configs = short.configurations()
+        plan = plan_sweep(short, configs, predict_grid(configs))
+        assert not plan.pruned
+        assert plan.simulated_fraction == 1.0
+
+    def test_uncertain_cells_are_simulated(self, accel_spec):
+        # ltot=1 predictions sit on the serialization ceiling and carry
+        # uncertainty 1.0, so they must be simulated even mid-curve.
+        spec = accel_spec.scaled(ltot_grid=(1, 2, 5, 10, 20, 50, 100, 500))
+        configs = spec.configurations()
+        predictions = predict_grid(configs)
+        plan = plan_sweep(spec, configs, predictions)
+        for index, prediction in enumerate(predictions):
+            if prediction.uncertainty >= 0.5:
+                assert index in plan.simulate
+
+    def test_misaligned_predictions_rejected(self, accel_spec):
+        configs = accel_spec.configurations()
+        with pytest.raises(ValueError):
+            plan_sweep(accel_spec, configs, predict_grid(configs[:-1]))
+
+    def test_prediction_for_pruned_index(self, accel_spec):
+        configs = accel_spec.configurations()
+        predictions = predict_grid(configs)
+        plan = plan_sweep(accel_spec, configs, predictions)
+        for index in plan.pruned:
+            assert plan.prediction_for(index) is predictions[index]
+
+    def test_fraction_of_empty_plan(self):
+        assert AcceleratorPlan((), (), []).simulated_fraction == 0.0
+
+
+class TestRunnerIntegration:
+    def test_unknown_accelerator_rejected(self, accel_spec):
+        with pytest.raises(ValueError):
+            run_experiment(accel_spec, cache=False, accelerator="quantum")
+
+    def test_accelerated_sweep_fills_every_cell(self, accel_spec):
+        result = run_experiment(
+            accel_spec, cache=False, accelerator="analytic"
+        )
+        assert len(result.outcomes) == len(accel_spec.configurations())
+        for outcome in result.outcomes:
+            assert outcome.mean("throughput") > 0
+
+    def test_stats_count_analytic_cells(self, accel_spec):
+        configs = accel_spec.configurations()
+        plan = plan_sweep(accel_spec, configs, predict_grid(configs))
+        result = run_experiment(
+            accel_spec, cache=False, accelerator="analytic"
+        )
+        stats = result.stats
+        assert stats.accelerator == "analytic"
+        assert stats.analytic_cells == len(plan.pruned) > 0
+        assert stats.runs == len(plan.simulate)
+        assert stats.pruned_fraction == pytest.approx(
+            len(plan.pruned) / len(configs)
+        )
+        assert "analytic" in stats.summary()
+
+    def test_pruned_cells_carry_provenance(self, accel_spec):
+        result = run_experiment(
+            accel_spec, cache=False, accelerator="analytic"
+        )
+        rows = result.rows()
+        analytic = [r for r in rows if r.get("provenance") == "analytic"]
+        assert len(analytic) == result.stats.analytic_cells
+        for row in analytic:
+            assert math.isnan(row["deadlock_aborts"])
+
+    def test_simulated_cells_match_unaccelerated_run(self, accel_spec):
+        accelerated = run_experiment(
+            accel_spec, cache=False, accelerator="analytic"
+        )
+        plain = run_experiment(accel_spec, cache=False)
+        configs = accel_spec.configurations()
+        plan = plan_sweep(
+            accel_spec, configs, predict_grid(configs)
+        )
+        for index in plan.simulate:
+            assert accelerated.outcomes[index].mean("throughput") == (
+                plain.outcomes[index].mean("throughput")
+            )
+
+    def test_analytic_cells_never_enter_the_cache(self, accel_spec, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = run_experiment(
+            accel_spec, cache=cache, accelerator="analytic"
+        )
+        assert result.stats.analytic_cells > 0
+        assert len(cache) == result.stats.runs
+
+    def test_cache_hits_not_confused_with_analytic(self, accel_spec, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_experiment(accel_spec, cache=cache, accelerator="analytic")
+        again = run_experiment(
+            accel_spec, cache=cache, accelerator="analytic"
+        )
+        assert again.stats.cache_hits == len(cache)
+        assert again.stats.runs == 0
+        assert again.stats.analytic_cells > 0
+
+    def test_journal_records_analytic_provenance(self, accel_spec, tmp_path):
+        journal_path = tmp_path / "accel.journal"
+        result = run_experiment(
+            accel_spec,
+            cache=ResultCache(tmp_path / "cache"),
+            journal=str(journal_path),
+            accelerator="analytic",
+        )
+        entries = [
+            json.loads(line)
+            for line in journal_path.read_text().splitlines()
+            if line.strip()
+        ]
+        analytic = [
+            e for e in entries if e.get("provenance") == "analytic"
+        ]
+        assert len(analytic) == result.stats.analytic_cells
+        for entry in analytic:
+            assert "done" in entry
+
+    def test_default_path_untouched(self, accel_spec):
+        result = run_experiment(accel_spec, cache=False)
+        assert result.stats.accelerator is None
+        assert result.stats.analytic_cells == 0
+        assert result.stats.pruned_fraction == 0.0
+        assert "analytic" not in result.stats.summary()
+        assert all(
+            "provenance" not in row for row in result.rows()
+        )

@@ -330,3 +330,91 @@ class TestExecution:
         bad.write_text("not json\n")
         with pytest.raises(TraceSchemaError):
             main(["report", str(bad)])
+
+
+class TestAnalyticVerbs:
+    def test_predict_flags_parse(self):
+        args = build_parser().parse_args(
+            ["predict", "--ltot", "100", "--npros", "10",
+             "--ltot-grid", "1,10,100", "--json", "/tmp/p.json"]
+        )
+        assert args.command == "predict"
+        assert args.ltot == 100
+        assert args.ltot_grid == "1,10,100"
+
+    def test_crossval_flags_parse(self):
+        args = build_parser().parse_args(
+            ["crossval", "fig2", "--cc", "incremental",
+             "--max-mean-error", "0.15", "--min-completions", "10",
+             "--svg", "/tmp/c.svg"]
+        )
+        assert args.command == "crossval"
+        assert args.exhibit == "fig2"
+        assert args.protocol == "incremental"
+        assert args.max_mean_error == 0.15
+
+    def test_crossval_default_exhibit(self):
+        args = build_parser().parse_args(["crossval"])
+        assert args.exhibit == "ablation_analytic"
+
+    def test_run_accelerator_flag(self):
+        args = build_parser().parse_args(
+            ["run", "fig2", "--accelerator", "analytic"]
+        )
+        assert args.accelerator == "analytic"
+        assert build_parser().parse_args(["run", "fig2"]).accelerator is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig2", "--accelerator", "x"])
+
+    def test_predict_prints_curve(self, capsys, tmp_path):
+        json_path = tmp_path / "pred.json"
+        code = main(
+            ["predict", "--npros", "10", "--ltot-grid", "1,10,100,1000",
+             "--json", str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "semantics: blocking" in out
+        assert json_path.exists()
+        import json
+
+        rows = json.load(open(json_path))["rows"]
+        assert len(rows) == 4
+        assert all(r["provenance"] == "analytic" for r in rows)
+
+    def test_predict_single_cell(self, capsys):
+        assert main(["predict", "--ltot", "50", "--npros", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 2
+
+    def test_crossval_gate_and_artifacts(self, capsys, tmp_path):
+        json_path = tmp_path / "cv.json"
+        svg_path = tmp_path / "cv.svg"
+        argv = [
+            "crossval", "ablation_analytic", "--tmax", "150",
+            "--npros-grid", "10", "--ltot-grid", "10,100",
+            "--min-completions", "1", "--no-cache",
+            "--json", str(json_path), "--svg", str(svg_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "mean |error|" in out
+        assert json_path.exists()
+        assert svg_path.exists()
+        # An impossible bound trips the CI gate deterministically.
+        assert main(argv + ["--max-mean-error", "0.0"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_run_accelerated_sweep_completes(self, capsys, tmp_path):
+        # Small --quick curves are fully simulated by design (the plan
+        # only prunes interior points of longer curves); the flag must
+        # still run end to end and report the sweep normally.
+        code = main(
+            ["run", "ablation_analytic", "--quick", "--tmax", "60",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--accelerator", "analytic"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out

@@ -1,12 +1,20 @@
-"""Tests for the engine cross-validation utility."""
+"""Tests for the engine and analytic cross-validation utilities."""
+
+import math
+import xml.etree.ElementTree as ET
 
 import pytest
 
 from repro.core.parameters import SimulationParameters
+from repro.experiments.config import ExperimentSpec
 from repro.experiments.crossval import (
+    AnalyticCell,
+    AnalyticCrossValidation,
     CrossValidation,
     DivergencePoint,
+    cross_validate_analytic,
     cross_validate_engines,
+    save_crossval_chart,
 )
 
 
@@ -61,3 +69,125 @@ class TestCrossValidation:
         ]
         cv = CrossValidation(points, "throughput")
         assert cv.max_absolute_gap == pytest.approx(0.1)
+
+
+def _cell(error=0.1, low_sample=False, simulated=1.0, uncertainty=0.0):
+    return AnalyticCell(
+        label="npros=10",
+        x=100,
+        simulated=simulated,
+        predicted=simulated * (1.0 + error),
+        completions=5.0 if low_sample else 100.0,
+        uncertainty=uncertainty,
+        low_sample=low_sample,
+    )
+
+
+class TestAnalyticCell:
+    def test_relative_error(self):
+        assert _cell(error=0.25).relative_error == pytest.approx(0.25)
+        assert _cell(error=-0.1).relative_error == pytest.approx(-0.1)
+
+    def test_zero_simulated_guard(self):
+        zero = AnalyticCell("a", 1, 0.0, 0.0, 100.0, 0.0, False)
+        assert zero.relative_error == 0.0
+        nonzero = AnalyticCell("a", 1, 0.0, 0.1, 100.0, 0.0, False)
+        assert nonzero.relative_error == math.inf
+        assert not nonzero.valid
+
+    def test_low_sample_cells_invalid(self):
+        assert not _cell(low_sample=True).valid
+        assert _cell().valid
+
+
+class TestAnalyticCrossValidation:
+    @pytest.fixture
+    def crossval(self):
+        return AnalyticCrossValidation(
+            [
+                _cell(error=0.1),
+                _cell(error=-0.2),
+                _cell(error=0.9, low_sample=True),
+            ],
+            field="throughput",
+            spec_key="demo",
+        )
+
+    def test_mean_excludes_low_sample(self, crossval):
+        assert crossval.mean_relative_error == pytest.approx(0.15)
+        assert crossval.max_relative_error == pytest.approx(0.2)
+        assert len(crossval.valid_cells) == 2
+
+    def test_passes_threshold(self, crossval):
+        assert crossval.passes(0.151)
+        assert not crossval.passes(0.10)
+
+    def test_empty_never_passes(self):
+        empty = AnalyticCrossValidation([])
+        assert math.isnan(empty.mean_relative_error)
+        assert not empty.passes(1.0)
+
+    def test_worst_sorted_by_magnitude(self, crossval):
+        worst = crossval.worst(2)
+        assert abs(worst[0].relative_error) >= abs(worst[1].relative_error)
+
+    def test_format_flags_low_sample(self, crossval):
+        text = crossval.format()
+        assert "low-sample (excluded)" in text
+        assert "mean |error|" in text
+        assert "worst cells:" in text
+
+    def test_as_dict_round_trips_to_json(self, crossval):
+        import json
+
+        payload = crossval.as_dict()
+        assert payload["spec"] == "demo"
+        assert payload["valid_cells"] == 2
+        assert payload["low_sample_cells"] == 1
+        json.dumps(payload)  # must be JSON-serialisable
+
+    def test_as_dict_nullifies_infinite_errors(self):
+        cell = AnalyticCell("a", 1, 0.0, 0.1, 100.0, 0.0, False)
+        payload = AnalyticCrossValidation([cell]).as_dict()
+        assert payload["cells"][0]["relative_error"] is None
+
+
+class TestCrossValidateAnalytic:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        spec = ExperimentSpec(
+            key="cv-tiny",
+            title="crossval tiny",
+            base=SimulationParameters(
+                dbsize=500, ntrans=6, maxtransize=50, npros=4,
+                tmax=200.0, seed=3,
+            ),
+            sweeps={"npros": (2, 4), "ltot": (10, 100)},
+            series_fields=("npros",),
+            y_fields=("throughput",),
+        )
+        return cross_validate_analytic(spec, cache=False)
+
+    def test_one_cell_per_configuration(self, outcome):
+        crossval, result = outcome
+        assert len(crossval) == 4
+        assert len(result.outcomes) == 4
+
+    def test_cells_labelled_by_series(self, outcome):
+        crossval, _result = outcome
+        assert {c.label for c in crossval.cells} == {"npros=2", "npros=4"}
+
+    def test_errors_are_finite_on_healthy_cells(self, outcome):
+        crossval, _result = outcome
+        for cell in crossval.valid_cells:
+            assert math.isfinite(cell.relative_error)
+            assert cell.completions >= 25
+
+    def test_chart_overlays_model_on_sim(self, outcome, tmp_path):
+        crossval, _result = outcome
+        path = save_crossval_chart(crossval, tmp_path / "cv.svg")
+        text = open(path).read()
+        ET.fromstring(text)  # valid XML
+        assert "npros=2 (sim)" in text
+        assert "npros=2 (model)" in text
+        assert "stroke-dasharray" in text

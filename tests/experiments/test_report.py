@@ -72,3 +72,35 @@ class TestOptima:
     def test_minimize_mode(self, result):
         text = summarize_optima(result, "response_time", maximize=False)
         assert "min at ltot=" in text
+
+
+class TestAcceleratorNote:
+    def test_empty_for_plain_sweeps(self):
+        from repro.experiments.report import accelerator_note
+        from repro.experiments.runner import SweepStats
+
+        assert accelerator_note(SweepStats(configs=4, runs=4)) == ""
+
+    def test_reports_pruned_cells_and_estimate(self):
+        from repro.experiments.report import accelerator_note
+        from repro.experiments.runner import ConfigStats, SweepStats
+
+        stats = SweepStats(
+            configs=10,
+            replications=1,
+            runs=6,
+            cache_misses=6,
+            analytic_cells=4,
+            accelerator="analytic",
+            per_config=[
+                ConfigStats(index=i, label="c{}".format(i), runs=1,
+                            seconds=0.5)
+                for i in range(6)
+            ],
+        )
+        note = accelerator_note(stats)
+        assert "analytic" in note
+        assert "4 of 10" in note
+        assert "2.0s" in note
+        assert stats.pruned_fraction == pytest.approx(0.4)
+        assert "4 analytic (40% pruned)" in stats.summary()

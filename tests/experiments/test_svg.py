@@ -85,6 +85,44 @@ class TestSvgChart:
         assert (tmp_path / "chart.svg").exists()
         assert str(path).endswith("chart.svg")
 
+    def test_dashed_series_has_dasharray(self):
+        chart = SvgChart("demo")
+        chart.add_series("sim", [(1, 1.0), (10, 2.0)])
+        chart.add_series("model", [(1, 1.1), (10, 1.9)], dash="6,3")
+        root = parse(chart.render())
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        dashed = [p for p in paths if p.get("stroke-dasharray")]
+        assert len(dashed) == 1
+        assert dashed[0].get("stroke-dasharray") == "6,3"
+
+    def test_dashed_series_uses_open_markers(self):
+        chart = SvgChart("demo")
+        chart.add_series("model", [(1, 1.0), (10, 2.0)], dash="6,3")
+        root = parse(chart.render())
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        # 2 data markers + 1 legend swatch, all open (white fill).
+        assert len(circles) == 3
+        for circle in circles:
+            assert circle.get("fill") == "white"
+            assert circle.get("stroke")
+
+    def test_pinned_color_overrides_palette(self):
+        chart = SvgChart("demo")
+        chart.add_series("sim", [(1, 1.0), (10, 2.0)], color="#123456")
+        chart.add_series(
+            "model", [(1, 1.1), (10, 1.9)], dash="6,3", color="#123456"
+        )
+        root = parse(chart.render())
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        assert {p.get("stroke") for p in paths} == {"#123456"}
+
+    def test_solid_series_keep_filled_markers(self):
+        chart = SvgChart("demo")
+        chart.add_series("sim", [(1, 1.0), (10, 2.0)], color="#123456")
+        root = parse(chart.render())
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert all(c.get("fill") == "#123456" for c in circles)
+
 
 class TestResultCharts:
     @pytest.fixture(scope="class")

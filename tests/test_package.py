@@ -12,6 +12,7 @@ MODULES = [
     "repro",
     "repro.analytic",
     "repro.analytic.granularity",
+    "repro.analytic.mva",
     "repro.analytic.queueing",
     "repro.analytic.yao",
     "repro.cli",
@@ -42,6 +43,7 @@ MODULES = [
     "repro.engine.processor",
     "repro.engine.txn_scheduler",
     "repro.experiments",
+    "repro.experiments.accelerator",
     "repro.experiments.cache",
     "repro.experiments.config",
     "repro.experiments.crossval",
