@@ -7,7 +7,9 @@ writes one JSON artifact per layer:
     Raw DES kernel throughput (events/second) for four workloads —
     timeout drain, bare callbacks, the process path, and the process
     path with Timeout/Event pooling — plus the kernel free-list
-    counters of the pooled run.
+    counters of the pooled run and a ``metrics_overhead`` block
+    comparing the simulation path with and without the live metrics
+    registry attached (gated at 5% by ``--check``).
 ``BENCH_sweep.json``
     A small locking-granularity sweep through the global work queue:
     per-cell wall times, queue wait, worker occupancy and total
@@ -129,6 +131,75 @@ def bench_kernel():
         "events_per_workload": events,
         "events_per_second": {k: round(v) for k, v in rates.items()},
         "pool_stats": env.pool_stats(),
+        "metrics_overhead": bench_metrics_overhead(),
+    }
+
+
+def _timed_simulation(params, registry):
+    """Best wall time of one simulation (with/without instruments)."""
+    from repro.core.model import LockingGranularityModel
+
+    start = perf_counter()
+    result = LockingGranularityModel(
+        params, metrics_registry=registry
+    ).run()
+    return perf_counter() - start, result
+
+
+def bench_metrics_overhead():
+    """Head-to-head cost of live metrics on the simulation path.
+
+    Interleaves instrumented and plain runs of the same configuration
+    (so thermal / scheduling drift hits both sides equally), keeps the
+    best time of each, and reports the relative overhead.  The gate in
+    :func:`check_kernel` fails when instrumentation costs more than
+    ``REPRO_METRICS_OVERHEAD_MAX`` (default 5%).
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    # The horizon must be long enough that per-run timing noise stays
+    # well under the 5% gate (sub-50ms runs measure scheduler jitter,
+    # not instrumentation cost).
+    params = SimulationParameters(
+        dbsize=500,
+        ltot=20,
+        ntrans=5,
+        maxtransize=50,
+        npros=4,
+        tmax=500.0 if _smoke() else 1500.0,
+        seed=7,
+    )
+    repeats = 8 if _smoke() else 10
+    # One untimed warm-up per side, then alternate which side runs
+    # first each repeat: whichever run comes second in a pair benefits
+    # from warm caches, so a fixed order would bias the comparison by
+    # more than the overhead being measured.
+    _timed_simulation(params, None)
+    _timed_simulation(params, MetricsRegistry())
+    best_plain = best_instrumented = float("inf")
+    plain_result = instrumented_result = None
+    for i in range(repeats):
+        sides = ["plain", "instrumented"]
+        if i % 2:
+            sides.reverse()
+        for side in sides:
+            if side == "plain":
+                elapsed, plain_result = _timed_simulation(params, None)
+                best_plain = min(best_plain, elapsed)
+            else:
+                elapsed, instrumented_result = _timed_simulation(
+                    params, MetricsRegistry()
+                )
+                best_instrumented = min(best_instrumented, elapsed)
+    overhead = (best_instrumented - best_plain) / best_plain
+    return {
+        "plain_seconds": round(best_plain, 6),
+        "instrumented_seconds": round(best_instrumented, 6),
+        "overhead_fraction": round(overhead, 6),
+        # The instrumented run must not change the physics.
+        "results_identical": (
+            plain_result.as_dict() == instrumented_result.as_dict()
+        ),
     }
 
 
@@ -276,6 +347,34 @@ def check_kernel(current):
                     name, measured, allowed, floor, tolerance
                 )
             )
+    failures.extend(check_metrics_overhead(current.get("metrics_overhead")))
+    return failures
+
+
+def check_metrics_overhead(overhead):
+    """Gate the live-metrics cost on the simulation path.
+
+    Instrumentation must stay cheap enough to leave on in sweeps:
+    more than ``REPRO_METRICS_OVERHEAD_MAX`` (default 0.05, i.e. 5%)
+    relative slowdown — or any result divergence at all — fails.
+    """
+    if overhead is None:
+        return []
+    limit = float(os.environ.get("REPRO_METRICS_OVERHEAD_MAX", "0.05"))
+    failures = []
+    if not overhead["results_identical"]:
+        failures.append(
+            "metrics instrumentation changed simulation results "
+            "(must be bit-identical)"
+        )
+    if overhead["overhead_fraction"] > limit:
+        failures.append(
+            "metrics overhead {:.1%} exceeds the {:.1%} budget "
+            "({}s plain vs {}s instrumented)".format(
+                overhead["overhead_fraction"], limit,
+                overhead["plain_seconds"], overhead["instrumented_seconds"],
+            )
+        )
     return failures
 
 
@@ -297,6 +396,14 @@ def main(argv=None):
         json.dump(kernel, handle, indent=1, sort_keys=True)
     for name, rate in sorted(kernel["events_per_second"].items()):
         print("kernel {:16s} {:>10,} ev/s".format(name, rate))
+    overhead = kernel["metrics_overhead"]
+    print(
+        "kernel metrics overhead {:+.1%} ({}s plain, {}s instrumented, "
+        "results identical: {})".format(
+            overhead["overhead_fraction"], overhead["plain_seconds"],
+            overhead["instrumented_seconds"], overhead["results_identical"],
+        )
+    )
 
     sweep = bench_sweep()
     with open(out_dir / "BENCH_sweep.json", "w") as handle:

@@ -136,6 +136,49 @@ def build_parser():
         "flagged cells; fill the rest from predictions (journalled "
         "with provenance 'analytic', never cached)",
     )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="collect live metrics (lock-wait histograms, abort "
+        "causes, sweep progress); results stay bit-identical",
+    )
+    run.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve /metrics (Prometheus text) and /metrics.json "
+        "on this port while the sweep runs (implies --metrics; 0 "
+        "picks a free port)",
+    )
+    run.add_argument(
+        "--metrics-snapshot", default=None, metavar="PATH",
+        help="periodic JSON metrics snapshot file (default with "
+        "--journal: <journal>.metrics.json — where 'top' looks)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard for a running journalled sweep "
+        "(progress, ev/s, hot granules, ETA)",
+    )
+    top.add_argument("journal", help="the sweep's --journal path to tail")
+    top.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="metrics snapshot file (default: <journal>.metrics.json)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh period (default 1s)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="stop after N refreshes (default: until the sweep finishes)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (scriptable; no ANSI)",
+    )
+    top.add_argument(
+        "--follow", action="store_true",
+        help="keep refreshing after the journal records a clean finish",
+    )
 
     predict = sub.add_parser(
         "predict",
@@ -325,6 +368,11 @@ def build_parser():
         "--svg", default=None, metavar="PATH",
         help="also write the utilisation timeline as an SVG chart",
     )
+    report.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the report as JSON instead of text (to PATH, or "
+        "stdout when the flag is given bare)",
+    )
 
     compare = sub.add_parser(
         "compare", help="diff two result CSVs (e.g. before/after a change)"
@@ -436,6 +484,31 @@ def _command_run(args):
 
         root = args.cache_dir or default_cache_dir()
         journal = os.path.join(root, "journals", spec.key + ".journal")
+
+    # Live metrics are purely additive: the registry never schedules
+    # events or draws randomness, so --metrics cannot change results.
+    metrics = None
+    metrics_server = None
+    metrics_snapshot = args.metrics_snapshot
+    if args.metrics or args.metrics_port is not None:
+        from repro.obs.exporters import MetricsServer
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.top import default_snapshot_path
+
+        metrics = MetricsRegistry()
+        if metrics_snapshot is None and journal is not None:
+            metrics_snapshot = default_snapshot_path(journal)
+        if args.metrics_port is not None:
+            metrics_server = MetricsServer(metrics, port=args.metrics_port)
+            metrics_server.start()
+            print(
+                "Serving metrics at http://{}:{}/metrics "
+                "(and /metrics.json)".format(
+                    metrics_server.host, metrics_server.port
+                )
+            )
+        if metrics_snapshot is not None:
+            print("Metrics snapshots -> {}".format(metrics_snapshot))
     try:
         result = run_experiment(
             spec,
@@ -450,6 +523,8 @@ def _command_run(args):
             watchdog_retries=args.watchdog_retries,
             accelerator=args.accelerator,
             drain_signals=True,
+            metrics=metrics,
+            metrics_snapshot=metrics_snapshot,
         )
     except KeyboardInterrupt:
         sys.stderr.write("\n")
@@ -466,7 +541,32 @@ def _command_run(args):
                 "pass --journal/--resume for journalled progress."
             )
         return 130
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
     print(result.stats.summary())
+    if metrics is not None:
+        from repro.obs.metrics import summarize_snapshot
+
+        flat = summarize_snapshot(metrics.snapshot())
+        counters = flat["counters"]
+        commits = counters.get("repro_txn_commits_total", 0)
+        if commits:
+            aborts = sum(
+                value for name, value in counters.items()
+                if name.startswith("repro_txn_aborts_total")
+            )
+            print(
+                "Metrics: {:.0f} commits, {:.0f} aborts, "
+                "{:.0f} lock waits across the sweep.".format(
+                    commits, aborts,
+                    sum(
+                        entry["count"]
+                        for name, entry in flat["histograms"].items()
+                        if name.startswith("repro_lock_wait_time")
+                    ),
+                )
+            )
     from repro.experiments.report import accelerator_note
 
     note = accelerator_note(result.stats)
@@ -883,15 +983,45 @@ def _command_trace(args):
 
 
 def _command_report(args):
-    from repro.obs import format_report, load_trace, save_report_chart
+    from repro.obs import format_report, load_trace, report_json, save_report_chart
 
     tracefile = load_trace(args.telemetry)
-    print(format_report(tracefile, top=args.top))
+    if args.json is not None:
+        import json
+
+        document = report_json(tracefile, top=args.top)
+        if args.json == "-":
+            json.dump(document, sys.stdout, indent=1, sort_keys=True)
+            print()
+        else:
+            with open(args.json, "w") as handle:
+                json.dump(document, handle, indent=1, sort_keys=True)
+            print("JSON report written to {}".format(args.json))
+    else:
+        print(format_report(tracefile, top=args.top))
     if args.svg:
         path = save_report_chart(tracefile, args.svg)
         print()
         print("Timeline chart written to {}".format(path))
     return 0
+
+
+def _command_top(args):
+    from repro.obs.top import run_top
+
+    try:
+        journal = run_top(
+            args.journal,
+            snapshot_path=args.snapshot,
+            interval=args.interval,
+            frames=args.frames,
+            once=args.once,
+            follow=args.follow,
+        )
+    except KeyboardInterrupt:
+        print()
+        return 130
+    return 0 if journal.get("cells") is not None else 1
 
 
 def _command_compare(args):
@@ -976,6 +1106,8 @@ def _dispatch(args):
         return _command_trace(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "top":
+        return _command_top(args)
     if args.command == "compare":
         return _command_compare(args)
     raise AssertionError("unreachable: {!r}".format(args.command))

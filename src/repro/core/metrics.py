@@ -39,13 +39,21 @@ class MetricsCollector:
     With a non-zero warmup the collector snapshots machine busy time at
     the warmup instant and discards completions and response samples
     observed before it.
+
+    *instruments* is an optional live-metrics bundle
+    (:class:`repro.obs.metrics.RunInstruments`).  Its updates happen
+    *before* the warmup gate: the live view reports what the run is
+    doing now, while the paper's reported outputs stay
+    warmup-filtered.  Every instrument call is guarded by one
+    ``is not None`` branch, so the un-instrumented path is unchanged.
     """
 
-    def __init__(self, env, params, machine, conflicts=None):
+    def __init__(self, env, params, machine, conflicts=None, instruments=None):
         self.env = env
         self.params = params
         self.machine = machine
         self.conflicts = conflicts
+        self.instruments = instruments
         self.response = Tally("response")
         self.attempts = Tally("attempts")
         #: Per-completion response times in completion order; feed
@@ -90,26 +98,45 @@ class MetricsCollector:
 
     def note_request(self):
         """A lock request was issued (first attempt or retry)."""
+        if self.instruments is not None:
+            self.instruments.lock_requests.inc()
         if self._measuring:
             self.lock_requests += 1
 
     def note_denial(self):
         """A lock request was denied."""
+        if self.instruments is not None:
+            self.instruments.lock_denials.inc()
         if self._measuring:
             self.lock_denials += 1
 
-    def note_abort(self):
-        """A transaction was aborted as a deadlock victim."""
+    def note_abort(self, cause="deadlock"):
+        """A transaction attempt was aborted on a conflict.
+
+        *cause* is the protocol's reason string (``"deadlock"``,
+        ``"wounded"``, ``"no-waiting"``); it feeds the live
+        aborts-by-cause counter only — the paper's ``deadlock_aborts``
+        output keeps counting every conflict abort as before.
+        """
+        if self.instruments is not None:
+            self.instruments.note_abort(cause)
         if self._measuring:
             self.deadlock_aborts += 1
 
     def note_failure_abort(self):
         """A transaction was aborted by a processor crash."""
+        if self.instruments is not None:
+            self.instruments.note_abort("fault")
         if self._measuring:
             self.failure_aborts += 1
 
     def note_completion(self, txn):
         """A transaction finished and released its locks."""
+        if self.instruments is not None:
+            self.instruments.commits.inc()
+            if txn.attempts > 1:
+                self.instruments.restarts.inc(txn.attempts - 1)
+            self.instruments.response.observe(self.env.now - txn.arrival)
         if not self._measuring:
             return
         self.completions += 1

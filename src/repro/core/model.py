@@ -72,7 +72,11 @@ class LockingGranularityModel:
     streams), ``backoff`` (the default reproduces the historical
     ``uniform(0, 1)`` draw bit-for-bit) and ``kernel_pool``
     (Timeout/Event recycling — a pure allocator optimisation, results
-    pinned bit-identical by tests).
+    pinned bit-identical by tests) and ``metrics_registry`` (a
+    :class:`repro.obs.metrics.MetricsRegistry`; live counters, gauges
+    and lock-wait histograms updated as the run progresses — the
+    instrumentation never schedules events or draws randomness, so
+    results are bit-identical with metrics on or off).
     """
 
     def __init__(
@@ -84,6 +88,7 @@ class LockingGranularityModel:
         fault_plan=None,
         backoff=None,
         kernel_pool=None,
+        metrics_registry=None,
     ):
         params.validate()
         self.params = params
@@ -118,8 +123,24 @@ class LockingGranularityModel:
         )
         self.conflicts = make_conflict_engine(params, streams.stream("conflict"))
         policy = make_admission_policy(params)
+        if metrics_registry is not None:
+            # Imported directly (not via repro.obs, whose __init__
+            # pulls the SVG/report stack) and only when instrumented.
+            from repro.obs.metrics import RunInstruments
+
+            self.instruments = RunInstruments(metrics_registry, params)
+            self.instruments.attach_kernel(self.env)
+            manager = getattr(self.conflicts, "manager", None)
+            if manager is not None:
+                manager.metrics = self.instruments
+                self.instruments.attach_lock_table(manager)
+            if self._injector is not None:
+                self._injector.metrics = self.instruments
+        else:
+            self.instruments = None
         self.metrics = MetricsCollector(
-            self.env, params, self.machine, self.conflicts
+            self.env, params, self.machine, self.conflicts,
+            instruments=self.instruments,
         )
         self.admission = AdmissionGate(policy, self.env, self.metrics)
         self.cc = resolve("cc", params.protocol)().bind(self)

@@ -88,6 +88,8 @@ class Environment:
         "_event_pool",
         "_timeout_reuses",
         "_event_reuses",
+        "_timeout_creates",
+        "_event_creates",
     )
 
     def __init__(self, initial_time=0.0, pool=False):
@@ -101,6 +103,8 @@ class Environment:
         self._event_pool = []
         self._timeout_reuses = 0
         self._event_reuses = 0
+        self._timeout_creates = 0
+        self._event_creates = 0
 
     @property
     def now(self):
@@ -118,6 +122,11 @@ class Environment:
         return self._live_procs
 
     @property
+    def heap_depth(self):
+        """Events currently scheduled on the heap (cheap)."""
+        return len(self._heap)
+
+    @property
     def pooling(self):
         """True when the Timeout/Event free lists are enabled."""
         return self._pool
@@ -130,13 +139,20 @@ class Environment:
         )
 
     def pool_stats(self):
-        """Free-list occupancy and reuse counters (cheap)."""
+        """Free-list occupancy, reuse and allocation counters (cheap).
+
+        ``timeout_created``/``event_created`` count factory calls that
+        missed the free list — reuse / (reuse + created) is the pool
+        hit rate the live-metrics layer exports.
+        """
         return {
             "enabled": self._pool,
             "timeout_free": len(self._timeout_pool),
             "event_free": len(self._event_pool),
             "timeout_reused": self._timeout_reuses,
             "event_reused": self._event_reuses,
+            "timeout_created": self._timeout_creates,
+            "event_created": self._event_creates,
         }
 
     # -- scheduling ----------------------------------------------------
@@ -363,6 +379,7 @@ class Environment:
             # is a pop and a counter bump.
             self._event_reuses += 1
             return pool.pop()
+        self._event_creates += 1
         return Event(self)
 
     def timeout(self, delay, value=None):
@@ -379,6 +396,7 @@ class Environment:
                 self._heap, (self._now + delay, NORMAL, next(self._eid), t)
             )
             return t
+        self._timeout_creates += 1
         return Timeout(self, delay, value)
 
     def process(self, generator):

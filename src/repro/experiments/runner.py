@@ -46,6 +46,7 @@ import os
 import signal
 from dataclasses import dataclass, field
 from time import perf_counter, sleep
+from time import time as wall_time
 
 from repro.core.model import LockingGranularityModel
 from repro.core.results import aggregate
@@ -53,6 +54,7 @@ from repro.des.errors import SimulationStalled
 from repro.experiments.cache import ResultCache, cache_enabled, cache_key
 from repro.experiments.journal import SweepJournal, sweep_id
 from repro.obs.manifest import build_manifest
+from repro.obs.metrics import summarize_snapshot
 
 #: Seconds a graceful drain waits for in-flight cells before the pool
 #: is terminated anyway (the journal is flushed either way).
@@ -73,16 +75,32 @@ def _run_single(params):
     return LockingGranularityModel(params).run()
 
 
-def _run_single_timed(params, timeout=None):
+def _run_single_timed(params, timeout=None, collect=False):
     """Worker returning ``(result, compute_seconds)`` for stats.
 
     *timeout* is the per-replication wall-clock watchdog, enforced
     inside the simulation kernel (see
     :meth:`repro.des.engine.Environment.run`).
+
+    With ``collect=True`` (a metrics-enabled sweep) the cell runs
+    against a fresh in-worker
+    :class:`~repro.obs.metrics.MetricsRegistry` and the return value
+    grows to ``(result, compute_seconds, metrics_snapshot)``; the
+    parent merges the snapshot into its live registry.  The two-tuple
+    shape is preserved for plain sweeps so existing callers (and test
+    doubles) are unaffected.
     """
     started = perf_counter()
-    result = LockingGranularityModel(params).run(timeout=timeout)
-    return result, perf_counter() - started
+    if not collect:
+        result = LockingGranularityModel(params).run(timeout=timeout)
+        return result, perf_counter() - started
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    result = LockingGranularityModel(
+        params, metrics_registry=registry
+    ).run(timeout=timeout)
+    return result, perf_counter() - started, registry.snapshot()
 
 
 def _retry_backoff(round_index):
@@ -393,6 +411,8 @@ def run_experiment(
     watchdog_retries=2,
     drain_signals=False,
     accelerator=None,
+    metrics=None,
+    metrics_snapshot=None,
 ):
     """Execute every configuration of *spec*.
 
@@ -468,6 +488,20 @@ def run_experiment(
         default-sweep cache contents stay byte-identical whether or
         not the accelerator was ever used).  ``None`` (default)
         simulates every cell.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`: the
+        sweep harness updates live progress gauges/counters on it
+        (cells by source, queue depth, occupancy, worker heartbeat,
+        cache traffic, journal lag), every simulated cell runs
+        instrumented in its worker, and the per-cell snapshots merge
+        back in — giving live lock-wait histograms per granularity.
+        Instrumentation never perturbs results (pinned by test).
+    metrics_snapshot:
+        Optional path for periodic JSON snapshot files of *metrics*
+        (atomic replace, rate-limited; see
+        :class:`repro.obs.exporters.SnapshotWriter`) — what
+        ``repro-locking top`` tails next to the journal.  Ignored
+        without *metrics*.
 
     Raises
     ------
@@ -497,6 +531,8 @@ def run_experiment(
         watchdog_retries=watchdog_retries,
         drain_signals=drain_signals,
         accelerator=accelerator,
+        metrics=metrics,
+        metrics_snapshot=metrics_snapshot,
     )[0]
 
 
@@ -515,6 +551,8 @@ def run_experiments(
     watchdog_retries=2,
     drain_signals=False,
     accelerator=None,
+    metrics=None,
+    metrics_snapshot=None,
 ):
     """Execute a batch of specs over ONE global work queue.
 
@@ -579,10 +617,38 @@ def run_experiments(
     total_configs = sum(len(ctx.configs) for ctx in contexts)
     done_cells = 0
     done_configs = 0
+    sweep_inst = None
+    snapshot_writer = None
+    if metrics is not None:
+        from repro.obs.exporters import SnapshotWriter
+        from repro.obs.metrics import SweepInstruments
+
+        sweep_inst = SweepInstruments(metrics)
+        sweep_inst.cells_total.set(total_cells)
+        sweep_inst.cells_pending.set(total_cells)
+        if metrics_snapshot is not None:
+            snapshot_writer = SnapshotWriter(metrics_snapshot, metrics)
+    #: Cells of journalled specs resolved / accounted for on disk —
+    #: their difference is the live journal-lag gauge (0 = in sync).
+    journal_done = 0
+    journalled = 0
 
     def notify_cell(ctx, i, r, source, seconds=None):
-        nonlocal done_cells
+        nonlocal done_cells, journal_done
         done_cells += 1
+        if ctx.journal is not None:
+            journal_done += 1
+        if sweep_inst is not None:
+            sweep_inst.note_cell(
+                source, done_cells, total_cells - done_cells, wall_time()
+            )
+            if source == "cache":
+                sweep_inst.cache_hits.inc()
+            elif source == "run":
+                sweep_inst.cache_misses.inc()
+            sweep_inst.journal_lag.set(max(0, journal_done - journalled))
+            if snapshot_writer is not None:
+                snapshot_writer.maybe_write()
         if cell_progress is not None:
             cell_progress(
                 done_cells,
@@ -639,8 +705,10 @@ def run_experiments(
                 # must never masquerade as simulation results.
                 ctx.grid[i][r] = prediction
                 ctx.stats.analytic_cells += 1
-                if ctx.journal is not None and key not in ctx.journaled:
-                    ctx.journal.record(key, provenance="analytic")
+                if ctx.journal is not None:
+                    if key not in ctx.journaled:
+                        ctx.journal.record(key, provenance="analytic")
+                    journalled += 1
                 notify_cell(ctx, i, r, "analytic")
                 ctx.remaining[i] -= 1
                 continue
@@ -654,8 +722,10 @@ def run_experiments(
                 ctx.stats.cache_hits += 1
                 if key in ctx.journaled:
                     ctx.stats.resumed += 1
+                    journalled += 1
                 elif ctx.journal is not None:
                     ctx.journal.record(key)
+                    journalled += 1
                 notify_cell(ctx, i, r, "cache")
                 ctx.remaining[i] -= 1
             else:
@@ -675,10 +745,25 @@ def run_experiments(
                 finish_config(ctx, i)
 
     busy_seconds = 0.0
+    jobs_remaining = 0
+    #: Execution window state deliver() needs for the live occupancy
+    #: gauge (populated once the worker count is chosen, below).
+    exec_state = {"started": None, "workers": 0}
 
-    def deliver(job, result, seconds, queue_wait):
-        nonlocal busy_seconds
+    def deliver(job, result, seconds, queue_wait, snapshot=None):
+        nonlocal busy_seconds, jobs_remaining, journalled
         busy_seconds += seconds
+        jobs_remaining -= 1
+        if metrics is not None:
+            metrics.merge_snapshot(snapshot)
+        if sweep_inst is not None:
+            sweep_inst.queue_depth.set(jobs_remaining)
+            if exec_state["started"] is not None and exec_state["workers"]:
+                window = perf_counter() - exec_state["started"]
+                if window > 0.0:
+                    sweep_inst.occupancy.set(
+                        busy_seconds / (exec_state["workers"] * window)
+                    )
         job.requesters[0][0].stats.queue_wait_seconds += queue_wait
         for rank, (ctx, i, r) in enumerate(job.requesters):
             ctx.grid[i][r] = result
@@ -697,10 +782,16 @@ def run_experiments(
                                 cache_hit=False,
                                 wall_seconds=seconds,
                                 model_version=cache.model_version,
+                                metrics=(
+                                    summarize_snapshot(snapshot)
+                                    if snapshot is not None
+                                    else None
+                                ),
                             ),
                         )
             if ctx.journal is not None:
                 ctx.journal.record(job.key)
+                journalled += 1
             notify_cell(
                 ctx, i, r,
                 "run" if rank == 0 else "shared",
@@ -718,20 +809,32 @@ def run_experiments(
     # start the big cells immediately and let the cheap ones backfill
     # workers that free up while the stragglers finish.
     queue = sorted(job_order, key=lambda job: -job.cost)
+    jobs_remaining = len(queue)
+    if sweep_inst is not None:
+        sweep_inst.queue_depth.set(jobs_remaining)
 
     if jobs is None:
         jobs = 0
     workers = 0
+    collect = metrics is not None
     drain = _SignalDrain().install() if drain_signals else None
     exec_started = perf_counter()
+    exec_state["started"] = exec_started
     try:
         if queue and jobs <= 1:
             workers = 1
+            exec_state["workers"] = workers
+            if sweep_inst is not None:
+                sweep_inst.workers.set(workers)
             _run_inline(
-                queue, deliver, mark_restart, drain, watchdog, watchdog_retries
+                queue, deliver, mark_restart, drain, watchdog,
+                watchdog_retries, collect,
             )
         elif queue:
             workers = min(jobs, os.cpu_count() or 1, len(queue)) or 1
+            exec_state["workers"] = workers
+            if sweep_inst is not None:
+                sweep_inst.workers.set(workers)
             _run_pooled(
                 queue,
                 deliver,
@@ -740,6 +843,7 @@ def run_experiments(
                 watchdog,
                 watchdog_retries,
                 workers,
+                collect,
             )
         for ctx in contexts:
             if ctx.journal is not None:
@@ -750,11 +854,18 @@ def run_experiments(
         for ctx in contexts:
             if ctx.journal is not None:
                 ctx.journal.close()
+        if snapshot_writer is not None:
+            # Final state on disk even when the sweep died mid-run.
+            snapshot_writer.maybe_write(force=True)
     exec_elapsed = perf_counter() - exec_started
     occupancy = 0.0
     if queue and workers and exec_elapsed > 0.0:
         occupancy = busy_seconds / (workers * exec_elapsed)
     elapsed = perf_counter() - started
+    if sweep_inst is not None:
+        sweep_inst.occupancy.set(occupancy)
+        if snapshot_writer is not None:
+            snapshot_writer.maybe_write(force=True)
     for ctx in contexts:
         ctx.stats.workers = workers
         ctx.stats.occupancy = occupancy
@@ -774,7 +885,10 @@ def _stalled_error(job, watchdog, attempts):
     )
 
 
-def _run_inline(queue, deliver, mark_restart, drain, watchdog, watchdog_retries):
+def _run_inline(
+    queue, deliver, mark_restart, drain, watchdog, watchdog_retries,
+    collect=False,
+):
     """Execute the job *queue* in this process, one job at a time."""
     for job in queue:
         if drain is not None and drain.tripped:
@@ -782,7 +896,10 @@ def _run_inline(queue, deliver, mark_restart, drain, watchdog, watchdog_retries)
         attempt = 0
         while True:
             try:
-                result, seconds = _run_single_timed(job.run_params, watchdog)
+                if collect:
+                    payload = _run_single_timed(job.run_params, watchdog, True)
+                else:
+                    payload = _run_single_timed(job.run_params, watchdog)
                 break
             except SimulationStalled:
                 attempt += 1
@@ -790,11 +907,13 @@ def _run_inline(queue, deliver, mark_restart, drain, watchdog, watchdog_retries)
                 if attempt > watchdog_retries:
                     raise _stalled_error(job, watchdog, attempt) from None
                 sleep(_retry_backoff(attempt))
-        deliver(job, result, seconds, 0.0)
+        snapshot = payload[2] if len(payload) > 2 else None
+        deliver(job, payload[0], payload[1], 0.0, snapshot)
 
 
 def _run_pooled(
-    queue, deliver, mark_restart, drain, watchdog, watchdog_retries, max_workers
+    queue, deliver, mark_restart, drain, watchdog, watchdog_retries,
+    max_workers, collect=False,
 ):
     """Fan the job *queue* out over worker pools, retrying stalls.
 
@@ -819,6 +938,7 @@ def _run_pooled(
             watchdog_retries,
             max_workers,
             attempts,
+            collect,
         )
         round_index += 1
 
@@ -832,6 +952,7 @@ def _pool_round(
     watchdog_retries,
     max_workers,
     attempts,
+    collect=False,
 ):
     """Run one pool over the job *queue*; returns the jobs to retry."""
     retry = []
@@ -849,7 +970,12 @@ def _pool_round(
     futures = {}
     submitted = {}
     for job in queue:
-        future = pool.submit(_run_single_timed, job.run_params, watchdog)
+        if collect:
+            future = pool.submit(
+                _run_single_timed, job.run_params, watchdog, True
+            )
+        else:
+            future = pool.submit(_run_single_timed, job.run_params, watchdog)
         futures[future] = job
         submitted[future] = perf_counter()
     not_done = set(futures)
@@ -876,10 +1002,11 @@ def _pool_round(
                     continue  # drained before it started
                 job = futures[future]
                 try:
-                    result, seconds = future.result()
+                    payload = future.result()
                 except SimulationStalled:
                     mark_stalled(job)
                 else:
+                    seconds = payload[1]
                     # Queue wait is measured parent-side (the worker
                     # function stays the plain picklable
                     # _run_single_timed): time from submission to the
@@ -890,7 +1017,8 @@ def _pool_round(
                         0.0,
                         perf_counter() - submitted[future] - seconds,
                     )
-                    deliver(job, result, seconds, wait)
+                    snapshot = payload[2] if len(payload) > 2 else None
+                    deliver(job, payload[0], seconds, wait, snapshot)
                 last_progress = perf_counter()
             if draining_since is not None:
                 if (

@@ -40,6 +40,9 @@ class FaultInjector:
         self.machine = machine
         self.plan = plan
         self.trace = trace
+        #: Optional live-metrics bundle (set by the model after
+        #: construction); fault transitions then count by kind.
+        self.metrics = None
         self._streams = RandomStreams(plan.seed if plan.seed is not None else seed)
         self.crashes_injected = 0
         self.jobs_killed = 0
@@ -64,6 +67,8 @@ class FaultInjector:
         return [i for i in spec.processors if 0 <= i < self.machine.npros]
 
     def _emit(self, kind, **details):
+        if self.metrics is not None:
+            self.metrics.note_fault(kind)
         if self.trace is not None:
             self.trace.emit(self.env.now, kind, 0, **details)
 

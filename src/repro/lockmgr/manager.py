@@ -71,11 +71,21 @@ class LockManager:
         the overwhelmingly common case and carry no diagnostic value.
         The manager has no clock; the simulation layer wraps the
         callable to stamp the current time.
+
+    Attributes
+    ----------
+    metrics:
+        Optional live-metrics instrument bundle
+        (:class:`repro.obs.metrics.RunInstruments`); when set, the
+        manager counts grant/queue/promote/cancel/deny transitions by
+        mode.  Every call site is guarded by a single ``is not None``
+        branch so the un-instrumented path costs one comparison.
     """
 
     def __init__(self, observer=None):
         self.table = LockTable()
         self.observer = observer
+        self.metrics = None
         self._held = {}
 
     # -- preclaim protocol ---------------------------------------------
@@ -95,9 +105,13 @@ class LockManager:
                 continue
             for holder, held in state.holders.items():
                 if holder != owner and not compatible(held, mode):
+                    if self.metrics is not None:
+                        self.metrics.note_lock_event("deny", mode.name)
                     return holder
         for granule, mode in requests:
             self._grant(owner, granule, mode)
+            if self.metrics is not None:
+                self.metrics.note_lock_event("grant", mode.name)
         return None
 
     # -- incremental protocol --------------------------------------------
@@ -120,12 +134,18 @@ class LockManager:
             if state.grantable(owner, mode):
                 self._grant(owner, granule, mode)
                 request.status = RequestStatus.GRANTED
+                if self.metrics is not None:
+                    self.metrics.note_lock_event("grant", mode.name)
                 return request
         elif not state.waiters and state.grantable(owner, mode):
             self._grant(owner, granule, mode)
             request.status = RequestStatus.GRANTED
+            if self.metrics is not None:
+                self.metrics.note_lock_event("grant", mode.name)
             return request
         state.waiters.append(request)
+        if self.metrics is not None:
+            self.metrics.note_lock_event("queue", mode.name)
         if self.observer is not None:
             self.observer(
                 "lock_queue",
@@ -144,6 +164,8 @@ class LockManager:
         if state is not None and request in state.waiters:
             state.waiters.remove(request)
             request.status = RequestStatus.CANCELLED
+            if self.metrics is not None:
+                self.metrics.note_lock_event("cancel", request.mode.name)
             if self.observer is not None:
                 self.observer(
                     "lock_cancel", request.owner, granule=request.granule
@@ -232,6 +254,8 @@ class LockManager:
             granted.append(request)
         self.table.prune(granule)
         for request in granted:
+            if self.metrics is not None:
+                self.metrics.note_lock_event("promote", request.mode.name)
             if self.observer is not None:
                 self.observer(
                     "lock_promote",

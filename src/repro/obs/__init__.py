@@ -12,7 +12,13 @@ into an explainable artifact:
   population state;
 * :mod:`repro.obs.telemetry` — the bundle a model run carries;
 * :mod:`repro.obs.manifest` — run provenance records;
-* :mod:`repro.obs.report` — the ``repro report`` analysis.
+* :mod:`repro.obs.report` — the ``repro report`` analysis;
+* :mod:`repro.obs.metrics` — the live metrics registry
+  (counters/gauges/histograms instrumenting kernel, lock manager,
+  transaction model and sweep harness);
+* :mod:`repro.obs.exporters` — Prometheus text / JSON snapshot
+  exporters and the ``--metrics-port`` HTTP endpoint;
+* :mod:`repro.obs.top` — the ``repro-locking top`` live sweep monitor.
 
 Quick tour::
 
@@ -31,6 +37,14 @@ Quick tour::
     assert len(replay.records) > 0
 """
 
+from repro.obs.exporters import (
+    MetricsServer,
+    SnapshotWriter,
+    json_snapshot,
+    parse_prometheus_text,
+    prometheus_text,
+    read_snapshot,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
@@ -38,9 +52,18 @@ from repro.obs.manifest import (
     load_manifest,
     write_manifest,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    RunInstruments,
+    SweepInstruments,
+    summarize_snapshot,
+)
 from repro.obs.report import (
+    contention_diagnosis,
+    format_diagnosis,
     format_report,
     format_timeline,
+    report_json,
     save_report_chart,
     summarize_trace,
     timeline_chart,
@@ -57,25 +80,42 @@ from repro.obs.sinks import (
 )
 from repro.obs.telemetry import Telemetry
 from repro.obs.timeseries import TimeSeriesRecorder
+from repro.obs.top import TopMonitor, read_journal, render_frame, run_top
 
 __all__ = [
     "MANIFEST_SCHEMA",
     "TRACE_SCHEMA",
     "JsonlTraceSink",
+    "MetricsRegistry",
+    "MetricsServer",
     "MultiSink",
     "RingBufferSink",
+    "RunInstruments",
+    "SnapshotWriter",
+    "SweepInstruments",
     "Telemetry",
     "TimeSeriesRecorder",
+    "TopMonitor",
     "TraceFile",
     "TraceSchemaError",
     "TraceSink",
     "build_manifest",
+    "contention_diagnosis",
+    "format_diagnosis",
     "format_report",
     "format_timeline",
     "git_sha",
+    "json_snapshot",
     "load_manifest",
     "load_trace",
-    "save_report_chart",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "read_journal",
+    "read_snapshot",
+    "render_frame",
+    "report_json",
+    "run_top",
+    "summarize_snapshot",
     "summarize_trace",
     "timeline_chart",
     "write_manifest",

@@ -1,0 +1,361 @@
+"""Metrics exporters: Prometheus text exposition, JSON snapshots,
+periodic snapshot files, and a stdlib HTTP scrape endpoint.
+
+Everything here consumes the plain-dict snapshots produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`, so exporters work
+identically on a live registry, on a worker snapshot merged
+parent-side, and on a snapshot file read back from disk.
+
+The HTTP server (:class:`MetricsServer`) is a daemon-threaded
+``http.server`` — no third-party dependency — serving:
+
+``GET /metrics``
+    Prometheus text exposition format v0.0.4.
+``GET /metrics.json``
+    The JSON snapshot document (same schema as the periodic snapshot
+    files written next to sweep journals).
+"""
+
+import json
+import math
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import time as wall_time
+
+#: Schema tag stamped into JSON snapshot documents.
+SNAPSHOT_SCHEMA = 1
+
+
+# -- Prometheus text exposition v0.0.4 -----------------------------------
+
+
+def _escape_help(text):
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value):
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    return str(value)
+
+
+def _label_pairs(label_names, values, extra=()):
+    """Rendered ``name="value"`` pairs; ``le``/extra pairs come last."""
+    pairs = [
+        '{}="{}"'.format(name, _escape_label(value))
+        for name, value in zip(label_names, values)
+    ]
+    pairs.extend(
+        '{}="{}"'.format(name, _escape_label(value)) for name, value in extra
+    )
+    return "{{{}}}".format(",".join(pairs)) if pairs else ""
+
+
+def _bucket_edge(edge):
+    return _format_value(float(edge))
+
+
+def prometheus_text(source):
+    """Render a registry or snapshot dict as exposition format v0.0.4.
+
+    Histograms emit cumulative ``_bucket`` series (``le`` label last,
+    as Prometheus expects), then ``_sum`` and ``_count``.
+    """
+    snapshot = source.snapshot() if hasattr(source, "snapshot") else source
+    lines = []
+    for name, doc in snapshot.items():
+        kind = doc.get("type", "untyped")
+        label_names = doc.get("label_names", ())
+        lines.append("# HELP {} {}".format(name, _escape_help(doc.get("help", ""))))
+        lines.append("# TYPE {} {}".format(name, kind))
+        for entry in doc.get("series", ()):
+            values = entry.get("labels", ())
+            if kind == "histogram":
+                cumulative = 0
+                edges = doc.get("buckets", ())
+                counts = entry.get("counts", ())
+                for edge, count in zip(edges, counts):
+                    cumulative += count
+                    lines.append(
+                        "{}_bucket{} {}".format(
+                            name,
+                            _label_pairs(
+                                label_names, values,
+                                extra=(("le", _bucket_edge(edge)),),
+                            ),
+                            cumulative,
+                        )
+                    )
+                lines.append(
+                    "{}_bucket{} {}".format(
+                        name,
+                        _label_pairs(
+                            label_names, values, extra=(("le", "+Inf"),)
+                        ),
+                        entry.get("count", cumulative),
+                    )
+                )
+                lines.append(
+                    "{}_sum{} {}".format(
+                        name,
+                        _label_pairs(label_names, values),
+                        _format_value(entry.get("sum", 0.0)),
+                    )
+                )
+                lines.append(
+                    "{}_count{} {}".format(
+                        name,
+                        _label_pairs(label_names, values),
+                        entry.get("count", 0),
+                    )
+                )
+            else:
+                lines.append(
+                    "{}{} {}".format(
+                        name,
+                        _label_pairs(label_names, values),
+                        _format_value(entry.get("value", 0)),
+                    )
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text):
+    """Parse exposition text back into ``{sample_name: {labels: value}}``.
+
+    A deliberately small scrape-side parser used by the round-trip
+    tests and the CI smoke job: ``# HELP``/``# TYPE`` comments index
+    into a ``_meta`` entry, every sample line becomes
+    ``result[name][frozenset(label_pairs)] = float(value)``.
+    """
+    samples = {}
+    meta = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] in ("HELP", "TYPE"):
+                meta.setdefault(parts[2], {})[parts[1].lower()] = parts[3]
+            continue
+        if line.endswith("{"):
+            raise ValueError("malformed sample line: {!r}".format(raw))
+        name, labels, value = _parse_sample(line)
+        samples.setdefault(name, {})[labels] = value
+    return {"samples": samples, "meta": meta}
+
+
+def _parse_sample(line):
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        label_blob, _, value_text = rest.rpartition("}")
+        labels = []
+        for piece in _split_labels(label_blob):
+            key, _, quoted = piece.partition("=")
+            if not (quoted.startswith('"') and quoted.endswith('"')):
+                raise ValueError("bad label in {!r}".format(line))
+            labels.append(
+                (
+                    key.strip(),
+                    quoted[1:-1]
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\"),
+                )
+            )
+        return name.strip(), frozenset(labels), float(value_text)
+    name, _, value_text = line.rpartition(" ")
+    return name.strip(), frozenset(), float(value_text)
+
+
+def _split_labels(blob):
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    pieces = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for ch in blob:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            pieces.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        pieces.append("".join(current))
+    return [p for p in (piece.strip() for piece in pieces) if p]
+
+
+# -- JSON snapshots ------------------------------------------------------
+
+
+def json_snapshot(source, **extra):
+    """The JSON snapshot document for a registry or snapshot dict.
+
+    ``extra`` keys (e.g. sweep progress for ``repro-locking top``) are
+    stored under ``"context"``.
+    """
+    snapshot = source.snapshot() if hasattr(source, "snapshot") else source
+    document = {
+        "schema": SNAPSHOT_SCHEMA,
+        "generated_unixtime": round(wall_time(), 3),
+        "metrics": snapshot,
+    }
+    if extra:
+        document["context"] = extra
+    return document
+
+
+def read_snapshot(path):
+    """Load a snapshot file; ``None`` when absent, partial or unreadable."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict) or "metrics" not in document:
+        return None
+    return document
+
+
+class SnapshotWriter:
+    """Periodically writes JSON snapshot files next to a journal.
+
+    Writes are atomic (tmp file + ``os.replace``) so a concurrent
+    ``repro-locking top`` never reads a torn document, and rate-limited
+    by ``min_interval`` wall seconds so high-frequency cell completions
+    don't turn into fsync storms.
+    """
+
+    def __init__(self, path, registry, min_interval=0.5, context=None):
+        self.path = str(path)
+        self.registry = registry
+        self.min_interval = min_interval
+        self.context = context or {}
+        self._last_write = 0.0
+
+    def maybe_write(self, force=False, **context):
+        """Write a snapshot if *force* or the interval elapsed."""
+        now = wall_time()
+        if not force and now - self._last_write < self.min_interval:
+            return False
+        self._last_write = now
+        merged = dict(self.context)
+        merged.update(context)
+        document = json_snapshot(self.registry, **merged)
+        tmp = "{}.tmp.{}".format(self.path, os.getpid())
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+
+# -- HTTP scrape endpoint ------------------------------------------------
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-locking-metrics/1"
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        registry = self.server.registry
+        context = self.server.context_fn
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = prometheus_text(registry).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            extra = context() if context is not None else {}
+            body = json.dumps(json_snapshot(registry, **extra)).encode("utf-8")
+            content_type = "application/json"
+        else:
+            self.send_error(404, "try /metrics or /metrics.json")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # scrapes must not spam the sweep's progress output
+
+
+class MetricsServer:
+    """Daemon-threaded scrape endpoint for a live registry.
+
+    ``port=0`` binds an ephemeral port (useful in tests); the bound
+    port is available as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, registry, port, host="127.0.0.1", context_fn=None):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.context_fn = context_fn
+        self._httpd = None
+        self._thread = None
+
+    def start(self):
+        """Bind the socket and serve from a daemon thread."""
+        httpd = ThreadingHTTPServer((self.host, self.port), _MetricsHandler)
+        httpd.daemon_threads = True
+        httpd.registry = self.registry
+        httpd.context_fn = self.context_fn
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        """Shut the server down and join its thread."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()

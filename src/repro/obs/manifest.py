@@ -21,7 +21,14 @@ import sys
 import time
 
 #: Manifest file layout version.
-MANIFEST_SCHEMA = 1
+#:
+#: 2: added the optional ``metrics`` block (final counter snapshot +
+#:    histogram summaries of the run's live metrics).  Schema-1
+#:    manifests (no block) are still loaded.
+MANIFEST_SCHEMA = 2
+
+#: Schema versions :func:`load_manifest` accepts.
+_COMPATIBLE_SCHEMAS = frozenset({1, 2})
 
 #: Memoised git HEAD (one lookup per process; ``False`` = not probed).
 _GIT_SHA = False
@@ -49,6 +56,7 @@ def build_manifest(
     cache_hit=False,
     wall_seconds=None,
     model_version=None,
+    metrics=None,
     **extra,
 ):
     """A provenance dict for one run of *params*.
@@ -65,6 +73,12 @@ def build_manifest(
     model_version:
         Simulator version; defaults to the current
         :data:`repro.core.model.MODEL_VERSION`.
+    metrics:
+        Optional live-metrics summary for the run (the
+        :func:`repro.obs.metrics.summarize_snapshot` shape: flattened
+        counters/gauges plus per-histogram count/sum/mean/p50/p95).
+        Omitted from the manifest when ``None`` so un-instrumented
+        runs keep their schema-1-shaped payload.
     extra:
         Additional fields merged into the manifest (e.g. ``exhibit``).
     """
@@ -87,6 +101,8 @@ def build_manifest(
         "cache_hit": bool(cache_hit),
         "wall_seconds": wall_seconds,
     }
+    if metrics is not None:
+        manifest["metrics"] = metrics
     manifest.update(extra)
     return manifest
 
@@ -105,7 +121,12 @@ def write_manifest(path, manifest):
 
 
 def load_manifest(path):
-    """Read a manifest back, or ``None`` when missing/corrupt."""
+    """Read a manifest back, or ``None`` when missing/corrupt.
+
+    Loading is version-tolerant: every schema in
+    :data:`_COMPATIBLE_SCHEMAS` is accepted (older manifests simply
+    lack the newer optional fields); unknown schemas return ``None``.
+    """
     try:
         with open(path) as handle:
             document = json.load(handle)
@@ -113,6 +134,6 @@ def load_manifest(path):
         return None
     if not isinstance(document, dict):
         return None
-    if document.get("schema") != MANIFEST_SCHEMA:
+    if document.get("schema") not in _COMPATIBLE_SCHEMAS:
         return None
     return document

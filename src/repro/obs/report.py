@@ -7,6 +7,7 @@ as text (with unicode sparkline timelines) and, via
 :mod:`repro.experiments.svg`, as SVG charts.
 """
 
+import math
 from collections import Counter
 
 from repro.experiments.svg import SvgChart
@@ -81,6 +82,174 @@ def summarize_trace(tracefile, top=10):
     }
 
 
+def _percentile(sorted_values, q):
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def contention_diagnosis(tracefile, top=5, max_chain=8):
+    """Diagnose *why* a run was slow from its lifecycle trace.
+
+    Pairs every ``block`` with the same transaction's next resumption
+    (``wake`` for preclaim, ``lock_promote`` for the table-backed
+    protocols, ``abort`` when the waiter was killed instead) into wait
+    episodes, then aggregates three views:
+
+    ``granule_waits``
+        Per-granule wait-time percentiles (nearest-rank p50/p95),
+        sorted hottest-first, at most *top* granules.  Empty for the
+        probabilistic engine and for preclaim, whose waits have no
+        granule identity — those runs still populate ``wait_times``.
+    ``abort_causes``
+        ``abort`` events bucketed by their ``reason`` detail
+        (``deadlock``, ``wounded``, ``denied``, fault retries...).
+    ``chains``
+        The longest blocking chains, reconstructed by following each
+        transaction's most-frequent named blocker (``block`` /
+        ``lock_deny`` details) transitively, cycle-safe and capped at
+        *max_chain* hops.  A chain ``[7, 3, 1]`` reads "7 waited on 3,
+        which waited on 1".
+    """
+    blocked_at = {}
+    episodes = []  # (wait, granule-or-None)
+    abort_causes = Counter()
+    edges = {}  # waiter tid -> Counter of blocker tids
+    for record in tracefile.records:
+        kind, tid, details = record.kind, record.subject, record.details
+        if kind == "block":
+            blocked_at[tid] = (record.time, details.get("granule"))
+            blocker = details.get("blocker")
+            if blocker is not None:
+                edges.setdefault(tid, Counter())[blocker] += 1
+        elif kind == "lock_deny":
+            blocker = details.get("blocker")
+            if blocker is not None:
+                edges.setdefault(tid, Counter())[blocker] += 1
+        elif kind in ("wake", "lock_promote", "abort"):
+            started = blocked_at.pop(tid, None)
+            if started is not None:
+                episodes.append((record.time - started[0], started[1]))
+            if kind == "abort":
+                abort_causes[details.get("reason", "unknown")] += 1
+
+    by_granule = {}
+    for wait, granule in episodes:
+        if granule is not None:
+            by_granule.setdefault(granule, []).append(wait)
+    granule_waits = []
+    for granule, waits in by_granule.items():
+        waits.sort()
+        granule_waits.append({
+            "granule": granule,
+            "waits": len(waits),
+            "total_wait": sum(waits),
+            "p50": _percentile(waits, 0.50),
+            "p95": _percentile(waits, 0.95),
+            "max": waits[-1],
+        })
+    granule_waits.sort(key=lambda row: -row["total_wait"])
+
+    # Blocking chains: follow each waiter's dominant blocker edge.
+    chains = []
+    for start in edges:
+        chain = [start]
+        seen = {start}
+        while chain[-1] in edges and len(chain) < max_chain:
+            nxt = edges[chain[-1]].most_common(1)[0][0]
+            if nxt in seen:
+                break  # cycle (deadlock candidate) — stop, don't loop
+            chain.append(nxt)
+            seen.add(nxt)
+        chains.append(chain)
+    chains.sort(key=len, reverse=True)
+    # Drop chains that are strict prefixes/suffixes of a longer one.
+    kept = []
+    for chain in chains:
+        if not any(set(chain) <= set(other) for other in kept):
+            kept.append(chain)
+
+    all_waits = sorted(wait for wait, _granule in episodes)
+    return {
+        "wait_episodes": len(all_waits),
+        "wait_times": {
+            "total": sum(all_waits),
+            "p50": _percentile(all_waits, 0.50),
+            "p95": _percentile(all_waits, 0.95),
+            "max": all_waits[-1] if all_waits else None,
+        },
+        "granule_waits": granule_waits[:top],
+        "abort_causes": dict(abort_causes),
+        "chains": kept[:top],
+        "longest_chain": len(kept[0]) if kept else 0,
+    }
+
+
+def format_diagnosis(diagnosis):
+    """Text rendering of a :func:`contention_diagnosis` dict."""
+    lines = ["Contention diagnosis:"]
+    episodes = diagnosis["wait_episodes"]
+    if not episodes:
+        lines.append("  no lock waits recorded — the run was conflict-free")
+        return "\n".join(lines)
+    times = diagnosis["wait_times"]
+    lines.append(
+        "  lock waits: {}   total {:.4g}   p50 {:.4g}   p95 {:.4g}   "
+        "max {:.4g}".format(
+            episodes, times["total"], times["p50"], times["p95"], times["max"]
+        )
+    )
+    if diagnosis["granule_waits"]:
+        lines.append("  hottest granules by time spent waiting:")
+        for row in diagnosis["granule_waits"]:
+            lines.append(
+                "    granule {:<6} {:3d} waits  total {:>8.4g}  "
+                "p50 {:>8.4g}  p95 {:>8.4g}".format(
+                    row["granule"], row["waits"], row["total_wait"],
+                    row["p50"], row["p95"],
+                )
+            )
+    if diagnosis["abort_causes"]:
+        lines.append(
+            "  aborts by cause: "
+            + "  ".join(
+                "{}={}".format(cause, count)
+                for cause, count in sorted(diagnosis["abort_causes"].items())
+            )
+        )
+    if diagnosis["longest_chain"] > 1:
+        lines.append("  longest blocking chains (waiter -> ... -> holder):")
+        for chain in diagnosis["chains"]:
+            if len(chain) < 2:
+                continue
+            lines.append(
+                "    " + " -> ".join("txn#{}".format(tid) for tid in chain)
+            )
+    return "\n".join(lines)
+
+
+def report_json(tracefile, top=10):
+    """The full report as one JSON-serialisable document.
+
+    This is the machine-readable twin of :func:`format_report` —
+    ``repro-locking report --json`` emits it, and the metrics
+    exporters reuse the same shape for their snapshot context.
+    """
+    summary = summarize_trace(tracefile, top=top)
+    return {
+        "header": dict(tracefile.header),
+        "summary": summary,
+        "diagnosis": contention_diagnosis(tracefile, top=top),
+        "timeline": {
+            "samples": len(tracefile.samples),
+            "t_first": tracefile.samples[0]["t"] if tracefile.samples else None,
+            "t_last": tracefile.samples[-1]["t"] if tracefile.samples else None,
+        },
+    }
+
+
 def _timeline_rows(samples):
     """(label, values) pairs for the timeline signals of *samples*."""
     return [
@@ -152,6 +321,8 @@ def format_report(tracefile, top=10):
         lines.append("  lock hot-spots (granule: waits):")
         for granule, count in summary["hot_granules"]:
             lines.append("    granule {:<6} {}".format(granule, count))
+    lines.append("")
+    lines.append(format_diagnosis(contention_diagnosis(tracefile, top=top)))
     lines.append("")
     lines.append(format_timeline(tracefile.samples))
     return "\n".join(lines)

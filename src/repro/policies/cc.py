@@ -146,7 +146,7 @@ class ConcurrencyControl:
         model = self.model
         model.emit("abort", txn, aborts=txn.aborts + 1, reason=reason)
         model.metrics.note_denial()
-        model.metrics.note_abort()
+        model.metrics.note_abort(reason)
         txn.aborts += 1
         model.admission.policy.on_deny()
         yield model.env.timeout(
@@ -192,9 +192,14 @@ class PreclaimCC(ConcurrencyControl):
         model.blocked_wakes.setdefault(blocker.tid, []).append(wake)
         model.emit("block", txn, blocker=blocker.tid)
         model.metrics.blocked.increment(1)
+        blocked_at = model.env.now
         yield wake
         model.emit("wake", txn)
         model.metrics.blocked.increment(-1)
+        if model.instruments is not None:
+            # Preclaim has no per-granule identity; the wait is
+            # attributed to the run's granularity label only.
+            model.instruments.observe_lock_wait(model.env.now - blocked_at)
 
 
 class NoWaitingCC(PreclaimCC):
@@ -273,8 +278,13 @@ class IncrementalCC(ConcurrencyControl):
                 if victim is not None:
                     self._abort_waiter(victim)
                 model.metrics.blocked.increment(1)
+                blocked_at = model.env.now
                 outcome = yield wake
                 model.metrics.blocked.increment(-1)
+                if model.instruments is not None:
+                    model.instruments.observe_lock_wait(
+                        model.env.now - blocked_at, granule=granule
+                    )
                 self._waiting.pop(txn.tid, None)
                 if outcome == ABORTED:
                     aborted = True
@@ -360,8 +370,13 @@ class WoundWaitCC(ConcurrencyControl):
                     if holder.tid > txn.tid:
                         self._wound(holder)
                 model.metrics.blocked.increment(1)
+                blocked_at = model.env.now
                 outcome = yield wake
                 model.metrics.blocked.increment(-1)
+                if model.instruments is not None:
+                    model.instruments.observe_lock_wait(
+                        model.env.now - blocked_at, granule=granule
+                    )
                 self._waiting.pop(txn.tid, None)
                 if outcome == ABORTED:
                     aborted = True

@@ -88,6 +88,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["faults", "--backoff", "fibonacci"])
 
+    def test_run_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig2", "--metrics", "--metrics-port", "9464",
+             "--metrics-snapshot", "/tmp/m.json"]
+        )
+        assert args.metrics
+        assert args.metrics_port == 9464
+        assert args.metrics_snapshot == "/tmp/m.json"
+
+    def test_top_command_parses(self):
+        args = build_parser().parse_args(
+            ["top", "sweep.journal", "--once", "--interval", "0.5"]
+        )
+        assert args.command == "top"
+        assert args.journal == "sweep.journal"
+        assert args.once
+        assert args.interval == 0.5
+
+    def test_report_json_flag_is_optional_path(self):
+        bare = build_parser().parse_args(["report", "t.jsonl", "--json"])
+        assert bare.json == "-"
+        pathed = build_parser().parse_args(
+            ["report", "t.jsonl", "--json", "out.json"]
+        )
+        assert pathed.json == "out.json"
+        off = build_parser().parse_args(["report", "t.jsonl"])
+        assert off.json is None
+
 
 class TestExecution:
     def test_list_prints_exhibits(self, capsys):
@@ -418,3 +446,65 @@ class TestAnalyticVerbs:
         assert code == 0
         out = capsys.readouterr().out
         assert "throughput" in out
+
+
+class TestObservabilityVerbs:
+    def test_run_with_metrics_writes_snapshot_and_top_renders(
+        self, capsys, tmp_path
+    ):
+        journal = str(tmp_path / "s.journal")
+        code = main(
+            ["run", "table1", "--tmax", "120", "--no-cache",
+             "--journal", journal, "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Metrics snapshots ->" in out
+        assert "Metrics:" in out  # end-of-sweep counter summary
+
+        assert main(["top", journal, "--once"]) == 0
+        frame = capsys.readouterr().out
+        assert "FINISHED" in frame
+        assert "commits" in frame
+
+    def test_top_on_missing_journal_fails_cleanly(self, capsys, tmp_path):
+        code = main(["top", str(tmp_path / "nope.journal"), "--once"])
+        assert code == 1
+        assert "is the sweep running?" in capsys.readouterr().out
+
+    def test_report_json_to_stdout_and_file(self, capsys, tmp_path):
+        import json as json_module
+
+        telemetry = str(tmp_path / "t.jsonl")
+        assert main(
+            ["trace", "--out", telemetry, "--tmax", "100",
+             "--dbsize", "200", "--maxtransize", "30", "--ltot", "10"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["report", telemetry, "--json"]) == 0
+        document = json_module.loads(capsys.readouterr().out)
+        assert set(document) == {"header", "summary", "diagnosis", "timeline"}
+        assert document["summary"]["completions"] > 0
+
+        out_path = str(tmp_path / "report.json")
+        assert main(["report", telemetry, "--json", out_path]) == 0
+        with open(out_path) as handle:
+            assert json_module.load(handle)["diagnosis"][
+                "wait_episodes"
+            ] >= 0
+
+    def test_text_report_includes_contention_diagnosis(
+        self, capsys, tmp_path
+    ):
+        telemetry = str(tmp_path / "t.jsonl")
+        assert main(
+            ["trace", "--out", telemetry, "--tmax", "120",
+             "--dbsize", "200", "--maxtransize", "40", "--ltot", "10",
+             "--cc", "incremental", "--conflict-engine", "explicit"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", telemetry]) == 0
+        out = capsys.readouterr().out
+        assert "Contention diagnosis:" in out
+        assert "hottest granules by time spent waiting:" in out

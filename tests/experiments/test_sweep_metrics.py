@@ -1,0 +1,151 @@
+"""Sweep-level metrics: worker snapshot merging, progress gauges,
+snapshot files, and the manifest ``metrics`` block.
+
+The contract under test: passing ``metrics=`` to the runner is purely
+observational — numbers flow *out* (merged worker snapshots, progress
+gauges, snapshot files, manifest summaries) while the simulated
+results stay identical to an un-instrumented sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import run_experiment
+from repro.obs.exporters import read_snapshot
+from repro.obs.manifest import MANIFEST_SCHEMA, load_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry, summarize_snapshot
+
+
+@pytest.fixture
+def tiny_spec():
+    return ExperimentSpec(
+        key="tiny-metrics",
+        title="tiny metrics sweep",
+        base=SimulationParameters(
+            dbsize=200, ntrans=3, maxtransize=20, npros=2, tmax=80.0, seed=1
+        ),
+        sweeps={"ltot": (1, 20)},
+        y_fields=("throughput",),
+    )
+
+
+def test_sweep_merges_worker_snapshots_and_tracks_progress(tiny_spec):
+    registry = MetricsRegistry()
+    result = run_experiment(tiny_spec, cache=False, metrics=registry)
+    flat = summarize_snapshot(registry.snapshot())
+
+    commits = flat["counters"]["repro_txn_commits_total"]
+    assert commits == sum(
+        run.totcom for outcome in result.outcomes for run in outcome.results
+    )
+    assert flat["counters"]["repro_sweep_cells_total{source=run}"] == 2
+    assert flat["gauges"]["repro_sweep_cells_done"] == 2
+    assert flat["gauges"]["repro_sweep_cells_pending"] == 0
+    assert flat["gauges"]["repro_sweep_queue_depth"] == 0
+    assert flat["gauges"]["repro_sweep_workers"] >= 1
+    assert 0.0 < flat["gauges"]["repro_sweep_occupancy"] <= 1.0
+    # Kernel counters rode along in the worker snapshots.
+    assert flat["counters"]["repro_kernel_events_total"] > 0
+
+
+def test_sweep_results_identical_with_and_without_metrics(tiny_spec):
+    plain = run_experiment(tiny_spec, cache=False)
+    instrumented = run_experiment(
+        tiny_spec, cache=False, metrics=MetricsRegistry()
+    )
+    assert [
+        [run.as_dict() for run in outcome.results]
+        for outcome in plain.outcomes
+    ] == [
+        [run.as_dict() for run in outcome.results]
+        for outcome in instrumented.outcomes
+    ]
+
+
+def test_pooled_sweep_also_collects(tiny_spec):
+    registry = MetricsRegistry()
+    run_experiment(tiny_spec, cache=False, jobs=2, metrics=registry)
+    flat = summarize_snapshot(registry.snapshot())
+    assert flat["counters"]["repro_txn_commits_total"] > 0
+    assert flat["gauges"]["repro_sweep_cells_done"] == 2
+
+
+def test_cache_hits_count_without_double_merging(tiny_spec, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    run_experiment(tiny_spec, cache=cache)
+    registry = MetricsRegistry()
+    run_experiment(tiny_spec, cache=cache, metrics=registry)
+    flat = summarize_snapshot(registry.snapshot())
+    assert flat["counters"]["repro_sweep_cache_hits_total"] == 2
+    # Hits answer from disk: no simulation ran, so no commits merged.
+    assert flat["counters"].get("repro_txn_commits_total", 0) == 0
+
+
+def test_snapshot_file_written_next_to_journal(tiny_spec, tmp_path):
+    journal = str(tmp_path / "sweep.journal")
+    snapshot = journal + ".metrics.json"
+    registry = MetricsRegistry()
+    run_experiment(
+        tiny_spec, cache=False, journal=journal,
+        metrics=registry, metrics_snapshot=snapshot,
+    )
+    document = read_snapshot(snapshot)
+    assert document is not None
+    flat = summarize_snapshot(document["metrics"])
+    assert flat["gauges"]["repro_sweep_cells_done"] == 2
+    assert flat["gauges"]["repro_sweep_journal_lag_cells"] == 0
+    assert flat["counters"]["repro_txn_commits_total"] > 0
+
+
+def test_manifests_gain_a_metrics_block(tiny_spec, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    run_experiment(tiny_spec, cache=cache, metrics=MetricsRegistry())
+    manifest = cache.get_manifest(
+        tiny_spec.base.replace(ltot=1)
+    )
+    assert manifest is not None
+    assert manifest["schema"] == MANIFEST_SCHEMA == 2
+    block = manifest["metrics"]
+    assert block["counters"]["repro_txn_commits_total"] > 0
+    assert any(
+        name.startswith("repro_txn_response_time")
+        for name in block["histograms"]
+    )
+
+
+def test_uninstrumented_manifests_stay_schema_compatible(tiny_spec, tmp_path):
+    # Without metrics the manifest must not carry an (empty) block...
+    cache = ResultCache(str(tmp_path / "cache"))
+    run_experiment(tiny_spec, cache=cache)
+    manifest = cache.get_manifest(tiny_spec.base.replace(ltot=1))
+    assert manifest is not None
+    assert "metrics" not in manifest
+
+    # ...and pre-metrics schema-1 manifests still load.
+    old = dict(manifest, schema=1)
+    path = str(tmp_path / "old.manifest")
+    write_manifest(path, old)
+    assert load_manifest(path)["schema"] == 1
+    # Unknown future schemas are rejected, not misread.
+    write_manifest(path, dict(manifest, schema=99))
+    assert load_manifest(path) is None
+
+
+def test_run_report_json_matches_snapshot_format(tiny_spec, tmp_path):
+    """The snapshot document is stable JSON an external tool can diff."""
+    journal = str(tmp_path / "s.journal")
+    snapshot = journal + ".metrics.json"
+    run_experiment(
+        tiny_spec, cache=False, journal=journal,
+        metrics=MetricsRegistry(), metrics_snapshot=snapshot,
+    )
+    with open(snapshot) as handle:
+        document = json.load(handle)
+    assert document["schema"] == 1
+    assert set(document) >= {"schema", "generated_unixtime", "metrics"}
+    # Round-trips through JSON without loss.
+    assert json.loads(json.dumps(document)) == document

@@ -66,11 +66,14 @@ MODULES = [
     "repro.lockmgr.modes",
     "repro.lockmgr.table",
     "repro.obs",
+    "repro.obs.exporters",
     "repro.obs.manifest",
+    "repro.obs.metrics",
     "repro.obs.report",
     "repro.obs.sinks",
     "repro.obs.telemetry",
     "repro.obs.timeseries",
+    "repro.obs.top",
     "repro.policies",
     "repro.policies.admission",
     "repro.policies.arrival",
