@@ -297,8 +297,34 @@ def build_parser():
         help="lock-overhead inflation during a stall (default 4)",
     )
     faults.add_argument(
-        "--backoff", default="uniform",
-        choices=("uniform", "exponential", "jittered"),
+        "--partition-mtbf", type=float, default=None, metavar="T",
+        help="mean time between network partitions (enables them; "
+        "needs --nnodes >= 2)",
+    )
+    faults.add_argument(
+        "--partition-duration", type=float, default=10.0, metavar="T",
+        help="mean partition length (default 10)",
+    )
+    faults.add_argument(
+        "--partition-first-after", type=float, default=0.0, metavar="T",
+        help="no partition before this simulation time (default 0)",
+    )
+    faults.add_argument(
+        "--link-delay-mtbf", type=float, default=None, metavar="T",
+        help="mean time between link-delay windows (enables them)",
+    )
+    faults.add_argument(
+        "--link-delay-duration", type=float, default=10.0, metavar="T",
+        help="mean link-delay window length (default 10)",
+    )
+    faults.add_argument(
+        "--link-delay-extra", type=float, default=0.5, metavar="T",
+        help="extra per-message latency inside a window (default 0.5)",
+    )
+    from repro.faults.backoff import POLICIES as _BACKOFF
+
+    faults.add_argument(
+        "--backoff", default="uniform", choices=_BACKOFF,
         help="retry backoff policy (default uniform)",
     )
     faults.add_argument(
@@ -306,10 +332,37 @@ def build_parser():
         help="dedicated fault-schedule seed (default: the run seed)",
     )
     faults.add_argument(
+        "--commit-grid", default=None, metavar="P1,P2,...",
+        help="also sweep commit protocols (e.g. 2pc,primary-copy; "
+        "needs --nnodes >= 2) — the availability-under-partition table",
+    )
+    faults.add_argument(
         "--replications", type=int, default=3,
         help="replications per grid point (default 3)",
     )
+    faults.add_argument("--jobs", type=int, default=0, help="worker processes")
+    faults.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="record completed cells (with their inline results) to "
+        "this crash-safe journal",
+    )
+    faults.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted faulted sweep from its journal "
+        "(results are read back inline; bit-identical)",
+    )
+    faults.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus text) and /metrics.json on "
+        "this port while the sweep runs (0 picks a free port)",
+    )
     faults.add_argument("--save", default=None, help="write rows to CSV path")
+    faults.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the table as JSON (to PATH, or stdout when the "
+        "flag is given bare) — same shape as 'report --json': a "
+        "document with the plan, its digest and the rows",
+    )
     _add_parameter_flags(faults, skip=("ltot",))
 
     one = sub.add_parser("simulate", help="run a single configuration")
@@ -754,13 +807,19 @@ def _command_faults(args):
     Faulted runs are *not* cached: the fault plan is harness input
     that deliberately stays outside the content address, so results
     go straight from the model to the table (and are reproducible
-    from the seeds alone).
+    from the seeds alone).  With ``--journal``/``--resume`` each
+    cell's outputs are journalled inline instead, which is what an
+    interrupted faulted sweep resumes from, bit-identically.
     """
-    from repro.core.model import LockingGranularityModel
-    from repro.core.results import aggregate
+    import json as json_module
+    from dataclasses import asdict
+
+    from repro.experiments.config import ExperimentSpec
     from repro.faults import (
         CrashSpec,
         FaultPlan,
+        LinkDelaySpec,
+        PartitionSpec,
         SlowdownSpec,
         StallSpec,
         make_backoff_policy,
@@ -793,16 +852,37 @@ def _command_faults(args):
                 factor=args.stall_factor,
             ),
         )
+    partitions = ()
+    if args.partition_mtbf is not None:
+        partitions = (
+            PartitionSpec(
+                mtbf=args.partition_mtbf,
+                duration=args.partition_duration,
+                first_after=args.partition_first_after,
+            ),
+        )
+    link_delays = ()
+    if args.link_delay_mtbf is not None:
+        link_delays = (
+            LinkDelaySpec(
+                mtbf=args.link_delay_mtbf,
+                duration=args.link_delay_duration,
+                extra=args.link_delay_extra,
+            ),
+        )
     plan = FaultPlan(
         crashes=crashes,
         disk_slowdowns=slowdowns,
         lock_stalls=stalls,
+        partitions=partitions,
+        link_delays=link_delays,
         seed=args.fault_seed,
     )
     if not plan.enabled():
         print(
-            "No fault source enabled (pass --mttf, --disk-mtbf or "
-            "--stall-mtbf); running fault-free baseline."
+            "No fault source enabled (pass --mttf, --disk-mtbf, "
+            "--stall-mtbf, --partition-mtbf or --link-delay-mtbf); "
+            "running fault-free baseline."
         )
     backoff = make_backoff_policy(args.backoff)
     overrides = {
@@ -810,7 +890,27 @@ def _command_faults(args):
         for name in SimulationParameters().as_dict()
         if name != "ltot" and getattr(args, name, None) is not None
     }
-    ltots = [int(v) for v in args.ltot_grid.split(",") if v.strip()]
+    ltots = tuple(int(v) for v in args.ltot_grid.split(",") if v.strip())
+    sweeps = {}
+    series_fields = ()
+    if args.commit_grid:
+        protocols = tuple(
+            v.strip() for v in args.commit_grid.split(",") if v.strip()
+        )
+        nnodes = overrides.get("nnodes", SimulationParameters().nnodes)
+        if nnodes < 2 and any(p != "local" for p in protocols):
+            print(
+                "error: --commit-grid with distributed protocols needs "
+                "--nnodes >= 2",
+                file=sys.stderr,
+            )
+            return 2
+        sweeps["commit_protocol"] = protocols
+        series_fields = ("commit_protocol",)
+    sweeps["ltot"] = ltots
+    distributed = (
+        overrides.get("nnodes", 1) > 1 or bool(args.commit_grid)
+    )
     fields = (
         "throughput",
         "availability",
@@ -818,37 +918,122 @@ def _command_faults(args):
         "degraded_throughput",
         "response_time",
     )
-    print(
-        "Faulted sweep: ltot in {}, {} replications, backoff={}".format(
-            ltots, args.replications, args.backoff
+    if distributed:
+        fields += (
+            "commit_aborts",
+            "commit_latency",
+            "messages_sent",
+            "messages_dropped",
+            "partition_time",
         )
+    try:
+        spec = ExperimentSpec(
+            key="faults",
+            title="Availability vs granularity under injected faults",
+            base=SimulationParameters(**overrides),
+            sweeps=sweeps,
+            series_fields=series_fields,
+            y_fields=("availability", "throughput"),
+        )
+        configs = spec.configurations()
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    print(
+        "Faulted sweep: ltot in {}, {} replications, backoff={}{}".format(
+            list(ltots), args.replications, args.backoff,
+            ", commit in {}".format(list(sweeps["commit_protocol"]))
+            if "commit_protocol" in sweeps else "",
+        )
+    )
+    metrics = None
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.exporters import MetricsServer
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        metrics_server = MetricsServer(metrics, port=args.metrics_port)
+        metrics_server.start()
+        print(
+            "Serving metrics at http://{}:{}/metrics "
+            "(and /metrics.json)".format(
+                metrics_server.host, metrics_server.port
+            )
+        )
+    try:
+        result = run_experiment(
+            spec,
+            replications=args.replications,
+            jobs=args.jobs,
+            cache=False,
+            journal=args.journal,
+            resume=args.resume,
+            drain_signals=True,
+            fault_plan=plan,
+            backoff=backoff,
+            metrics=metrics,
+        )
+    except KeyboardInterrupt:
+        print("Interrupted; progress drained to the journal.")
+        if args.journal is not None:
+            print(
+                "Resume by re-running the same command with --resume "
+                "--journal {}".format(args.journal)
+            )
+        return 130
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
+    if result.stats.resumed:
+        print(
+            "Resumed {} previously completed cells from the "
+            "journal.".format(result.stats.resumed)
+        )
+    label_width = max(
+        (len(spec.series_label(c)) for c in configs), default=0
     )
     header = "{:>8s}".format("ltot") + "".join(
         "{:>20s}".format(f) for f in fields
     )
+    if series_fields:
+        header = "{:<{w}s}".format("series", w=label_width + 2) + header
     print(header)
     rows = []
-    for ltot in ltots:
-        base = SimulationParameters(**overrides).replace(ltot=ltot)
-        results = []
-        for r in range(args.replications):
-            params = base.replace(seed=base.seed + r)
-            model = LockingGranularityModel(
-                params, fault_plan=plan, backoff=backoff
-            )
-            results.append(model.run())
-        outcome = aggregate(results)
-        row = {"ltot": ltot}
+    for outcome in result.outcomes:
+        row = {}
+        for name in series_fields:
+            row[name] = getattr(outcome.params, name)
+        row["ltot"] = outcome.params.ltot
         for f in fields:
             row[f] = outcome.mean(f)
         rows.append(row)
-        print(
-            "{:>8d}".format(ltot)
-            + "".join("{:>20.6g}".format(row[f]) for f in fields)
+        line = "{:>8d}".format(row["ltot"]) + "".join(
+            "{:>20.6g}".format(row[f]) for f in fields
         )
+        if series_fields:
+            line = "{:<{w}s}".format(
+                spec.series_label(outcome.params), w=label_width + 2
+            ) + line
+        print(line)
     if args.save:
         save_rows_csv(rows, args.save)
         print("Rows written to {}".format(args.save))
+    if args.json is not None:
+        document = {
+            "plan": asdict(plan),
+            "plan_digest": plan.digest(),
+            "backoff": args.backoff,
+            "replications": args.replications,
+            "rows": rows,
+        }
+        if args.json == "-":
+            json_module.dump(document, sys.stdout, indent=1, sort_keys=True)
+            print()
+        else:
+            with open(args.json, "w") as handle:
+                json_module.dump(document, handle, indent=1, sort_keys=True)
+            print("JSON table written to {}".format(args.json))
     return 0
 
 

@@ -48,12 +48,23 @@ class MetricsCollector:
     ``is not None`` branch, so the un-instrumented path is unchanged.
     """
 
-    def __init__(self, env, params, machine, conflicts=None, instruments=None):
+    def __init__(
+        self,
+        env,
+        params,
+        machine,
+        conflicts=None,
+        instruments=None,
+        cluster=None,
+        network=None,
+    ):
         self.env = env
         self.params = params
         self.machine = machine
         self.conflicts = conflicts
         self.instruments = instruments
+        self.cluster = cluster
+        self.network = network
         self.response = Tally("response")
         self.attempts = Tally("attempts")
         #: Per-completion response times in completion order; feed
@@ -71,9 +82,14 @@ class MetricsCollector:
         self.deadlock_aborts = 0
         self.failure_aborts = 0
         self.degraded_completions = 0
+        self.commit_aborts = 0
+        self.commit_latency = Tally("commit_latency")
         self._warmup_busy = BusySnapshot(0.0, 0.0, 0.0, 0.0)
         self._warmup_downtime = 0.0
         self._warmup_degraded = 0.0
+        self._warmup_partition = 0.0
+        self._warmup_isolated = 0.0
+        self._warmup_messages = (0, 0)
         self._measuring = params.warmup == 0.0
         if params.warmup > 0.0:
             env.process(self._begin_measurement())
@@ -83,6 +99,15 @@ class MetricsCollector:
         self._warmup_busy = self.machine.busy_snapshot()
         self._warmup_downtime = self.machine.downtime(self.env.now)
         self._warmup_degraded = self.machine.degraded_time(self.env.now)
+        if self.cluster is not None:
+            now = self.env.now
+            self._warmup_partition = self.cluster.partition_time(now)
+            self._warmup_isolated = self.cluster.isolated_site_time(now)
+        if self.network is not None:
+            self._warmup_messages = (
+                self.network.messages_sent,
+                self.network.messages_dropped,
+            )
         self.response = Tally("response")
         self.attempts = Tally("attempts")
         self.response_samples = []
@@ -92,6 +117,8 @@ class MetricsCollector:
         self.deadlock_aborts = 0
         self.failure_aborts = 0
         self.degraded_completions = 0
+        self.commit_aborts = 0
+        self.commit_latency = Tally("commit_latency")
         self._measuring = True
 
     # -- event hooks -----------------------------------------------------
@@ -130,6 +157,32 @@ class MetricsCollector:
         if self._measuring:
             self.failure_aborts += 1
 
+    def note_commit_abort(self, reason):
+        """A distributed commit was presumed aborted (will retry)."""
+        if self.instruments is not None:
+            self.instruments.note_commit_event("abort")
+            self.instruments.note_abort(reason)
+        if self._measuring:
+            self.commit_aborts += 1
+
+    def note_commit_latency(self, latency):
+        """A distributed commit decision landed after *latency*."""
+        if self.instruments is not None:
+            self.instruments.note_commit_event("commit")
+            self.instruments.observe_commit_latency(latency)
+        if self._measuring:
+            self.commit_latency.observe(latency)
+
+    def note_degraded_mode(self):
+        """A writer hit the minority-partition read-only mode."""
+        if self.instruments is not None:
+            self.instruments.note_commit_event("degraded")
+
+    def note_election(self):
+        """A primary-copy failover election completed."""
+        if self.instruments is not None:
+            self.instruments.note_commit_event("election")
+
     def note_completion(self, txn):
         """A transaction finished and released its locks."""
         if self.instruments is not None:
@@ -140,9 +193,12 @@ class MetricsCollector:
         if not self._measuring:
             return
         self.completions += 1
-        if self.machine.down_count:
-            # Committed while at least one node was down: this is the
-            # degraded-mode share of the throughput.
+        if self.machine.down_count or (
+            self.cluster is not None and self.cluster.partitioned
+        ):
+            # Committed while at least one node was down (or the
+            # cluster was partitioned): this is the degraded-mode
+            # share of the throughput.
             self.degraded_completions += 1
         response = self.env.now - txn.arrival
         self.response.observe(response)
@@ -170,6 +226,32 @@ class MetricsCollector:
         downtime = self.machine.downtime(now) - self._warmup_downtime
         degraded = self.machine.degraded_time(now) - self._warmup_degraded
         availability = 1.0 - downtime / (npros * horizon) if horizon else 1.0
+        partition_time = 0.0
+        messages_sent = 0
+        messages_dropped = 0
+        if self.cluster is not None:
+            partition_time = (
+                self.cluster.partition_time(now) - self._warmup_partition
+            )
+            isolated = (
+                self.cluster.isolated_site_time(now) - self._warmup_isolated
+            )
+            if isolated > 0.0 and horizon:
+                # A site outside the majority is capacity the partition
+                # took away; fold it into availability the same way
+                # processor downtime is.
+                availability *= max(
+                    0.0, 1.0 - isolated / (self.cluster.nnodes * horizon)
+                )
+            # Partitioned time is degraded-mode time even when every
+            # processor stayed up.  Overlap between the two windows is
+            # not subtracted (plans normally use one fault family).
+            degraded += partition_time
+        if self.network is not None:
+            messages_sent = self.network.messages_sent - self._warmup_messages[0]
+            messages_dropped = (
+                self.network.messages_dropped - self._warmup_messages[1]
+            )
         degraded_throughput = (
             self.degraded_completions / degraded if degraded > 0.0 else 0.0
         )
@@ -203,4 +285,11 @@ class MetricsCollector:
             failure_aborts=self.failure_aborts,
             availability=availability,
             degraded_throughput=degraded_throughput,
+            commit_aborts=self.commit_aborts,
+            commit_latency=(
+                self.commit_latency.mean if self.commit_latency.count else 0.0
+            ),
+            messages_sent=messages_sent,
+            messages_dropped=messages_dropped,
+            partition_time=partition_time,
         )

@@ -52,6 +52,8 @@ _STREAMS = (
     "backoff",
     "arrivals",
     "fault_backoff",
+    "net",
+    "commit_backoff",
 )
 
 
@@ -110,10 +112,29 @@ class LockingGranularityModel:
         self.rngs = {name: streams.stream(name) for name in _STREAMS}
         self.backoff = backoff if backoff is not None else FixedUniformBackoff()
         self.machine = Machine(self.env, params.npros, params.discipline)
+        if params.nnodes > 1:
+            # Distributed model (DESIGN.md §12): message transport plus
+            # cluster bookkeeping.  Only built when asked for, so
+            # single-node runs never allocate (or draw from) either.
+            from repro.engine.cluster import Cluster
+            from repro.net import Network
+
+            self.network = Network(
+                self.env,
+                params.nnodes,
+                latency=params.net_latency,
+                jitter=params.net_jitter,
+                rng=self.rngs["net"],
+            )
+            self.cluster = Cluster(self.env, params.nnodes, self.network)
+        else:
+            self.network = None
+            self.cluster = None
         if fault_plan is not None and fault_plan.enabled():
             self._injector = FaultInjector(
                 self.env, self.machine, fault_plan, params.seed, trace=self.trace
             )
+            self._injector.network = self.network
         else:
             self._injector = None
         self.placement = make_placement(params)
@@ -136,14 +157,18 @@ class LockingGranularityModel:
                 self.instruments.attach_lock_table(manager)
             if self._injector is not None:
                 self._injector.metrics = self.instruments
+            if self.network is not None:
+                self.network.instruments = self.instruments
         else:
             self.instruments = None
         self.metrics = MetricsCollector(
             self.env, params, self.machine, self.conflicts,
             instruments=self.instruments,
+            cluster=self.cluster, network=self.network,
         )
         self.admission = AdmissionGate(policy, self.env, self.metrics)
         self.cc = resolve("cc", params.protocol)().bind(self)
+        self.commit = resolve("commit", params.commit_protocol)().bind(self)
         self.arrivals = resolve("arrival", params.arrival_process)()
         self._tid = count(1)
         #: blocker tid -> events to succeed when that blocker completes.
@@ -202,6 +227,11 @@ class LockingGranularityModel:
         if self.trace is not None:
             self.trace.emit(self.env.now, kind, txn.tid, **details)
 
+    def emit_system(self, kind, **details):
+        """Record a cluster/system event (subject 0, like the injector's)."""
+        if self.trace is not None:
+            self.trace.emit(self.env.now, kind, 0, **details)
+
     def _lock_observer(self, kind, owner, **details):
         """Lock-manager contention events, stamped with the clock.
 
@@ -239,7 +269,12 @@ class LockingGranularityModel:
             self.metrics.locks_held.update(self.conflicts.locks_held)
             if (yield from self._execute(txn)):
                 if (yield from self.cc.post_execute(txn)):
-                    break
+                    if (yield from self.commit.commit(txn)):
+                        break
+                    # Distributed commit presumed aborted (timeout or
+                    # partition): locks already released, backoff
+                    # already slept — re-acquire from scratch.
+                    continue
                 # The protocol killed the transaction at its commit
                 # point (wound-wait): re-acquire from scratch.
                 continue

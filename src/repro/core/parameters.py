@@ -29,6 +29,8 @@ PARTITIONINGS = registry.names("partitioning")
 CONFLICT_ENGINES = registry.names("conflict")
 #: Lock acquisition (concurrency-control) protocols.
 PROTOCOLS = registry.names("cc")
+#: Distributed commit/replication protocols (DESIGN.md §12).
+COMMIT_PROTOCOLS = registry.names("commit")
 #: Transaction-size workloads (uniform per Table 1; mixed per §3.6).
 WORKLOADS = registry.names("workload")
 #: Transaction admission policies (§3.7 / refs [3,4] extension).
@@ -115,6 +117,26 @@ class SimulationParameters:
         time unit and no replacement on completion; ``bursty`` is a
         Markov-modulated Poisson source alternating quiet phases (at
         ``arrival_rate``) with shorter high-rate bursts.
+    nnodes:
+        Number of cluster sites (1 = the paper's single machine; the
+        distributed model only exists when ``nnodes > 1``).  Every
+        site holds a full database replica; transactions are homed
+        deterministically at ``(tid - 1) % nnodes``.
+    commit_protocol:
+        Distributed commit/replication protocol: ``local`` (the
+        single-site default; commits are free), ``2pc`` (presumed-abort
+        two-phase commit across all sites) or ``primary-copy``
+        (synchronous commit at the primary, asynchronous replication,
+        majority failover on partition).  Extensible via the
+        ``commit`` layer of :data:`repro.policies.registry`.
+    net_latency / net_jitter:
+        One-way message latency between sites: a fixed base plus a
+        uniform ``[0, net_jitter)`` component drawn from the dedicated
+        ``net`` stream.
+    commit_timeout:
+        Coordinator patience: a 2PC prepare round (or a primary-copy
+        forward) that has not completed within this many time units is
+        presumed aborted and retried after backoff.
     seed:
         Master random seed (named substreams derive from it).
     warmup:
@@ -148,6 +170,11 @@ class SimulationParameters:
     access_skew: float = 0.8  # Zipf theta for the "skewed" placement
     arrival_process: str = "closed"  # closed | open
     arrival_rate: float = 1.0  # mean arrivals per time unit (open only)
+    nnodes: int = 1  # cluster sites (1 = single-node paper model)
+    commit_protocol: str = "local"  # local | 2pc | primary-copy
+    net_latency: float = 0.0  # one-way inter-site latency
+    net_jitter: float = 0.0  # uniform extra latency bound
+    commit_timeout: float = 5.0  # coordinator presumed-abort patience
     seed: int = 1
     warmup: float = 0.0
 
@@ -223,6 +250,19 @@ class SimulationParameters:
             raise ValueError("write_fraction must be in [0, 1]")
         if self.mpl_limit < 0:
             raise ValueError("mpl_limit must be >= 0 (0 = unlimited)")
+        if self.nnodes < 1:
+            raise ValueError("nnodes must be >= 1, got {}".format(self.nnodes))
+        if self.net_latency < 0 or self.net_jitter < 0:
+            raise ValueError("net_latency and net_jitter must be >= 0")
+        if self.commit_timeout <= 0:
+            raise ValueError(
+                "commit_timeout must be > 0, got {}".format(self.commit_timeout)
+            )
+        if self.commit_protocol != "local" and self.nnodes < 2:
+            raise ValueError(
+                "the {} commit protocol is distributed and needs "
+                "nnodes >= 2".format(self.commit_protocol)
+            )
         if self.discipline not in DISCIPLINES:
             raise ValueError(
                 "discipline must be one of {}, got {!r}".format(

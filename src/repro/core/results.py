@@ -38,6 +38,11 @@ RESULT_FIELDS = (
     "failure_aborts",
     "availability",
     "degraded_throughput",
+    "commit_aborts",
+    "commit_latency",
+    "messages_sent",
+    "messages_dropped",
+    "partition_time",
 )
 
 
@@ -70,6 +75,18 @@ class SimulationResult:
     degraded_throughput:
         Completions per time unit while at least one node was down
         (0.0 when the run never degraded).
+    commit_aborts:
+        Distributed commits presumed aborted and retried (0 for the
+        local protocol).
+    commit_latency:
+        Mean time from the commit decision's start to its outcome
+        (0.0 when no distributed commit happened).
+    messages_sent / messages_dropped:
+        Cluster messages sent / dropped at a partition boundary
+        (0 single-node).
+    partition_time:
+        Measured time some network partition was active (0.0 when the
+        cluster never partitioned).
     """
 
     params: SimulationParameters
@@ -101,6 +118,11 @@ class SimulationResult:
     failure_aborts: int = 0
     availability: float = 1.0
     degraded_throughput: float = 0.0
+    commit_aborts: int = 0
+    commit_latency: float = 0.0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    partition_time: float = 0.0
 
     def as_dict(self, include_params=True):
         """Flat dict of outputs (optionally prefixed parameter inputs)."""

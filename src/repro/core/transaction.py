@@ -33,6 +33,9 @@ class Transaction:
     fault_retries:
         Times it was aborted by a processor crash and retried
         (fault injection only; always 0 in unfaulted runs).
+    commit_retries:
+        Times its distributed commit was presumed aborted and retried
+        (distributed protocols only; always 0 single-node).
     """
 
     __slots__ = (
@@ -45,6 +48,7 @@ class Transaction:
         "attempts",
         "aborts",
         "fault_retries",
+        "commit_retries",
     )
 
     def __init__(self, tid, nu, lock_count, granules=None, is_writer=True):
@@ -57,6 +61,7 @@ class Transaction:
         self.attempts = 0
         self.aborts = 0
         self.fault_retries = 0
+        self.commit_retries = 0
 
     def __repr__(self):
         return "<Transaction #{} nu={} locks={}>".format(

@@ -1,0 +1,128 @@
+"""A cluster of database sites layered over the single-site machine.
+
+The paper's machine is one shared-nothing multiprocessor.  The
+distributed model (DESIGN.md §12) surrounds it with ``nnodes`` logical
+*sites*: site ids ``0 .. nnodes-1``, each holding a full copy of the
+database (full replication, as in the primary-copy literature).  The
+workload still executes on the local machine — remote sites matter for
+the commit protocols' message exchanges and for availability
+accounting — which keeps the model cheap while making every commit pay
+the network round trips the protocol requires.
+
+The :class:`Cluster` tracks:
+
+- the deterministic *home site* of each transaction
+  (``(tid - 1) % nnodes``, no random draws, so distributed runs keep
+  the single-node event streams untouched),
+- the current *primary* site for primary-copy replication, including
+  failover elections,
+- partition bookkeeping for availability: total wall time any
+  partition was active, and site-time spent outside the majority
+  component (the capacity the partition takes away).
+"""
+
+
+class Cluster:
+    """``nnodes`` replicated sites plus partition/primary bookkeeping.
+
+    The cluster hooks the network's partition callbacks at
+    construction, so fault-injector partition flips are accounted
+    without any polling.
+    """
+
+    def __init__(self, env, nnodes, network):
+        if nnodes < 1:
+            raise ValueError("nnodes must be >= 1, got {}".format(nnodes))
+        self.env = env
+        self.nnodes = nnodes
+        self.network = network
+        self.sites = tuple(range(nnodes))
+        self.primary = 0
+        self.elections = 0
+        network.on_partition = self._on_partition
+        network.on_heal = self._on_heal
+        self._partition_since = None
+        self._partition_accum = 0.0
+        self._isolated_since = {}
+        self._isolated_accum = 0.0
+
+    # -- topology queries ---------------------------------------------
+
+    def home(self, txn):
+        """The deterministic coordinator site for a transaction."""
+        return (txn.tid - 1) % self.nnodes
+
+    @property
+    def partitioned(self):
+        """True while a partition is active."""
+        return self._partition_since is not None
+
+    def component(self, site):
+        """Sites currently reachable from *site* (including itself)."""
+        state = self.network.partition_state
+        if state is None:
+            return frozenset(self.sites)
+        return state.component(site)
+
+    def in_majority(self, site):
+        """True when *site* sits in a strict-majority component."""
+        return 2 * len(self.component(site)) > self.nnodes
+
+    def elect(self, new_primary):
+        """Fail the primary over to *new_primary* (counted)."""
+        self.primary = new_primary
+        self.elections += 1
+
+    # -- partition accounting -----------------------------------------
+
+    def _on_partition(self, partition):
+        now = self.env.now
+        if self._partition_since is not None:
+            # Re-partition without a heal: close the open intervals
+            # first so accumulated time never double-counts.
+            self._settle(now)
+        self._partition_since = now
+        majority = partition.majority(self.nnodes) or frozenset()
+        for site in self.sites:
+            if site not in majority:
+                self._isolated_since[site] = now
+
+    def _on_heal(self):
+        self._settle(self.env.now)
+
+    def _settle(self, now):
+        if self._partition_since is not None:
+            self._partition_accum += now - self._partition_since
+            self._partition_since = None
+        for site, since in self._isolated_since.items():
+            self._isolated_accum += now - since
+        self._isolated_since.clear()
+
+    def partition_time(self, now):
+        """Total time (so far) some partition has been active."""
+        total = self._partition_accum
+        if self._partition_since is not None:
+            total += now - self._partition_since
+        return total
+
+    def isolated_site_time(self, now):
+        """Total site-time (so far) spent outside the majority."""
+        total = self._isolated_accum
+        for since in self._isolated_since.values():
+            total += now - since
+        return total
+
+    def availability(self, start, now):
+        """Fraction of site-capacity in the majority over [start, now].
+
+        ``1.0`` exactly when no partition ever fired, so multiplying
+        it into the machine's availability leaves unpartitioned runs
+        bit-identical.
+        """
+        horizon = now - start
+        if horizon <= 0.0:
+            return 1.0
+        isolated = self.isolated_site_time(now)
+        if isolated <= 0.0:
+            return 1.0
+        return max(0.0, 1.0 - isolated / (self.nnodes * horizon))

@@ -45,7 +45,59 @@ _COMPAT_DEFAULTS = {
     "failure_aborts": 0,
     "availability": 1.0,
     "degraded_throughput": 0.0,
+    "commit_aborts": 0,
+    "commit_latency": 0.0,
+    "messages_sent": 0,
+    "messages_dropped": 0,
+    "partition_time": 0.0,
 }
+
+#: Distributed-cluster parameters added after cache entries (and the
+#: committed golden digests) already existed.  At their single-node
+#: defaults they are dropped from the canonical params document, so
+#: every pre-existing address and entry stays byte-identical; any
+#: non-default value is kept and lands on a fresh address.
+_SINGLE_NODE_DEFAULTS = {
+    "nnodes": 1,
+    "commit_protocol": "local",
+    "net_latency": 0.0,
+    "net_jitter": 0.0,
+    "commit_timeout": 5.0,
+}
+
+
+def params_document(params):
+    """Canonical params dict for addressing and entry comparison.
+
+    ``params.as_dict()`` minus any distributed field still at its
+    single-node default (see :data:`_SINGLE_NODE_DEFAULTS`) — the same
+    omit-when-default trick :func:`repro.policies.policy_versions`
+    uses, applied to parameters instead of policies.
+    """
+    document = params.as_dict()
+    for name, default in _SINGLE_NODE_DEFAULTS.items():
+        if document.get(name) == default:
+            del document[name]
+    return document
+
+
+def result_from_document(params, outputs):
+    """Rebuild a :class:`SimulationResult` from a stored output dict.
+
+    Missing fields fall back to :data:`_COMPAT_DEFAULTS` (entries
+    written before a field existed); any other absence raises
+    ``KeyError``.  Shared by cache reads and journal-resumed faulted
+    sweeps, so both paths reconstruct results identically.
+    """
+    values = {}
+    for name in RESULT_FIELDS:
+        if name in outputs:
+            values[name] = outputs[name]
+        elif name in _COMPAT_DEFAULTS:
+            values[name] = _COMPAT_DEFAULTS[name]
+        else:
+            raise KeyError(name)
+    return SimulationResult(params=params, **values)
 
 #: Default location, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
@@ -82,7 +134,7 @@ def cache_key(params, model_version=MODEL_VERSION):
     document = {
         "schema": CACHE_SCHEMA,
         "model_version": model_version,
-        "params": params.as_dict(),
+        "params": params_document(params),
     }
     versions = policy_versions(params)
     if versions is not None:
@@ -168,18 +220,9 @@ class ResultCache:
                 return None
             if document.get("model_version") != self.model_version:
                 return None
-            if document.get("params") != params.as_dict():
+            if document.get("params") != params_document(params):
                 return None  # hash collision or hand-edited entry
-            outputs = document["result"]
-            values = {}
-            for name in RESULT_FIELDS:
-                if name in outputs:
-                    values[name] = outputs[name]
-                elif name in _COMPAT_DEFAULTS:
-                    values[name] = _COMPAT_DEFAULTS[name]
-                else:
-                    raise KeyError(name)
-            return SimulationResult(params=params, **values)
+            return result_from_document(params, document["result"])
         except (ValueError, TypeError, KeyError, AttributeError):
             self._quarantine(path, "malformed entry structure")
             return None
@@ -207,7 +250,7 @@ class ResultCache:
         document = {
             "schema": CACHE_SCHEMA,
             "model_version": self.model_version,
-            "params": params.as_dict(),
+            "params": params_document(params),
             "result": {
                 name: getattr(result, name) for name in RESULT_FIELDS
             },

@@ -20,7 +20,14 @@ File format (JSONL)::
     {"sweep": "<id>", "cells": 12, "label": "table1"}   # header
     {"done": "<cache key>"}                             # one per cell
     {"done": "<cache key>", "provenance": "analytic"}   # accelerator fill
+    {"done": "<cache key>", "result": {...}}            # faulted sweeps
     {"finished": true}                                  # clean end
+
+Faulted sweeps (a :class:`~repro.faults.plan.FaultPlan` in force)
+never touch the result cache, so their cells journal the full output
+record inline — ``load_results`` reads them back on resume, and the
+JSON float round-trip is exact, so a resumed faulted sweep is
+bit-identical to an uninterrupted one.
 """
 
 import hashlib
@@ -85,6 +92,35 @@ class SweepJournal:
                 done.add(entry["done"])
         return done
 
+    def load_results(self, sweep):
+        """Inline result documents journalled for sweep id *sweep*.
+
+        Returns ``{cell key: output dict}`` for every ``done`` entry
+        that carried a ``result`` payload (faulted sweeps).  Same
+        tolerance rules as :meth:`load`.
+        """
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return {}
+        if not lines:
+            return {}
+        try:
+            if json.loads(lines[0]).get("sweep") != sweep:
+                return {}
+        except ValueError:
+            return {}
+        results = {}
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn write at the crash point
+            if isinstance(entry, dict) and "done" in entry and "result" in entry:
+                results[entry["done"]] = entry["result"]
+        return results
+
     def finished(self, sweep):
         """True when the journal records a clean end of sweep *sweep*."""
         try:
@@ -135,18 +171,21 @@ class SweepJournal:
         except (OSError, ValueError):
             return False
 
-    def record(self, key, provenance=None):
+    def record(self, key, provenance=None, result=None):
         """Append one completed cell and flush it to disk.
 
         *provenance* tags cells not produced by the simulator (the
         analytic accelerator records ``"analytic"``); plain simulated
         or cached cells omit the field.  :meth:`load` treats both as
-        done.
+        done.  *result* (an output dict) is stored inline for faulted
+        sweeps, whose results never reach the cache.
         """
         if self._handle is not None:
             entry = {"done": key}
             if provenance is not None:
                 entry["provenance"] = provenance
+            if result is not None:
+                entry["result"] = result
             self._write(entry)
 
     def finish(self):

@@ -49,9 +49,14 @@ from time import perf_counter, sleep
 from time import time as wall_time
 
 from repro.core.model import LockingGranularityModel
-from repro.core.results import aggregate
+from repro.core.results import RESULT_FIELDS, aggregate
 from repro.des.errors import SimulationStalled
-from repro.experiments.cache import ResultCache, cache_enabled, cache_key
+from repro.experiments.cache import (
+    ResultCache,
+    cache_enabled,
+    cache_key,
+    result_from_document,
+)
 from repro.experiments.journal import SweepJournal, sweep_id
 from repro.obs.manifest import build_manifest
 from repro.obs.metrics import summarize_snapshot
@@ -75,7 +80,9 @@ def _run_single(params):
     return LockingGranularityModel(params).run()
 
 
-def _run_single_timed(params, timeout=None, collect=False):
+def _run_single_timed(
+    params, timeout=None, collect=False, fault_plan=None, backoff=None
+):
     """Worker returning ``(result, compute_seconds)`` for stats.
 
     *timeout* is the per-replication wall-clock watchdog, enforced
@@ -89,16 +96,25 @@ def _run_single_timed(params, timeout=None, collect=False):
     parent merges the snapshot into its live registry.  The two-tuple
     shape is preserved for plain sweeps so existing callers (and test
     doubles) are unaffected.
+
+    *fault_plan* / *backoff* (picklable) ride along to the model for
+    faulted or backoff-ablation sweeps; both default to ``None`` and
+    plain sweeps keep the historical two-argument call shape.
     """
     started = perf_counter()
     if not collect:
-        result = LockingGranularityModel(params).run(timeout=timeout)
+        result = LockingGranularityModel(
+            params, fault_plan=fault_plan, backoff=backoff
+        ).run(timeout=timeout)
         return result, perf_counter() - started
     from repro.obs.metrics import MetricsRegistry
 
     registry = MetricsRegistry()
     result = LockingGranularityModel(
-        params, metrics_registry=registry
+        params,
+        metrics_registry=registry,
+        fault_plan=fault_plan,
+        backoff=backoff,
     ).run(timeout=timeout)
     return result, perf_counter() - started, registry.snapshot()
 
@@ -366,6 +382,7 @@ class _SweepContext:
         "cells",
         "journal",
         "journaled",
+        "resumed_results",
         "analytic",
     )
 
@@ -381,6 +398,9 @@ class _SweepContext:
         self.remaining = [replications] * len(self.configs)
         self.journal = None
         self.journaled = set()
+        #: cell key -> inline output dict read back from a resumed
+        #: faulted journal (results that never touched the cache).
+        self.resumed_results = {}
         #: config index -> AnalyticPrediction for pruned configurations
         #: (populated only under ``accelerator="analytic"``).
         self.analytic = {}
@@ -413,6 +433,8 @@ def run_experiment(
     accelerator=None,
     metrics=None,
     metrics_snapshot=None,
+    fault_plan=None,
+    backoff=None,
 ):
     """Execute every configuration of *spec*.
 
@@ -502,6 +524,24 @@ def run_experiment(
         :class:`repro.obs.exporters.SnapshotWriter`) — what
         ``repro-locking top`` tails next to the journal.  Ignored
         without *metrics*.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` applied to
+        every cell (chaos sweeps).  A faulted run is no longer the
+        pure function of its parameters the result cache addresses,
+        so an enabled plan forces ``cache = None`` — faulted sweeps
+        never read from nor write to the cache.  Instead, each cell's
+        full output record is journalled inline (when a journal is
+        given) and resume reconstructs results from the journal;
+        the JSON float round-trip is exact, so a resumed faulted
+        sweep is bit-identical to an uninterrupted one.  The plan's
+        :meth:`~repro.faults.plan.FaultPlan.digest` is folded into
+        the sweep identity, so journals from different plans never
+        cross-resume.
+    backoff:
+        Optional :class:`~repro.faults.backoff.BackoffPolicy`
+        overriding the model's default restart backoff (ablations).
+        Like *fault_plan*, a non-default policy disables the cache
+        for the whole call.
 
     Raises
     ------
@@ -533,6 +573,8 @@ def run_experiment(
         accelerator=accelerator,
         metrics=metrics,
         metrics_snapshot=metrics_snapshot,
+        fault_plan=fault_plan,
+        backoff=backoff,
     )[0]
 
 
@@ -553,6 +595,8 @@ def run_experiments(
     accelerator=None,
     metrics=None,
     metrics_snapshot=None,
+    fault_plan=None,
+    backoff=None,
 ):
     """Execute a batch of specs over ONE global work queue.
 
@@ -597,7 +641,22 @@ def run_experiments(
             )
         )
     started = perf_counter()
-    cache = _resolve_cache(cache)
+    if fault_plan is not None and not fault_plan.enabled():
+        fault_plan = None  # an empty plan is the unfaulted path
+    faulted = fault_plan is not None
+    if faulted or backoff is not None:
+        # Faulted / backoff-ablation results are not the pure function
+        # of the parameters the cache addresses: never read from nor
+        # write to it.  Faulted cells journal their outputs inline
+        # instead (see SweepJournal), which is what resume reads back.
+        cache = None
+    else:
+        cache = _resolve_cache(cache)
+    if faulted and accelerator is not None:
+        raise ValueError(
+            "the analytic accelerator models the unfaulted system and "
+            "cannot prune a faulted sweep"
+        )
     contexts = [
         _SweepContext(spec, replications, index)
         for index, spec in enumerate(specs)
@@ -681,9 +740,16 @@ def run_experiments(
             journal = SweepJournal(journal)
         ctx.journal = journal
         if journal is not None:
-            sid = sweep_id([key for _, _, _, key in ctx.cells])
+            # A faulted sweep's identity includes its fault plan, so a
+            # journal written under one plan can never resume another.
+            sid = sweep_id(
+                [key for _, _, _, key in ctx.cells]
+                + ([fault_plan.digest()] if faulted else [])
+            )
             if resume:
                 ctx.journaled = journal.load(sid)
+                if faulted:
+                    ctx.resumed_results = journal.load_results(sid)
             journal.begin(
                 sid,
                 len(ctx.cells),
@@ -715,6 +781,15 @@ def run_experiments(
             hit = None
             if cache is not None and not refresh:
                 hit = cache.get(run_params)
+            elif key in ctx.resumed_results and not refresh:
+                # Faulted resume: rebuild the result from the journal's
+                # inline output record (the cache never saw it).
+                try:
+                    hit = result_from_document(
+                        run_params, ctx.resumed_results[key]
+                    )
+                except KeyError:
+                    hit = None  # written before a field existed
             if hit is not None:
                 ctx.grid[i][r] = hit
                 config_stats = ctx.stats.per_config[i]
@@ -790,7 +865,19 @@ def run_experiments(
                             ),
                         )
             if ctx.journal is not None:
-                ctx.journal.record(job.key)
+                if faulted:
+                    # No cache to resume from: journal the full output
+                    # record inline so a resumed faulted sweep is
+                    # bit-identical to an uninterrupted one.
+                    ctx.journal.record(
+                        job.key,
+                        result={
+                            name: getattr(result, name)
+                            for name in RESULT_FIELDS
+                        },
+                    )
+                else:
+                    ctx.journal.record(job.key)
                 journalled += 1
             notify_cell(
                 ctx, i, r,
@@ -828,7 +915,7 @@ def run_experiments(
                 sweep_inst.workers.set(workers)
             _run_inline(
                 queue, deliver, mark_restart, drain, watchdog,
-                watchdog_retries, collect,
+                watchdog_retries, collect, fault_plan, backoff,
             )
         elif queue:
             workers = min(jobs, os.cpu_count() or 1, len(queue)) or 1
@@ -844,6 +931,8 @@ def run_experiments(
                 watchdog_retries,
                 workers,
                 collect,
+                fault_plan,
+                backoff,
             )
         for ctx in contexts:
             if ctx.journal is not None:
@@ -887,19 +976,19 @@ def _stalled_error(job, watchdog, attempts):
 
 def _run_inline(
     queue, deliver, mark_restart, drain, watchdog, watchdog_retries,
-    collect=False,
+    collect=False, fault_plan=None, backoff=None,
 ):
     """Execute the job *queue* in this process, one job at a time."""
+    extra = ()
+    if collect or fault_plan is not None or backoff is not None:
+        extra = (collect, fault_plan, backoff)
     for job in queue:
         if drain is not None and drain.tripped:
             raise KeyboardInterrupt
         attempt = 0
         while True:
             try:
-                if collect:
-                    payload = _run_single_timed(job.run_params, watchdog, True)
-                else:
-                    payload = _run_single_timed(job.run_params, watchdog)
+                payload = _run_single_timed(job.run_params, watchdog, *extra)
                 break
             except SimulationStalled:
                 attempt += 1
@@ -913,7 +1002,7 @@ def _run_inline(
 
 def _run_pooled(
     queue, deliver, mark_restart, drain, watchdog, watchdog_retries,
-    max_workers, collect=False,
+    max_workers, collect=False, fault_plan=None, backoff=None,
 ):
     """Fan the job *queue* out over worker pools, retrying stalls.
 
@@ -939,6 +1028,8 @@ def _run_pooled(
             max_workers,
             attempts,
             collect,
+            fault_plan,
+            backoff,
         )
         round_index += 1
 
@@ -953,6 +1044,8 @@ def _pool_round(
     max_workers,
     attempts,
     collect=False,
+    fault_plan=None,
+    backoff=None,
 ):
     """Run one pool over the job *queue*; returns the jobs to retry."""
     retry = []
@@ -969,13 +1062,13 @@ def _pool_round(
     )
     futures = {}
     submitted = {}
+    extra = ()
+    if collect or fault_plan is not None or backoff is not None:
+        extra = (collect, fault_plan, backoff)
     for job in queue:
-        if collect:
-            future = pool.submit(
-                _run_single_timed, job.run_params, watchdog, True
-            )
-        else:
-            future = pool.submit(_run_single_timed, job.run_params, watchdog)
+        future = pool.submit(
+            _run_single_timed, job.run_params, watchdog, *extra
+        )
         futures[future] = job
         submitted[future] = perf_counter()
     not_done = set(futures)

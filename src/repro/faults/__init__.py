@@ -11,11 +11,19 @@ from repro.faults.backoff import (
     BackoffPolicy,
     ExponentialBackoff,
     FixedUniformBackoff,
+    FullJitterBackoff,
     JitteredBackoff,
     make_backoff_policy,
 )
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import CrashSpec, FaultPlan, SlowdownSpec, StallSpec
+from repro.faults.plan import (
+    CrashSpec,
+    FaultPlan,
+    LinkDelaySpec,
+    PartitionSpec,
+    SlowdownSpec,
+    StallSpec,
+)
 
 __all__ = [
     "POLICIES",
@@ -25,7 +33,10 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FixedUniformBackoff",
+    "FullJitterBackoff",
     "JitteredBackoff",
+    "LinkDelaySpec",
+    "PartitionSpec",
     "SlowdownSpec",
     "StallSpec",
     "make_backoff_policy",

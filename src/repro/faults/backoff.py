@@ -16,7 +16,7 @@ bit-identical results for existing runs.
 """
 
 #: Registry of constructable policies for CLI / config use.
-POLICIES = ("uniform", "exponential", "jittered")
+POLICIES = ("uniform", "exponential", "jittered", "full-jitter")
 
 
 class BackoffPolicy:
@@ -88,6 +88,33 @@ class JitteredBackoff(BackoffPolicy):
         return rng.uniform(0.0, min(self.base * (2.0 ** attempt), self.cap))
 
 
+class FullJitterBackoff(BackoffPolicy):
+    """AWS-style "full jitter": uniform on ``[0, min(base*2**attempt, cap))``.
+
+    The formulation from the AWS Architecture Blog's "Exponential
+    Backoff and Jitter": ``sleep = random_between(0, min(cap, base *
+    2**attempt))``.  Functionally the same law as
+    :class:`JitteredBackoff` but with the blog's conventional defaults
+    (``base=1.0``, ``cap=32.0``), registered under its widely known
+    name so configs and CLI flags can ask for it directly.  It is the
+    recommended policy for distributed commit retries, where many
+    coordinators backing off in lockstep would otherwise re-collide.
+    """
+
+    name = "full-jitter"
+
+    def __init__(self, base=1.0, cap=32.0):
+        if base <= 0 or cap <= 0:
+            raise ValueError(
+                "base and cap must be > 0, got base={} cap={}".format(base, cap)
+            )
+        self.base = float(base)
+        self.cap = float(cap)
+
+    def delay(self, rng, attempt):
+        return rng.uniform(0.0, min(self.base * (2.0 ** attempt), self.cap))
+
+
 def make_backoff_policy(name, **kwargs):
     """Build a policy by registry name (see :data:`POLICIES`)."""
     if name == "uniform":
@@ -96,6 +123,8 @@ def make_backoff_policy(name, **kwargs):
         return ExponentialBackoff(**kwargs)
     if name == "jittered":
         return JitteredBackoff(**kwargs)
+    if name == "full-jitter":
+        return FullJitterBackoff(**kwargs)
     raise ValueError(
         "unknown backoff policy {!r}; expected one of {}".format(name, POLICIES)
     )

@@ -43,6 +43,9 @@ class FaultInjector:
         #: Optional live-metrics bundle (set by the model after
         #: construction); fault transitions then count by kind.
         self.metrics = None
+        #: Optional cluster network (set by the model for distributed
+        #: runs); partition/link-delay specs are skipped without one.
+        self.network = None
         self._streams = RandomStreams(plan.seed if plan.seed is not None else seed)
         self.crashes_injected = 0
         self.jobs_killed = 0
@@ -60,6 +63,13 @@ class FaultInjector:
         for si, spec in enumerate(self.plan.lock_stalls):
             rng = self._streams.stream("fault_lock[{}]".format(si))
             self.env.process(self._stall_loop(spec, rng))
+        if self.network is not None and self.network.nnodes > 1:
+            for si, spec in enumerate(self.plan.partitions):
+                rng = self._streams.stream("fault_partition[{}]".format(si))
+                self.env.process(self._partition_loop(spec, rng))
+            for si, spec in enumerate(self.plan.link_delays):
+                rng = self._streams.stream("fault_link[{}]".format(si))
+                self.env.process(self._link_delay_loop(spec, rng))
 
     def _targets(self, spec):
         if spec.processors is None:
@@ -105,3 +115,39 @@ class FaultInjector:
             yield self.env.timeout(rng.expovariate(1.0 / spec.duration))
             self.machine.set_lock_scale(1.0)
             self._emit("lockmgr_resume")
+
+    def _random_split(self, rng):
+        """A seeded two-way split with both sides non-empty."""
+        sites = rng.sample(range(self.network.nnodes), self.network.nnodes)
+        cut = rng.randrange(1, self.network.nnodes)
+        return (tuple(sites[:cut]), tuple(sites[cut:]))
+
+    def _partition_loop(self, spec, rng):
+        if spec.first_after > 0:
+            yield self.env.timeout(spec.first_after)
+        while True:
+            yield self.env.timeout(rng.expovariate(1.0 / spec.mtbf))
+            groups = spec.groups if spec.groups is not None else self._random_split(rng)
+            self.network.partition(groups)
+            self._emit("partition", groups=[sorted(g) for g in groups])
+            yield self.env.timeout(rng.expovariate(1.0 / spec.duration))
+            self.network.heal()
+            self._emit("heal")
+
+    def _link_delay_loop(self, spec, rng):
+        links = spec.links
+        while True:
+            yield self.env.timeout(rng.expovariate(1.0 / spec.mtbf))
+            if links is None:
+                self.network.set_global_delay(spec.extra)
+            else:
+                for a, b in links:
+                    self.network.set_link_delay(a, b, spec.extra)
+            self._emit("link_delay", extra=spec.extra)
+            yield self.env.timeout(rng.expovariate(1.0 / spec.duration))
+            if links is None:
+                self.network.set_global_delay(0.0)
+            else:
+                for a, b in links:
+                    self.network.set_link_delay(a, b, 0.0)
+            self._emit("link_recover")

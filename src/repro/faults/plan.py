@@ -14,7 +14,9 @@ set feeds the content-addressed result cache, and faulted runs bypass
 the cache entirely, so the unfaulted cache keys stay bit-identical.
 """
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass(frozen=True)
@@ -111,6 +113,88 @@ class StallSpec:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """Repeated network partition windows over the cluster's sites.
+
+    Parameters
+    ----------
+    mtbf:
+        Mean time between the heal of one partition and the start of
+        the next (exponential).
+    duration:
+        Mean partition length (exponential).
+    groups:
+        Explicit site groups (tuple of tuples of site ids) to split
+        into, or ``None`` to draw a random two-way split from the
+        partition's seeded stream each time the fault fires.
+    first_after:
+        No partition from this spec starts before this simulation time.
+
+    Only meaningful for distributed runs (``nnodes > 1``); on a
+    single-node model the injector skips the spec.
+    """
+
+    mtbf: float
+    duration: float
+    groups: tuple = None
+    first_after: float = 0.0
+
+    def __post_init__(self):
+        if self.mtbf <= 0 or self.duration <= 0:
+            raise ValueError(
+                "mtbf and duration must be > 0, got mtbf={} duration={}".format(
+                    self.mtbf, self.duration
+                )
+            )
+        if self.groups is not None:
+            groups = tuple(tuple(group) for group in self.groups)
+            if len(groups) < 2 or any(not group for group in groups):
+                raise ValueError(
+                    "groups must be >= 2 non-empty site groups, got {!r}".format(
+                        self.groups
+                    )
+                )
+            object.__setattr__(self, "groups", groups)
+
+
+@dataclass(frozen=True)
+class LinkDelaySpec:
+    """Transient extra one-way delay on cluster links.
+
+    Parameters
+    ----------
+    mtbf:
+        Mean time between the end of one window and the next
+        (exponential).
+    duration:
+        Mean window length (exponential).
+    extra:
+        Extra one-way latency added to affected links inside a window.
+    links:
+        ``(a, b)`` site pairs affected, or ``None`` for every link.
+    """
+
+    mtbf: float
+    duration: float
+    extra: float = 0.5
+    links: tuple = None
+
+    def __post_init__(self):
+        if self.mtbf <= 0 or self.duration <= 0:
+            raise ValueError(
+                "mtbf and duration must be > 0, got mtbf={} duration={}".format(
+                    self.mtbf, self.duration
+                )
+            )
+        if self.extra < 0:
+            raise ValueError("extra must be >= 0, got {}".format(self.extra))
+        if self.links is not None:
+            object.__setattr__(
+                self, "links", tuple(tuple(pair) for pair in self.links)
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full fault schedule for one run.
 
@@ -126,6 +210,10 @@ class FaultPlan:
         :class:`SlowdownSpec` entries.
     lock_stalls:
         :class:`StallSpec` entries.
+    partitions:
+        :class:`PartitionSpec` entries (distributed runs only).
+    link_delays:
+        :class:`LinkDelaySpec` entries (distributed runs only).
     seed:
         Optional dedicated fault seed; ``None`` derives the fault
         streams from the run's own seed.
@@ -134,13 +222,33 @@ class FaultPlan:
     crashes: tuple = field(default_factory=tuple)
     disk_slowdowns: tuple = field(default_factory=tuple)
     lock_stalls: tuple = field(default_factory=tuple)
+    partitions: tuple = field(default_factory=tuple)
+    link_delays: tuple = field(default_factory=tuple)
     seed: int = None
 
     def __post_init__(self):
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "disk_slowdowns", tuple(self.disk_slowdowns))
         object.__setattr__(self, "lock_stalls", tuple(self.lock_stalls))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "link_delays", tuple(self.link_delays))
 
     def enabled(self):
         """True when the plan schedules at least one fault source."""
-        return bool(self.crashes or self.disk_slowdowns or self.lock_stalls)
+        return bool(
+            self.crashes
+            or self.disk_slowdowns
+            or self.lock_stalls
+            or self.partitions
+            or self.link_delays
+        )
+
+    def digest(self):
+        """Stable hex digest of the whole schedule.
+
+        Folded into the sweep id of journalled faulted sweeps, so a
+        journal written under one plan can never be resumed under
+        another.
+        """
+        blob = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -25,7 +25,7 @@ Layers
     Multi-granularity locking over a granule tree (database → area →
     granule), the scheme the paper's Gamma discussion alludes to.
 :mod:`repro.lockmgr.deadlock`
-    Waits-for-graph construction and cycle detection (networkx).
+    Waits-for-graph construction and cycle detection (stdlib DFS).
 """
 
 from repro.lockmgr.deadlock import DeadlockDetector

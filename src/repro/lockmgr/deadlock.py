@@ -3,11 +3,104 @@
 The paper's conservative (preclaim) scheme makes deadlock impossible;
 the "claim as needed" variant it cites (Ries & Stonebraker 1979,
 footnote 1) does not.  This module provides detection over a
-:class:`~repro.lockmgr.manager.LockManager`'s waits-for edges using
-networkx cycle search, plus a pluggable victim-selection policy.
+:class:`~repro.lockmgr.manager.LockManager`'s waits-for edges using a
+stdlib-only iterative depth-first cycle search, plus a pluggable
+victim-selection policy.  The package stays zero-dependency: the
+digraph is a plain adjacency map, not a networkx graph.
 """
 
-import networkx as nx
+
+class WaitsForGraph:
+    """A minimal waits-for digraph (waiter → holder adjacency map)."""
+
+    def __init__(self, edges=()):
+        self.nodes = set()
+        self._succ = {}
+        self._rank = {}
+        for waiter, holder in edges:
+            self.add_edge(waiter, holder)
+
+    def add_edge(self, waiter, holder):
+        """Record that *waiter* blocks on *holder*."""
+        for node in (waiter, holder):
+            if node not in self._rank:
+                self._rank[node] = len(self._rank)
+                self.nodes.add(node)
+        self._succ.setdefault(waiter, []).append(holder)
+
+    def successors(self, node):
+        """Owners that *node* waits on (empty tuple when none)."""
+        return tuple(self._succ.get(node, ()))
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def find_cycle(self):
+        """One cycle as a list of owners, or ``None``.
+
+        Iterative DFS with an explicit stack and grey/black marking, so
+        arbitrarily long waiting chains cannot hit the interpreter
+        recursion limit.  Owners are visited in waits-for insertion
+        order, which keeps the result deterministic for a given lock
+        table without requiring owners to be hashable-and-sortable.
+        """
+        done = set()
+        for root in self._succ:
+            if root in done:
+                continue
+            path = [root]
+            on_path = {root}
+            stack = [iter(self.successors(root))]
+            while stack:
+                advanced = False
+                for nxt in stack[-1]:
+                    if nxt in on_path:
+                        return path[path.index(nxt):]
+                    if nxt not in done:
+                        path.append(nxt)
+                        on_path.add(nxt)
+                        stack.append(iter(self.successors(nxt)))
+                        advanced = True
+                        break
+                if not advanced:
+                    node = path.pop()
+                    on_path.discard(node)
+                    done.add(node)
+                    stack.pop()
+        return None
+
+    def simple_cycles(self):
+        """Every elementary cycle (lists of owners).
+
+        A pared-down Johnson-style enumeration: for each start node (in
+        insertion order), DFS over nodes whose rank is not lower than
+        the start's, emitting each path that closes back on the start.
+        Rooting every cycle at its lowest-ranked member reports each
+        elementary cycle exactly once.
+        """
+        rank = self._rank
+        cycles = []
+        for start in sorted(self._succ, key=rank.__getitem__):
+            path = [start]
+            on_path = {start}
+            stack = [iter(self.successors(start))]
+            while stack:
+                advanced = False
+                for nxt in stack[-1]:
+                    if nxt == start:
+                        cycles.append(list(path))
+                        continue
+                    if nxt in on_path or rank[nxt] < rank[start]:
+                        continue
+                    path.append(nxt)
+                    on_path.add(nxt)
+                    stack.append(iter(self.successors(nxt)))
+                    advanced = True
+                    break
+                if not advanced:
+                    on_path.discard(path.pop())
+                    stack.pop()
+        return cycles
 
 
 class DeadlockDetector:
@@ -30,22 +123,15 @@ class DeadlockDetector:
 
     def graph(self):
         """Build the current waits-for digraph (waiter → holder)."""
-        digraph = nx.DiGraph()
-        digraph.add_edges_from(self._manager.waits_for_edges())
-        return digraph
+        return WaitsForGraph(self._manager.waits_for_edges())
 
     def find_cycle(self):
         """One deadlock cycle as a list of owners, or ``None``."""
-        digraph = self.graph()
-        try:
-            edges = nx.find_cycle(digraph)
-        except nx.NetworkXNoCycle:
-            return None
-        return [edge[0] for edge in edges]
+        return self.graph().find_cycle()
 
     def find_all_cycles(self):
         """Every simple waits-for cycle (lists of owners)."""
-        return list(nx.simple_cycles(self.graph()))
+        return self.graph().simple_cycles()
 
     def choose_victim(self, cycle):
         """The owner in *cycle* with the largest victim key."""

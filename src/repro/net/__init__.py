@@ -1,0 +1,10 @@
+"""Distributed cluster networking: messages, links, and partitions.
+
+See DESIGN.md §12 ("Distributed model").  The package is inert for
+single-node runs — the model only builds a :class:`Network` when
+``nnodes > 1``, so the paper's original configurations never touch it.
+"""
+
+from repro.net.network import Link, Message, Network, Partition
+
+__all__ = ["Link", "Message", "Network", "Partition"]

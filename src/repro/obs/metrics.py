@@ -563,6 +563,28 @@ class RunInstruments:
             "Injected fault transitions by kind.",
             labels=("kind",),
         )
+        self._messages = counter(
+            "repro_net_messages_total",
+            "Cluster messages sent, by message kind.",
+            labels=("kind",),
+        )
+        self._messages_dropped = counter(
+            "repro_net_messages_dropped_total",
+            "Cluster messages dropped at a partition boundary, by kind.",
+            labels=("kind",),
+        )
+        self._commit_events = counter(
+            "repro_commit_events_total",
+            "Distributed-commit outcomes by event "
+            "(commit, abort, degraded, election).",
+            labels=("event",),
+        )
+        self._commit_latency = registry.histogram(
+            "repro_commit_latency",
+            "Distributed commit decision latency, per protocol "
+            "(simulated time units).",
+            labels=("protocol",),
+        ).labels("" if params is None else str(params.commit_protocol))
         self._kernel_events = counter(
             "repro_kernel_events_total", "DES kernel events dispatched."
         ).labels()
@@ -596,6 +618,22 @@ class RunInstruments:
     def note_fault(self, kind):
         """An injected fault transition (called by the injector)."""
         self._faults.labels(kind).inc()
+
+    def note_message(self, kind):
+        """One cluster message sent (called by :class:`Network`)."""
+        self._messages.labels(kind).inc()
+
+    def note_message_dropped(self, kind):
+        """One message dropped at a partition boundary."""
+        self._messages_dropped.labels(kind).inc()
+
+    def note_commit_event(self, event):
+        """A distributed-commit outcome (commit, abort, degraded, ...)."""
+        self._commit_events.labels(event).inc()
+
+    def observe_commit_latency(self, latency):
+        """One distributed commit decided after *latency* time units."""
+        self._commit_latency.observe(latency)
 
     # -- collectors (polled at snapshot time; never in the hot loop) ----
 

@@ -1,6 +1,6 @@
 """Pluggable policy layers behind one string-keyed registry.
 
-The transaction model is a thin orchestrator over seven policy
+The transaction model is a thin orchestrator over eight policy
 layers, each resolved by name through :data:`registry`:
 
 ========== =============================== ==========================
@@ -13,6 +13,7 @@ arrival    arrival process / population    ``arrival_process``
 placement  granule placement strategy      ``placement``
 partitioning data partitioning method      ``partitioning``
 conflict   conflict-decision engine        ``conflict_engine``
+commit     distributed commit/replication  ``commit_protocol``
 ========== =============================== ==========================
 
 Built-ins register lazily (as ``"module:attr"`` references) so that
@@ -80,6 +81,12 @@ _BUILTINS = (
      "a real flat lock table over materialised granule sets"),
     ("conflict", "hierarchical", "repro.policies.conflict:hierarchical",
      "file/granule multi-granularity locking with optional escalation"),
+    ("commit", "local", "repro.policies.commit:LocalCommit",
+     "single-site commit: free, instantaneous, no messages (the paper)"),
+    ("commit", "2pc", "repro.policies.commit:TwoPhaseCommit",
+     "presumed-abort two-phase commit with coordinator timeouts"),
+    ("commit", "primary-copy", "repro.policies.commit:PrimaryCopyCommit",
+     "primary-copy replication with majority failover election"),
 )
 
 for _layer, _name, _target, _doc in _BUILTINS:
@@ -95,6 +102,7 @@ PARAM_FIELDS = {
     "placement": "placement",
     "partitioning": "partitioning",
     "conflict": "conflict_engine",
+    "commit": "commit_protocol",
 }
 
 

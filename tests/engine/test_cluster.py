@@ -1,0 +1,93 @@
+"""Unit tests for the cluster layer (sites, primary, partitions)."""
+
+import pytest
+
+from repro.des.engine import Environment
+from repro.engine.cluster import Cluster
+from repro.net import Network
+
+
+def _cluster(nnodes=3):
+    env = Environment()
+    network = Network(env, nnodes)
+    return env, network, Cluster(env, nnodes, network)
+
+
+class _Txn:
+    def __init__(self, tid):
+        self.tid = tid
+
+
+class TestClusterTopology:
+    def test_home_is_deterministic_round_robin(self):
+        _env, _net, cluster = _cluster(3)
+        assert [cluster.home(_Txn(tid)) for tid in (1, 2, 3, 4)] == [0, 1, 2, 0]
+
+    def test_validates_nnodes(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Cluster(env, 0, Network(env, 1))
+
+    def test_component_and_majority(self):
+        _env, net, cluster = _cluster(3)
+        assert cluster.component(0) == frozenset((0, 1, 2))
+        assert cluster.in_majority(2)
+        net.partition([(0, 1), (2,)])
+        assert cluster.component(2) == frozenset((2,))
+        assert cluster.in_majority(0)
+        assert not cluster.in_majority(2)
+
+    def test_elect_updates_primary_and_counter(self):
+        _env, _net, cluster = _cluster(3)
+        assert cluster.primary == 0
+        cluster.elect(1)
+        assert cluster.primary == 1
+        assert cluster.elections == 1
+
+
+class TestPartitionAccounting:
+    def test_partition_time_accumulates_across_windows(self):
+        env, net, cluster = _cluster(3)
+        env.schedule_callback(lambda: net.partition([(0, 1), (2,)]), 10.0)
+        env.schedule_callback(net.heal, 15.0)
+        env.schedule_callback(lambda: net.partition([(0,), (1, 2)]), 20.0)
+        env.run(until=30.0)
+        # 5 closed + 10 still open at t=30.
+        assert cluster.partition_time(30.0) == pytest.approx(15.0)
+        assert cluster.partitioned
+
+    def test_isolated_site_time_counts_minority_sites(self):
+        env, net, cluster = _cluster(3)
+        env.schedule_callback(lambda: net.partition([(0, 1), (2,)]), 10.0)
+        env.schedule_callback(net.heal, 15.0)
+        env.run(until=20.0)
+        # Site 2 alone spent 5 time units outside the majority.
+        assert cluster.isolated_site_time(20.0) == pytest.approx(5.0)
+
+    def test_no_majority_isolates_every_site(self):
+        env, net, cluster = _cluster(4)
+        net.partition([(0, 1), (2, 3)])  # even split: no strict majority
+        env.run(until=10.0)
+        assert cluster.isolated_site_time(10.0) == pytest.approx(40.0)
+
+    def test_repartition_without_heal_does_not_double_count(self):
+        env, net, cluster = _cluster(3)
+        env.schedule_callback(lambda: net.partition([(0, 1), (2,)]), 10.0)
+        env.schedule_callback(lambda: net.partition([(0, 2), (1,)]), 20.0)
+        env.schedule_callback(net.heal, 25.0)
+        env.run(until=30.0)
+        assert cluster.partition_time(30.0) == pytest.approx(15.0)
+        # Site 2 isolated for [10, 20), site 1 for [20, 25).
+        assert cluster.isolated_site_time(30.0) == pytest.approx(15.0)
+
+    def test_availability_is_exactly_one_without_partitions(self):
+        env, _net, cluster = _cluster(3)
+        env.run(until=100.0)
+        assert cluster.availability(0.0, 100.0) == 1.0
+
+    def test_availability_reflects_isolated_capacity(self):
+        env, net, cluster = _cluster(3)
+        env.schedule_callback(lambda: net.partition([(0, 1), (2,)]), 0.0)
+        env.run(until=30.0)
+        # One of three sites isolated the whole horizon: 1 - 30/(3*30).
+        assert cluster.availability(0.0, 30.0) == pytest.approx(1.0 - 1.0 / 3.0)

@@ -1,0 +1,133 @@
+"""Faulted sweeps: cache hygiene, inline journalling, and resume.
+
+A run under an enabled :class:`FaultPlan` (or a non-default backoff)
+is not the pure function of its parameters that the result cache
+addresses, so the runner must never read from nor write to the cache
+for such sweeps.  Durability comes from the journal instead: faulted
+cells record their result fields inline, and resuming replays them
+bit-identically — but only under the same plan digest.
+"""
+
+import json
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import run_experiment
+from repro.faults import CrashSpec, FaultPlan, PartitionSpec
+
+CRASHY = FaultPlan(crashes=(CrashSpec(mttf=30.0, mttr=10.0),))
+
+CUT = FaultPlan(
+    partitions=(PartitionSpec(mtbf=30.0, duration=10.0),),
+)
+
+
+def _spec(**base_changes):
+    base = dict(
+        dbsize=400, ltot=20, ntrans=4, maxtransize=24, npros=4,
+        tmax=120.0, seed=5,
+    )
+    base.update(base_changes)
+    return ExperimentSpec(
+        key="faulted",
+        title="faulted sweep",
+        base=SimulationParameters(**base),
+        sweeps={"ltot": (10, 40)},
+    )
+
+
+def _entries(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestCacheHygiene:
+    def test_faulted_sweep_never_touches_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = run_experiment(
+            _spec(), replications=2, cache=cache, fault_plan=CRASHY
+        )
+        assert result.stats.runs == 4
+        assert result.stats.cache_hits == 0
+        assert not list((tmp_path / "cache").rglob("*.json"))
+
+    def test_custom_backoff_also_bypasses_the_cache(self, tmp_path):
+        from repro.faults import ExponentialBackoff
+
+        cache = ResultCache(tmp_path / "cache")
+        run_experiment(
+            _spec(), replications=1, cache=cache,
+            backoff=ExponentialBackoff(),
+        )
+        assert not list((tmp_path / "cache").rglob("*.json"))
+
+    def test_empty_plan_is_the_unfaulted_path(self, tmp_path):
+        """A disabled plan must behave exactly like no plan: cached."""
+        cache = ResultCache(tmp_path / "cache")
+        run_experiment(
+            _spec(), replications=1, cache=cache, fault_plan=FaultPlan()
+        )
+        assert list((tmp_path / "cache").rglob("*.json"))
+
+    def test_accelerator_refused_for_faulted_sweeps(self):
+        with pytest.raises(ValueError, match="unfaulted"):
+            run_experiment(
+                _spec(), cache=False, fault_plan=CRASHY,
+                accelerator="analytic",
+            )
+
+
+class TestJournalledResume:
+    def test_results_are_journalled_inline(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_experiment(
+            _spec(), replications=2, cache=False, fault_plan=CRASHY,
+            journal=str(journal),
+        )
+        done = [e for e in _entries(journal) if "done" in e]
+        assert len(done) == 4
+        assert all("result" in e and "throughput" in e["result"] for e in done)
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        full = run_experiment(
+            _spec(), replications=2, cache=False, fault_plan=CRASHY,
+            journal=str(journal),
+        )
+        # Keep the header plus half the completed cells.
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[:3]))
+        resumed = run_experiment(
+            _spec(), replications=2, cache=False, fault_plan=CRASHY,
+            journal=str(journal), resume=True,
+        )
+        assert resumed.rows() == full.rows()
+        assert resumed.stats.resumed == 2
+        assert resumed.stats.runs == 2
+
+    def test_resume_refuses_a_different_plan(self, tmp_path):
+        """The plan digest is folded into the sweep id: a journal
+        written under one schedule never seeds another."""
+        journal = tmp_path / "sweep.jsonl"
+        run_experiment(
+            _spec(), replications=1, cache=False, fault_plan=CRASHY,
+            journal=str(journal),
+        )
+        resumed = run_experiment(
+            _spec(), replications=1, cache=False, fault_plan=CUT,
+            journal=str(journal), resume=True,
+        )
+        assert resumed.stats.resumed == 0
+        assert resumed.stats.runs == 2
+
+    def test_pooled_matches_inline(self, tmp_path):
+        inline = run_experiment(
+            _spec(), replications=2, cache=False, fault_plan=CUT
+        )
+        pooled = run_experiment(
+            _spec(), replications=2, cache=False, fault_plan=CUT, jobs=2
+        )
+        assert pooled.rows() == inline.rows()

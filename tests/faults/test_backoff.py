@@ -8,6 +8,7 @@ from repro.faults.backoff import (
     POLICIES,
     ExponentialBackoff,
     FixedUniformBackoff,
+    FullJitterBackoff,
     JitteredBackoff,
     make_backoff_policy,
 )
@@ -81,6 +82,36 @@ class TestJitteredBackoff:
             JitteredBackoff(cap=0.0)
 
 
+class TestFullJitterBackoff:
+    def test_registered(self):
+        assert "full-jitter" in POLICIES
+        policy = make_backoff_policy("full-jitter")
+        assert isinstance(policy, FullJitterBackoff)
+        assert policy.base == 1.0 and policy.cap == 32.0
+
+    def test_bounded_by_capped_exponential_envelope(self):
+        policy = FullJitterBackoff(base=1.0, cap=32.0)
+        rng = random.Random(9)
+        for attempt in range(12):
+            ceiling = min(1.0 * 2.0 ** attempt, 32.0)
+            for _ in range(20):
+                assert 0.0 <= policy.delay(rng, attempt) < ceiling
+
+    def test_matches_aws_formulation(self):
+        """sleep = uniform(0, min(cap, base * 2**attempt)) exactly."""
+        policy = FullJitterBackoff(base=2.0, cap=8.0)
+        a, b = random.Random(5), random.Random(5)
+        for attempt in range(10):
+            expected = b.uniform(0.0, min(2.0 * 2.0 ** attempt, 8.0))
+            assert policy.delay(a, attempt) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FullJitterBackoff(base=0.0)
+        with pytest.raises(ValueError):
+            FullJitterBackoff(cap=-2.0)
+
+
 class TestStreamConsumption:
     def test_every_policy_draws_exactly_one_variate(self):
         """Policies must be stream-compatible: swapping the policy
@@ -90,6 +121,7 @@ class TestStreamConsumption:
             FixedUniformBackoff(),
             ExponentialBackoff(),
             JitteredBackoff(),
+            FullJitterBackoff(),
         ]
         states = []
         for policy in policies:

@@ -4,7 +4,14 @@ import dataclasses
 
 import pytest
 
-from repro.faults.plan import CrashSpec, FaultPlan, SlowdownSpec, StallSpec
+from repro.faults.plan import (
+    CrashSpec,
+    FaultPlan,
+    LinkDelaySpec,
+    PartitionSpec,
+    SlowdownSpec,
+    StallSpec,
+)
 
 
 class TestCrashSpec:
@@ -46,6 +53,38 @@ class TestStallSpec:
             StallSpec(mtbf=1.0, duration=1.0, factor=-2.0)
 
 
+class TestPartitionSpec:
+    def test_validates_timing(self):
+        with pytest.raises(ValueError):
+            PartitionSpec(mtbf=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            PartitionSpec(mtbf=1.0, duration=-1.0)
+
+    def test_groups_validated_and_coerced(self):
+        spec = PartitionSpec(mtbf=1.0, duration=1.0, groups=[[0, 1], [2]])
+        assert spec.groups == ((0, 1), (2,))
+        with pytest.raises(ValueError):
+            PartitionSpec(mtbf=1.0, duration=1.0, groups=((0, 1),))
+        with pytest.raises(ValueError):
+            PartitionSpec(mtbf=1.0, duration=1.0, groups=((0, 1), ()))
+
+    def test_random_split_allowed(self):
+        assert PartitionSpec(mtbf=1.0, duration=1.0).groups is None
+
+
+class TestLinkDelaySpec:
+    def test_validates_timing_and_extra(self):
+        with pytest.raises(ValueError):
+            LinkDelaySpec(mtbf=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            LinkDelaySpec(mtbf=1.0, duration=1.0, extra=-0.1)
+
+    def test_links_coerced_to_tuples(self):
+        spec = LinkDelaySpec(mtbf=1.0, duration=1.0, links=[[0, 1]])
+        assert spec.links == ((0, 1),)
+        assert LinkDelaySpec(mtbf=1.0, duration=1.0).links is None
+
+
 class TestFaultPlan:
     def test_empty_plan_is_inert(self):
         assert FaultPlan().enabled() is False
@@ -54,9 +93,13 @@ class TestFaultPlan:
         crash = CrashSpec(mttf=10.0, mttr=1.0)
         slow = SlowdownSpec(mtbf=5.0, duration=1.0)
         stall = StallSpec(mtbf=5.0, duration=1.0)
+        cut = PartitionSpec(mtbf=5.0, duration=1.0)
+        lag = LinkDelaySpec(mtbf=5.0, duration=1.0)
         assert FaultPlan(crashes=(crash,)).enabled()
         assert FaultPlan(disk_slowdowns=(slow,)).enabled()
         assert FaultPlan(lock_stalls=(stall,)).enabled()
+        assert FaultPlan(partitions=(cut,)).enabled()
+        assert FaultPlan(link_delays=(lag,)).enabled()
 
     def test_lists_coerced_to_tuples(self):
         plan = FaultPlan(crashes=[CrashSpec(mttf=10.0, mttr=1.0)])
@@ -72,3 +115,23 @@ class TestFaultPlan:
         assert hash(plan) == hash(
             FaultPlan(crashes=(CrashSpec(mttf=10.0, mttr=1.0),), seed=3)
         )
+
+    def test_digest_is_stable_and_schedule_sensitive(self):
+        """Equal plans digest identically; any schedule change — even
+        just the seed — produces a different digest, so journals can
+        never be resumed across plans."""
+        plan = FaultPlan(
+            crashes=(CrashSpec(mttf=10.0, mttr=1.0),),
+            partitions=(PartitionSpec(mtbf=5.0, duration=1.0),),
+            seed=3,
+        )
+        twin = FaultPlan(
+            crashes=(CrashSpec(mttf=10.0, mttr=1.0),),
+            partitions=(PartitionSpec(mtbf=5.0, duration=1.0),),
+            seed=3,
+        )
+        assert plan.digest() == twin.digest()
+        assert len(plan.digest()) == 64
+        reseeded = dataclasses.replace(plan, seed=4)
+        assert plan.digest() != reseeded.digest()
+        assert plan.digest() != FaultPlan().digest()

@@ -84,3 +84,12 @@ class TestDetection:
         build_cycle(manager, ["A", "B"], ["g1", "g2"])
         graph = DeadlockDetector(manager).graph()
         assert set(graph.nodes) == {"A", "B"}
+
+    def test_detector_has_no_networkx_dependency(self):
+        """Cycle detection is pure stdlib: importing the module must
+        not pull in networkx (it may be absent from the runtime)."""
+        import sys
+
+        module = sys.modules["repro.lockmgr.deadlock"]
+        source = open(module.__file__).read()
+        assert "import networkx" not in source

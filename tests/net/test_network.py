@@ -1,0 +1,133 @@
+"""Unit tests for the message-passing network model."""
+
+import random
+
+import pytest
+
+from repro.des.engine import Environment
+from repro.net import Message, Network, Partition
+
+
+class TestPartition:
+    def test_groups_must_be_disjoint_and_non_empty(self):
+        with pytest.raises(ValueError):
+            Partition([])
+        with pytest.raises(ValueError):
+            Partition([(0, 1), ()])
+        with pytest.raises(ValueError):
+            Partition([(0, 1), (1, 2)])
+
+    def test_component_of_listed_and_unlisted_sites(self):
+        partition = Partition([(0, 1), (2,)])
+        assert partition.component(0) == frozenset((0, 1))
+        assert partition.component(2) == frozenset((2,))
+        # A site missing from every group is completely isolated.
+        assert partition.component(7) == frozenset((7,))
+
+    def test_reachability(self):
+        partition = Partition([(0, 1), (2,)])
+        assert partition.reachable(0, 1)
+        assert partition.reachable(2, 2)
+        assert not partition.reachable(0, 2)
+        assert not partition.reachable(2, 1)
+
+    def test_majority(self):
+        partition = Partition([(0, 1), (2,)])
+        assert partition.majority(3) == frozenset((0, 1))
+        assert Partition([(0,), (1,), (2,)]).majority(3) is None
+        # An even split of four sites has no strict majority.
+        assert Partition([(0, 1), (2, 3)]).majority(4) is None
+
+
+class TestNetworkDelivery:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Network(env, 0)
+        with pytest.raises(ValueError):
+            Network(env, 2, latency=-1.0)
+        with pytest.raises(ValueError):
+            Network(env, 2, jitter=0.5)  # jitter needs an rng
+
+    def test_delivers_after_latency(self):
+        env = Environment()
+        net = Network(env, 3, latency=0.25)
+        seen = []
+        assert net.send(0, 1, "ping", handler=lambda m: seen.append((env.now, m)))
+        env.run(until=1.0)
+        assert len(seen) == 1
+        at, message = seen[0]
+        assert at == 0.25
+        assert isinstance(message, Message)
+        assert (message.src, message.dst, message.kind) == (0, 1, "ping")
+        assert net.messages_sent == 1
+        assert net.messages_dropped == 0
+
+    def test_link_and_global_extra_delay_add_up(self):
+        env = Environment()
+        net = Network(env, 3, latency=0.1)
+        net.set_global_delay(0.2)
+        net.set_link_delay(0, 1, 0.5)
+        assert net.delay(0, 1) == pytest.approx(0.8)
+        assert net.delay(1, 0) == pytest.approx(0.8)  # links are symmetric
+        assert net.delay(0, 2) == pytest.approx(0.3)
+        net.set_link_delay(0, 1, 0.0)
+        net.set_global_delay(0.0)
+        assert net.delay(0, 1) == pytest.approx(0.1)
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        def delays(seed):
+            env = Environment()
+            net = Network(env, 2, latency=0.1, jitter=0.05,
+                          rng=random.Random(seed))
+            return [net.delay(0, 1) for _ in range(10)]
+
+        assert delays(7) == delays(7)
+        assert delays(7) != delays(8)
+        assert all(0.1 <= d <= 0.15 for d in delays(7))
+
+    def test_fire_and_forget_still_consumes_jitter_draw(self):
+        """The stream must advance identically whether or not a
+        handler listens, so protocol changes can't desync seeds."""
+        a, b = random.Random(3), random.Random(3)
+        env_a, env_b = Environment(), Environment()
+        net_a = Network(env_a, 2, latency=0.1, jitter=0.05, rng=a)
+        net_b = Network(env_b, 2, latency=0.1, jitter=0.05, rng=b)
+        net_a.send(0, 1, "x")  # no handler
+        net_b.send(0, 1, "x", handler=lambda m: None)
+        assert a.random() == b.random()
+
+
+class TestNetworkPartitions:
+    def test_drop_at_send_across_partition(self):
+        env = Environment()
+        net = Network(env, 3, latency=0.1)
+        net.partition([(0, 1), (2,)])
+        seen = []
+        assert not net.send(0, 2, "ping", handler=seen.append)
+        assert net.send(0, 1, "ping", handler=seen.append)
+        env.run(until=1.0)
+        assert len(seen) == 1
+        assert net.messages_sent == 2
+        assert net.messages_dropped == 1
+
+    def test_in_flight_messages_survive_a_later_partition(self):
+        env = Environment()
+        net = Network(env, 2, latency=0.5)
+        seen = []
+        net.send(0, 1, "ping", handler=seen.append)
+        env.schedule_callback(lambda: net.partition([(0,), (1,)]), 0.1)
+        env.run(until=1.0)
+        assert len(seen) == 1  # dropped at send time only
+
+    def test_heal_restores_reachability_and_fires_callbacks(self):
+        env = Environment()
+        net = Network(env, 2, latency=0.0)
+        events = []
+        net.on_partition = lambda state: events.append(("cut", state))
+        net.on_heal = lambda: events.append(("heal",))
+        net.partition([(0,), (1,)])
+        assert not net.reachable(0, 1)
+        net.heal()
+        assert net.reachable(0, 1)
+        assert [kind for kind, *_ in events] == ["cut", "heal"]

@@ -1,0 +1,144 @@
+"""Tests for the distributed commit layer (local, 2pc, primary-copy)."""
+
+import pytest
+
+from repro.core.model import LockingGranularityModel, simulate
+from repro.core.parameters import SimulationParameters
+from repro.core.results import RESULT_FIELDS
+from repro.des.trace import Trace
+from repro.faults.plan import FaultPlan, PartitionSpec
+from repro.policies import PARAM_FIELDS, registry
+
+#: A small distributed workload that completes a few hundred commits.
+_BASE = dict(
+    dbsize=400, ltot=20, ntrans=4, maxtransize=24, npros=6,
+    tmax=150.0, seed=11, nnodes=3, net_latency=0.02,
+)
+
+#: A partition plan that cuts site 2 off for part of the horizon.
+_CUT = FaultPlan(
+    partitions=(PartitionSpec(mtbf=40.0, duration=15.0, first_after=20.0),)
+)
+
+
+def _run(fault_plan=None, trace=None, **changes):
+    params = SimulationParameters(**{**_BASE, **changes})
+    return LockingGranularityModel(
+        params, fault_plan=fault_plan, trace=trace
+    ).run()
+
+
+class TestRegistryAndValidation:
+    def test_commit_layer_registered(self):
+        assert set(registry.names("commit")) == {
+            "local", "2pc", "primary-copy"
+        }
+        assert PARAM_FIELDS["commit"] == "commit_protocol"
+
+    def test_distributed_protocol_needs_a_cluster(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(commit_protocol="2pc")  # nnodes=1
+
+    def test_nnodes_and_latency_validation(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(nnodes=0)
+        with pytest.raises(ValueError):
+            SimulationParameters(net_latency=-1.0)
+        with pytest.raises(ValueError):
+            SimulationParameters(commit_timeout=0.0)
+
+
+class TestLocalCommitNeutrality:
+    def test_single_node_outputs_unchanged_by_the_layer(self):
+        """The local protocol consumes no events and no variates, so a
+        multi-node cluster running it matches the single-node run
+        output for output (only the params differ)."""
+        single = simulate(
+            dbsize=400, ltot=20, ntrans=4, maxtransize=24, npros=6,
+            tmax=150.0, seed=11,
+        )
+        clustered = _run(commit_protocol="local")
+        for name in RESULT_FIELDS:
+            if name in ("messages_sent", "messages_dropped"):
+                continue
+            assert getattr(single, name) == getattr(clustered, name), name
+        assert clustered.messages_sent == 0
+
+
+class TestTwoPhaseCommit:
+    def test_message_cost_is_six_per_commit(self):
+        """Presumed-abort 2PC on 3 sites: prepare + vote + commit to
+        each of the two participants = 6 one-way messages."""
+        result = _run(commit_protocol="2pc")
+        assert result.totcom > 50
+        assert result.commit_aborts == 0
+        assert result.messages_sent == 6 * result.totcom
+        assert result.messages_dropped == 0
+
+    def test_commit_latency_is_the_vote_round_trip(self):
+        """Presumed-abort: the coordinator blocks on the prepare/vote
+        round only; the decision is sent asynchronously."""
+        result = _run(commit_protocol="2pc")
+        assert result.commit_latency == pytest.approx(
+            2 * _BASE["net_latency"]
+        )
+
+    def test_partition_aborts_and_availability(self):
+        faulted = _run(commit_protocol="2pc", fault_plan=_CUT)
+        clean = _run(commit_protocol="2pc")
+        assert faulted.commit_aborts > 0
+        assert faulted.messages_dropped > 0
+        assert faulted.partition_time > 0.0
+        assert faulted.availability < 1.0
+        assert faulted.totcom < clean.totcom
+
+    def test_deterministic_under_faults(self):
+        a = _run(commit_protocol="2pc", fault_plan=_CUT)
+        b = _run(commit_protocol="2pc", fault_plan=_CUT)
+        assert a.as_dict() == b.as_dict()
+
+
+class TestPrimaryCopyCommit:
+    def test_cheaper_than_2pc(self):
+        pc = _run(commit_protocol="primary-copy")
+        tpc = _run(commit_protocol="2pc")
+        assert pc.messages_sent > 0
+        assert pc.messages_sent < tpc.messages_sent
+        assert pc.commit_latency < tpc.commit_latency
+
+    def test_readers_never_pay_the_network(self):
+        result = _run(commit_protocol="primary-copy", write_fraction=0.0)
+        assert result.totcom > 50
+        assert result.messages_sent == 0
+        assert result.commit_latency == 0.0
+
+    def test_majority_keeps_committing_under_partition(self):
+        """The availability contrast the exhibit is about: 2PC stalls
+        every writer during a partition; primary-copy only loses the
+        minority component."""
+        pc = _run(commit_protocol="primary-copy", fault_plan=_CUT)
+        tpc = _run(commit_protocol="2pc", fault_plan=_CUT)
+        assert pc.totcom > tpc.totcom
+        assert pc.degraded_throughput > 0.0
+        assert pc.commit_aborts > 0  # minority writers degraded
+
+    def test_failover_election_when_primary_is_cut_off(self):
+        """Isolating the primary (site 0) forces a majority-side
+        election, visible as an ``election`` system event."""
+        plan = FaultPlan(
+            partitions=(
+                PartitionSpec(
+                    mtbf=5.0, duration=200.0, first_after=30.0,
+                    groups=((1, 2), (0,)),
+                ),
+            )
+        )
+        trace = Trace()
+        result = _run(
+            commit_protocol="primary-copy", fault_plan=plan, trace=trace
+        )
+        elections = [r for r in trace if r.kind == "election"]
+        assert elections
+        assert elections[0].details["primary"] == 1
+        assert elections[0].details["was"] == 0
+        assert result.totcom > 0

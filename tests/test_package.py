@@ -39,6 +39,7 @@ MODULES = [
     "repro.des.store",
     "repro.des.trace",
     "repro.engine",
+    "repro.engine.cluster",
     "repro.engine.machine",
     "repro.engine.processor",
     "repro.engine.txn_scheduler",
@@ -65,6 +66,8 @@ MODULES = [
     "repro.lockmgr.manager",
     "repro.lockmgr.modes",
     "repro.lockmgr.table",
+    "repro.net",
+    "repro.net.network",
     "repro.obs",
     "repro.obs.exporters",
     "repro.obs.manifest",
@@ -78,6 +81,7 @@ MODULES = [
     "repro.policies.admission",
     "repro.policies.arrival",
     "repro.policies.cc",
+    "repro.policies.commit",
     "repro.policies.conflict",
     "repro.policies.placement",
     "repro.policies.registry",
