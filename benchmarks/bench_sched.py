@@ -1,0 +1,280 @@
+"""Scheduler head-to-head micro-benchmark: heap vs calendar queue.
+
+Times every registered scheduler backend on three kernel workloads
+and prints a side-by-side events/second table:
+
+``timeout_heavy``
+    A pre-built backlog of bare timeouts (97 distinct timestamps)
+    drained in one run — the workload the calendar queue's
+    sort-once-per-bucket drain is built for.
+``callback_heavy``
+    The same backlog shape through ``schedule_callback`` — no Event
+    objects, pure dispatch overhead.
+``mixed``
+    Concurrent processes sleeping via bare-delay ticks and via
+    ``env.timeout``, plus a self-rescheduling callback chain — the
+    shape of a real simulation run.
+
+``--conflict`` appends a second table: the scalar
+:class:`~repro.core.conflict.ProbabilisticConflicts` engine against
+:class:`~repro.core.conflict.VectorizedConflicts` on a release/request
+churn loop at growing active-set sizes, locating the crossover where
+the numpy scan starts to win (the default ``REPRO_CONFLICT_CUTOFF``
+is pinned to that measured crossover).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sched.py [--conflict]
+        [--events N] [--repeats N] [--json PATH]
+
+Set ``REPRO_SMOKE=1`` for a CI-sized run.
+"""
+
+import argparse
+import json
+import os
+import random
+import sys
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.conflict import (  # noqa: E402
+    ProbabilisticConflicts,
+    VectorizedConflicts,
+)
+from repro.des import Environment, available_schedulers  # noqa: E402
+
+
+def _smoke():
+    return os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
+# -- scheduler workloads -------------------------------------------------
+
+
+def _timeout_heavy(n, scheduler):
+    env = Environment(scheduler=scheduler)
+    timeout = env.timeout
+    for i in range(n):
+        timeout(float(i % 97))
+    env.run()
+    return n
+
+
+def _callback_heavy(n, scheduler):
+    env = Environment(scheduler=scheduler)
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    schedule_callback = env.schedule_callback
+    for i in range(n):
+        schedule_callback(tick, float(i % 97))
+    env.run()
+    return fired[0]
+
+
+def _mixed(n, scheduler):
+    """Ticks + Timeouts + a callback chain running concurrently."""
+    env = Environment(pool=True, scheduler=scheduler)
+    third = n // 3
+
+    def ticks(m):
+        for _ in range(m):
+            yield 1.0
+
+    def waits(m):
+        timeout = env.timeout
+        for _ in range(m):
+            yield timeout(1.5)
+
+    fired = [0]
+
+    def chain():
+        fired[0] += 1
+        if fired[0] < third:
+            env.schedule_callback(chain, 0.7)
+
+    for _ in range(8):
+        env.process(ticks(third // 8))
+    for _ in range(8):
+        env.process(waits(third // 8))
+    env.schedule_callback(chain, 0.7)
+    env.run()
+    return n
+
+
+WORKLOADS = (
+    ("timeout_heavy", _timeout_heavy),
+    ("callback_heavy", _callback_heavy),
+    ("mixed", _mixed),
+)
+
+
+def _best_rate(workload, events, scheduler, repeats):
+    best = 0.0
+    for _ in range(repeats):
+        start = perf_counter()
+        workload(events, scheduler)
+        best = max(best, events / (perf_counter() - start))
+    return best
+
+
+def _scheduler_order():
+    """Registered backends with the default (heap) first as baseline."""
+    return sorted(available_schedulers(), key=lambda s: s != "heap")
+
+
+def bench_schedulers(events, repeats):
+    """events/second per (workload, scheduler); returns the table dict."""
+    schedulers = _scheduler_order()
+    table = {}
+    for name, workload in WORKLOADS:
+        table[name] = {
+            sched: round(_best_rate(workload, events, sched, repeats))
+            for sched in schedulers
+        }
+    return table
+
+
+# -- conflict-engine crossover -------------------------------------------
+
+
+class _Txn:
+    __slots__ = ("tid", "lock_count", "is_writer")
+
+    def __init__(self, tid, lock_count, is_writer=True):
+        self.tid = tid
+        self.lock_count = lock_count
+        self.is_writer = is_writer
+
+
+def _churn(engine_factory, k, iters, locks=5):
+    """µs per release+request cycle at a steady *k* active txns.
+
+    ``ltot`` is huge so requests essentially always grant: the loop
+    measures the bookkeeping cost, not the blocking behaviour (which
+    the parity tests pin separately).
+    """
+    engine = engine_factory(10**9, random.Random(1))
+    pool = [_Txn(i, locks) for i in range(k + iters + 1)]
+    live = []
+    for i in range(k):
+        assert engine.request(pool[i]) is None
+        live.append(pool[i])
+    rng = random.Random(2)
+    nxt = k
+    start = perf_counter()
+    for _ in range(iters):
+        j = rng.randrange(k)
+        engine.release(live[j])
+        txn = pool[nxt]
+        nxt += 1
+        if engine.request(txn) is None:
+            live[j] = txn
+        else:  # pragma: no cover - ltot is huge, requests always grant
+            engine.request(live[j])
+    return (perf_counter() - start) / iters * 1e6
+
+
+def bench_conflict(iters):
+    """Scalar vs vectorized churn cost per active-set size."""
+    sizes = (8, 32, 64, 128, 256) if _smoke() else (
+        8, 32, 64, 96, 128, 256, 512, 1024
+    )
+    rows = []
+    for k in sizes:
+        scalar = _churn(ProbabilisticConflicts, k, iters)
+        vector = _churn(
+            lambda ltot, rng: VectorizedConflicts(ltot, rng), k, iters
+        )
+        rows.append(
+            {
+                "actives": k,
+                "scalar_us_per_cycle": round(scalar, 2),
+                "vectorized_us_per_cycle": round(vector, 2),
+                "speedup": round(scalar / vector, 2),
+            }
+        )
+    return rows
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--events", type=int,
+        default=20_000 if _smoke() else 200_000,
+        help="events per scheduler workload",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2 if _smoke() else 3,
+        help="best-of repeats per measurement",
+    )
+    parser.add_argument(
+        "--conflict", action="store_true",
+        help="also benchmark the scalar vs vectorized conflict engines",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the results as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    schedulers = _scheduler_order()
+    table = bench_schedulers(args.events, args.repeats)
+    header = "{:16s}".format("workload") + "".join(
+        "{:>14s}".format(s) for s in schedulers
+    )
+    print(header)
+    for name, _ in WORKLOADS:
+        row = "{:16s}".format(name)
+        for sched in schedulers:
+            row += "{:>14,}".format(table[name][sched])
+        baseline = table[name][schedulers[0]]
+        for sched in schedulers[1:]:
+            row += "  ({:+.0%} {})".format(
+                table[name][sched] / baseline - 1.0, sched
+            )
+        print(row)
+
+    results = {
+        "events_per_workload": args.events,
+        "events_per_second": table,
+    }
+
+    if args.conflict:
+        iters = 5_000 if _smoke() else 20_000
+        rows = bench_conflict(iters)
+        print()
+        print(
+            "{:>8s} {:>14s} {:>16s} {:>9s}".format(
+                "actives", "scalar µs/cyc", "vectorized µs/cyc", "speedup"
+            )
+        )
+        for row in rows:
+            print(
+                "{:>8d} {:>14.2f} {:>16.2f} {:>8.2f}x".format(
+                    row["actives"],
+                    row["scalar_us_per_cycle"],
+                    row["vectorized_us_per_cycle"],
+                    row["speedup"],
+                )
+            )
+        results["conflict_churn"] = rows
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=1, sort_keys=True)
+        print("\nwrote {}".format(args.json))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,7 +95,7 @@ class MetricsCollector:
             env.process(self._begin_measurement())
 
     def _begin_measurement(self):
-        yield self.env.timeout(self.params.warmup)
+        yield self.params.warmup  # bare-delay sleep
         self._warmup_busy = self.machine.busy_snapshot()
         self._warmup_downtime = self.machine.downtime(self.env.now)
         self._warmup_degraded = self.machine.degraded_time(self.env.now)

@@ -143,6 +143,13 @@ class LockingGranularityModel:
             size_sampler if size_sampler is not None else make_size_sampler(params)
         )
         self.conflicts = make_conflict_engine(params, streams.stream("conflict"))
+        if self.trace is not None or metrics_registry is not None or self._injector is not None:
+            # Traces, live metrics and fault injection all reason about
+            # per-event state (including the conflict stream position),
+            # so an accelerated engine must pin its exact-scalar path.
+            force_scalar = getattr(self.conflicts, "force_scalar", None)
+            if force_scalar is not None:
+                force_scalar()
         policy = make_admission_policy(params)
         if metrics_registry is not None:
             # Imported directly (not via repro.obs, whose __init__

@@ -227,7 +227,10 @@ class SimulationParameters:
             raise ValueError("escalation_threshold must be >= 0")
         if self.access_skew < 0:
             raise ValueError("access_skew must be >= 0")
-        if self.placement == "skewed" and self.conflict_engine == "probabilistic":
+        if self.placement == "skewed" and self.conflict_engine in (
+            "probabilistic",
+            "vectorized",
+        ):
             raise ValueError(
                 "the skewed placement needs a table-backed conflict engine "
                 "(explicit or hierarchical); the interval model cannot "

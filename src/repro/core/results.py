@@ -3,9 +3,8 @@
 import math
 from dataclasses import dataclass
 
-from scipy import stats
-
 from repro.core.parameters import SimulationParameters
+from repro.stats.student_t import t_ppf
 
 #: Numeric output fields of a run, in reporting order.  The first nine
 #: are the paper's output parameters.
@@ -178,7 +177,7 @@ class ReplicatedResult:
         if len(values) < 2:
             return math.nan
         stdev = self.stdev(field)
-        t = stats.t.ppf(0.5 + confidence / 2.0, len(values) - 1)
+        t = t_ppf(0.5 + confidence / 2.0, len(values) - 1)
         return t * stdev / math.sqrt(len(values))
 
     def ci(self, field, confidence=0.95):

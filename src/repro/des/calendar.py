@@ -1,0 +1,402 @@
+"""Calendar-queue scheduler backend: exact-time buckets over a key heap.
+
+Discrete-event workloads in this repo cluster heavily on repeated
+timestamps — every transaction in an epoch finishes its CPU slice at
+the same instant, backoff retries land on shared grid points, and the
+benchmark drains schedule thousands of events on a handful of times.
+A binary heap pays ``O(log n)`` sift work per entry even when all of
+them share one timestamp.  This backend instead keys a dict of
+*exact-time buckets* by timestamp and keeps only the **distinct**
+times in a small heap:
+
+* enqueue: one dict probe + list append (amortised O(1)); a pushed
+  time enters the key heap only the first time it is seen;
+* dequeue: pop the minimum time once, then drain its whole bucket with
+  plain list indexing — a single ``list.sort()`` per bucket restores
+  the ``(priority, eid)`` order, so the global dispatch order is the
+  exact ``(time, priority, eid)`` total order of the heap backend.
+
+"Resizing" is therefore implicit: the bucket array *is* the dict, it
+grows and shrinks with the set of distinct pending timestamps, and
+there is no width parameter to mistune (the classic calendar-queue
+failure mode).  For workloads whose timestamps are nearly all unique
+the key heap degenerates to the binary heap plus bucket overhead —
+that is why the heap remains the default backend and the calendar is
+opt-in per run (``REPRO_KERNEL_SCHED=calendar``).
+
+Two caches keep the common patterns allocation- and probe-free:
+
+* the *active bucket* being drained accepts same-time inserts
+  directly; the drain loop notices the length change and re-sorts the
+  not-yet-dispatched tail, preserving ``(priority, eid)`` order for
+  zero-delay and urgent entries exactly as the heap would;
+* the *last insert bucket* is remembered, so bursts of pushes to one
+  future instant (the dominant pattern: every process in an epoch
+  scheduling t+1) skip the dict probe entirely.
+"""
+
+from heapq import heappop, heappush
+from sys import getrefcount
+from time import perf_counter
+
+from repro.des.engine import Environment, KernelStats
+from repro.des.errors import EmptySchedule, SimulationStalled
+from repro.des.events import NORMAL, PENDING, Event, Timeout
+from repro.des.process import _TICK, Process
+
+
+class CalendarEnvironment(Environment):
+    """:class:`Environment` with the calendar-queue future-event list.
+
+    Constructed directly, via ``Environment(scheduler="calendar")``, or
+    via ``REPRO_KERNEL_SCHED=calendar``.  Dispatch order — and
+    therefore every simulation result and cache digest — is
+    bit-identical to the heap backend; only throughput differs.
+    """
+
+    SCHEDULER = "calendar"
+
+    __slots__ = (
+        "_buckets",
+        "_times",
+        "_count",
+        "_active",
+        "_active_time",
+        "_active_i",
+        "_active_n",
+        "_last_t",
+        "_last_b",
+    )
+
+    def __init__(self, initial_time=0.0, pool=False, scheduler=None):
+        super().__init__(initial_time, pool, scheduler)
+        #: time -> [(priority, eid, item), ...] for pending timestamps.
+        self._buckets = {}
+        #: Min-heap of the distinct times present in ``_buckets``.
+        self._times = []
+        #: Total pending entries (bucket contents + active remainder).
+        self._count = 0
+        #: Bucket currently being drained (None between buckets).
+        self._active = None
+        self._active_time = None
+        self._active_i = 0
+        #: Length of ``_active`` when it was last sorted; a longer list
+        #: means same-time entries arrived mid-drain and the tail needs
+        #: a re-sort before the next pop.
+        self._active_n = 0
+        #: Last insert target (time, bucket) — burst cache.
+        self._last_t = None
+        self._last_b = None
+
+    # -- queue primitives ----------------------------------------------
+
+    @property
+    def heap_depth(self):
+        """Events currently scheduled (cheap counter).
+
+        While a bucket is being drained the counter is synced once per
+        bucket, so a reading taken from inside an event callback may
+        overcount by at most the entries of the current bucket already
+        dispatched.
+        """
+        return self._count
+
+    def _insert(self, t, priority, eid, item):
+        """Append an entry to the bucket for time *t* (creating it)."""
+        self._count += 1
+        if t == self._active_time and self._active is not None:
+            # Same-time insert while that bucket drains: the dispatch
+            # loop re-sorts the pending tail when it sees the length
+            # change, which restores (priority, eid) order among the
+            # not-yet-dispatched entries — exactly the heap's order.
+            self._active.append((priority, eid, item))
+            return
+        if t == self._last_t:
+            self._last_b.append((priority, eid, item))
+            return
+        bucket = self._buckets.get(t)
+        if bucket is None:
+            bucket = [(priority, eid, item)]
+            self._buckets[t] = bucket
+            heappush(self._times, t)
+        else:
+            bucket.append((priority, eid, item))
+        self._last_t = t
+        self._last_b = bucket
+
+    def schedule(self, event, delay=0.0, priority=NORMAL):
+        """Put *event* on the calendar to be processed after *delay*."""
+        if delay < 0:
+            raise ValueError("negative delay {}".format(delay))
+        self._insert(self._now + delay, priority, next(self._eid), event)
+
+    def schedule_callback(self, fn, delay=0.0, priority=NORMAL):
+        """Schedule a bare callable — no :class:`Event` is allocated."""
+        if delay < 0:
+            raise ValueError("negative delay {}".format(delay))
+        self._insert(self._now + delay, priority, next(self._eid), fn)
+
+    def schedule_tick(self, proc, delay):
+        """Schedule a bare-delay process resume (see base class)."""
+        if delay < 0:
+            raise ValueError("negative delay {}".format(delay))
+        eid = next(self._eid)
+        proc._target = _TICK
+        proc._tick_eid = eid
+        self._insert(self._now + delay, NORMAL, eid, proc)
+
+    def timeout(self, delay, value=None):
+        """Create (or recycle) a :class:`Timeout` firing after *delay*."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError("negative delay {}".format(delay))
+            self._timeout_reuses += 1
+            t = pool.pop()
+            t._delay = delay
+            t._value = value
+            self._insert(self._now + delay, NORMAL, next(self._eid), t)
+            return t
+        self._timeout_creates += 1
+        # Timeout.__init__ routes through self.schedule (virtual).
+        return Timeout(self, delay, value)
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if none."""
+        active = self._active
+        if active is not None and self._active_i < len(active):
+            return self._active_time
+        if self._times:
+            return self._times[0]
+        return float("inf")
+
+    def _next_entry(self):
+        """Pop the globally next ``(when, priority, eid, item)`` entry."""
+        active = self._active
+        if active is not None:
+            i = self._active_i
+            if len(active) != self._active_n:
+                if i:
+                    del active[:i]
+                    i = 0
+                active.sort()
+                self._active_i = i
+                self._active_n = len(active)
+            if i < len(active):
+                self._active_i = i + 1
+                self._count -= 1
+                priority, eid, item = active[i]
+                active[i] = None  # free the entry tuple (see _dispatch)
+                return self._active_time, priority, eid, item
+            self._active = None
+        if not self._times:
+            raise EmptySchedule("no scheduled events")
+        t = heappop(self._times)
+        bucket = self._buckets.pop(t)
+        if self._last_t == t:
+            self._last_t = None  # bucket left the dict; drop the cache
+        bucket.sort()
+        self._active = bucket
+        self._active_time = t
+        self._active_i = 1
+        self._active_n = len(bucket)
+        self._count -= 1
+        priority, eid, item = bucket[0]
+        bucket[0] = None  # free the entry tuple (see _dispatch)
+        return t, priority, eid, item
+
+    def step(self):
+        """Process the next scheduled event (or bare callback).
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        when, _priority, eid, event = self._next_entry()
+        self._consume(when, eid, event)
+
+    # -- hot loop ------------------------------------------------------
+
+    def _dispatch(self, stop_at, timeout):
+        """The calendar hot loop: activate a bucket, drain it in order.
+
+        This mirrors :meth:`Environment._dispatch` entry-for-entry (the
+        tick fast path, bare-callback branch, single-waiter fast path
+        and free-list recycler are the same code); only the queue
+        bookkeeping around them differs.  Per-entry costs the heap pays
+        (sift-down on every pop) are replaced by one key-heap pop and
+        one sort per *bucket*, and the stop/deadline bounds checks run
+        per bucket instead of per entry where possible.
+        """
+        buckets = self._buckets
+        times = self._times
+        pooling = self._pool
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        getrefs = getrefcount
+        nexteid = self._eid.__next__
+        deadline = None if timeout is None else perf_counter() + timeout
+        dispatched = 0
+        try:
+            while True:
+                active = self._active
+                if active is None:
+                    if not times or times[0] > stop_at:
+                        break
+                    t = heappop(times)
+                    bucket = buckets.pop(t)
+                    if self._last_t == t:
+                        self._last_t = None
+                    bucket.sort()
+                    self._active = active = bucket
+                    self._active_time = t
+                    self._active_i = 0
+                    self._active_n = len(bucket)
+                now = self._now = self._active_time
+                i = self._active_i
+                n = self._active_n
+                synced = dispatched
+                inserted = 0
+                # Burst cache in locals for the tick requeue path; any
+                # escape into user code (callbacks, _resume) may move
+                # the instance-level cache, so those branches re-sync.
+                last_t = self._last_t
+                last_b = self._last_b
+                try:
+                    while True:
+                        m = len(active)
+                        if m != n:
+                            # Same-time entries arrived mid-drain:
+                            # drop the consumed head and re-sort the
+                            # pending tail into (priority, eid) order.
+                            if i:
+                                del active[:i]
+                                i = 0
+                            active.sort()
+                            n = m = len(active)
+                        if i >= m:
+                            break
+                        _, eid, event = active[i]
+                        i += 1
+                        dispatched += 1
+                        if (
+                            event.__class__ is Process
+                            and event._target is _TICK
+                        ):
+                            # Tick fast path (see Environment._dispatch).
+                            if event._tick_eid == eid:
+                                try:
+                                    delay = event._generator.send(None)
+                                except StopIteration as stop:
+                                    event._finish_stop(stop)
+                                    last_t = self._last_t
+                                    last_b = self._last_b
+                                except BaseException as error:
+                                    event._finish_error(error)
+                                    last_t = self._last_t
+                                    last_b = self._last_b
+                                else:
+                                    dcls = delay.__class__
+                                    if dcls is float or dcls is int:
+                                        if delay < 0:
+                                            raise ValueError(
+                                                "negative delay {}".format(
+                                                    delay
+                                                )
+                                            )
+                                        eid = nexteid()
+                                        event._tick_eid = eid
+                                        t2 = now + delay
+                                        inserted += 1
+                                        if t2 == last_t:
+                                            last_b.append(
+                                                (NORMAL, eid, event)
+                                            )
+                                        elif t2 == now:
+                                            active.append(
+                                                (NORMAL, eid, event)
+                                            )
+                                        else:
+                                            b2 = buckets.get(t2)
+                                            if b2 is None:
+                                                b2 = [(NORMAL, eid, event)]
+                                                buckets[t2] = b2
+                                                heappush(times, t2)
+                                            else:
+                                                b2.append(
+                                                    (NORMAL, eid, event)
+                                                )
+                                            self._last_t = last_t = t2
+                                            self._last_b = last_b = b2
+                                    else:
+                                        event._resume(None, delay)
+                                        last_t = self._last_t
+                                        last_b = self._last_b
+                            # else: stale tick — dropped silently.
+                        else:
+                            # Free the entry tuple (a heap pop would
+                            # have): the recycler's refcount==2 probe
+                            # below must not see the bucket's
+                            # reference.  Tick entries skip this — they
+                            # are never recycled, and the consumed head
+                            # active[:i] is deleted before any re-sort
+                            # either way.
+                            active[i - 1] = None
+                            try:
+                                callbacks = event.callbacks
+                            except AttributeError:  # a bare callback
+                                event()
+                            else:
+                                event.callbacks = None
+                                waiter = event._waiter
+                                if waiter is not None:
+                                    event._waiter = None
+                                    waiter(event)
+                                for callback in callbacks:
+                                    callback(event)
+                                if not event._ok and not event._defused:
+                                    raise event._value
+                                if pooling:
+                                    # Same recycling contract as the
+                                    # heap loop: refcount == 2 proves
+                                    # the object is unreferenced.
+                                    if event.__class__ is Timeout:
+                                        if getrefs(event) == 2:
+                                            callbacks.clear()
+                                            event.callbacks = callbacks
+                                            event._value = PENDING
+                                            event._defused = False
+                                            timeout_pool.append(event)
+                                    elif (
+                                        event.__class__ is Event
+                                        and getrefs(event) == 2
+                                    ):
+                                        callbacks.clear()
+                                        event.callbacks = callbacks
+                                        event._value = PENDING
+                                        event._ok = None
+                                        event._defused = False
+                                        event_pool.append(event)
+                        if deadline is not None and not dispatched & 1023:
+                            if perf_counter() >= deadline:
+                                raise SimulationStalled(
+                                    "wall-clock timeout ({}s) exhausted "
+                                    "at t={}".format(timeout, self._now),
+                                    stats=KernelStats(
+                                        events_dispatched=self._dispatched
+                                        + dispatched,
+                                        heap_length=self._count
+                                        + inserted
+                                        - (dispatched - synced),
+                                    ),
+                                )
+                finally:
+                    # Exception-safe: a callback raising mid-bucket
+                    # leaves the remainder resumable by step()/run().
+                    self._active_i = i
+                    self._active_n = n
+                    self._count += inserted - (dispatched - synced)
+                self._active = None
+        finally:
+            self._dispatched += dispatched

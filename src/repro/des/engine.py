@@ -1,5 +1,6 @@
-"""The simulation environment: clock, event heap, and run loop."""
+"""The simulation environment: clock, event scheduler, and run loop."""
 
+import os
 from collections import Counter
 from dataclasses import dataclass
 from heapq import heappop, heappush
@@ -15,7 +16,7 @@ from repro.des.errors import (
     StopSimulation,
 )
 from repro.des.events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
-from repro.des.process import Process
+from repro.des.process import _TICK, Process
 
 
 @dataclass
@@ -59,11 +60,19 @@ class KernelStats:
 
 
 class Environment:
-    """Drives a simulation: owns the clock and the scheduled-event heap.
+    """Drives a simulation: owns the clock and the scheduled-event queue.
 
     Events scheduled for the same instant are processed in
     ``(priority, insertion order)``, which makes runs fully
     deterministic for a fixed seed.
+
+    The future-event list is pluggable.  ``Environment(...)`` itself is
+    the binary-heap backend; passing ``scheduler="calendar"`` (or
+    setting ``REPRO_KERNEL_SCHED=calendar``) transparently constructs
+    the bucketed calendar-queue backend instead.  Every backend
+    preserves the exact ``(time, priority, eid)`` total order, so the
+    choice is invisible to simulation results — only throughput
+    changes.
 
     Parameters
     ----------
@@ -75,7 +84,14 @@ class Environment:
         reused by the :meth:`timeout` / :meth:`event` factories instead
         of being garbage.  Results are bit-identical with pooling on or
         off; see DESIGN.md for the recycling contract.
+    scheduler:
+        Scheduler backend name (``"heap"`` or ``"calendar"``).  When
+        ``None``, the ``REPRO_KERNEL_SCHED`` environment variable is
+        consulted, defaulting to ``"heap"``.
     """
+
+    #: Registry name of this backend (subclasses override).
+    SCHEDULER = "heap"
 
     __slots__ = (
         "_now",
@@ -92,7 +108,26 @@ class Environment:
         "_event_creates",
     )
 
-    def __init__(self, initial_time=0.0, pool=False):
+    def __new__(cls, initial_time=0.0, pool=False, scheduler=None):
+        # Backend dispatch happens here so existing call sites keep
+        # constructing ``Environment(...)`` and transparently get the
+        # selected scheduler subclass.  Subclasses (Profiled, Calendar)
+        # constructed directly are never redirected.
+        if cls is Environment:
+            name = scheduler or os.environ.get("REPRO_KERNEL_SCHED") or "heap"
+            if name != "heap":
+                cls = scheduler_class(name)
+        return object.__new__(cls)
+
+    def __init__(self, initial_time=0.0, pool=False, scheduler=None):
+        if scheduler is not None and scheduler != self.SCHEDULER:
+            # Only reachable by constructing a subclass directly with a
+            # conflicting name, e.g. CalendarEnvironment(scheduler="heap").
+            raise ValueError(
+                "scheduler {!r} conflicts with {}".format(
+                    scheduler, type(self).__name__
+                )
+            )
         self._now = float(initial_time)
         self._heap = []
         self._eid = count()
@@ -131,11 +166,16 @@ class Environment:
         """True when the Timeout/Event free lists are enabled."""
         return self._pool
 
+    @property
+    def scheduler(self):
+        """Registry name of the active scheduler backend."""
+        return self.SCHEDULER
+
     def kernel_stats(self):
         """Current :class:`KernelStats` snapshot (cheap counters only)."""
         return KernelStats(
             events_dispatched=self._dispatched,
-            heap_length=len(self._heap),
+            heap_length=self.heap_depth,
         )
 
     def pool_stats(self):
@@ -187,6 +227,45 @@ class Environment:
             self._heap, (self._now + delay, priority, next(self._eid), fn)
         )
 
+    def schedule_tick(self, proc, delay):
+        """Schedule *proc* to resume after *delay* with no event object.
+
+        This is the bare-delay sleep path (``yield 1.5`` inside a
+        process): the :class:`Process` itself goes on the queue, tagged
+        by ``_tick_eid`` so an interrupt delivered before the tick
+        fires leaves a stale entry the dispatcher can recognise and
+        drop.  The entry consumes one event id, exactly like the
+        equivalent ``env.timeout(delay)`` would.
+        """
+        if delay < 0:
+            raise ValueError("negative delay {}".format(delay))
+        eid = next(self._eid)
+        proc._target = _TICK
+        proc._tick_eid = eid
+        heappush(self._heap, (self._now + delay, NORMAL, eid, proc))
+
+    def _tick(self, proc, eid):
+        """Resume a tick entry (slow path shared by :meth:`step`).
+
+        Mirrors the handling inlined in :meth:`_dispatch`: advance the
+        generator, then either requeue the next bare delay or hand any
+        other yield to :meth:`Process._resume`.
+        """
+        if proc._tick_eid != eid:
+            return  # stale: an interrupt already resumed the process
+        try:
+            delay = proc._generator.send(None)
+        except StopIteration as stop:
+            proc._finish_stop(stop)
+        except BaseException as error:
+            proc._finish_error(error)
+        else:
+            cls = delay.__class__
+            if cls is float or cls is int:
+                self.schedule_tick(proc, delay)
+            else:
+                proc._resume(None, delay)
+
     def peek(self):
         """Time of the next scheduled event, or ``inf`` if none."""
         if not self._heap:
@@ -202,10 +281,17 @@ class Environment:
             If no events remain.
         """
         try:
-            when, _, _, event = heappop(self._heap)
+            when, _, eid, event = heappop(self._heap)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
+        self._consume(when, eid, event)
+
+    def _consume(self, when, eid, event):
+        """Dispatch one popped queue entry (shared by all backends)."""
         self._now = when
+        if event.__class__ is Process and event._target is _TICK:
+            self._tick(event, eid)
+            return
         try:
             callbacks = event.callbacks
         except AttributeError:  # a bare callback, not an Event
@@ -251,50 +337,79 @@ class Environment:
         timeout_pool = self._timeout_pool
         event_pool = self._event_pool
         getrefs = getrefcount
+        nexteid = self._eid.__next__
         deadline = None if timeout is None else perf_counter() + timeout
         dispatched = 0
         try:
             while heap and heap[0][0] <= stop_at:
-                when, _, _, event = heappop(heap)
+                when, _, eid, event = heappop(heap)
                 self._now = when
                 dispatched += 1
-                try:
-                    callbacks = event.callbacks
-                except AttributeError:  # a bare callback, not an Event
-                    event()
+                if event.__class__ is Process and event._target is _TICK:
+                    # Tick fast path: the process sleeps on a bare
+                    # delay, so resume the generator directly — no
+                    # event object, no callback list, no recycling.
+                    if event._tick_eid == eid:
+                        try:
+                            delay = event._generator.send(None)
+                        except StopIteration as stop:
+                            event._finish_stop(stop)
+                        except BaseException as error:
+                            event._finish_error(error)
+                        else:
+                            dcls = delay.__class__
+                            if dcls is float or dcls is int:
+                                if delay < 0:
+                                    raise ValueError(
+                                        "negative delay {}".format(delay)
+                                    )
+                                eid = nexteid()
+                                event._tick_eid = eid
+                                heappush(
+                                    heap, (when + delay, NORMAL, eid, event)
+                                )
+                            else:
+                                event._resume(None, delay)
+                    # else: stale tick — an interrupt resumed the
+                    # process first; the entry is dropped silently.
                 else:
-                    event.callbacks = None
-                    waiter = event._waiter
-                    if waiter is not None:
-                        event._waiter = None
-                        waiter(event)
-                    for callback in callbacks:
-                        callback(event)
-                    if not event._ok and not event._defused:
-                        raise event._value
-                    if pooling:
-                        # `event` local + getrefcount's argument == 2:
-                        # nothing else references the object, so
-                        # recycling cannot leak state (conditions,
-                        # generators or monitors holding it keep the
-                        # refcount higher and the object alive).
-                        if event.__class__ is Timeout:
-                            if getrefs(event) == 2:
+                    try:
+                        callbacks = event.callbacks
+                    except AttributeError:  # a bare callback, not an Event
+                        event()
+                    else:
+                        event.callbacks = None
+                        waiter = event._waiter
+                        if waiter is not None:
+                            event._waiter = None
+                            waiter(event)
+                        for callback in callbacks:
+                            callback(event)
+                        if not event._ok and not event._defused:
+                            raise event._value
+                        if pooling:
+                            # `event` local + getrefcount's argument == 2:
+                            # nothing else references the object, so
+                            # recycling cannot leak state (conditions,
+                            # generators or monitors holding it keep the
+                            # refcount higher and the object alive).
+                            if event.__class__ is Timeout:
+                                if getrefs(event) == 2:
+                                    callbacks.clear()
+                                    event.callbacks = callbacks
+                                    event._value = PENDING
+                                    event._defused = False
+                                    timeout_pool.append(event)
+                            elif (
+                                event.__class__ is Event
+                                and getrefs(event) == 2
+                            ):
                                 callbacks.clear()
                                 event.callbacks = callbacks
                                 event._value = PENDING
+                                event._ok = None
                                 event._defused = False
-                                timeout_pool.append(event)
-                        elif (
-                            event.__class__ is Event
-                            and getrefs(event) == 2
-                        ):
-                            callbacks.clear()
-                            event.callbacks = callbacks
-                            event._value = PENDING
-                            event._ok = None
-                            event._defused = False
-                            event_pool.append(event)
+                                event_pool.append(event)
                 if deadline is not None and not dispatched & 1023:
                     # The wall-clock guard is checked once every 1024
                     # events so the budget costs one masked compare
@@ -357,7 +472,7 @@ class Environment:
         if isinstance(until, Event):
             raise EmptySchedule("ran out of events before {!r}".format(until))
         if stop_at != float("inf"):
-            if not self._heap and self._live_procs > 0:
+            if self.heap_depth == 0 and self._live_procs > 0:
                 raise SimulationStalled(
                     "event heap ran dry at t={} before until={} with {} "
                     "live process(es) — every live process is waiting on "
@@ -449,13 +564,26 @@ class ProfiledEnvironment(Environment):
         if len(self._heap) > self._heap_peak:
             self._heap_peak = len(self._heap)
 
+    def schedule_tick(self, proc, delay):
+        """Schedule a bare-delay tick, tracking the peak heap population."""
+        super().schedule_tick(proc, delay)
+        if len(self._heap) > self._heap_peak:
+            self._heap_peak = len(self._heap)
+
     def step(self):
         """Process the next entry, counting it by event type."""
         try:
-            when, _, _, event = heappop(self._heap)
+            when, _, eid, event = heappop(self._heap)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
         self._now = when
+        if event.__class__ is Process and event._target is _TICK:
+            # Bare-delay sleeps dispatch the process itself; count them
+            # under their own label (stale ticks included — they cost a
+            # dispatch slot just like an orphaned Timeout would).
+            self._type_counts["Tick"] += 1
+            self._tick(event, eid)
+            return
         try:
             callbacks = event.callbacks
         except AttributeError:
@@ -522,3 +650,37 @@ class ProfiledEnvironment(Environment):
 
 def _stop_on_event(event):
     raise StopSimulation(event.value)
+
+
+#: Scheduler backend registry.  Values are either a class or a lazy
+#: ``"module:attr"`` string resolved (and cached) on first use — the
+#: calendar backend lives in its own module and importing it here
+#: eagerly would be a cycle.
+_SCHEDULERS = {
+    "heap": Environment,
+    "calendar": "repro.des.calendar:CalendarEnvironment",
+}
+
+
+def scheduler_class(name):
+    """Resolve a scheduler backend name to its Environment subclass."""
+    try:
+        entry = _SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown scheduler {!r}; choose from {}".format(
+                name, ", ".join(sorted(_SCHEDULERS))
+            )
+        ) from None
+    if isinstance(entry, str):
+        import importlib
+
+        module_name, _, attr = entry.partition(":")
+        entry = getattr(importlib.import_module(module_name), attr)
+        _SCHEDULERS[name] = entry
+    return entry
+
+
+def available_schedulers():
+    """Sorted names of the registered scheduler backends."""
+    return sorted(_SCHEDULERS)

@@ -4,6 +4,32 @@ from repro.des.errors import Interrupt, SimulationError
 from repro.des.events import URGENT, Event, Timeout
 
 
+class _TickSentinel:
+    """Marker stored in ``Process._target`` while the process sleeps on
+    a bare delay (``yield 1.5``) instead of a real event.
+
+    It quacks just enough like an event for :meth:`Process._resume`'s
+    detach branch (``_waiter``/``callbacks`` both ``None``), so an
+    interrupt delivered during a bare-delay sleep detaches cleanly: the
+    resume path replaces ``_target``, which invalidates the pending
+    tick entry (the dispatcher double-checks ``_tick_eid``).
+    """
+
+    __slots__ = ()
+    _waiter = None
+    callbacks = None
+
+    def __repr__(self):
+        return "<TICK>"
+
+
+#: The single tick sentinel (identity-compared everywhere).
+_TICK = _TickSentinel()
+
+#: Sentinel for "no staged yield" in :meth:`Process._resume`.
+_NO_YIELD = object()
+
+
 class Process(Event):
     """Wraps a generator so it runs as a simulation process.
 
@@ -11,12 +37,22 @@ class Process(Event):
     until each yielded event is processed, then resumes with the event's
     value (or the event's exception thrown in, if it failed).
 
+    A generator may also yield a bare non-negative ``float`` or ``int``
+    delay — exactly equivalent to ``yield env.timeout(delay)`` (the
+    process resumes with ``None`` after *delay* time units, interrupts
+    included) but with no event allocated at all: the kernel schedules
+    the process itself as a *tick* entry and resumes the generator
+    straight from the dispatch loop.  The tick entry consumes the same
+    event id the equivalent Timeout would have, so switching a call
+    site between the two forms leaves the kernel's dispatch order (and
+    therefore every simulation result) bit-identical.
+
     A process is itself an event: it triggers with the generator's
     return value when the generator finishes, so processes can wait on
     one another or be joined with :class:`~repro.des.events.AllOf`.
     """
 
-    __slots__ = ("_generator", "_target", "_resume_cb")
+    __slots__ = ("_generator", "_target", "_resume_cb", "_tick_eid")
 
     def __init__(self, env, generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -24,12 +60,16 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         #: The event this process currently waits on (None if running or
-        #: not yet started).
+        #: not yet started; :data:`_TICK` during a bare-delay sleep).
         self._target = None
         #: The resume callback is bound once: every yield re-registers
         #: it, and ``self._resume`` would allocate a fresh bound method
         #: per access on the hottest path in the kernel.
         self._resume_cb = self._resume
+        #: Entry id of the pending tick (bare-delay sleep).  The
+        #: dispatcher skips tick entries whose eid no longer matches —
+        #: an interrupt resumed the process first, making them stale.
+        self._tick_eid = -1
         env._live_procs += 1
         from repro.des.events import Initialize
 
@@ -61,11 +101,20 @@ class Process(Event):
         interrupt_event.callbacks.append(self._resume_cb)
         self.env.schedule(interrupt_event, delay=0, priority=URGENT)
 
-    def _resume(self, event):
-        """Advance the generator with the outcome of *event*."""
+    def _resume(self, event, yielded=_NO_YIELD):
+        """Advance the generator with the outcome of *event*.
+
+        When *yielded* is given, the generator has already produced
+        that value (the dispatch loop's tick fast path called ``send``
+        itself and hit a non-delay yield); the loop below then starts
+        by handling it instead of advancing the generator again.
+        """
         # An interrupt may arrive while we were waiting on another
         # event; detach from that event so its later processing does
-        # not resume us twice.
+        # not resume us twice.  (During a bare-delay sleep the target
+        # is the _TICK sentinel: both detach probes are no-ops, and
+        # replacing _target below is what marks the pending tick entry
+        # stale for the dispatcher.)
         if self._target is not None and self._target is not event:
             target = self._target
             if target._waiter is self._resume_cb:
@@ -77,32 +126,46 @@ class Process(Event):
                     pass
         self._target = None
         while True:
-            try:
-                if event is None or event._ok:
-                    next_event = self._generator.send(
-                        None if event is None else event.value
-                    )
-                else:
-                    event.defuse()
-                    next_event = self._generator.throw(event.value)
-            except StopIteration as stop:
-                self._ok = True
-                self._value = stop.value
-                self.env._live_procs -= 1
-                self.env.schedule(self, delay=0)
+            if yielded is _NO_YIELD:
+                try:
+                    if event is None or event._ok:
+                        next_event = self._generator.send(
+                            None if event is None else event.value
+                        )
+                    else:
+                        event.defuse()
+                        next_event = self._generator.throw(event.value)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    self.env._live_procs -= 1
+                    self.env.schedule(self, delay=0)
+                    return
+                except Interrupt:
+                    # The process let an interrupt escape: treat it as an
+                    # unhandled failure of the process event.
+                    self.env._live_procs -= 1
+                    raise
+                except BaseException as error:
+                    self._ok = False
+                    self._value = error
+                    self.env._live_procs -= 1
+                    self.env.schedule(self, delay=0)
+                    return
+            else:
+                next_event = yielded
+                yielded = _NO_YIELD
+            cls = next_event.__class__
+            if cls is float or cls is int:
+                # Bare-delay sleep: schedule the process itself as a
+                # tick entry (no event object).  The eid drawn here
+                # lands at exactly the point in the id stream where
+                # ``env.timeout(delay)`` would have drawn it (inside
+                # the yield expression, i.e. still within this resume),
+                # so both spellings dispatch identically.
+                self.env.schedule_tick(self, next_event)
                 return
-            except Interrupt:
-                # The process let an interrupt escape: treat it as an
-                # unhandled failure of the process event.
-                self.env._live_procs -= 1
-                raise
-            except BaseException as error:
-                self._ok = False
-                self._value = error
-                self.env._live_procs -= 1
-                self.env.schedule(self, delay=0)
-                return
-            if next_event.__class__ is Timeout:
+            if cls is Timeout:
                 # Fast path for the ubiquitous ``yield env.timeout(d)``:
                 # a freshly created timeout nobody else watches gets its
                 # single waiter stored directly on the event, skipping
@@ -128,3 +191,26 @@ class Process(Event):
             next_event.callbacks.append(self._resume_cb)
             self._target = next_event
             return
+
+    # -- dispatch-loop hooks (tick fast path) ---------------------------
+
+    def _finish_stop(self, stop):
+        """Generator returned (StopIteration) from the tick fast path."""
+        self._target = None
+        self._ok = True
+        self._value = stop.value
+        self.env._live_procs -= 1
+        self.env.schedule(self, delay=0)
+
+    def _finish_error(self, error):
+        """Generator raised from the tick fast path (mirrors _resume)."""
+        self._target = None
+        if isinstance(error, Interrupt):
+            # The process let an interrupt escape — same treatment as
+            # the ``except Interrupt`` arm in :meth:`_resume`.
+            self.env._live_procs -= 1
+            raise error
+        self._ok = False
+        self._value = error
+        self.env._live_procs -= 1
+        self.env.schedule(self, delay=0)

@@ -29,7 +29,10 @@ DISCIPLINES = ("fcfs", "sjf")
 
 
 class _Job:
-    __slots__ = ("demand", "remaining", "priority", "tag", "seq", "done", "arrival")
+    __slots__ = (
+        "demand", "remaining", "priority", "tag", "seq", "done", "arrival",
+        "key",
+    )
 
     def __init__(self, demand, priority, tag, seq, done, arrival):
         self.demand = demand
@@ -39,6 +42,12 @@ class _Job:
         self.seq = seq
         self.done = done
         self.arrival = arrival
+        # The FCFS ordering key never changes over the job's lifetime,
+        # so it is built once here instead of on every heap push (a
+        # preempted job re-enters the heap with the same key).  The
+        # SJF key orders on the mutable ``remaining`` and must be
+        # rebuilt per push.
+        self.key = (priority, seq)
 
 
 class Server:
@@ -196,7 +205,7 @@ class Server:
 
     @staticmethod
     def _fcfs_key(job):
-        return (job.priority, job.seq)
+        return job.key
 
     @staticmethod
     def _sjf_key(job):

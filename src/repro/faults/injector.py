@@ -86,33 +86,33 @@ class FaultInjector:
 
     def _crash_loop(self, spec, node, rng):
         if spec.first_failure_after > 0:
-            yield self.env.timeout(spec.first_failure_after)
+            yield spec.first_failure_after
         while True:
-            yield self.env.timeout(rng.expovariate(1.0 / spec.mttf))
+            yield rng.expovariate(1.0 / spec.mttf)
             killed = self.machine.crash(node)
             self.crashes_injected += 1
             self.jobs_killed += killed
             self._emit("proc_crash", node=node, jobs_killed=killed)
-            yield self.env.timeout(rng.expovariate(1.0 / spec.mttr))
+            yield rng.expovariate(1.0 / spec.mttr)
             self.machine.recover(node)
             self._emit("proc_recover", node=node)
 
     def _slowdown_loop(self, spec, node, rng):
         disk = self.machine[node].disk
         while True:
-            yield self.env.timeout(rng.expovariate(1.0 / spec.mtbf))
+            yield rng.expovariate(1.0 / spec.mtbf)
             disk.set_scale(spec.factor)
             self._emit("disk_slow", node=node, factor=spec.factor)
-            yield self.env.timeout(rng.expovariate(1.0 / spec.duration))
+            yield rng.expovariate(1.0 / spec.duration)
             disk.set_scale(1.0)
             self._emit("disk_recover", node=node)
 
     def _stall_loop(self, spec, rng):
         while True:
-            yield self.env.timeout(rng.expovariate(1.0 / spec.mtbf))
+            yield rng.expovariate(1.0 / spec.mtbf)
             self.machine.set_lock_scale(spec.factor)
             self._emit("lockmgr_stall", factor=spec.factor)
-            yield self.env.timeout(rng.expovariate(1.0 / spec.duration))
+            yield rng.expovariate(1.0 / spec.duration)
             self.machine.set_lock_scale(1.0)
             self._emit("lockmgr_resume")
 
@@ -124,27 +124,27 @@ class FaultInjector:
 
     def _partition_loop(self, spec, rng):
         if spec.first_after > 0:
-            yield self.env.timeout(spec.first_after)
+            yield spec.first_after
         while True:
-            yield self.env.timeout(rng.expovariate(1.0 / spec.mtbf))
+            yield rng.expovariate(1.0 / spec.mtbf)
             groups = spec.groups if spec.groups is not None else self._random_split(rng)
             self.network.partition(groups)
             self._emit("partition", groups=[sorted(g) for g in groups])
-            yield self.env.timeout(rng.expovariate(1.0 / spec.duration))
+            yield rng.expovariate(1.0 / spec.duration)
             self.network.heal()
             self._emit("heal")
 
     def _link_delay_loop(self, spec, rng):
         links = spec.links
         while True:
-            yield self.env.timeout(rng.expovariate(1.0 / spec.mtbf))
+            yield rng.expovariate(1.0 / spec.mtbf)
             if links is None:
                 self.network.set_global_delay(spec.extra)
             else:
                 for a, b in links:
                     self.network.set_link_delay(a, b, spec.extra)
             self._emit("link_delay", extra=spec.extra)
-            yield self.env.timeout(rng.expovariate(1.0 / spec.duration))
+            yield rng.expovariate(1.0 / spec.duration)
             if links is None:
                 self.network.set_global_delay(0.0)
             else:

@@ -54,7 +54,7 @@ class TimeSeriesRecorder:
         prev_disk = [0.0] * npros
         interval = self.interval
         while True:
-            yield env.timeout(interval)
+            yield interval  # bare-delay sleep: no Timeout allocated
             cpu_busy = [p.cpu.busy_time() for p in machine.processors]
             disk_busy = [p.disk.busy_time() for p in machine.processors]
             self.rows.append({

@@ -35,7 +35,7 @@ class ClosedArrivals:
 
     def _staggered(self, model, delay):
         if delay > 0:
-            yield model.env.timeout(delay)
+            yield delay  # bare-delay sleep: no Timeout allocated
         yield from model.lifecycle(model.new_transaction())
 
     def on_complete(self, model):
@@ -57,7 +57,7 @@ class OpenArrivals:
         rate = model.params.arrival_rate
         rng = model.rngs["arrivals"]
         while True:
-            yield model.env.timeout(rng.expovariate(rate))
+            yield rng.expovariate(rate)  # bare-delay sleep
             model.env.process(model.lifecycle(model.new_transaction()))
 
     def on_complete(self, model):
@@ -98,7 +98,7 @@ class BurstyArrivals(OpenArrivals):
                     if model.env.now + gap >= phase_end:
                         # The next arrival falls past the phase switch:
                         # idle out the remainder and change rate.
-                        yield model.env.timeout(phase_end - model.env.now)
+                        yield phase_end - model.env.now
                         break
-                    yield model.env.timeout(gap)
+                    yield gap
                     model.env.process(model.lifecycle(model.new_transaction()))

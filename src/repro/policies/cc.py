@@ -127,10 +127,8 @@ class ConcurrencyControl:
         txn.fault_retries += 1
         model.emit("retry", txn, node=node, retries=txn.fault_retries)
         model.wake_waiters(txn)
-        yield model.env.timeout(
-            model.backoff.delay(
-                model.rngs["fault_backoff"], txn.fault_retries - 1
-            )
+        yield model.backoff.delay(
+            model.rngs["fault_backoff"], txn.fault_retries - 1
         )
 
     def conflict_abort(self, txn, reason):
@@ -149,9 +147,7 @@ class ConcurrencyControl:
         model.metrics.note_abort(reason)
         txn.aborts += 1
         model.admission.policy.on_deny()
-        yield model.env.timeout(
-            model.backoff.delay(model.rngs["backoff"], txn.aborts - 1)
-        )
+        yield model.backoff.delay(model.rngs["backoff"], txn.aborts - 1)
 
 
 class PreclaimCC(ConcurrencyControl):

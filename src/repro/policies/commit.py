@@ -86,10 +86,8 @@ class CommitProtocol:
         txn.commit_retries += 1
         model.emit("commit_abort", txn, reason=reason, retries=txn.commit_retries)
         model.wake_waiters(txn)
-        yield model.env.timeout(
-            model.backoff.delay(
-                model.rngs["commit_backoff"], txn.commit_retries - 1
-            )
+        yield model.backoff.delay(
+            model.rngs["commit_backoff"], txn.commit_retries - 1
         )
 
 
@@ -224,7 +222,7 @@ class PrimaryCopyCommit(CommitProtocol):
                 net.send(home, site, "elect")
         # The round costs one RTT of campaigning before the result is
         # known cluster-component-wide.
-        yield env.timeout(2.0 * model.params.net_latency)
+        yield 2.0 * model.params.net_latency  # bare-delay sleep
         new_primary = min(component)
         if cluster.primary == old_primary and new_primary != cluster.primary:
             # Nobody elected meanwhile (concurrent coordinators race

@@ -15,6 +15,14 @@ def probabilistic(params, rng):
     return ProbabilisticConflicts(params.ltot, rng)
 
 
+def vectorized(params, rng):
+    """Numpy-accelerated interval model; identical decisions and
+    random stream, scalar fallback when numpy is unavailable."""
+    from repro.core.conflict import VectorizedConflicts
+
+    return VectorizedConflicts(params.ltot, rng)
+
+
 def explicit(params, rng):
     """A real flat lock table over materialised granule sets."""
     return ExplicitConflicts()

@@ -9,7 +9,7 @@ die out and a Student-t interval over the batch means is valid.
 import math
 from dataclasses import dataclass
 
-from scipy import stats
+from repro.stats.student_t import t_ppf
 
 
 @dataclass(frozen=True)
@@ -87,7 +87,7 @@ def batch_means_ci(samples, batches=None, confidence=0.95):
         means.append(sum(chunk) / size)
     grand = sum(samples[:used]) / used
     variance = sum((m - grand) ** 2 for m in means) / (batches - 1)
-    t_value = stats.t.ppf(0.5 + confidence / 2.0, batches - 1)
+    t_value = t_ppf(0.5 + confidence / 2.0, batches - 1)
     half = t_value * math.sqrt(variance / batches)
     return BatchMeansResult(
         mean=grand,

@@ -52,8 +52,10 @@ class TestBasics:
         assert env.run(until=outer_proc) == ("inner-done", 3)
 
     def test_yielding_non_event_raises(self, env):
+        # Bare ints/floats are valid delay yields, so a string is the
+        # simplest thing that is neither an event nor a delay.
         def proc(env):
-            yield 42
+            yield "not-an-event"
 
         env.process(proc(env))
         with pytest.raises(SimulationError):

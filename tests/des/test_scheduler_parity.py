@@ -1,0 +1,226 @@
+"""Heap vs calendar scheduler parity.
+
+The calendar queue is only a legal backend if it is *observationally
+identical* to the binary heap: same dispatch order (the kernel's total
+order is ``(time, priority, eid)``), same error behaviour, same
+pooling semantics.  These tests drive both backends through the same
+randomized and adversarial schedules and require identical traces.
+"""
+
+import random
+
+import pytest
+
+from repro.des import (
+    CalendarEnvironment,
+    Environment,
+    available_schedulers,
+    scheduler_class,
+)
+from repro.des.events import NORMAL, URGENT
+
+SCHEDULERS = ("heap", "calendar")
+
+
+# -- backend selection ---------------------------------------------------
+
+
+def test_available_schedulers_lists_both():
+    names = available_schedulers()
+    assert "heap" in names
+    assert "calendar" in names
+
+
+def test_scheduler_class_resolves():
+    assert scheduler_class("heap") is Environment
+    assert scheduler_class("calendar") is CalendarEnvironment
+
+
+def test_unknown_scheduler_raises():
+    with pytest.raises(ValueError, match="calendar"):
+        scheduler_class("btree")
+    with pytest.raises(ValueError):
+        Environment(scheduler="btree")
+
+
+def test_keyword_selection():
+    assert type(Environment(scheduler="heap")) is Environment
+    env = Environment(scheduler="calendar")
+    assert type(env) is CalendarEnvironment
+    assert env.scheduler == "calendar"
+
+
+def test_env_var_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_SCHED", "calendar")
+    assert type(Environment()) is CalendarEnvironment
+    # An explicit keyword wins over the environment variable.
+    assert type(Environment(scheduler="heap")) is Environment
+    monkeypatch.setenv("REPRO_KERNEL_SCHED", "btree")
+    with pytest.raises(ValueError):
+        Environment()
+
+
+def test_direct_subclass_rejects_conflicting_keyword():
+    assert type(CalendarEnvironment()) is CalendarEnvironment
+    with pytest.raises(ValueError, match="conflicts"):
+        CalendarEnvironment(scheduler="heap")
+
+
+# -- randomized dispatch parity ------------------------------------------
+
+
+def _ticker(env, log, name, delays):
+    for d in delays:
+        yield d
+        log.append(("tick", name, env.now))
+
+
+def _waiter(env, log, name, delays):
+    for d in delays:
+        yield env.timeout(d)
+        log.append(("wait", name, env.now))
+
+
+def _random_trace(scheduler, seed):
+    """One randomized run; returns the full dispatch log."""
+    rng = random.Random(seed)
+    env = Environment(pool=True, scheduler=scheduler)
+    log = []
+
+    def callback(tag):
+        log.append(("cb", tag, env.now))
+        # Half the callbacks reschedule themselves once more, so the
+        # backends also agree on events inserted *during* the drain
+        # (including into the currently draining timestamp bucket).
+        if tag % 2 and tag < 10_000:
+            env.schedule_callback(
+                lambda t=tag + 10_000: callback(t),
+                rng.choice((0.0, 0.25, 1.0)),
+            )
+
+    # Same-timestamp bursts: delays repeat heavily, and priorities mix.
+    delays = (0.0, 0.25, 0.25, 1.0, 1.0, 1.0, 2.5, 7.75)
+    for i in range(300):
+        kind = rng.randrange(4)
+        delay = rng.choice(delays)
+        if kind == 0:
+            env.schedule_callback(
+                lambda t=i: callback(t),
+                delay,
+                priority=rng.choice((URGENT, NORMAL)),
+            )
+        elif kind == 1:
+            env.timeout(delay).callbacks.append(
+                lambda event, t=i: log.append(("timeout", t, env.now))
+            )
+        elif kind == 2:
+            env.process(
+                _ticker(env, log, i, [rng.choice(delays) for _ in range(4)])
+            )
+        else:
+            env.process(
+                _waiter(env, log, i, [rng.choice(delays) for _ in range(4)])
+            )
+    env.run()
+    return log, env.now, env.events_dispatched
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_randomized_schedules_dispatch_identically(seed):
+    heap = _random_trace("heap", seed)
+    calendar = _random_trace("calendar", seed)
+    assert heap == calendar
+
+
+def test_same_timestamp_burst_orders_by_priority_then_eid():
+    """Ties break on (priority, eid): URGENT first, then FIFO."""
+    for scheduler in SCHEDULERS:
+        env = Environment(scheduler=scheduler)
+        log = []
+        for i in range(50):
+            priority = URGENT if i % 3 == 0 else NORMAL
+            env.schedule_callback(
+                lambda i=i, p=priority: log.append((p, i)), 5.0, priority
+            )
+        env.run()
+        assert log == sorted(log), scheduler
+
+
+def test_step_and_peek_parity():
+    def build(scheduler):
+        env = Environment(scheduler=scheduler)
+        log = []
+        for i in range(40):
+            env.schedule_callback(
+                lambda i=i: log.append(i), float(i % 5), NORMAL
+            )
+        return env, log
+
+    heap_env, heap_log = build("heap")
+    cal_env, cal_log = build("calendar")
+    for _ in range(40):
+        assert heap_env.peek() == cal_env.peek()
+        heap_env.step()
+        cal_env.step()
+        assert heap_env.now == cal_env.now
+        assert heap_log == cal_log
+    assert heap_env.peek() == cal_env.peek() == float("inf")
+
+
+def test_run_until_parity():
+    def run(scheduler):
+        env = Environment(pool=True, scheduler=scheduler)
+        log = []
+        env.process(_ticker(env, log, "a", [1.0] * 20))
+        env.process(_waiter(env, log, "b", [1.5] * 10))
+        env.run(until=7.25)
+        return log, env.now
+
+    assert run("heap") == run("calendar")
+
+
+# -- error behaviour -----------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_negative_delays_rejected(scheduler):
+    env = Environment(pool=True, scheduler=scheduler)
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+    with pytest.raises(ValueError):
+        env.schedule_callback(lambda: None, -0.5)
+    with pytest.raises(ValueError):
+        env.schedule(env.event(), delay=-2.0)
+
+    def sleeper():
+        yield -1.0
+
+    env.process(sleeper())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_recycled_timeout_rejects_negative_delay(scheduler):
+    """A pooled Timeout must re-validate its delay when reused."""
+    env = Environment(pool=True, scheduler=scheduler)
+
+    def once():
+        yield env.timeout(1.0)
+
+    env.process(once())
+    env.run()
+    assert env.pool_stats()["timeout_free"] >= 1
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_pooled_timeouts_recycle(scheduler):
+    env = Environment(pool=True, scheduler=scheduler)
+    log = []
+    env.process(_waiter(env, log, "w", [1.0] * 50))
+    env.run()
+    stats = env.pool_stats()
+    assert stats["timeout_reused"] > 0, scheduler
+    assert len(log) == 50

@@ -28,6 +28,7 @@ MODULES = [
     "repro.core.transaction",
     "repro.core.workload",
     "repro.des",
+    "repro.des.calendar",
     "repro.des.engine",
     "repro.des.errors",
     "repro.des.events",
@@ -88,6 +89,7 @@ MODULES = [
     "repro.policies.workload",
     "repro.stats",
     "repro.stats.batchmeans",
+    "repro.stats.student_t",
 ]
 
 

@@ -1,0 +1,115 @@
+"""Bit-identity of results across scheduler and conflict backends.
+
+The calendar scheduler and the vectorized conflict engine are
+*performance* features: selecting them must never move a single
+number.  These tests run the golden configuration under each backend
+and require byte-identical results — the same guarantee the cache
+digests rely on (a cached artifact produced under one backend must be
+valid under every other).
+"""
+
+import pytest
+
+from repro.core import SimulationParameters, simulate
+from repro.experiments.cache import cache_key
+from tests.policies.test_cache_digests import GOLDEN_DIGEST
+from tests.test_regression_golden import GOLDEN_PARAMS
+
+
+@pytest.fixture(scope="module")
+def golden_heap():
+    return simulate(GOLDEN_PARAMS)
+
+
+class TestCalendarIdentity:
+    def test_golden_run_is_identical(self, golden_heap, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_SCHED", "calendar")
+        result = simulate(GOLDEN_PARAMS)
+        assert result.totcom == 129
+        assert result.as_dict() == golden_heap.as_dict()
+
+    def test_cache_digest_is_scheduler_independent(self, monkeypatch):
+        # The content address depends on the physics configuration
+        # only; a kernel-level scheduler switch must not fork caches.
+        monkeypatch.setenv("REPRO_KERNEL_SCHED", "calendar")
+        assert cache_key(GOLDEN_PARAMS) == GOLDEN_DIGEST
+
+    def test_variant_run_is_identical(self, monkeypatch):
+        params = GOLDEN_PARAMS.replace(
+            conflict_engine="explicit", protocol="incremental"
+        )
+        heap = simulate(params)
+        monkeypatch.setenv("REPRO_KERNEL_SCHED", "calendar")
+        calendar = simulate(params)
+        assert heap.as_dict() == calendar.as_dict()
+
+
+class TestVectorizedIdentity:
+    """The numpy scan must reproduce the scalar engine bit-for-bit.
+
+    The two engines differ only in the ``conflict_engine`` parameter
+    echoed into ``as_dict``, so the comparison excludes params.
+    """
+
+    def _vector_dict(self, monkeypatch=None, batch=None, cutoff=None):
+        params = GOLDEN_PARAMS.replace(conflict_engine="vectorized")
+        if batch is not None:
+            monkeypatch.setenv("REPRO_CONFLICT_BATCH", str(batch))
+        if cutoff is not None:
+            monkeypatch.setenv("REPRO_CONFLICT_CUTOFF", str(cutoff))
+        return simulate(params).as_dict(include_params=False)
+
+    def test_default_batch_is_identical(self, golden_heap):
+        assert self._vector_dict() == golden_heap.as_dict(
+            include_params=False
+        )
+
+    def test_batch_one_is_identical(self, golden_heap, monkeypatch):
+        # batch=1 disables draw prefetching: the engine consumes the
+        # random stream exactly like the scalar one, draw by draw.
+        assert self._vector_dict(
+            monkeypatch, batch=1
+        ) == golden_heap.as_dict(include_params=False)
+
+    def test_forced_numpy_scan_is_identical(self, golden_heap, monkeypatch):
+        # cutoff=0 forces the searchsorted path for every request,
+        # however small the active set.
+        assert self._vector_dict(
+            monkeypatch, batch=256, cutoff=0
+        ) == golden_heap.as_dict(include_params=False)
+
+    def test_calendar_plus_vectorized_is_identical(
+        self, golden_heap, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_KERNEL_SCHED", "calendar")
+        assert self._vector_dict() == golden_heap.as_dict(
+            include_params=False
+        )
+
+    def test_vectorized_does_not_move_cache_digest_fields(self):
+        # Same physics, distinct address: the conflict_engine field is
+        # part of the parameter hash, so vectorized runs cache
+        # separately (by design — selecting it is a params change).
+        params = GOLDEN_PARAMS.replace(conflict_engine="vectorized")
+        assert cache_key(params) != GOLDEN_DIGEST
+        assert cache_key(GOLDEN_PARAMS) == GOLDEN_DIGEST
+
+
+def test_seed_sweep_identity(monkeypatch):
+    """A spread of seeds and sizes, heap vs calendar, quick horizon."""
+    for seed in (1, 3, 11):
+        params = SimulationParameters(
+            dbsize=200,
+            ltot=10,
+            ntrans=4,
+            maxtransize=20,
+            npros=2,
+            tmax=60.0,
+            seed=seed,
+        )
+        monkeypatch.delenv("REPRO_KERNEL_SCHED", raising=False)
+        heap = simulate(params)
+        monkeypatch.setenv("REPRO_KERNEL_SCHED", "calendar")
+        calendar = simulate(params)
+        monkeypatch.delenv("REPRO_KERNEL_SCHED", raising=False)
+        assert heap.as_dict() == calendar.as_dict(), seed
