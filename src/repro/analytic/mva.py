@@ -94,6 +94,10 @@ class AnalyticPrediction:
     converged: bool
     #: Heuristic trust score in [0, 1]; see :func:`uncertainty_score`.
     uncertainty: float = 0.0
+    #: Per-transaction-class estimates for multi-class mixes: dicts of
+    #: ``txn_class`` / ``totcom`` / ``throughput`` / ``response_time``
+    #: / ``mean_attempts`` mirroring ``SimulationResult.per_class``.
+    per_class: tuple = ()
 
     @property
     def provenance(self):
@@ -101,6 +105,12 @@ class AnalyticPrediction:
         return "analytic"
 
     def _field_value(self, name):
+        if "__" in name:
+            base, _, cls = name.partition("__")
+            for entry in self.per_class:
+                if entry["txn_class"] == cls:
+                    return entry.get(base, math.nan)
+            return math.nan
         mapped = {
             "throughput": self.throughput,
             "response_time": self.response_time,
@@ -128,6 +138,11 @@ class AnalyticPrediction:
     def as_dict(self, include_params=True):
         """Flat row like a simulated cell's, plus ``provenance``."""
         row = {name: self._field_value(name) for name in RESULT_FIELDS}
+        for entry in self.per_class:
+            cls = entry["txn_class"]
+            for key, value in entry.items():
+                if key != "txn_class":
+                    row["{}__{}".format(key, cls)] = value
         row["provenance"] = self.provenance
         if include_params:
             for key, value in self.params.as_dict().items():
@@ -151,6 +166,9 @@ def size_biased_transaction_size(params):
         m1 = fraction * small_m1 + (1 - fraction) * large_m1
         m2 = fraction * small_m2 + (1 - fraction) * large_m2
         return m2 / m1
+    if params.workload == "classes":
+        mix = params.workload_mix
+        return mix.second_moment_size / mix.mean_size
     # uniform on 1..maxtransize
     return (2 * params.maxtransize + 1) / 3.0
 
@@ -328,12 +346,93 @@ def predict(params):
         attempts=attempts,
         semantics=semantics,
         converged=converged,
+        per_class=_per_class_split(
+            params,
+            semantics=semantics,
+            blocking=blocking,
+            throughput=throughput,
+            response_exec=response_exec,
+            lock_response=lock_response,
+            p_cap=p_cap,
+        ),
     )
     return _with_uncertainty(
         prediction,
         p_cap=p_cap,
         util=max(util_lock_disk, util_lock_cpu),
     )
+
+
+def _per_class_split(
+    params, semantics, blocking, throughput, response_exec, lock_response,
+    p_cap,
+):
+    """Per-class estimates under the converged aggregate congestion.
+
+    The simulator's FCFS fork-join stations *equalise* waiting: every
+    class queues behind the same disk backlogs, so cycle times differ
+    mainly by each class's own parallel service requirement, not by
+    demand ratios.  The split therefore takes the aggregate cycle
+    ``C = N/X`` from the fixed point and offsets it additively —
+    ``C_c = C + (S_c − S̄)`` with ``S_c`` the class's raw fanned-out
+    execution + lock demand and ``S̄`` the mixture mean, floored at
+    ``S_c`` itself.  Class rates ``N_c/C_c`` are renormalised to the
+    validated aggregate ``X`` so the breakdown always sums to it, and
+    response times follow from Little's law on the terminal shares.
+    """
+    mix = params.workload_mix
+    if mix is None:
+        return ()
+    nu = max(params.mean_transaction_size, 1.0)
+    locks_mean = max(
+        locks_required(params.placement, params.dbsize, params.ltot, nu), 1.0
+    )
+    cycle = params.ntrans / throughput if throughput > 0 else math.inf
+    counts = mix.population_counts(params.ntrans)
+    lock_unit = (params.liotime + params.lcputime) / params.npros
+    exec_unit = (params.iotime + params.cputime) / params.npros
+    demands = []
+    attempts_by_class = []
+    for cls in mix:
+        nu_c = max(cls.mean_size, 1.0)
+        locks_c = max(
+            locks_required(
+                params.placement, params.dbsize, params.ltot, nu_c
+            ),
+            1.0,
+        )
+        blocking_c = min(p_cap, blocking * locks_c / locks_mean)
+        attempts_c = 1.0 / (1.0 - blocking_c)
+        overhead_attempts = attempts_c if semantics != "incremental" else 1.0
+        service = nu_c * exec_unit + overhead_attempts * locks_c * lock_unit
+        if semantics == "restart":
+            service += (attempts_c - 1.0) * _mean_backoff(params)
+        demands.append(service)
+        attempts_by_class.append(attempts_c)
+    mean_service = sum(
+        cls.fraction * service for cls, service in zip(mix, demands)
+    )
+    rates = []
+    for count, service in zip(counts, demands):
+        cycle_c = max(cycle + service - mean_service, service, 1e-12)
+        rates.append(count / cycle_c)
+    total_rate = sum(rates)
+    per_class = []
+    for cls, count, rate, attempts_c in zip(
+        mix, counts, rates, attempts_by_class
+    ):
+        share = rate / total_rate if total_rate > 0 else 0.0
+        x_c = throughput * share
+        per_class.append(
+            {
+                "txn_class": cls.name,
+                "totcom": x_c * max(params.tmax, 0.0),
+                "throughput": x_c,
+                "response_time": count / x_c if x_c > 0 else math.inf,
+                "mean_attempts": attempts_c,
+            }
+        )
+    return tuple(per_class)
 
 
 def uncertainty_score(prediction, p_cap=None, util=0.0):
@@ -374,6 +473,7 @@ def _with_uncertainty(prediction, p_cap, util):
         semantics=prediction.semantics,
         converged=prediction.converged,
         uncertainty=score,
+        per_class=prediction.per_class,
     )
 
 

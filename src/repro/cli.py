@@ -36,6 +36,18 @@ QUICK_TMAX = 400.0
 _FLAG_ALIASES = {"protocol": "--cc", "txn_policy": "--admission"}
 
 
+def _parameter_names():
+    """Every overridable parameter name, flag-order.
+
+    ``as_dict`` omits ``txn_classes`` when empty (digest neutrality),
+    so the default instance's dict misses it; append it explicitly so
+    the flag and every override-collection site still see it.
+    """
+    names = list(SimulationParameters().as_dict())
+    names.append("txn_classes")
+    return names
+
+
 def _add_parameter_flags(parser, skip=()):
     """Add one ``--<name>`` option per simulation parameter.
 
@@ -43,19 +55,29 @@ def _add_parameter_flags(parser, skip=()):
     trace, faults, tune, sensitivity) shares this generator, so new
     parameters and policy aliases appear everywhere at once.
     """
-    for name, value in SimulationParameters().as_dict().items():
+    defaults = SimulationParameters().as_dict()
+    defaults.setdefault("txn_classes", "")
+    for name in _parameter_names():
         if name in skip:
             continue
+        value = defaults[name]
         kind = type(value)
         flags = ["--{}".format(name.replace("_", "-"))]
         if name in _FLAG_ALIASES:
             flags.append(_FLAG_ALIASES[name])
+        help_text = "default: {!r}".format(value)
+        if name == "txn_classes":
+            help_text = (
+                "comma-separated class specs name:fraction:maxtransize"
+                "[:key=val]* (keys: dist, write, gran, prio, backoff, "
+                "skew); requires --workload classes"
+            )
         parser.add_argument(
             *flags,
             dest=name,
             type=kind if kind in (int, float) else str,
             default=None,
-            help="default: {!r}".format(value),
+            help=help_text,
         )
 
 
@@ -673,7 +695,7 @@ def _command_predict(args):
 
     overrides = {
         name: getattr(args, name)
-        for name in SimulationParameters().as_dict()
+        for name in _parameter_names()
         if getattr(args, name, None) is not None
     }
     base = SimulationParameters(**overrides)
@@ -706,6 +728,14 @@ def _command_predict(args):
             )
             + "  {}".format(", ".join(flags))
         )
+        for entry in prediction.per_class:
+            print(
+                "{:>8s}  class {}: throughput={:.6g} "
+                "response_time={:.6g} attempts={:.6g}".format(
+                    "", entry["txn_class"], entry["throughput"],
+                    entry["response_time"], entry["mean_attempts"],
+                )
+            )
         rows.append(prediction.as_dict())
     print(
         "(semantics: {}; analytic mean-value model — validate with "
@@ -887,7 +917,7 @@ def _command_faults(args):
     backoff = make_backoff_policy(args.backoff)
     overrides = {
         name: getattr(args, name)
-        for name in SimulationParameters().as_dict()
+        for name in _parameter_names()
         if name != "ltot" and getattr(args, name, None) is not None
     }
     ltots = tuple(int(v) for v in args.ltot_grid.split(",") if v.strip())
@@ -1040,7 +1070,7 @@ def _command_faults(args):
 def _command_simulate(args):
     overrides = {
         name: getattr(args, name)
-        for name in SimulationParameters().as_dict()
+        for name in _parameter_names()
         if getattr(args, name) is not None
     }
     if args.trace:
@@ -1062,6 +1092,11 @@ def _command_simulate(args):
     print("Outputs:")
     for name in RESULT_FIELDS:
         print("  {:24s} {}".format(name, getattr(result, name)))
+    for entry in result.per_class:
+        print("Class {}:".format(entry["txn_class"]))
+        for key, value in entry.items():
+            if key != "txn_class":
+                print("  {:24s} {}".format(key, value))
     return 0
 
 
@@ -1070,7 +1105,7 @@ def _command_tune(args):
 
     overrides = {
         name: getattr(args, name)
-        for name in SimulationParameters().as_dict()
+        for name in _parameter_names()
         if hasattr(args, name) and getattr(args, name) is not None
     }
     overrides["tmax"] = args.tmax
@@ -1099,7 +1134,7 @@ def _command_sensitivity(args):
 
     overrides = {
         name: getattr(args, name)
-        for name in SimulationParameters().as_dict()
+        for name in _parameter_names()
         if hasattr(args, name) and getattr(args, name) is not None
     }
     overrides["tmax"] = args.tmax
@@ -1125,7 +1160,7 @@ def _command_trace(args):
 
     overrides = {
         name: getattr(args, name)
-        for name in SimulationParameters().as_dict()
+        for name in _parameter_names()
         if getattr(args, name) is not None
     }
     params = SimulationParameters(**overrides)

@@ -71,6 +71,12 @@ class HierarchicalConflicts:
         ``ROOT`` / ``("f", i)`` / ``("b", i)``.  ``lock_count`` counts
         every lock actually set — intention locks included — which is
         what the lock-processing cost scales with.
+
+        A transaction class's granularity preference overrides the
+        global escalation rule: ``file`` always takes file locks
+        (batch-style coarse locking), ``block`` never escalates, and
+        ``default`` (or a classless transaction) follows
+        ``escalation_threshold``.
         """
         if txn.granules is None:
             raise ValueError(
@@ -79,16 +85,26 @@ class HierarchicalConflicts:
             )
         mode = LockMode.X if txn.is_writer else LockMode.S
         intent = _INTENT[mode]
+        preference = "default"
+        txn_class = getattr(txn, "txn_class", None)
+        if txn_class is not None:
+            preference = txn_class.granularity
         by_file = {}
         for block in txn.granules:
             by_file.setdefault(self.file_of(block), []).append(block)
         requests = [(ROOT, intent)]
         escalated = 0
         for file_id, blocks in sorted(by_file.items()):
-            if (
-                self.escalation_threshold
-                and len(blocks) >= self.escalation_threshold
-            ):
+            if preference == "file":
+                escalate = True
+            elif preference == "block":
+                escalate = False
+            else:
+                escalate = bool(
+                    self.escalation_threshold
+                    and len(blocks) >= self.escalation_threshold
+                )
+            if escalate:
                 requests.append((("f", file_id), mode))
                 escalated += 1
             else:

@@ -26,6 +26,19 @@ def _percentiles(samples, fractions):
     ]
 
 
+class _ClassStats:
+    """Per-transaction-class accumulator (multi-class runs only)."""
+
+    __slots__ = ("name", "completions", "response", "attempts", "aborts")
+
+    def __init__(self, name):
+        self.name = name
+        self.completions = 0
+        self.response = Tally("response:" + name)
+        self.attempts = Tally("attempts:" + name)
+        self.aborts = 0
+
+
 class MetricsCollector:
     """Collects everything a run reports.
 
@@ -84,6 +97,14 @@ class MetricsCollector:
         self.degraded_completions = 0
         self.commit_aborts = 0
         self.commit_latency = Tally("commit_latency")
+        # Per-class breakdowns only exist for multi-class runs, so the
+        # single-class result payload (and its cache digest) is
+        # byte-identical to the historical format.
+        mix = params.workload_mix
+        self._class_names = mix.names if mix is not None else ()
+        self.class_stats = {
+            name: _ClassStats(name) for name in self._class_names
+        }
         self._warmup_busy = BusySnapshot(0.0, 0.0, 0.0, 0.0)
         self._warmup_downtime = 0.0
         self._warmup_degraded = 0.0
@@ -119,6 +140,9 @@ class MetricsCollector:
         self.degraded_completions = 0
         self.commit_aborts = 0
         self.commit_latency = Tally("commit_latency")
+        self.class_stats = {
+            name: _ClassStats(name) for name in self._class_names
+        }
         self._measuring = True
 
     # -- event hooks -----------------------------------------------------
@@ -137,18 +161,25 @@ class MetricsCollector:
         if self._measuring:
             self.lock_denials += 1
 
-    def note_abort(self, cause="deadlock"):
+    def note_abort(self, cause="deadlock", txn=None):
         """A transaction attempt was aborted on a conflict.
 
         *cause* is the protocol's reason string (``"deadlock"``,
         ``"wounded"``, ``"no-waiting"``); it feeds the live
         aborts-by-cause counter only — the paper's ``deadlock_aborts``
-        output keeps counting every conflict abort as before.
+        output keeps counting every conflict abort as before.  *txn*
+        (when given and classed) additionally charges the abort to
+        the transaction's class breakdown.
         """
+        cls = getattr(txn, "class_name", None)
         if self.instruments is not None:
             self.instruments.note_abort(cause)
+            if cls is not None:
+                self.instruments.note_class_abort(cls, cause)
         if self._measuring:
             self.deadlock_aborts += 1
+            if cls is not None and cls in self.class_stats:
+                self.class_stats[cls].aborts += 1
 
     def note_failure_abort(self):
         """A transaction was aborted by a processor crash."""
@@ -185,13 +216,23 @@ class MetricsCollector:
 
     def note_completion(self, txn):
         """A transaction finished and released its locks."""
+        cls = txn.class_name
         if self.instruments is not None:
             self.instruments.commits.inc()
             if txn.attempts > 1:
                 self.instruments.restarts.inc(txn.attempts - 1)
             self.instruments.response.observe(self.env.now - txn.arrival)
+            if cls is not None:
+                self.instruments.note_class_completion(
+                    cls, txn.attempts - 1, self.env.now - txn.arrival
+                )
         if not self._measuring:
             return
+        if cls is not None and cls in self.class_stats:
+            stats = self.class_stats[cls]
+            stats.completions += 1
+            stats.response.observe(self.env.now - txn.arrival)
+            stats.attempts.observe(txn.attempts)
         self.completions += 1
         if self.machine.down_count or (
             self.cluster is not None and self.cluster.partitioned
@@ -255,7 +296,19 @@ class MetricsCollector:
         degraded_throughput = (
             self.degraded_completions / degraded if degraded > 0.0 else 0.0
         )
+        per_class = tuple(
+            {
+                "txn_class": name,
+                "totcom": stats.completions,
+                "throughput": stats.completions / horizon,
+                "response_time": stats.response.mean,
+                "aborts": stats.aborts,
+                "mean_attempts": stats.attempts.mean,
+            }
+            for name, stats in self.class_stats.items()
+        )
         return SimulationResult(
+            per_class=per_class,
             params=params,
             totcpus=busy.totcpus,
             totios=busy.totios,

@@ -142,6 +142,30 @@ class LockingGranularityModel:
         self.sizes = (
             size_sampler if size_sampler is not None else make_size_sampler(params)
         )
+        # Multi-class plumbing: a dedicated class-pick stream plus one
+        # size stream per class (seeded from ("sizes", name), so adding
+        # or renaming a class never perturbs the others), and per-class
+        # placements when a class overrides the access skew.  All of it
+        # only exists when a mix is configured — the single-class draw
+        # sequence is untouched.
+        self.mix = params.workload_mix
+        self._class_placements = {}
+        if self.mix is not None:
+            self.rngs["class"] = streams.stream("class")
+            for cls in self.mix:
+                self.rngs[("sizes", cls.name)] = streams.stream(
+                    "sizes", cls.name
+                )
+                if cls.access_skew is not None and params.placement == "skewed":
+                    self._class_placements[cls.name] = make_placement(
+                        params.replace(access_skew=cls.access_skew)
+                    )
+        # Whether transactions must materialise granule sets up front
+        # is a capability of the conflict engine (declared on its
+        # registry factory), not a hardcoded name list.
+        self._needs_granules = getattr(
+            resolve("conflict", params.conflict_engine), "needs_granules", False
+        )
         self.conflicts = make_conflict_engine(params, streams.stream("conflict"))
         if self.trace is not None or metrics_registry is not None or self._injector is not None:
             # Traces, live metrics and fault injection all reason about
@@ -212,20 +236,39 @@ class LockingGranularityModel:
 
     # -- transaction factory ---------------------------------------------
 
-    def new_transaction(self):
-        """Draw one transaction from the workload/placement policies."""
+    def new_transaction(self, cls=None):
+        """Draw one transaction from the workload/placement policies.
+
+        Multi-class runs pick the class from the dedicated ``class``
+        stream (or honor a forced *cls* — closed arrivals pin each
+        terminal to a class) and draw the size from that class's own
+        stream; everything else flows through the shared streams.
+        """
         params = self.params
-        nu = self.sizes.sample(self.rngs["sizes"])
-        lock_count = self.placement.lock_count(nu)
-        if params.conflict_engine in ("explicit", "hierarchical"):
-            granules = self.placement.granules(nu, self.rngs["placement"])
+        placement = self.placement
+        if self.mix is not None:
+            if cls is None:
+                cls = self.mix.pick(self.rngs["class"].random())
+            nu = self.sizes.sample_for(cls, self.rngs[("sizes", cls.name)])
+            placement = self._class_placements.get(cls.name, placement)
+        else:
+            nu = self.sizes.sample(self.rngs["sizes"])
+        lock_count = placement.lock_count(nu)
+        if self._needs_granules:
+            granules = placement.granules(nu, self.rngs["placement"])
         else:
             granules = None
-        if params.write_fraction >= 1.0:
+        write_fraction = (
+            params.write_fraction if cls is None else cls.write_fraction
+        )
+        if write_fraction >= 1.0:
             is_writer = True
         else:
-            is_writer = self.rngs["readwrite"].random() < params.write_fraction
-        return Transaction(next(self._tid), nu, lock_count, granules, is_writer)
+            is_writer = self.rngs["readwrite"].random() < write_fraction
+        return Transaction(
+            next(self._tid), nu, lock_count, granules, is_writer,
+            txn_class=cls,
+        )
 
     # -- trace plumbing ----------------------------------------------------
 
@@ -349,7 +392,7 @@ class LockingGranularityModel:
         self.metrics.note_completion(txn)
         self.wake_waiters(txn)
         self.admission.on_complete()
-        self.arrivals.on_complete(self)
+        self.arrivals.on_complete(self, txn)
 
 
 def simulate(params=None, fault_plan=None, backoff=None, **overrides):

@@ -14,6 +14,7 @@ hundreds of transactions (see DESIGN.md).
 import dataclasses
 from dataclasses import dataclass
 
+from repro.core.txnclass import WorkloadMix, format_class_specs, normalize_classes
 from repro.policies import PARAM_FIELDS, UnknownPolicyError, registry
 
 #: Placement strategies: §3.5 of the paper, plus ``skewed`` (hot-spot
@@ -137,6 +138,13 @@ class SimulationParameters:
         Coordinator patience: a 2PC prepare round (or a primary-copy
         forward) that has not completed within this many time units is
         presumed aborted and retried after backoff.
+    txn_classes:
+        Multi-class workload mix: a tuple of
+        :class:`repro.core.txnclass.TransactionClass` (or a compact
+        spec string, e.g. ``"oltp:0.8:50,batch:0.2:500:gran=file"``)
+        used when ``workload = "classes"``.  Empty (the default)
+        means the historical single-class model; the field is then
+        omitted from parameter dicts so cache digests are unchanged.
     seed:
         Master random seed (named substreams derive from it).
     warmup:
@@ -175,10 +183,16 @@ class SimulationParameters:
     net_latency: float = 0.0  # one-way inter-site latency
     net_jitter: float = 0.0  # uniform extra latency bound
     commit_timeout: float = 5.0  # coordinator presumed-abort patience
+    txn_classes: tuple = ()  # multi-class mix (empty = single-class)
     seed: int = 1
     warmup: float = 0.0
 
     def __post_init__(self):
+        # Accept spec strings / lists / WorkloadMix for txn_classes and
+        # store the canonical tuple (frozen dataclass, hence setattr).
+        object.__setattr__(
+            self, "txn_classes", normalize_classes(self.txn_classes)
+        )
         self.validate()
 
     def validate(self):
@@ -215,11 +229,19 @@ class SimulationParameters:
             value = getattr(self, field)
             if (layer, value) not in registry:
                 raise UnknownPolicyError(layer, value, registry.names(layer))
+        # Engine capabilities are declared on the conflict factory
+        # itself (supports_granule_cc, table_backed, validate_params)
+        # so new engines opt in without this module naming them.
         cc = registry.resolve("cc", self.protocol)
-        if getattr(cc, "needs_granules", False) and self.conflict_engine != "explicit":
+        engine = registry.resolve("conflict", self.conflict_engine)
+        if getattr(cc, "needs_granules", False) and not getattr(
+            engine, "supports_granule_cc", False
+        ):
             raise ValueError(
                 "the {} protocol tracks per-granule ownership and "
-                "requires the explicit engine".format(self.protocol)
+                "requires a granule-tracking engine (explicit)".format(
+                    self.protocol
+                )
             )
         if self.nfiles < 1:
             raise ValueError("nfiles must be >= 1, got {}".format(self.nfiles))
@@ -227,15 +249,17 @@ class SimulationParameters:
             raise ValueError("escalation_threshold must be >= 0")
         if self.access_skew < 0:
             raise ValueError("access_skew must be >= 0")
-        if self.placement == "skewed" and self.conflict_engine in (
-            "probabilistic",
-            "vectorized",
+        if self.placement == "skewed" and not getattr(
+            engine, "table_backed", False
         ):
             raise ValueError(
                 "the skewed placement needs a table-backed conflict engine "
                 "(explicit or hierarchical); the interval model cannot "
                 "represent hot spots"
             )
+        engine_check = getattr(engine, "validate_params", None)
+        if engine_check is not None:
+            engine_check(self)
         if self.arrival_process != "closed" and self.arrival_rate <= 0:
             raise ValueError("arrival_rate must be > 0 for the open system")
         if not 0.0 <= self.mix_small_fraction <= 1.0:
@@ -251,6 +275,20 @@ class SimulationParameters:
                     )
         if not 0.0 <= self.write_fraction <= 1.0:
             raise ValueError("write_fraction must be in [0, 1]")
+        if self.txn_classes and self.workload != "classes":
+            raise ValueError(
+                "txn_classes is set but workload={!r}; multi-class mixes "
+                "need workload='classes'".format(self.workload)
+            )
+        if self.workload == "classes":
+            if not self.txn_classes:
+                raise ValueError(
+                    "workload='classes' needs a non-empty txn_classes mix "
+                    "(e.g. 'oltp:0.8:50,batch:0.2:500')"
+                )
+            # Full mix validation (fractions sum to 1, names unique,
+            # per-class bounds against dbsize).
+            WorkloadMix(self.txn_classes, dbsize=self.dbsize)
         if self.mpl_limit < 0:
             raise ValueError("mpl_limit must be >= 0 (0 = unlimited)")
         if self.nnodes < 1:
@@ -278,12 +316,32 @@ class SimulationParameters:
         return dataclasses.replace(self, **changes)
 
     def as_dict(self):
-        """Plain-dict view (for CSV/JSON persistence)."""
-        return dataclasses.asdict(self)
+        """Plain-dict view (for CSV/JSON persistence).
+
+        ``txn_classes`` is carried as its canonical spec string, and
+        *omitted entirely* when empty — so single-class parameter
+        documents (and hence cache digests) are byte-identical to the
+        pre-multi-class format.
+        """
+        out = dataclasses.asdict(self)
+        if self.txn_classes:
+            out["txn_classes"] = format_class_specs(self.txn_classes)
+        else:
+            del out["txn_classes"]
+        return out
+
+    @property
+    def workload_mix(self):
+        """The validated :class:`WorkloadMix`, or ``None`` single-class."""
+        if not self.txn_classes:
+            return None
+        return WorkloadMix(self.txn_classes, dbsize=self.dbsize)
 
     @property
     def mean_transaction_size(self):
         """Expected NU under the configured workload."""
+        if self.workload == "classes":
+            return self.workload_mix.mean_size
         if self.workload == "fixed":
             return float(self.maxtransize)
         if self.workload == "mixed":

@@ -86,6 +86,14 @@ class SimulationResult:
     partition_time:
         Measured time some network partition was active (0.0 when the
         cluster never partitioned).
+    per_class:
+        Per-transaction-class breakdown for multi-class runs: a tuple
+        of dicts (``txn_class``, ``totcom``, ``throughput``,
+        ``response_time``, ``aborts``, ``mean_attempts``) in mix
+        declaration order.  Empty in single-class runs and then
+        *omitted* from ``as_dict`` / cache documents, so historical
+        digests and CSVs are unchanged.  Flat access uses suffixed
+        field names: ``result.value("throughput__oltp")``.
     """
 
     params: SimulationParameters
@@ -122,10 +130,32 @@ class SimulationResult:
     messages_sent: int = 0
     messages_dropped: int = 0
     partition_time: float = 0.0
+    per_class: tuple = ()
+
+    def value(self, field):
+        """*field*'s value; supports per-class names like
+        ``throughput__oltp`` (``<base>__<class>``)."""
+        if "__" in field:
+            base, _, cls = field.partition("__")
+            for entry in self.per_class:
+                if entry["txn_class"] == cls:
+                    return entry.get(base, math.nan)
+            return math.nan
+        return getattr(self, field)
 
     def as_dict(self, include_params=True):
-        """Flat dict of outputs (optionally prefixed parameter inputs)."""
+        """Flat dict of outputs (optionally prefixed parameter inputs).
+
+        Multi-class runs append one ``<field>__<class>`` column per
+        per-class output; single-class rows carry no extra keys, so
+        legacy CSVs round-trip unchanged.
+        """
         row = {name: getattr(self, name) for name in RESULT_FIELDS}
+        for entry in self.per_class:
+            cls = entry["txn_class"]
+            for key, value in entry.items():
+                if key != "txn_class":
+                    row["{}__{}".format(key, cls)] = value
         if include_params:
             for key, value in self.params.as_dict().items():
                 row.setdefault(key, value)
@@ -153,8 +183,9 @@ class ReplicatedResult:
         return len(self.results)
 
     def samples(self, field):
-        """All replication values of *field*."""
-        return [getattr(result, field) for result in self.results]
+        """All replication values of *field* (per-class suffixed
+        names like ``throughput__oltp`` included)."""
+        return [result.value(field) for result in self.results]
 
     def mean(self, field):
         """Replication mean of *field* (nan-samples are dropped)."""
@@ -187,8 +218,18 @@ class ReplicatedResult:
         return (mean - half, mean + half)
 
     def as_dict(self, include_params=True):
-        """Means of every output field, plus parameters if requested."""
+        """Means of every output field, plus parameters if requested.
+
+        Per-class columns appear only when the underlying results
+        carry a class breakdown (multi-class runs).
+        """
         row = {name: self.mean(name) for name in RESULT_FIELDS}
+        for entry in self.results[0].per_class:
+            cls = entry["txn_class"]
+            for key in entry:
+                if key != "txn_class":
+                    name = "{}__{}".format(key, cls)
+                    row[name] = self.mean(name)
         if include_params:
             for key, value in self.params.as_dict().items():
                 row.setdefault(key, value)

@@ -23,6 +23,12 @@ class Transaction:
     is_writer:
         True when the transaction takes X locks (always, in the
         paper's model).
+    txn_class:
+        The :class:`repro.core.txnclass.TransactionClass` this
+        transaction belongs to, or ``None`` in the single-class
+        model.  Carried through the whole lifecycle so admission,
+        concurrency control, the hierarchical engine, metrics and
+        results can discriminate per class.
     arrival:
         Simulation time it entered the pending queue.
     attempts:
@@ -44,6 +50,7 @@ class Transaction:
         "lock_count",
         "granules",
         "is_writer",
+        "txn_class",
         "arrival",
         "attempts",
         "aborts",
@@ -51,21 +58,35 @@ class Transaction:
         "commit_retries",
     )
 
-    def __init__(self, tid, nu, lock_count, granules=None, is_writer=True):
+    def __init__(self, tid, nu, lock_count, granules=None, is_writer=True,
+                 txn_class=None):
         self.tid = tid
         self.nu = nu
         self.lock_count = lock_count
         self.granules = granules
         self.is_writer = is_writer
+        self.txn_class = txn_class
         self.arrival = None
         self.attempts = 0
         self.aborts = 0
         self.fault_retries = 0
         self.commit_retries = 0
 
+    @property
+    def class_name(self):
+        """The class label, or ``None`` in the single-class model."""
+        return self.txn_class.name if self.txn_class is not None else None
+
+    @property
+    def priority(self):
+        """Admission priority (0 when classless)."""
+        return self.txn_class.priority if self.txn_class is not None else 0
+
     def __repr__(self):
-        return "<Transaction #{} nu={} locks={}>".format(
-            self.tid, self.nu, self.lock_count
+        return "<Transaction #{} nu={} locks={}{}>".format(
+            self.tid, self.nu, self.lock_count,
+            " class={}".format(self.txn_class.name)
+            if self.txn_class is not None else "",
         )
 
     @property

@@ -1,0 +1,397 @@
+"""First-class transaction classes (multi-class workload mixes).
+
+The paper's §3.6 "mixed workload" is a single-population hack: one
+size sampler with a coin flip.  This module promotes the idea to a
+first-class :class:`TransactionClass` — a named population with its
+own fraction of the arrival stream, size distribution, read/write
+ratio, preferred locking granularity, admission priority, backoff
+scale and (optional) access skew — and a validated
+:class:`WorkloadMix` of such classes that the whole stack (sampling,
+lifecycle, concurrency control, results, analytic model, metrics)
+can discriminate on.
+
+Classes are configured through ``SimulationParameters.txn_classes``,
+either as ``TransactionClass`` instances or as compact spec strings::
+
+    oltp:0.8:50
+    batch:0.2:500:write=0.5:gran=file:prio=1
+
+i.e. ``name:fraction:maxtransize`` followed by optional ``key=value``
+refinements (``dist``, ``write``, ``gran``, ``prio``, ``backoff``,
+``skew``).  ``parse_class_specs`` / ``format_class_specs`` round-trip
+the canonical comma-joined form, which is also what parameter dicts,
+CSVs and cache documents carry — an empty mix is *omitted entirely*
+so single-class digests stay byte-identical (the same discipline as
+the registry's ``policy_versions`` token).
+"""
+
+from dataclasses import dataclass
+
+#: Recognised per-class size distributions.
+SIZE_DISTS = ("uniform", "fixed")
+#: Recognised per-class granularity preferences for the hierarchical
+#: engine: ``default`` follows ``escalation_threshold``, ``file``
+#: always takes file locks, ``block`` never escalates.
+GRANULARITIES = ("default", "file", "block")
+
+#: Spec-string refinement keys, in canonical emission order.
+_SPEC_KEYS = ("dist", "write", "gran", "prio", "backoff", "skew")
+
+
+@dataclass(frozen=True)
+class TransactionClass:
+    """One population in a multi-class workload mix.
+
+    Attributes
+    ----------
+    name:
+        Label carried through results, metrics and reports.
+    fraction:
+        Share of the transaction population in ``(0, 1]``; the
+        fractions of a mix must sum to 1.
+    maxtransize:
+        Size bound: ``NU ~ U{1..maxtransize}`` for the ``uniform``
+        distribution, exactly ``maxtransize`` for ``fixed``.
+    size_dist:
+        ``uniform`` (the paper's shape) or ``fixed``.
+    write_fraction:
+        Probability a member is an updater taking X locks.
+    granularity:
+        Preferred level under the hierarchical engine: ``default``
+        (honor ``escalation_threshold``), ``file`` (always lock whole
+        files — the coarse-grained preference), or ``block`` (never
+        escalate).
+    priority:
+        Admission priority (higher admits first under the
+        ``priority`` admission policy; ties fall back to FCFS).
+    backoff:
+        Multiplier on the restart backoff delay for members of this
+        class (1.0 = the shared policy unchanged).
+    access_skew:
+        Optional per-class Zipf theta overriding the global
+        ``access_skew`` under the ``skewed`` placement; ``None``
+        inherits the global value.
+    """
+
+    name: str
+    fraction: float
+    maxtransize: int
+    size_dist: str = "uniform"
+    write_fraction: float = 1.0
+    granularity: str = "default"
+    priority: int = 0
+    backoff: float = 1.0
+    access_skew: float = None
+
+    def validate(self, dbsize=None):
+        """Raise ``ValueError`` on any out-of-range field."""
+        if not self.name or "," in self.name or ":" in self.name:
+            raise ValueError(
+                "class name must be non-empty and contain no ',' or ':', "
+                "got {!r}".format(self.name)
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                "class {}: fraction must be in (0, 1], got {}".format(
+                    self.name, self.fraction
+                )
+            )
+        if self.maxtransize < 1:
+            raise ValueError(
+                "class {}: maxtransize must be >= 1, got {}".format(
+                    self.name, self.maxtransize
+                )
+            )
+        if dbsize is not None and self.maxtransize > dbsize:
+            raise ValueError(
+                "class {}: maxtransize must be <= dbsize={}, got {}".format(
+                    self.name, dbsize, self.maxtransize
+                )
+            )
+        if self.size_dist not in SIZE_DISTS:
+            raise ValueError(
+                "class {}: size_dist must be one of {}, got {!r}".format(
+                    self.name, SIZE_DISTS, self.size_dist
+                )
+            )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(
+                "class {}: write_fraction must be in [0, 1]".format(self.name)
+            )
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(
+                "class {}: granularity must be one of {}, got {!r}".format(
+                    self.name, GRANULARITIES, self.granularity
+                )
+            )
+        if self.backoff <= 0:
+            raise ValueError(
+                "class {}: backoff must be > 0, got {}".format(
+                    self.name, self.backoff
+                )
+            )
+        if self.access_skew is not None and self.access_skew < 0:
+            raise ValueError(
+                "class {}: access_skew must be >= 0".format(self.name)
+            )
+
+    @property
+    def mean_size(self):
+        """Expected NU of one member."""
+        if self.size_dist == "fixed":
+            return float(self.maxtransize)
+        return (self.maxtransize + 1) / 2.0
+
+    @property
+    def second_moment_size(self):
+        """E[NU^2] of one member (size-biased moments for the MVA)."""
+        if self.size_dist == "fixed":
+            return float(self.maxtransize) ** 2
+        m = self.maxtransize
+        return (m + 1) * (2 * m + 1) / 6.0
+
+    def spec(self):
+        """Canonical spec string (defaults omitted)."""
+        parts = [
+            self.name,
+            _trim_float(self.fraction),
+            str(self.maxtransize),
+        ]
+        if self.size_dist != "uniform":
+            parts.append("dist={}".format(self.size_dist))
+        if self.write_fraction != 1.0:
+            parts.append("write={}".format(_trim_float(self.write_fraction)))
+        if self.granularity != "default":
+            parts.append("gran={}".format(self.granularity))
+        if self.priority != 0:
+            parts.append("prio={}".format(self.priority))
+        if self.backoff != 1.0:
+            parts.append("backoff={}".format(_trim_float(self.backoff)))
+        if self.access_skew is not None:
+            parts.append("skew={}".format(_trim_float(self.access_skew)))
+        return ":".join(parts)
+
+
+class WorkloadMix:
+    """A validated, ordered collection of transaction classes.
+
+    Parameters
+    ----------
+    classes:
+        Sequence of :class:`TransactionClass` whose fractions sum to
+        1 (within 1e-6) and whose names are unique.
+    """
+
+    def __init__(self, classes, dbsize=None):
+        classes = tuple(classes)
+        if not classes:
+            raise ValueError("a workload mix needs at least one class")
+        names = [cls.name for cls in classes]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                "class names must be unique, got {}".format(names)
+            )
+        for cls in classes:
+            cls.validate(dbsize=dbsize)
+        total = sum(cls.fraction for cls in classes)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                "class fractions must sum to 1, got {}".format(total)
+            )
+        self.classes = classes
+
+    def __iter__(self):
+        return iter(self.classes)
+
+    def __len__(self):
+        return len(self.classes)
+
+    def __getitem__(self, index):
+        return self.classes[index]
+
+    def by_name(self, name):
+        """The class labelled *name* (KeyError when absent)."""
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(name)
+
+    @property
+    def names(self):
+        return tuple(cls.name for cls in self.classes)
+
+    @property
+    def mean_size(self):
+        """Mixture-mean transaction size."""
+        return sum(cls.fraction * cls.mean_size for cls in self.classes)
+
+    @property
+    def second_moment_size(self):
+        """Mixture E[NU^2]."""
+        return sum(
+            cls.fraction * cls.second_moment_size for cls in self.classes
+        )
+
+    def pick(self, u):
+        """The class selected by one uniform variate *u* in [0, 1).
+
+        Cumulative-fraction inversion in declaration order — the same
+        draw discipline as :class:`repro.core.workload.MixedSizes`, so
+        the two-class compatibility alias consumes the random stream
+        identically to the historical sampler.
+        """
+        edge = 0.0
+        for cls in self.classes[:-1]:
+            edge += cls.fraction
+            if u < edge:
+                return cls
+        return self.classes[-1]
+
+    def population_counts(self, ntrans):
+        """Largest-remainder apportionment of *ntrans* terminals.
+
+        Deterministic (no randomness): every class gets
+        ``floor(ntrans * fraction)`` terminals and the leftovers go to
+        the largest fractional remainders (declaration order breaks
+        ties).  Every class with a positive fraction is guaranteed at
+        least the chance to round up; classes can still end up with 0
+        terminals when ``ntrans`` is smaller than the class count.
+        """
+        quotas = [ntrans * cls.fraction for cls in self.classes]
+        counts = [int(q) for q in quotas]
+        leftovers = ntrans - sum(counts)
+        order = sorted(
+            range(len(quotas)),
+            key=lambda i: (counts[i] - quotas[i], i),
+        )
+        for i in order[:leftovers]:
+            counts[i] += 1
+        return counts
+
+    def spec(self):
+        """Canonical comma-joined spec string."""
+        return format_class_specs(self.classes)
+
+
+def parse_class_spec(text):
+    """One ``name:fraction:maxtransize[:key=value]*`` spec string."""
+    parts = [part.strip() for part in text.split(":")]
+    if len(parts) < 3:
+        raise ValueError(
+            "class spec needs name:fraction:maxtransize, got {!r}".format(text)
+        )
+    name, fraction, maxtransize = parts[0], parts[1], parts[2]
+    try:
+        kwargs = {
+            "name": name,
+            "fraction": float(fraction),
+            "maxtransize": int(maxtransize),
+        }
+    except ValueError:
+        raise ValueError(
+            "class spec {!r}: fraction must be a float and maxtransize "
+            "an int".format(text)
+        )
+    for extra in parts[3:]:
+        if "=" not in extra:
+            raise ValueError(
+                "class spec {!r}: refinement {!r} is not key=value".format(
+                    text, extra
+                )
+            )
+        key, _, value = extra.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "dist":
+            kwargs["size_dist"] = value
+        elif key == "write":
+            kwargs["write_fraction"] = float(value)
+        elif key == "gran":
+            kwargs["granularity"] = value
+        elif key == "prio":
+            kwargs["priority"] = int(value)
+        elif key == "backoff":
+            kwargs["backoff"] = float(value)
+        elif key == "skew":
+            kwargs["access_skew"] = float(value)
+        else:
+            raise ValueError(
+                "class spec {!r}: unknown key {!r} (expected one of "
+                "{})".format(text, key, _SPEC_KEYS)
+            )
+    return TransactionClass(**kwargs)
+
+
+def parse_class_specs(text):
+    """A comma-separated list of class specs -> tuple of classes."""
+    return tuple(
+        parse_class_spec(part)
+        for part in str(text).split(",")
+        if part.strip()
+    )
+
+
+def format_class_specs(classes):
+    """Canonical comma-joined spec string for *classes*."""
+    return ",".join(cls.spec() for cls in classes)
+
+
+def normalize_classes(value):
+    """Coerce *value* (specs, strings, classes, or a mix) to a tuple.
+
+    Accepts the empty string / ``None`` / ``()`` (single-class mode),
+    a spec string, a :class:`WorkloadMix`, or any iterable of
+    :class:`TransactionClass` / spec strings.  Returns a plain tuple
+    of ``TransactionClass`` — *not yet validated as a mix* (parameter
+    validation does that with the dbsize bound in hand).
+    """
+    if value is None:
+        return ()
+    if isinstance(value, WorkloadMix):
+        return value.classes
+    if isinstance(value, str):
+        return parse_class_specs(value)
+    if isinstance(value, TransactionClass):
+        return (value,)
+    out = []
+    for item in value:
+        if isinstance(item, TransactionClass):
+            out.append(item)
+        elif isinstance(item, str):
+            out.append(parse_class_spec(item))
+        elif isinstance(item, dict):
+            out.append(TransactionClass(**item))
+        else:
+            raise ValueError(
+                "cannot interpret {!r} as a transaction class".format(item)
+            )
+    return tuple(out)
+
+
+def mixed_workload_classes(params):
+    """The §3.6 mixed workload re-expressed as a two-class mix.
+
+    The historical ``workload="mixed"`` scalar knobs map onto a
+    ``small`` / ``large`` pair; ``MixedSizes`` is the compatibility
+    alias sampling from exactly this mix.
+    """
+    return (
+        TransactionClass(
+            name="small",
+            fraction=params.mix_small_fraction,
+            maxtransize=params.mix_small_maxtransize,
+        ),
+        TransactionClass(
+            name="large",
+            fraction=1.0 - params.mix_small_fraction,
+            maxtransize=params.mix_large_maxtransize,
+        ),
+    )
+
+
+def _trim_float(value):
+    """Compact float formatting: 0.8 -> '0.8', 1.0 -> '1'."""
+    text = repr(float(value))
+    if text.endswith(".0"):
+        text = text[:-2]
+    return text

@@ -97,7 +97,12 @@ def result_from_document(params, outputs):
             values[name] = _COMPAT_DEFAULTS[name]
         else:
             raise KeyError(name)
-    return SimulationResult(params=params, **values)
+    # Multi-class breakdowns are stored only when present (the
+    # single-class entry format is unchanged); absent means empty.
+    per_class = tuple(
+        dict(entry) for entry in outputs.get("per_class", ())
+    )
+    return SimulationResult(params=params, per_class=per_class, **values)
 
 #: Default location, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
@@ -255,6 +260,10 @@ class ResultCache:
                 name: getattr(result, name) for name in RESULT_FIELDS
             },
         }
+        if result.per_class:
+            document["result"]["per_class"] = [
+                dict(entry) for entry in result.per_class
+            ]
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(

@@ -869,13 +869,15 @@ def run_experiments(
                     # No cache to resume from: journal the full output
                     # record inline so a resumed faulted sweep is
                     # bit-identical to an uninterrupted one.
-                    ctx.journal.record(
-                        job.key,
-                        result={
-                            name: getattr(result, name)
-                            for name in RESULT_FIELDS
-                        },
-                    )
+                    record = {
+                        name: getattr(result, name)
+                        for name in RESULT_FIELDS
+                    }
+                    if result.per_class:
+                        record["per_class"] = [
+                            dict(entry) for entry in result.per_class
+                        ]
+                    ctx.journal.record(job.key, result=record)
                 else:
                     ctx.journal.record(job.key)
                 journalled += 1

@@ -585,6 +585,38 @@ class RunInstruments:
             "(simulated time units).",
             labels=("protocol",),
         ).labels("" if params is None else str(params.commit_protocol))
+        # Per-transaction-class instruments (multi-class runs).  These
+        # are *new* families labelled with txn_class — the pinned
+        # single-class families above keep their names and labels, so
+        # existing dashboards and tests are untouched; the class
+        # families simply stay empty in single-class runs.
+        self._class_commits = counter(
+            "repro_class_commits_total",
+            "Committed transactions by transaction class.",
+            labels=("txn_class",),
+        )
+        self._class_restarts = counter(
+            "repro_class_restarts_total",
+            "Lock-phase attempts beyond the first, by transaction class.",
+            labels=("txn_class",),
+        )
+        self._class_aborts = counter(
+            "repro_class_aborts_total",
+            "Aborted transaction attempts by transaction class and cause.",
+            labels=("txn_class", "cause"),
+        )
+        self._class_response = registry.histogram(
+            "repro_class_response_time",
+            "Transaction response time by transaction class "
+            "(simulated time units).",
+            labels=("txn_class",),
+        )
+        self._class_lock_wait = registry.histogram(
+            "repro_class_lock_wait_time",
+            "Time spent blocked waiting for a lock, by transaction "
+            "class (simulated time units).",
+            labels=("txn_class",),
+        )
         self._kernel_events = counter(
             "repro_kernel_events_total", "DES kernel events dispatched."
         ).labels()
@@ -603,13 +635,26 @@ class RunInstruments:
         """One aborted attempt, by cause string."""
         self._aborts.labels(cause).inc()
 
-    def observe_lock_wait(self, wait, granule=None):
+    def note_class_abort(self, txn_class, cause):
+        """One aborted attempt of a classed transaction."""
+        self._class_aborts.labels(txn_class, cause).inc()
+
+    def note_class_completion(self, txn_class, restarts, response):
+        """A classed transaction committed (with its restart count)."""
+        self._class_commits.labels(txn_class).inc()
+        if restarts > 0:
+            self._class_restarts.labels(txn_class).inc(restarts)
+        self._class_response.labels(txn_class).observe(response)
+
+    def observe_lock_wait(self, wait, granule=None, txn_class=None):
         """One completed lock wait of *wait* simulated time units."""
         self._lock_wait.observe(wait)
         if granule is not None:
             key = str(granule)
             self._granule_waits.labels(key).inc()
             self._granule_wait_time.labels(key).inc(wait)
+        if txn_class is not None:
+            self._class_lock_wait.labels(txn_class).observe(wait)
 
     def note_lock_event(self, event, mode):
         """A lock-manager transition (called by :class:`LockManager`)."""

@@ -51,12 +51,16 @@ _BUILTINS = (
      "admit the smallest pending transaction first"),
     ("admission", "adaptive", "repro.policies.admission:_adaptive",
      "multiprogramming limit adapted from the lock denial rate"),
+    ("admission", "priority", "repro.policies.admission:_priority",
+     "highest txn-class priority first (FCFS within a priority)"),
     ("workload", "uniform", "repro.policies.workload:uniform",
      "NU ~ U{1..maxtransize} (the paper's Table 1 workload)"),
     ("workload", "mixed", "repro.policies.workload:mixed",
      "the §3.6 small/large transaction mix"),
     ("workload", "fixed", "repro.policies.workload:fixed",
      "every transaction exactly maxtransize entities"),
+    ("workload", "classes", "repro.policies.workload:classes",
+     "multi-class mix from txn_classes (per-class sizes/priorities)"),
     ("arrival", "closed", "repro.policies.arrival:ClosedArrivals",
      "fixed population of ntrans; completions replaced immediately"),
     ("arrival", "open", "repro.policies.arrival:OpenArrivals",

@@ -77,6 +77,32 @@ class SmallestFirstAdmission(FCFSAdmission):
         return smallest
 
 
+class PriorityAdmission(FCFSAdmission):
+    """Admit the highest transaction-class priority first.
+
+    Priorities come from ``txn.txn_class.priority`` (0 for classless
+    transactions, so the policy degrades to FCFS in single-class
+    runs).  Ties are broken FCFS — the first pending transaction of
+    the best priority wins — so starvation within a priority level
+    cannot happen; across levels this is strict priority scheduling,
+    the classic OLTP-over-batch admission discipline.
+    """
+
+    name = "priority"
+
+    def select(self, pending, in_flight):
+        """Index of the first highest-priority transaction, or ``None``."""
+        if not pending:
+            return None
+        if self.mpl_limit and in_flight >= self.mpl_limit:
+            return None
+        best = 0
+        for i in range(1, len(pending)):
+            if pending[i].priority > pending[best].priority:
+                best = i
+        return best
+
+
 class AdaptiveAdmission(FCFSAdmission):
     """MPL adjusted from the recent lock denial rate.
 
@@ -183,6 +209,10 @@ def _fcfs(params):
 
 def _smallest(params):
     return SmallestFirstAdmission(params.mpl_limit)
+
+
+def _priority(params):
+    return PriorityAdmission(params.mpl_limit)
 
 
 def _adaptive(params):

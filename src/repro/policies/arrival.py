@@ -20,6 +20,16 @@ whether completed ones are replaced:
 
 All draws come from the model's ``arrivals`` stream, so arrival
 shapes never perturb any other random stream.
+
+Multi-class mixes (``workload = "classes"``) are handled per policy:
+the closed system apportions the ``ntrans`` terminals over the
+classes deterministically (largest-remainder, no randomness) and
+replaces each completion with a transaction of the *same* class, so
+per-class populations are constants of the run — the closed
+multi-class MVA's assumption.  The open system runs one independent
+Poisson source per class at ``arrival_rate * fraction`` (stream
+``("arrivals", name)``), and the bursty source keeps its aggregate
+modulated process, picking the class per arrival.
 """
 
 
@@ -29,19 +39,35 @@ class ClosedArrivals:
     name = "closed"
 
     def start(self, model):
-        """Launch the initial population, one time unit apart."""
+        """Launch the initial population, one time unit apart.
+
+        With a class mix the terminal classes follow the
+        largest-remainder apportionment, interleaved in declaration
+        order (class of terminal *i* fixed before any draws, so the
+        stagger pattern is deterministic given the mix).
+        """
+        if model.mix is not None:
+            counts = model.mix.population_counts(model.params.ntrans)
+            slots = []
+            for cls, count in zip(model.mix, counts):
+                slots.extend([cls] * count)
+            for i, cls in enumerate(slots):
+                model.env.process(self._staggered(model, float(i), cls))
+            return
         for i in range(model.params.ntrans):
             model.env.process(self._staggered(model, float(i)))
 
-    def _staggered(self, model, delay):
+    def _staggered(self, model, delay, cls=None):
         if delay > 0:
             yield delay  # bare-delay sleep: no Timeout allocated
-        yield from model.lifecycle(model.new_transaction())
+        yield from model.lifecycle(model.new_transaction(cls))
 
-    def on_complete(self, model):
+    def on_complete(self, model, txn=None):
         """Closed system: the finished transaction is immediately
-        replaced so the population stays at ``ntrans``."""
-        model.env.process(model.lifecycle(model.new_transaction()))
+        replaced so the population stays at ``ntrans`` — with a mix,
+        replaced *by its own class* so per-class populations hold."""
+        cls = txn.txn_class if txn is not None else None
+        model.env.process(model.lifecycle(model.new_transaction(cls)))
 
 
 class OpenArrivals:
@@ -50,7 +76,22 @@ class OpenArrivals:
     name = "open"
 
     def start(self, model):
-        """Launch the Poisson source process."""
+        """Launch the Poisson source process(es).
+
+        One source per class under a mix — thinning a Poisson stream
+        by the class fractions is distribution-identical to
+        independent per-class streams, and per-class streams keep one
+        class's arrival draws from perturbing another's.
+        """
+        if model.mix is not None:
+            from repro.des import RandomStreams
+
+            streams = RandomStreams(model.params.seed)
+            for cls in model.mix:
+                rng = streams.stream("arrivals", cls.name)
+                rate = model.params.arrival_rate * cls.fraction
+                model.env.process(self._class_source(model, cls, rng, rate))
+            return
         model.env.process(self._source(model))
 
     def _source(self, model):
@@ -60,7 +101,12 @@ class OpenArrivals:
             yield rng.expovariate(rate)  # bare-delay sleep
             model.env.process(model.lifecycle(model.new_transaction()))
 
-    def on_complete(self, model):
+    def _class_source(self, model, cls, rng, rate):
+        while True:
+            yield rng.expovariate(rate)  # bare-delay sleep
+            model.env.process(model.lifecycle(model.new_transaction(cls)))
+
+    def on_complete(self, model, txn=None):
         """Open system: completions are not replaced."""
 
 

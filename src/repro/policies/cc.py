@@ -139,15 +139,20 @@ class ConcurrencyControl:
         backoff so the same conflict does not instantly re-form among
         retrying transactions.  The draw discipline matches
         :meth:`fault_abort`: exactly one variate per abort, from the
-        ``backoff`` stream.
+        ``backoff`` stream.  A transaction class scales the drawn
+        delay by its ``backoff`` factor (still one variate, so class
+        backoff never desyncs the stream).
         """
         model = self.model
         model.emit("abort", txn, aborts=txn.aborts + 1, reason=reason)
         model.metrics.note_denial()
-        model.metrics.note_abort(reason)
+        model.metrics.note_abort(reason, txn=txn)
         txn.aborts += 1
         model.admission.policy.on_deny()
-        yield model.backoff.delay(model.rngs["backoff"], txn.aborts - 1)
+        delay = model.backoff.delay(model.rngs["backoff"], txn.aborts - 1)
+        if txn.txn_class is not None and txn.txn_class.backoff != 1.0:
+            delay = delay * txn.txn_class.backoff
+        yield delay
 
 
 class PreclaimCC(ConcurrencyControl):
@@ -195,7 +200,9 @@ class PreclaimCC(ConcurrencyControl):
         if model.instruments is not None:
             # Preclaim has no per-granule identity; the wait is
             # attributed to the run's granularity label only.
-            model.instruments.observe_lock_wait(model.env.now - blocked_at)
+            model.instruments.observe_lock_wait(
+                model.env.now - blocked_at, txn_class=txn.class_name
+            )
 
 
 class NoWaitingCC(PreclaimCC):
@@ -279,7 +286,8 @@ class IncrementalCC(ConcurrencyControl):
                 model.metrics.blocked.increment(-1)
                 if model.instruments is not None:
                     model.instruments.observe_lock_wait(
-                        model.env.now - blocked_at, granule=granule
+                        model.env.now - blocked_at, granule=granule,
+                        txn_class=txn.class_name,
                     )
                 self._waiting.pop(txn.tid, None)
                 if outcome == ABORTED:
@@ -371,7 +379,8 @@ class WoundWaitCC(ConcurrencyControl):
                 model.metrics.blocked.increment(-1)
                 if model.instruments is not None:
                     model.instruments.observe_lock_wait(
-                        model.env.now - blocked_at, granule=granule
+                        model.env.now - blocked_at, granule=granule,
+                        txn_class=txn.class_name,
                     )
                 self._waiting.pop(txn.tid, None)
                 if outcome == ABORTED:

@@ -9,7 +9,12 @@ a ``mean`` property; register a new one under a fresh name to open a
 new workload without touching the model.
 """
 
-from repro.core.workload import FixedSizes, MixedSizes, UniformSizes
+from repro.core.workload import ClassMixSizes, FixedSizes, MixedSizes, UniformSizes
+
+
+def classes(params):
+    """Multi-class mix sampler over ``params.txn_classes``."""
+    return ClassMixSizes(params.workload_mix)
 
 
 def uniform(params):

@@ -263,3 +263,78 @@ class TestCalibrationInvariant:
             sim_best = simulated.index(max(simulated))
             model_best = predicted.index(max(predicted))
             assert abs(sim_best - model_best) <= 1
+
+
+class TestMultiClassPrediction:
+    MULTI = SimulationParameters(
+        dbsize=2000, ltot=50, ntrans=10, maxtransize=60, npros=4,
+        tmax=400.0, seed=3,
+        workload="classes", txn_classes="oltp:0.8:20,batch:0.2:200",
+    )
+
+    def test_single_class_predictions_have_no_breakdown(self):
+        prediction = predict(
+            SimulationParameters(dbsize=2000, ltot=50, ntrans=10,
+                                 maxtransize=60, npros=4, tmax=400.0)
+        )
+        assert prediction.per_class == ()
+
+    def test_breakdown_covers_every_class(self):
+        prediction = predict(self.MULTI)
+        assert [e["txn_class"] for e in prediction.per_class] == [
+            "oltp", "batch"
+        ]
+
+    def test_class_throughputs_sum_to_aggregate(self):
+        prediction = predict(self.MULTI)
+        assert sum(
+            e["throughput"] for e in prediction.per_class
+        ) == pytest.approx(prediction.throughput)
+
+    def test_heavier_class_is_slower(self):
+        prediction = predict(self.MULTI)
+        oltp, batch = prediction.per_class
+        assert batch["response_time"] > oltp["response_time"]
+        assert batch["throughput"] < oltp["throughput"]
+
+    def test_mean_supports_suffixed_fields(self):
+        prediction = predict(self.MULTI)
+        assert prediction.mean("throughput__oltp") == (
+            prediction.per_class[0]["throughput"]
+        )
+        absent = prediction.mean("throughput__absent")
+        assert absent != absent  # nan
+
+    def test_as_dict_carries_class_columns(self):
+        row = predict(self.MULTI).as_dict()
+        assert "throughput__batch" in row
+        assert row["provenance"] == "analytic"
+
+    def test_size_biased_size_uses_mixture_moments(self):
+        from repro.analytic.mva import size_biased_transaction_size
+
+        mix = self.MULTI.workload_mix
+        assert size_biased_transaction_size(self.MULTI) == pytest.approx(
+            mix.second_moment_size / mix.mean_size
+        )
+
+    def test_per_class_throughput_error_within_gate(self):
+        # The multi-class split must stay inside the same 15% band the
+        # aggregate crossval gate enforces, on a small ltot grid.
+        from repro.core.model import simulate
+
+        errors = []
+        for ltot in (10, 50, 100):
+            params = self.MULTI.replace(ltot=ltot)
+            result = simulate(params)
+            prediction = predict(params)
+            for entry in prediction.per_class:
+                sim = next(
+                    e for e in result.per_class
+                    if e["txn_class"] == entry["txn_class"]
+                )
+                errors.append(
+                    abs(entry["throughput"] - sim["throughput"])
+                    / sim["throughput"]
+                )
+        assert sum(errors) / len(errors) <= 0.15

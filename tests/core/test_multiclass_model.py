@@ -1,0 +1,145 @@
+"""Multi-class workloads through the full simulation lifecycle."""
+
+import pytest
+
+from repro.core import SimulationParameters, simulate
+from repro.policies.admission import PriorityAdmission
+
+#: The golden configuration of tests/test_regression_golden.py with a
+#: two-class mix on top.  Pinned outputs guard the per-class stream
+#: discipline: any change to how classes consume randomness moves
+#: these numbers.
+MULTI_GOLDEN = SimulationParameters(
+    dbsize=500, ltot=20, ntrans=5, maxtransize=50, npros=4,
+    tmax=200.0, seed=7,
+    workload="classes",
+    txn_classes="oltp:0.8:20,batch:0.2:200:gran=file:prio=1",
+)
+
+
+@pytest.fixture(scope="module")
+def multi_result():
+    return simulate(MULTI_GOLDEN)
+
+
+class TestMultiClassGolden:
+    def test_pinned_totals(self, multi_result):
+        assert multi_result.totcom == 130
+        breakdown = {
+            entry["txn_class"]: entry["totcom"]
+            for entry in multi_result.per_class
+        }
+        assert breakdown == {"oltp": 107, "batch": 23}
+
+    def test_per_class_sums_to_aggregate(self, multi_result):
+        assert sum(
+            entry["totcom"] for entry in multi_result.per_class
+        ) == multi_result.totcom
+
+    def test_deterministic_rerun(self, multi_result):
+        assert simulate(MULTI_GOLDEN).as_dict() == multi_result.as_dict()
+
+    def test_value_supports_suffixed_fields(self, multi_result):
+        assert multi_result.value("totcom__oltp") == 107
+        assert multi_result.value("throughput__batch") == pytest.approx(
+            23 / 200.0
+        )
+
+    def test_value_absent_class_is_nan(self, multi_result):
+        assert multi_result.value("totcom__absent") != multi_result.value(
+            "totcom__absent"
+        )
+
+    def test_as_dict_appends_suffixed_columns(self, multi_result):
+        row = multi_result.as_dict()
+        assert row["totcom__oltp"] == 107
+        assert row["totcom__batch"] == 23
+        assert row["txn_classes"] == MULTI_GOLDEN.as_dict()["txn_classes"]
+
+    def test_single_class_rows_carry_no_class_columns(self):
+        row = simulate(MULTI_GOLDEN.replace(
+            workload="uniform", txn_classes=()
+        )).as_dict()
+        assert not [key for key in row if "__" in key]
+        assert "txn_classes" not in row
+
+
+class TestClassSemantics:
+    def test_class_population_is_fixed(self):
+        # Closed system: completions replace like with like, so both
+        # classes complete work over the whole horizon.
+        result = simulate(MULTI_GOLDEN)
+        for entry in result.per_class:
+            assert entry["totcom"] > 0
+
+    def test_class_sizes_respect_bounds(self):
+        # oltp <= 20 blocks and batch <= 200: response times must
+        # reflect the size gap (batch markedly slower).
+        result = simulate(MULTI_GOLDEN)
+        oltp = next(
+            e for e in result.per_class if e["txn_class"] == "oltp"
+        )
+        batch = next(
+            e for e in result.per_class if e["txn_class"] == "batch"
+        )
+        assert batch["response_time"] > oltp["response_time"]
+
+    def test_per_class_backoff_scales_restart_delay(self):
+        # A huge backoff multiplier on one class slows its restarts
+        # under the no-waiting protocol; the run still completes and
+        # carries both classes.
+        params = MULTI_GOLDEN.replace(
+            protocol="no-waiting",
+            txn_classes="oltp:0.8:20,batch:0.2:200:backoff=25",
+        )
+        result = simulate(params)
+        assert len(result.per_class) == 2
+        assert result.totcom > 0
+
+    def test_hierarchical_gran_preference_escalates(self):
+        params = MULTI_GOLDEN.replace(
+            conflict_engine="hierarchical",
+            nfiles=4,
+            escalation_threshold=0,
+            txn_classes="oltp:0.8:20:gran=block,batch:0.2:200:gran=file",
+        )
+        result = simulate(params)
+        # threshold=0 means only the batch class's file preference can
+        # escalate; it commits, so escalations must be recorded.
+        assert result.lock_escalations > 0
+
+
+class TestPriorityAdmission:
+    class _Txn:
+        def __init__(self, priority):
+            self.priority = priority
+
+    def test_selects_highest_priority_first(self):
+        admission = PriorityAdmission()
+        pending = [self._Txn(0), self._Txn(2), self._Txn(1)]
+        assert admission.select(pending, in_flight=0) == 1
+
+    def test_fcfs_within_a_priority(self):
+        admission = PriorityAdmission()
+        first = self._Txn(1)
+        pending = [self._Txn(0), first, self._Txn(1)]
+        assert pending[admission.select(pending, in_flight=0)] is first
+
+    def test_honours_mpl_limit(self):
+        admission = PriorityAdmission(mpl_limit=2)
+        pending = [self._Txn(3)]
+        assert admission.select(pending, in_flight=2) is None
+
+    def test_classless_transactions_default_to_zero(self):
+        from repro.core.transaction import Transaction
+
+        txn = Transaction(tid=1, nu=3, lock_count=1)
+        assert txn.priority == 0
+        assert txn.class_name is None
+
+    def test_end_to_end_priority_run(self):
+        result = simulate(
+            MULTI_GOLDEN.replace(txn_policy="priority", mpl_limit=3)
+        )
+        assert result.totcom > 0
+        assert len(result.per_class) == 2

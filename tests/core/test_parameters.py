@@ -108,3 +108,57 @@ class TestReplace:
         params = SimulationParameters()
         with pytest.raises(Exception):
             params.ltot = 5
+
+
+class TestEngineCapabilities:
+    """Engine requirements are declared on the conflict factories, not
+    hardcoded by name in the validator (PR 10 hardening)."""
+
+    def test_factories_declare_capability_attributes(self):
+        from repro.policies import registry
+
+        for name in ("probabilistic", "vectorized", "explicit",
+                     "hierarchical"):
+            engine = registry.resolve("conflict", name)
+            assert isinstance(engine.needs_granules, bool)
+            assert isinstance(engine.table_backed, bool)
+            assert isinstance(engine.supports_granule_cc, bool)
+
+    def test_granule_cc_needs_supporting_engine(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(
+                protocol="incremental", conflict_engine="hierarchical"
+            )
+
+    def test_skewed_placement_needs_table_backed_engine(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(
+                placement="skewed", conflict_engine="probabilistic"
+            )
+        SimulationParameters(
+            placement="skewed", conflict_engine="explicit"
+        )
+
+    def test_hierarchical_rejects_more_files_than_database_blocks(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(
+                conflict_engine="hierarchical", dbsize=500, nfiles=501
+            )
+
+    def test_hierarchical_clamps_nfiles_to_ltot(self):
+        # nfiles > ltot is a *clamp*, not an error: a fixed nfiles
+        # must survive sweeps over the full ltot grid.
+        SimulationParameters(
+            conflict_engine="hierarchical", ltot=10, nfiles=11
+        )
+
+    def test_hierarchical_rejects_threshold_above_ltot(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(
+                conflict_engine="hierarchical", ltot=10, nfiles=5,
+                escalation_threshold=11,
+            )
+
+    def test_flat_engines_skip_hierarchy_bounds(self):
+        # The same nfiles value is inert outside the hierarchy engine.
+        SimulationParameters(ltot=10, nfiles=11)

@@ -1,0 +1,243 @@
+"""Unit tests for first-class transaction classes and workload mixes."""
+
+import pytest
+
+from repro.core.parameters import SimulationParameters
+from repro.core.txnclass import (
+    TransactionClass,
+    WorkloadMix,
+    format_class_specs,
+    mixed_workload_classes,
+    normalize_classes,
+    parse_class_spec,
+    parse_class_specs,
+)
+
+TWO_CLASS = "oltp:0.8:50,batch:0.2:1000"
+
+
+class TestTransactionClass:
+    def test_defaults(self):
+        cls = TransactionClass("oltp", 1.0, 50)
+        assert cls.size_dist == "uniform"
+        assert cls.write_fraction == 1.0
+        assert cls.granularity == "default"
+        assert cls.priority == 0
+        assert cls.backoff == 1.0
+        assert cls.access_skew is None
+
+    def test_mean_size_uniform(self):
+        assert TransactionClass("c", 1.0, 9).mean_size == 5.0
+
+    def test_mean_size_fixed(self):
+        cls = TransactionClass("c", 1.0, 9, size_dist="fixed")
+        assert cls.mean_size == 9.0
+        assert cls.second_moment_size == 81.0
+
+    def test_second_moment_uniform(self):
+        # E[NU^2] for U{1..3} = (1 + 4 + 9) / 3
+        cls = TransactionClass("c", 1.0, 3)
+        assert cls.second_moment_size == pytest.approx(14 / 3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name=""),
+            dict(name="a:b"),
+            dict(name="a,b"),
+            dict(fraction=0.0),
+            dict(fraction=1.5),
+            dict(maxtransize=0),
+            dict(size_dist="zipf"),
+            dict(write_fraction=1.2),
+            dict(granularity="page"),
+            dict(backoff=0.0),
+            dict(access_skew=-1.0),
+        ],
+    )
+    def test_validate_rejects(self, kwargs):
+        base = dict(name="c", fraction=0.5, maxtransize=10)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            TransactionClass(**base).validate()
+
+    def test_validate_enforces_dbsize_bound(self):
+        cls = TransactionClass("c", 1.0, 100)
+        cls.validate(dbsize=100)
+        with pytest.raises(ValueError):
+            cls.validate(dbsize=99)
+
+
+class TestSpecStrings:
+    def test_minimal_round_trip(self):
+        cls = parse_class_spec("oltp:0.8:50")
+        assert cls == TransactionClass("oltp", 0.8, 50)
+        assert cls.spec() == "oltp:0.8:50"
+
+    def test_full_round_trip(self):
+        text = (
+            "batch:0.2:1000:dist=fixed:write=0.5:gran=file:prio=2"
+            ":backoff=1.5:skew=0.7"
+        )
+        cls = parse_class_spec(text)
+        assert cls.size_dist == "fixed"
+        assert cls.write_fraction == 0.5
+        assert cls.granularity == "file"
+        assert cls.priority == 2
+        assert cls.backoff == 1.5
+        assert cls.access_skew == 0.7
+        assert parse_class_spec(cls.spec()) == cls
+
+    def test_defaults_omitted_from_spec(self):
+        assert TransactionClass("c", 0.5, 10).spec() == "c:0.5:10"
+
+    def test_multi_spec_round_trip(self):
+        classes = parse_class_specs(TWO_CLASS)
+        assert [cls.name for cls in classes] == ["oltp", "batch"]
+        assert format_class_specs(classes) == TWO_CLASS
+
+    @pytest.mark.parametrize(
+        "text",
+        ["oltp", "oltp:0.8", "oltp:x:50", "oltp:0.8:y",
+         "oltp:0.8:50:granfile", "oltp:0.8:50:color=red"],
+    )
+    def test_malformed_specs_raise(self, text):
+        with pytest.raises(ValueError):
+            parse_class_spec(text)
+
+
+class TestWorkloadMix:
+    def _mix(self):
+        return WorkloadMix(parse_class_specs(TWO_CLASS))
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(parse_class_specs("a:0.5:10,b:0.4:10"))
+
+    def test_names_must_be_unique(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(parse_class_specs("a:0.5:10,a:0.5:10"))
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(())
+
+    def test_moments_are_mixture_weighted(self):
+        mix = self._mix()
+        assert mix.mean_size == pytest.approx(0.8 * 25.5 + 0.2 * 500.5)
+        assert mix.second_moment_size == pytest.approx(
+            0.8 * 51 * 101 / 6 + 0.2 * 1001 * 2001 / 6
+        )
+
+    def test_pick_inverts_cumulative_fractions(self):
+        mix = self._mix()
+        assert mix.pick(0.0).name == "oltp"
+        assert mix.pick(0.79).name == "oltp"
+        assert mix.pick(0.8).name == "batch"
+        assert mix.pick(0.999).name == "batch"
+
+    def test_population_counts_exact_split(self):
+        assert self._mix().population_counts(10) == [8, 2]
+
+    def test_population_counts_largest_remainder(self):
+        mix = WorkloadMix(parse_class_specs("a:0.5:10,b:0.3:10,c:0.2:10"))
+        # Quotas 3.5 / 2.1 / 1.4: a has the largest remainder.
+        assert mix.population_counts(7) == [4, 2, 1]
+        assert sum(mix.population_counts(7)) == 7
+
+    def test_population_counts_small_population(self):
+        mix = WorkloadMix(parse_class_specs("a:0.6:10,b:0.4:10"))
+        assert mix.population_counts(1) == [1, 0]
+
+    def test_by_name(self):
+        mix = self._mix()
+        assert mix.by_name("batch").maxtransize == 1000
+        with pytest.raises(KeyError):
+            mix.by_name("absent")
+
+    def test_spec_round_trip(self):
+        assert self._mix().spec() == TWO_CLASS
+
+
+class TestNormalizeClasses:
+    def test_none_and_empty(self):
+        assert normalize_classes(None) == ()
+        assert normalize_classes("") == ()
+        assert normalize_classes(()) == ()
+
+    def test_spec_string(self):
+        classes = normalize_classes(TWO_CLASS)
+        assert [cls.name for cls in classes] == ["oltp", "batch"]
+
+    def test_mixed_iterable(self):
+        classes = normalize_classes(
+            [TransactionClass("a", 0.5, 10), "b:0.5:20",
+             {"name": "c", "fraction": 0.1, "maxtransize": 5}]
+        )
+        assert [cls.name for cls in classes] == ["a", "b", "c"]
+
+    def test_single_class_instance(self):
+        cls = TransactionClass("solo", 1.0, 10)
+        assert normalize_classes(cls) == (cls,)
+
+    def test_workload_mix_passthrough(self):
+        mix = WorkloadMix(parse_class_specs(TWO_CLASS))
+        assert normalize_classes(mix) == mix.classes
+
+    def test_unintelligible_item_raises(self):
+        with pytest.raises(ValueError):
+            normalize_classes([42])
+
+
+class TestParameterIntegration:
+    def test_params_accept_spec_string(self):
+        params = SimulationParameters(
+            workload="classes", txn_classes=TWO_CLASS
+        )
+        assert params.workload_mix.names == ("oltp", "batch")
+        assert params.mean_transaction_size == pytest.approx(
+            0.8 * 25.5 + 0.2 * 500.5
+        )
+
+    def test_classes_require_classes_workload(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(txn_classes=TWO_CLASS)
+        with pytest.raises(ValueError):
+            SimulationParameters(workload="classes")
+
+    def test_class_maxtransize_bounded_by_dbsize(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(
+                dbsize=500, workload="classes", txn_classes=TWO_CLASS
+            )
+
+    def test_as_dict_omits_empty_and_carries_spec(self):
+        assert "txn_classes" not in SimulationParameters().as_dict()
+        params = SimulationParameters(
+            workload="classes", txn_classes=TWO_CLASS
+        )
+        assert params.as_dict()["txn_classes"] == TWO_CLASS
+
+    def test_as_dict_round_trips(self):
+        params = SimulationParameters(
+            workload="classes", txn_classes=TWO_CLASS
+        )
+        rebuilt = SimulationParameters(**params.as_dict())
+        assert rebuilt == params
+
+    def test_workload_mix_none_when_single_class(self):
+        assert SimulationParameters().workload_mix is None
+
+
+class TestMixedWorkloadAlias:
+    def test_two_class_mapping(self):
+        params = SimulationParameters(workload="mixed")
+        small, large = mixed_workload_classes(params)
+        assert small.name == "small"
+        assert small.fraction == params.mix_small_fraction
+        assert small.maxtransize == params.mix_small_maxtransize
+        assert large.name == "large"
+        assert large.fraction == pytest.approx(
+            1.0 - params.mix_small_fraction
+        )
+        assert large.maxtransize == params.mix_large_maxtransize

@@ -295,3 +295,44 @@ class TestRunExperimentCaching:
         assert pooled.stats.cache_hits == 8
         for a, b in zip(inline.outcomes, pooled.outcomes):
             assert a.as_dict() == b.as_dict()
+
+
+class TestPerClassRoundTrip:
+    """Multi-class breakdowns survive the cache; single-class entries
+    keep the historical document format byte-for-byte."""
+
+    MULTI = SimulationParameters(
+        dbsize=500, ltot=20, ntrans=5, maxtransize=50, npros=4,
+        tmax=200.0, seed=7,
+        workload="classes", txn_classes="oltp:0.8:20,batch:0.2:200",
+    )
+
+    def test_multi_class_get_restores_breakdown(self, cache):
+        result = _simulate(self.MULTI)
+        assert result.per_class
+        cache.put(self.MULTI, result)
+        hit = cache.get(self.MULTI)
+        assert hit.per_class == result.per_class
+        assert hit.as_dict() == result.as_dict()
+
+    def test_single_class_documents_have_no_per_class_key(
+        self, cache, params
+    ):
+        result = _simulate(params)
+        path = cache.put(params, result)
+        with open(path) as handle:
+            document = json.load(handle)
+        assert "per_class" not in document["result"]
+        assert cache.get(params).per_class == ()
+
+    def test_journal_record_round_trips_per_class(self):
+        from repro.experiments.cache import result_from_document
+
+        result = _simulate(self.MULTI)
+        record = {name: getattr(result, name) for name in RESULT_FIELDS}
+        record["per_class"] = [dict(entry) for entry in result.per_class]
+        # JSON round-trip degrades tuples to lists, like a journal read.
+        record = json.loads(json.dumps(record))
+        rebuilt = result_from_document(self.MULTI, record)
+        assert rebuilt.per_class == result.per_class
+        assert rebuilt.as_dict() == result.as_dict()

@@ -91,3 +91,13 @@ class TestSpecShapes:
         assert spec.base.conflict_engine == "explicit"
         for config in spec.configurations():
             config.validate()
+
+    def test_ablation_classes_two_class_mix(self):
+        spec = get_exhibit("ablation_classes")
+        assert spec.base.workload == "classes"
+        assert spec.base.workload_mix.names == ("oltp", "batch")
+        assert spec.sweeps["ltot"] == LTOT_GRID
+        assert "throughput__oltp" in spec.y_fields
+        assert "throughput__batch" in spec.y_fields
+        for config in spec.configurations():
+            config.validate()

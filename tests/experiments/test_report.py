@@ -104,3 +104,58 @@ class TestAcceleratorNote:
         assert "2.0s" in note
         assert stats.pruned_fraction == pytest.approx(0.4)
         assert "4 analytic (40% pruned)" in stats.summary()
+
+
+class TestPerClassRendering:
+    """Per-class columns surface in tables/CSVs only when present."""
+
+    @pytest.fixture(scope="class")
+    def class_result(self):
+        spec = ExperimentSpec(
+            key="tiny-classes",
+            title="tiny multi-class sweep",
+            base=SimulationParameters(
+                dbsize=500, ntrans=5, maxtransize=50, npros=2,
+                tmax=80.0, seed=1,
+                workload="classes",
+                txn_classes="oltp:0.8:20,batch:0.2:200",
+            ),
+            sweeps={"ltot": (10, 100)},
+            series_fields=(),
+            y_fields=("throughput", "throughput__oltp",
+                      "throughput__batch"),
+        )
+        return run_experiment(spec, cache=False)
+
+    def test_series_table_renders_suffixed_fields(self, class_result):
+        table = format_series_table(class_result, "throughput__oltp")
+        assert "throughput__oltp" in table
+        assert "10" in table and "100" in table
+
+    def test_summarize_optima_on_class_field(self, class_result):
+        lines = summarize_optima(class_result, "throughput__batch")
+        assert "throughput__batch" in lines
+
+    def test_rows_carry_class_columns(self, class_result):
+        rows = class_result.rows()
+        assert all("throughput__oltp" in row for row in rows)
+
+    def test_csv_round_trip_with_class_columns(self, class_result,
+                                               tmp_path):
+        from repro.experiments.storage import load_rows_csv, save_rows_csv
+
+        path = save_rows_csv(class_result.rows(), tmp_path / "classes.csv")
+        rows = load_rows_csv(path)
+        assert rows[0]["txn_classes"] == "oltp:0.8:20,batch:0.2:200"
+        assert isinstance(rows[0]["throughput__batch"], float)
+
+    def test_legacy_single_class_rows_unchanged(self, result, tmp_path):
+        from repro.experiments.storage import load_rows_csv, save_rows_csv
+
+        rows = result.rows()
+        assert not [key for row in rows for key in row if "__" in key]
+        assert all("txn_classes" not in row for row in rows)
+        loaded = load_rows_csv(
+            save_rows_csv(rows, tmp_path / "legacy.csv")
+        )
+        assert sorted(loaded[0]) == sorted(rows[0])

@@ -275,3 +275,47 @@ def test_run_instruments_abort_causes_are_labelled():
     flat = summarize_snapshot(registry.snapshot())
     assert flat["counters"]["repro_txn_aborts_total{cause=deadlock}"] == 2
     assert flat["counters"]["repro_txn_aborts_total{cause=wounded}"] == 1
+
+
+def test_multi_class_runs_populate_class_families():
+    params = SimulationParameters(**GOLDEN_PARAMS).replace(
+        workload="classes",
+        txn_classes="oltp:0.8:20,batch:0.2:200",
+    )
+    registry = MetricsRegistry()
+    result = LockingGranularityModel(
+        params, metrics_registry=registry
+    ).run()
+    flat = summarize_snapshot(registry.snapshot())
+    for name in result.value("totcom__oltp"), result.value("totcom__batch"):
+        assert name > 0
+    # Commit counters match the per-class result breakdown (the
+    # instruments count every commit; the result only the measured
+    # window, so the counters dominate).
+    for entry in result.per_class:
+        commits = flat["counters"][
+            "repro_class_commits_total{{txn_class={}}}".format(
+                entry["txn_class"]
+            )
+        ]
+        assert commits >= entry["totcom"]
+    # Response-time histograms exist per class.
+    assert any(
+        name.startswith("repro_class_response_time{txn_class=oltp}")
+        for name in flat["histograms"]
+    )
+
+
+def test_single_class_runs_emit_no_class_series():
+    registry = MetricsRegistry()
+    LockingGranularityModel(
+        SimulationParameters(**GOLDEN_PARAMS), metrics_registry=registry
+    ).run()
+    flat = summarize_snapshot(registry.snapshot())
+    class_series = [
+        name
+        for group in ("counters", "histograms")
+        for name in flat[group]
+        if name.startswith("repro_class_")
+    ]
+    assert class_series == []

@@ -49,3 +49,32 @@ def test_registering_a_policy_does_not_move_addresses():
         assert cache_key(SimulationParameters()) == DEFAULTS_DIGEST
     finally:
         registry._layers["cc"].pop("digest-test-dummy")
+
+
+def test_empty_txn_classes_do_not_move_addresses():
+    # The txn_classes field (PR 10) is omitted from the canonical
+    # params document when empty — every historical address, including
+    # the two pinned above, must survive the field's existence.
+    assert "txn_classes" not in SimulationParameters().as_dict()
+    assert cache_key(SimulationParameters()) == DEFAULTS_DIGEST
+
+
+def test_multi_class_configurations_fork_addresses():
+    base = SimulationParameters(
+        dbsize=500, ltot=20, ntrans=5, maxtransize=50, npros=4,
+        tmax=200.0, seed=7,
+    )
+    multi = base.replace(
+        workload="classes", txn_classes="oltp:0.8:20,batch:0.2:200"
+    )
+    assert cache_key(multi) != GOLDEN_DIGEST
+    # The spec string is canonical, so equivalent spellings of the
+    # same mix share one address.
+    respelled = base.replace(
+        workload="classes",
+        txn_classes=(
+            "oltp:0.8:20",
+            "batch:0.2:200",
+        ),
+    )
+    assert cache_key(respelled) == cache_key(multi)

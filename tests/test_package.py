@@ -26,6 +26,7 @@ MODULES = [
     "repro.core.placement",
     "repro.core.results",
     "repro.core.transaction",
+    "repro.core.txnclass",
     "repro.core.workload",
     "repro.des",
     "repro.des.calendar",

@@ -95,6 +95,87 @@ class TestVectorizedIdentity:
         assert cache_key(GOLDEN_PARAMS) == GOLDEN_DIGEST
 
 
+class TestCoverageIdentity:
+    """Parity on the code paths the flat golden run never visits.
+
+    The golden configuration exercises preclaim + probabilistic
+    conflicts only; these pairs force the hierarchical engine (with
+    real escalations), the deadlock detector's victim selection, the
+    wound-wait abort path, and a multi-class mix — asserting each
+    path actually fired, then requiring byte-identical results under
+    the calendar scheduler.
+    """
+
+    def _pair(self, monkeypatch, params):
+        monkeypatch.delenv("REPRO_KERNEL_SCHED", raising=False)
+        heap = simulate(params)
+        monkeypatch.setenv("REPRO_KERNEL_SCHED", "calendar")
+        calendar = simulate(params)
+        monkeypatch.delenv("REPRO_KERNEL_SCHED", raising=False)
+        assert heap.as_dict() == calendar.as_dict()
+        return heap
+
+    def test_hierarchical_engine_identity(self, monkeypatch):
+        result = self._pair(
+            monkeypatch,
+            GOLDEN_PARAMS.replace(
+                conflict_engine="hierarchical",
+                nfiles=4,
+                escalation_threshold=2,
+            ),
+        )
+        assert result.lock_escalations > 0
+
+    def test_deadlock_victim_identity(self, monkeypatch):
+        result = self._pair(
+            monkeypatch,
+            SimulationParameters(
+                dbsize=200, ltot=20, ntrans=12, maxtransize=100,
+                npros=4, tmax=200.0, seed=1,
+                conflict_engine="explicit", protocol="incremental",
+            ),
+        )
+        assert result.deadlock_aborts > 0
+
+    def test_wound_wait_identity(self, monkeypatch):
+        result = self._pair(
+            monkeypatch,
+            SimulationParameters(
+                dbsize=200, ltot=20, ntrans=10, maxtransize=50,
+                npros=4, tmax=200.0, seed=5,
+                conflict_engine="explicit", protocol="wound-wait",
+            ),
+        )
+        assert result.deadlock_aborts > 0
+
+    def test_multi_class_identity(self, monkeypatch):
+        result = self._pair(
+            monkeypatch,
+            GOLDEN_PARAMS.replace(
+                workload="classes",
+                txn_classes="oltp:0.8:20,batch:0.2:200:gran=file:prio=1",
+            ),
+        )
+        assert len(result.per_class) == 2
+
+    def test_multi_class_hierarchical_identity(self, monkeypatch):
+        # Per-class granularity preferences drive the hierarchical
+        # planner; both schedulers must agree on every escalation.
+        result = self._pair(
+            monkeypatch,
+            GOLDEN_PARAMS.replace(
+                conflict_engine="hierarchical",
+                nfiles=4,
+                escalation_threshold=3,
+                workload="classes",
+                txn_classes=(
+                    "oltp:0.7:20:gran=block,batch:0.3:200:gran=file"
+                ),
+            ),
+        )
+        assert result.lock_escalations > 0
+
+
 def test_seed_sweep_identity(monkeypatch):
     """A spread of seeds and sizes, heap vs calendar, quick horizon."""
     for seed in (1, 3, 11):
